@@ -1,0 +1,58 @@
+"""Toolchain throughput: elaboration, synthesis, assembly, binary size.
+
+Not a paper figure, but the "highly productive" claim implies the
+compiler itself is fast enough to iterate with.  Measures ChiselTorch
+elaboration rate (gates/second), the assembler's serialization rate,
+and the binary sizes of the MNIST networks.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.bench import mnist_workload
+from repro.isa import assemble, binary_size_bytes, disassemble
+
+
+@pytest.fixture(scope="module")
+def mnist_s():
+    return mnist_workload("S", "reduced")
+
+
+def test_elaboration_throughput(benchmark):
+    def build():
+        return mnist_workload("M", "reduced").build().netlist
+
+    netlist = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert netlist.num_gates > 10_000
+
+
+def test_assembler_throughput(benchmark, mnist_s):
+    netlist = mnist_s.netlist
+    binary = benchmark(lambda: assemble(netlist))
+    assert len(binary) == binary_size_bytes(netlist)
+
+
+def test_disassembler_throughput(benchmark, mnist_s):
+    binary = assemble(mnist_s.netlist)
+    netlist = benchmark(lambda: disassemble(binary))
+    assert netlist.num_gates == mnist_s.netlist.num_gates
+
+
+def test_binary_sizes(benchmark, vip_suite):
+    def sizes():
+        return {
+            w.name: binary_size_bytes(w.netlist)
+            for w in vip_suite
+            if w.category == "network"
+        }
+
+    table = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    print_table(
+        "PyTFHE binary sizes (16 B/instruction)",
+        ("program", "binary size"),
+        [(name, f"{size / 1e6:.1f} MB") for name, size in table.items()],
+    )
+    # 16 bytes per instruction: networks are megabytes, not gigabytes.
+    assert all(size < 200e6 for size in table.values())

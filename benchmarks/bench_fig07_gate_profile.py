@@ -1,0 +1,84 @@
+"""Fig. 7 — profiling of a TFHE gate evaluation on a single CPU core.
+
+Regenerates the blind-rotation / key-switching breakdown and the
+communication-overhead percentage (the paper measures 0.094% on a
+gigabit NIC).  Two rows are reported: the paper's calibrated cost model
+(TFHE C++ library on a Xeon) and this machine's measured cost with our
+numpy implementation.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.gatetypes import Gate
+from repro.runtime import profile_gate
+from repro.tfhe import evaluate_gate
+
+
+@pytest.fixture(scope="module")
+def measured_profile(test_keys):
+    _, cloud = test_keys
+    return profile_gate(cloud, repetitions=3)
+
+
+def test_fig07_gate_breakdown(benchmark, test_keys, paper_cost, measured_profile):
+    secret, cloud = test_keys
+    from repro.tfhe import encrypt_bits
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    ca = encrypt_bits(secret, [True], rng)
+    cb = encrypt_bits(secret, [False], rng)
+    benchmark(lambda: evaluate_gate(cloud, Gate.NAND, ca, cb))
+
+    rows = [
+        (
+            "paper (TFHE lib, Xeon 5215)",
+            f"{paper_cost.blind_rotation_ms:.2f}",
+            f"{paper_cost.key_switching_ms:.2f}",
+            f"{paper_cost.linear_ms:.2f}",
+            f"{paper_cost.gate_ms:.2f}",
+        ),
+        (
+            "measured (this repo)",
+            f"{measured_profile.blind_rotation_ms:.2f}",
+            f"{measured_profile.key_switching_ms:.2f}",
+            f"{measured_profile.linear_ms:.2f}",
+            f"{measured_profile.total_ms:.2f}",
+        ),
+    ]
+    print_table(
+        "Fig. 7: single-gate execution breakdown (ms)",
+        ("platform", "blind rotation", "key switching", "linear", "total"),
+        rows,
+    )
+    # Shape: the paper's breakdown is rotation-dominated.
+    assert paper_cost.blind_rotation_ms > paper_cost.key_switching_ms
+
+
+def test_fig07_communication_overhead(benchmark, measured_profile, paper_cost):
+    fraction = benchmark(
+        lambda: measured_profile.communication_fraction(network_gbps=1.0)
+    )
+    # Paper: 0.094% of a distributed task is communication.
+    paper_wire_ms = 3 * paper_cost.ciphertext_bytes * 8 / 1e9 * 1e3
+    paper_fraction = paper_wire_ms / (paper_wire_ms + paper_cost.gate_ms)
+    print_table(
+        "Fig. 7: communication overhead of one distributed gate task",
+        ("platform", "ciphertext", "comm fraction"),
+        [
+            (
+                "paper model",
+                f"{paper_cost.ciphertext_bytes / 1024:.2f} KB",
+                f"{paper_fraction * 100:.3f}% (paper reports 0.094%)",
+            ),
+            (
+                "measured",
+                f"{measured_profile.ciphertext_bytes} B",
+                f"{fraction * 100:.3f}%",
+            ),
+        ],
+    )
+    # Communication is negligible relative to computation (sub-1%).
+    assert paper_fraction < 0.01
+    assert fraction < 0.05

@@ -1,0 +1,51 @@
+"""Fig. 8 — execution time breakdown of the GPU backend using cuFHE.
+
+Regenerates the serialized copy -> kernel -> copy timeline of four
+gate evaluations under the cuFHE per-gate API, with the CPU blocked
+during every kernel.
+"""
+
+from conftest import print_table
+from repro.perfmodel import A5000, GpuSimulator, cufhe_timeline
+
+
+def test_fig08_timeline(benchmark, paper_cost):
+    events = benchmark(lambda: cufhe_timeline(A5000, paper_cost, 4))
+    rows = [
+        (e.lane, f"{e.start_ms:8.3f}", f"{e.end_ms:8.3f}", e.label)
+        for e in sorted(events, key=lambda e: (e.start_ms, e.lane))
+    ]
+    print_table(
+        "Fig. 8: cuFHE execution of 4 TFHE gates (ms)",
+        ("lane", "start", "end", "event"),
+        rows,
+    )
+    gpu = [e for e in events if e.lane == "gpu"]
+    cpu = [e for e in events if e.lane == "cpu"]
+    # The CPU is blocked for the full duration of every kernel.
+    assert all(
+        c.start_ms == g.start_ms and c.end_ms == g.end_ms
+        for c, g in zip(cpu, gpu)
+    )
+    # Kernels are fully serialized (no overlap).
+    for first, second in zip(gpu, gpu[1:]):
+        assert second.start_ms >= first.end_ms
+
+
+def test_fig08_breakdown_fractions(benchmark, vip_suite, paper_cost):
+    """Per-phase fractions of cuFHE execution on a real workload."""
+    workload = vip_suite[-1]  # the largest (an MNIST network)
+    sim = GpuSimulator(A5000, paper_cost)
+    result = benchmark(lambda: sim.simulate_cufhe(workload.schedule))
+    rows = [
+        (phase, f"{ms:.1f}", f"{100 * ms / result.total_ms:.2f}%")
+        for phase, ms in result.breakdown
+    ]
+    print_table(
+        f"Fig. 8: cuFHE phase breakdown on {workload.name}",
+        ("phase", "ms", "fraction"),
+        rows,
+    )
+    # One gate per kernel launch: utterly kernel-bound.
+    assert result.kernel_ms > 0.9 * result.total_ms
+    assert result.batches == result.gates

@@ -1,0 +1,57 @@
+"""Fig. 9 — execution time breakdown of the PyTFHE GPU backend.
+
+Regenerates the CUDA-Graph batch pipeline: fused sub-DAG batches on
+the GPU while the CPU builds the next batch concurrently.
+"""
+
+from conftest import print_table
+from repro.perfmodel import A5000, GpuSimulator, pytfhe_timeline
+
+
+def test_fig09_timeline(benchmark, paper_cost):
+    widths = [[128, 128, 64], [128, 128, 64], [128, 64]]
+    events = benchmark(lambda: pytfhe_timeline(A5000, paper_cost, widths))
+    rows = [
+        (e.lane, f"{e.start_ms:8.3f}", f"{e.end_ms:8.3f}", e.label)
+        for e in sorted(events, key=lambda e: (e.start_ms, e.lane))
+    ]
+    print_table(
+        "Fig. 9: PyTFHE CUDA-Graph batch pipeline (ms)",
+        ("lane", "start", "end", "event"),
+        rows,
+    )
+    gpu = [e for e in events if e.lane == "gpu"]
+    cpu = [e for e in events if e.lane == "cpu"]
+    # Overlap: batch k+1 builds while batch k executes.
+    assert cpu[1].start_ms < gpu[0].end_ms
+    assert cpu[2].start_ms < gpu[1].end_ms
+
+
+def test_fig09_vs_fig08_on_real_workload(benchmark, vip_suite, paper_cost):
+    workload = vip_suite[-1]
+    sim = GpuSimulator(A5000, paper_cost)
+    pytfhe = benchmark(lambda: sim.simulate_pytfhe(workload.schedule))
+    cufhe = sim.simulate_cufhe(workload.schedule)
+    print_table(
+        f"Fig. 9: batch execution on {workload.name} (A5000 model)",
+        ("policy", "total ms", "kernel ms", "memcpy ms", "batches"),
+        [
+            (
+                "cuFHE (Fig. 8)",
+                f"{cufhe.total_ms:.1f}",
+                f"{cufhe.kernel_ms:.1f}",
+                f"{cufhe.copy_ms:.3f}",
+                cufhe.batches,
+            ),
+            (
+                "PyTFHE (Fig. 9)",
+                f"{pytfhe.total_ms:.1f}",
+                f"{pytfhe.kernel_ms:.1f}",
+                f"{pytfhe.copy_ms:.3f}",
+                pytfhe.batches,
+            ),
+        ],
+    )
+    # Graph batching collapses per-gate launches into a few big graphs.
+    assert pytfhe.batches < cufhe.batches / 100
+    assert pytfhe.total_ms < cufhe.total_ms

@@ -1,0 +1,87 @@
+"""Fig. 10 — PyTFHE distributed CPU vs single-threaded CPU on VIP-Bench.
+
+Regenerates the paper's speedup series over the 18 VIP-Bench kernels
+plus the three MNIST networks, sorted by gate count ascending, on the
+Table II cluster model (1 node and 4 nodes, 18 workers per node).  The
+claims checked:
+
+* large-scale benchmarks (the MNIST networks) scale nearly perfectly —
+  ~17.4x of ideal 18 on one node and ~60.5x of ideal 72 on four;
+* small / mostly-serial benchmarks (Hamming, Euler, NRSolver) see
+  little or no benefit, some even slowing down.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.perfmodel import ClusterSimulator, TABLE_II_CLUSTER, single_node
+
+
+def _simulate_suite(suite, cost):
+    sim1 = ClusterSimulator(single_node(), cost)
+    sim4 = ClusterSimulator(TABLE_II_CLUSTER, cost)
+    rows = []
+    for workload in suite:
+        schedule = workload.schedule
+        r1 = sim1.simulate(schedule)
+        r4 = sim4.simulate(schedule)
+        rows.append(
+            {
+                "name": workload.name,
+                "gates": schedule.num_bootstrapped,
+                "speedup_1n": r1.speedup,
+                "speedup_4n": r4.speedup,
+            }
+        )
+    return rows
+
+
+def test_fig10_speedup_series(benchmark, vip_suite, paper_cost):
+    rows = benchmark.pedantic(
+        _simulate_suite, args=(vip_suite, paper_cost), rounds=1, iterations=1
+    )
+    print_table(
+        "Fig. 10: distributed CPU speedup over single thread "
+        "(benchmarks sorted by gate count)",
+        ("benchmark", "gates", "1 node (ideal 18)", "4 nodes (ideal 72)"),
+        [
+            (
+                r["name"],
+                r["gates"],
+                f"{r['speedup_1n']:.1f}x",
+                f"{r['speedup_4n']:.1f}x",
+            )
+            for r in rows
+        ],
+    )
+
+    by_name = {r["name"]: r for r in rows}
+    largest = rows[-1]  # MNIST_L after sorting by gates
+
+    # Anchor: near-ideal scaling for the large MNIST networks.
+    assert largest["speedup_1n"] > 15.5, largest
+    assert largest["speedup_4n"] > 52, largest
+
+    # Mostly-serial benchmarks fall far short of the ideal 72x
+    # (paper discussion); the deep NRSolver barely moves at all.
+    for serial in ("nr_solver", "euler_approx", "fibonacci", "kadane"):
+        assert by_name[serial]["speedup_4n"] < 20, serial
+    assert by_name["nr_solver"]["speedup_4n"] < 5
+
+    # Scaling improves with size: the largest third scales better than
+    # the smallest third on 4 nodes.
+    third = len(rows) // 3
+    small_mean = np.mean([r["speedup_4n"] for r in rows[:third]])
+    large_mean = np.mean([r["speedup_4n"] for r in rows[-third:]])
+    assert large_mean > 2 * small_mean
+
+
+def test_fig10_four_nodes_never_worse_than_one_for_wide(
+    benchmark, vip_suite, paper_cost
+):
+    wide = [w for w in vip_suite if w.schedule.num_bootstrapped > 5000]
+    rows = benchmark.pedantic(
+        _simulate_suite, args=(wide, paper_cost), rounds=1, iterations=1
+    )
+    for r in rows:
+        assert r["speedup_4n"] >= r["speedup_1n"], r

@@ -1,0 +1,75 @@
+"""Fig. 13 — PyTFHE vs existing TFHE frameworks: MNIST_S runtime.
+
+Following the paper's own methodology (footnote 1), the baseline
+frameworks' runtimes are estimated as gate count divided by the
+single-core TFHE gate throughput; PyTFHE rows add its faster backends.
+"""
+
+from conftest import print_table
+from repro.perfmodel import (
+    A5000,
+    ClusterSimulator,
+    GpuSimulator,
+    RTX4090,
+    TABLE_II_CLUSTER,
+    single_node,
+)
+from repro.runtime import build_schedule
+
+
+def _runtime_rows(netlists, cost):
+    def single_core_ms(nl):
+        return build_schedule(nl).num_bootstrapped * cost.gate_ms
+
+    pyt_schedule = build_schedule(netlists["PyTFHE"])
+    rows = [
+        ("Transpiler (single core)", single_core_ms(netlists["Transpiler"])),
+        ("E3 (single core)", single_core_ms(netlists["E3"])),
+        ("Cingulata (single core)", single_core_ms(netlists["Cingulata"])),
+        ("PyTFHE (single core)", single_core_ms(netlists["PyTFHE"])),
+        (
+            "PyTFHE (1 node)",
+            ClusterSimulator(single_node(), cost).simulate(pyt_schedule).total_ms,
+        ),
+        (
+            "PyTFHE (4 nodes)",
+            ClusterSimulator(TABLE_II_CLUSTER, cost)
+            .simulate(pyt_schedule)
+            .total_ms,
+        ),
+        (
+            "PyTFHE (A5000 GPU)",
+            GpuSimulator(A5000, cost).simulate_pytfhe(pyt_schedule).total_ms,
+        ),
+        (
+            "PyTFHE (4090 GPU)",
+            GpuSimulator(RTX4090, cost).simulate_pytfhe(pyt_schedule).total_ms,
+        ),
+    ]
+    return rows
+
+
+def test_fig13_runtimes(benchmark, framework_netlists, paper_cost):
+    rows = benchmark.pedantic(
+        _runtime_rows, args=(framework_netlists, paper_cost), rounds=1,
+        iterations=1,
+    )
+    times = dict(rows)
+    print_table(
+        "Fig. 13: MNIST_S runtime by framework (model ms; paper "
+        "methodology: baselines = gates / single-core throughput)",
+        ("framework", "runtime (ms)"),
+        [(name, f"{ms:.0f}") for name, ms in rows],
+    )
+
+    # Ordering of the paper's bars: Transpiler >> E3 > Cingulata >
+    # PyTFHE single core > distributed > GPU.
+    assert times["Transpiler (single core)"] > times["E3 (single core)"]
+    assert times["E3 (single core)"] > times["Cingulata (single core)"]
+    assert (
+        times["Cingulata (single core)"] > times["PyTFHE (single core)"]
+    )
+    assert times["PyTFHE (single core)"] > times["PyTFHE (1 node)"]
+    assert times["PyTFHE (1 node)"] > times["PyTFHE (4 nodes)"]
+    assert times["PyTFHE (4 nodes)"] > times["PyTFHE (A5000 GPU)"]
+    assert times["PyTFHE (A5000 GPU)"] > times["PyTFHE (4090 GPU)"]

@@ -1,0 +1,80 @@
+"""Ablation — GPU batch size vs runtime (the Fig. 9 design choice).
+
+The paper sizes CUDA-Graph batches by available GPU memory ("up to
+around hundreds of thousands of nodes").  This ablation sweeps the
+batch-size cap on the largest workload and shows the two regimes: tiny
+batches pay per-graph launch overhead; past a few thousand nodes the
+curve flattens (kernel-bound), which is why memory-sized batches are
+the right default.
+"""
+
+from conftest import print_table
+from repro.perfmodel import A5000, GpuSimulator
+
+
+def test_batch_size_sweep(benchmark, vip_suite, paper_cost):
+    workload = vip_suite[-1]
+    caps = [64, 256, 1024, 4096, 16384, 200_000]
+
+    def sweep():
+        out = {}
+        for cap in caps:
+            sim = GpuSimulator(A5000, paper_cost, max_batch_nodes=cap)
+            result = sim.simulate_pytfhe(workload.schedule)
+            out[cap] = (result.total_ms, result.batches)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best = min(ms for ms, _ in results.values())
+    print_table(
+        f"GPU batch-size ablation on {workload.name} (A5000 model)",
+        ("max nodes/batch", "batches", "total ms", "vs best"),
+        [
+            (cap, batches, f"{ms:.0f}", f"{ms / best:.2f}x")
+            for cap, (ms, batches) in results.items()
+        ],
+    )
+    # Monotone improvement with batch size, flattening at the top:
+    # graph-launch overhead is small next to 10 ms kernel waves, so the
+    # batch cap costs little...
+    times = [results[cap][0] for cap in caps]
+    assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+    assert times[0] < 1.05 * times[-1]
+    # ... the *real* cliff is giving up batching altogether (per-gate
+    # execution, the cuFHE policy of Fig. 8):
+    cufhe_ms = (
+        GpuSimulator(A5000, paper_cost)
+        .simulate_cufhe(workload.schedule)
+        .total_ms
+    )
+    assert cufhe_ms > 30 * times[-1]
+
+
+def test_overlap_ablation(benchmark, vip_suite, paper_cost):
+    """Disable the CPU/GPU overlap (the paper's 'essential
+    modification') by inflating build cost until it dominates."""
+    workload = vip_suite[-1]
+
+    def run():
+        fast_build = GpuSimulator(A5000, paper_cost)
+        slow_build_cfg = A5000.__class__(
+            **{
+                **A5000.__dict__,
+                "graph_build_us_per_node": 1000.0,
+            }
+        )
+        slow_build = GpuSimulator(slow_build_cfg, paper_cost)
+        return (
+            fast_build.simulate_pytfhe(workload.schedule).total_ms,
+            slow_build.simulate_pytfhe(workload.schedule).total_ms,
+        )
+
+    fast_ms, slow_ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "CPU-side graph-construction cost (overlapped with GPU)",
+        ("build cost", "total ms"),
+        [("1 us/node", f"{fast_ms:.0f}"), ("1 ms/node", f"{slow_ms:.0f}")],
+    )
+    # When construction outweighs kernels, it becomes the bottleneck —
+    # which is exactly what overlapping protects against at sane costs.
+    assert slow_ms > fast_ms

@@ -1,0 +1,93 @@
+"""Noise-model validation and decomposition tuning report.
+
+Not a paper figure, but the analysis behind the paper's "default
+parameter set" choice (Section II-D): the analytic noise model is
+checked against live measurement, and the tuner reports what the
+cheapest decomposition meeting a 2^-40 per-gate failure target looks
+like for both parameter sets.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table
+from repro.tfhe import (
+    TFHE_DEFAULT_128,
+    TFHE_TEST,
+    bootstrap_output_variance,
+    gate_failure_probability,
+    measure_bootstrap_noise_std,
+)
+from repro.tfhe.tuning import bootstrap_cost_units, tune_decomposition
+
+
+def test_noise_prediction_vs_measurement(benchmark, test_keys):
+    secret, cloud = test_keys
+    measured = benchmark.pedantic(
+        measure_bootstrap_noise_std,
+        args=(secret, cloud),
+        kwargs={"trials": 96},
+        rounds=1,
+        iterations=1,
+    )
+    predicted = math.sqrt(bootstrap_output_variance(TFHE_TEST))
+    print_table(
+        "Bootstrap output noise: analytic model vs live measurement",
+        ("quantity", "std (torus units)"),
+        [
+            ("predicted", f"{predicted:.2e}"),
+            ("measured", f"{measured:.2e}"),
+            ("ratio", f"{measured / predicted:.2f}"),
+        ],
+    )
+    assert predicted / 4 < measured < predicted * 4
+
+
+def test_failure_probabilities(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            (p.name, gate_failure_probability(p))
+            for p in (TFHE_TEST, TFHE_DEFAULT_128)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Per-gate failure probability (Gaussian tail estimate)",
+        ("parameter set", "P[fail]"),
+        [(name, f"{p:.1e}") for name, p in rows],
+    )
+    for _, p in rows:
+        assert p < 2.0 ** -40
+
+
+def test_tuning_report(benchmark):
+    def tune_both():
+        return {
+            p.name: tune_decomposition(p, target_log2_failure=-40)
+            for p in (TFHE_TEST, TFHE_DEFAULT_128)
+        }
+
+    tuned = benchmark.pedantic(tune_both, rounds=1, iterations=1)
+    rows = []
+    for base in (TFHE_TEST, TFHE_DEFAULT_128):
+        best = tuned[base.name]
+        rows.append(
+            (
+                base.name,
+                f"l={base.bs_decomp_length} Bg=2^{base.bs_decomp_log2_base} "
+                f"t={base.ks_decomp_length}",
+                f"l={best.params.bs_decomp_length} "
+                f"Bg=2^{best.params.bs_decomp_log2_base} "
+                f"t={best.params.ks_decomp_length}",
+                f"{best.relative_cost / bootstrap_cost_units(base):.2f}x",
+            )
+        )
+    print_table(
+        "Cheapest decomposition meeting 2^-40 gate failure",
+        ("base params", "shipped", "tuned", "tuned/shipped cost"),
+        rows,
+    )
+    for base in (TFHE_TEST, TFHE_DEFAULT_128):
+        assert tuned[base.name].relative_cost <= bootstrap_cost_units(base)

@@ -1,0 +1,71 @@
+"""Real TFHE execution throughput on this machine (calibration bench).
+
+Not a paper figure by itself, but the measurement behind the
+"measured" rows of every experiment: actual bootstrapped-gate
+throughput of our implementation in single-gate, batched, and
+distributed modes, with the fast test parameter set.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.gatetypes import Gate
+from repro.tfhe import encrypt_bits, evaluate_gate, evaluate_gates_batch
+
+
+@pytest.fixture(scope="module")
+def gate_inputs(test_keys):
+    secret, _ = test_keys
+    rng = np.random.default_rng(3)
+    bits_a = rng.integers(0, 2, 64).astype(bool)
+    bits_b = rng.integers(0, 2, 64).astype(bool)
+    return (
+        encrypt_bits(secret, bits_a, rng),
+        encrypt_bits(secret, bits_b, rng),
+    )
+
+
+def test_single_gate_latency(benchmark, test_keys, gate_inputs):
+    _, cloud = test_keys
+    ca, cb = gate_inputs
+    benchmark(lambda: evaluate_gate(cloud, Gate.NAND, ca[0], cb[0]))
+
+
+@pytest.mark.parametrize("batch", [8, 64])
+def test_batched_gate_throughput(benchmark, test_keys, gate_inputs, batch):
+    _, cloud = test_keys
+    ca, cb = gate_inputs
+    codes = np.full(batch, int(Gate.XOR))
+    result = benchmark(
+        lambda: evaluate_gates_batch(cloud, codes, ca[:batch], cb[:batch])
+    )
+    assert result.batch_shape == (batch,)
+
+
+def test_throughput_summary(benchmark, test_keys, gate_inputs):
+    """Print the gates/second table used to calibrate 'measured' rows."""
+    import time
+
+    _, cloud = test_keys
+    ca, cb = gate_inputs
+
+    def measure(batch):
+        codes = np.full(batch, int(Gate.AND))
+        start = time.perf_counter()
+        evaluate_gates_batch(cloud, codes, ca[:batch], cb[:batch])
+        return batch / (time.perf_counter() - start)
+
+    rows = []
+    for batch in (1, 8, 64):
+        rate = benchmark.pedantic(
+            measure, args=(batch,), rounds=1, iterations=1
+        ) if batch == 1 else measure(batch)
+        rows.append((batch, f"{rate:.0f}"))
+    print_table(
+        "Measured bootstrapped-gate throughput (test parameters)",
+        ("batch size", "gates/second"),
+        rows,
+    )
+    # Batching must help (the SIMD/GPU-style execution advantage).
+    assert float(rows[-1][1]) > float(rows[0][1])

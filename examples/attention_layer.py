@@ -1,0 +1,87 @@
+"""Building a custom layer from primitives: self-attention.
+
+The paper (Section V-A) highlights that non-native structures like
+BERT self-attention can be assembled from ChiselTorch's primitive
+tensor operations (matmul, reshape, elementwise ops).  This example
+builds a single-head attention layer, checks it against its float
+reference, and compares the estimated runtime on every backend of the
+performance model.
+
+Run:  python examples/attention_layer.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.attention import attention_reference, attention_workload
+from repro.perfmodel import (
+    A5000,
+    ClusterSimulator,
+    GpuSimulator,
+    PAPER_GATE_COST,
+    RTX4090,
+    TABLE_II_CLUSTER,
+    single_node,
+)
+
+HIDDEN = 8
+SEQ_LEN = 4
+
+
+def main():
+    workload = attention_workload(HIDDEN, seq_len=SEQ_LEN, name="attention_demo")
+    start = time.perf_counter()
+    netlist = workload.netlist
+    stats = netlist.stats()
+    print(
+        f"attention(hidden={HIDDEN}, seq={SEQ_LEN}) compiled in "
+        f"{time.perf_counter() - start:.1f}s: {stats.num_gates} gates, "
+        f"depth {stats.bootstrap_depth}, max level width "
+        f"{stats.max_level_width}"
+    )
+
+    (x,) = workload.sample_inputs()
+    got = workload.compiled.run_plain(x)[0]
+    want = workload.reference(x)[0]
+    err = np.abs(got - want).max()
+    print(f"\ncircuit vs float reference: max abs error {err:.3f} "
+          f"(fixed-point truncation)")
+    assert workload.verify(), "attention circuit diverged from reference"
+
+    print("\nestimated execution time (paper-calibrated cost model):")
+    schedule = workload.schedule
+    single_ms = schedule.num_bootstrapped * PAPER_GATE_COST.gate_ms
+    rows = [
+        ("single-core CPU", single_ms),
+        (
+            "1-node cluster (18 workers)",
+            ClusterSimulator(single_node(), PAPER_GATE_COST)
+            .simulate(schedule)
+            .total_ms,
+        ),
+        (
+            "4-node cluster (72 workers)",
+            ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST)
+            .simulate(schedule)
+            .total_ms,
+        ),
+        (
+            "A5000 GPU (CUDA-graph batches)",
+            GpuSimulator(A5000, PAPER_GATE_COST)
+            .simulate_pytfhe(schedule)
+            .total_ms,
+        ),
+        (
+            "RTX 4090 GPU",
+            GpuSimulator(RTX4090, PAPER_GATE_COST)
+            .simulate_pytfhe(schedule)
+            .total_ms,
+        ),
+    ]
+    for name, ms in rows:
+        print(f"  {name:32s} {ms / 1e3:8.1f} s   ({single_ms / ms:5.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""PyTFHE reproduction: an end-to-end compilation and execution
+framework for TFHE applications.
+
+The public API mirrors the paper's Fig. 2 flow:
+
+1. Declare a model with :mod:`repro.chiseltorch` (PyTorch-style) or a
+   tensor function over :class:`~repro.chiseltorch.HTensor`.
+2. Compile with :func:`repro.compile_model` /
+   :func:`repro.compile_function` into a gate netlist, and optionally
+   assemble it into the 128-bit PyTFHE binary format
+   (:func:`repro.compile_to_binary`).
+3. Execute on a backend: plaintext reference, real single-core TFHE,
+   batched TFHE, or the distributed process pool — or feed the DAG to
+   the cluster/GPU performance simulators in :mod:`repro.perfmodel`.
+
+Quick start::
+
+    import numpy as np
+    from repro import Client, Server, compile_model
+    from repro.chiseltorch import nn
+    from repro.chiseltorch.dtypes import SInt
+    from repro.tfhe import TFHE_TEST
+
+    model = nn.Sequential(nn.Linear(4, 2, seed=0), nn.ReLU(), dtype=SInt(8))
+    compiled = compile_model(model, (4,))
+    client = Client(TFHE_TEST, seed=1)
+    with Server(client.cloud_key, backend="batched") as server:
+        ct = client.encrypt(compiled, np.array([1., 2., 3., 4.]))
+        ct_out, report = server.execute(compiled, ct)
+    print(client.decrypt(compiled, ct_out)[0])
+"""
+
+from .core import (
+    Client,
+    CompiledCircuit,
+    Server,
+    TensorSpec,
+    compile_function,
+    compile_model,
+    compile_to_binary,
+)
+from .gatetypes import Gate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Client",
+    "CompiledCircuit",
+    "Gate",
+    "Server",
+    "TensorSpec",
+    "__version__",
+    "compile_function",
+    "compile_model",
+    "compile_to_binary",
+]

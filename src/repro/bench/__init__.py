@@ -1,0 +1,30 @@
+"""Benchmark workloads: VIP-Bench, MNIST CNNs, self-attention."""
+
+from .attention import (
+    attention_workload,
+    attention_workloads,
+    tiny_attention_workload,
+)
+from .mnist import (
+    mnist_float_model,
+    mnist_spec,
+    mnist_workload,
+    mnist_workloads,
+    synthetic_digit,
+)
+from .vip import vip_workload, vip_workloads
+from .workload import Workload
+
+__all__ = [
+    "Workload",
+    "attention_workload",
+    "attention_workloads",
+    "mnist_float_model",
+    "mnist_spec",
+    "mnist_workload",
+    "mnist_workloads",
+    "synthetic_digit",
+    "tiny_attention_workload",
+    "vip_workload",
+    "vip_workloads",
+]

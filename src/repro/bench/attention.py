@@ -1,0 +1,102 @@
+"""Self-attention workloads: Attention_S / Attention_L (Section V-A).
+
+The paper implements BERT-style self-attention layers with ChiselTorch
+primitives to demonstrate non-native structures; Attention_S uses a
+hidden dimension of 32 and Attention_L of 64.  We reproduce both (with
+a short sequence so the circuits stay buildable in seconds) plus a tiny
+variant for fast unit testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..chiseltorch.attention import SelfAttention
+from ..chiseltorch.dtypes import Fixed
+from ..core.compiler import TensorSpec, compile_function
+from .workload import Workload
+
+_DTYPE = Fixed(6, 8)
+_SEQ_LEN = 4
+
+
+def _quantize_matrix(w: np.ndarray, frac_bits: int) -> np.ndarray:
+    scale = 1 << frac_bits
+    return np.round(w * scale) / scale
+
+
+def attention_reference(layer: SelfAttention, x: np.ndarray) -> np.ndarray:
+    """Float mirror of the circuit (weights quantized the same way)."""
+    f = _DTYPE.frac_bits
+    wq = _quantize_matrix(layer.w_query, f)
+    wk = _quantize_matrix(layer.w_key, f)
+    wv = _quantize_matrix(layer.w_value, f)
+    q = x @ wq
+    k = x @ wk
+    v = x @ wv
+    scores = (q @ k.T) * _quantize_matrix(
+        np.asarray(1.0 / np.sqrt(layer.hidden)), f
+    )
+    positive = np.maximum(scores, 0.0)
+    denom = positive.sum(axis=1, keepdims=True) + 1.0
+    weights = positive / denom
+    mixed = weights @ v
+    if layer.w_output is not None:
+        mixed = mixed @ _quantize_matrix(layer.w_output, f)
+    return mixed
+
+
+def attention_workload(
+    hidden: int, seq_len: int = _SEQ_LEN, name: str = None, atol: float = 0.25
+) -> Workload:
+    name = name or f"attention_h{hidden}"
+    layer = SelfAttention(hidden=hidden, seq_len=seq_len, seed=hidden)
+
+    def build():
+        return compile_function(
+            lambda x: layer(x),
+            [TensorSpec("x", (seq_len, hidden), _DTYPE)],
+            name=name,
+        )
+
+    def reference(x):
+        # Quantize the input the way the circuit's encoder does.
+        xq = np.asarray(
+            [
+                [_DTYPE.dequantize(_DTYPE.quantize(v)) for v in row]
+                for row in np.asarray(x, dtype=np.float64)
+            ]
+        )
+        return [attention_reference(layer, xq)]
+
+    def sample_inputs():
+        rng = np.random.default_rng(3 * hidden + 1)
+        return (rng.uniform(-1.0, 1.0, (seq_len, hidden)),)
+
+    return Workload(
+        name=name,
+        description=f"single-head self-attention, hidden={hidden}, seq={seq_len}",
+        build=build,
+        reference=reference,
+        sample_inputs=sample_inputs,
+        category="network",
+        atol=atol,
+    )
+
+
+_CACHE: Dict[str, Workload] = {}
+
+
+def attention_workloads() -> Dict[str, Workload]:
+    """The paper's Attention_S (hidden 32) and Attention_L (hidden 64)."""
+    if not _CACHE:
+        for hidden, label in ((32, "attention_s"), (64, "attention_l")):
+            _CACHE[label] = attention_workload(hidden, name=label)
+    return _CACHE
+
+
+def tiny_attention_workload() -> Workload:
+    """A fast variant for unit tests (hidden 8, seq 2)."""
+    return attention_workload(8, seq_len=2, name="attention_tiny", atol=0.2)

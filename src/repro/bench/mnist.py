@@ -1,0 +1,120 @@
+"""MNIST CNN workloads: MNIST_S / MNIST_M / MNIST_L (paper Section V-A).
+
+MNIST_S is the VIP-Bench network (paper Fig. 4: conv -> ReLU ->
+MaxPool2d(3, 1) -> Flatten -> Linear); MNIST_M and MNIST_L are the
+paper's larger variants with two and three convolutional kernels.
+
+Two scales are provided:
+
+* ``full``   — 28x28 inputs, the paper's geometry (Linear in = 576 for
+  MNIST_S, matching Fig. 4's ``Linear(576, 10)``);
+* ``reduced``— 12x12 inputs for fast iteration; identical layer
+  structure, so the DAG *shape* (depth, relative widths) is preserved.
+
+The model is integer-quantized (SInt8) with fixed seeded weights; the
+experiments measure compilation and execution, not accuracy, so any
+deterministic weights exercise the identical circuit (see DESIGN.md's
+substitution table).  ``mnist_float_model`` additionally provides the
+paper's bfloat16 declaration of Fig. 4 for the type-system tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..chiseltorch import nn
+from ..chiseltorch.dtypes import Float
+from ..core.compiler import compile_model
+from ..frameworks.base import CnnSpec, make_cnn_spec, reference_cnn
+from ..frameworks.pytfhe import spec_to_sequential
+from .workload import Workload
+
+_VARIANT_KERNELS = {"S": (1,), "M": (2,), "L": (3,)}
+_SCALE_HW = {"full": 28, "reduced": 12}
+
+
+def mnist_spec(variant: str = "S", scale: str = "reduced") -> CnnSpec:
+    """The framework-neutral quantized spec for one MNIST variant."""
+    if variant not in _VARIANT_KERNELS:
+        raise ValueError(f"variant must be one of {sorted(_VARIANT_KERNELS)}")
+    if scale not in _SCALE_HW:
+        raise ValueError(f"scale must be one of {sorted(_SCALE_HW)}")
+    return make_cnn_spec(
+        name=f"mnist_{variant.lower()}_{scale}",
+        input_hw=_SCALE_HW[scale],
+        conv_channels=_VARIANT_KERNELS[variant],
+        kernel=3,
+        pool_kernel=3,
+        pool_stride=1,
+        classes=10,
+        seed=40 + ord(variant),
+    )
+
+
+def synthetic_digit(
+    shape: Tuple[int, int, int], seed: int = 0
+) -> np.ndarray:
+    """A deterministic digit-like test image (strokes on background)."""
+    rng = np.random.default_rng(seed)
+    _, h, w = shape
+    img = np.zeros((h, w))
+    # A vertical and a diagonal stroke, plus light noise.
+    col = w // 3
+    img[h // 6 : h - h // 6, col] = 7
+    for i in range(min(h, w) // 2):
+        img[h // 4 + i, min(w - 1, col + i)] = 6
+    img += rng.integers(0, 2, (h, w))
+    return img.reshape(shape).astype(np.float64)
+
+
+def mnist_workload(variant: str = "S", scale: str = "reduced") -> Workload:
+    spec = mnist_spec(variant, scale)
+
+    def build():
+        model = spec_to_sequential(spec)
+        return compile_model(model, spec.input_shape, name=spec.name)
+
+    def reference(image):
+        return [reference_cnn(spec, image).astype(np.float64)]
+
+    def sample_inputs():
+        return (synthetic_digit(spec.input_shape, seed=7),)
+
+    return Workload(
+        name=spec.name,
+        description=f"MNIST_{variant} CNN at {scale} scale (SInt8)",
+        build=build,
+        reference=reference,
+        sample_inputs=sample_inputs,
+        category="network",
+    )
+
+
+_WORKLOAD_CACHE: Dict[Tuple[str, str], Workload] = {}
+
+
+def mnist_workloads(scale: str = "reduced") -> Dict[str, Workload]:
+    """The three paper variants at one scale (cached)."""
+    out: Dict[str, Workload] = {}
+    for variant in ("S", "M", "L"):
+        key = (variant, scale)
+        if key not in _WORKLOAD_CACHE:
+            _WORKLOAD_CACHE[key] = mnist_workload(variant, scale)
+        out[_WORKLOAD_CACHE[key].name] = _WORKLOAD_CACHE[key]
+    return out
+
+
+def mnist_float_model(input_hw: int = 28) -> nn.Sequential:
+    """The paper Fig. 4(b) declaration: bfloat16 (Float(8, 8)) MNIST."""
+    conv_out = input_hw - 2  # kernel 3, stride 1
+    pooled = conv_out - 2  # pool 3, stride 1
+    return nn.Sequential(
+        nn.Conv2d(1, 1, 3, 1, seed=1),
+        nn.ReLU(),
+        nn.MaxPool2d(3, 1),
+        nn.Flatten(),
+        nn.Linear(pooled * pooled, 10, seed=2),
+        dtype=Float(8, 8),
+    )

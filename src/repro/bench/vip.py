@@ -1,0 +1,791 @@
+"""The VIP-Bench workload suite (paper Section V-A).
+
+VIP-Bench [38] spans linear arithmetic kernels (Dot Product), iterative
+approximation algorithms (Euler's number, Newton-Raphson), and small
+applications (Roberts-Cross edge detection); the paper runs 18 of them
+plus the MNIST networks.  Each workload here is implemented through
+the PyTFHE public API (ChiselTorch tensors + primitives), carries an
+exact or tolerance-checked plaintext reference, and is data-oblivious
+(all control flow on encrypted data is mux-based).
+
+Problem sizes are chosen so the whole suite compiles in seconds while
+preserving each kernel's parallelism *shape* (wide vs. serial), which
+is what Figs. 10/11 depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..chiseltorch import functional as F
+from ..chiseltorch.dtypes import Fixed, SInt, UInt
+from ..chiseltorch.tensor import HTensor
+from ..core.compiler import TensorSpec, compile_function
+from ..hdl import arith
+from .workload import Workload
+
+
+def _wrap(values, width: int):
+    mask = (1 << width) - 1
+    half = 1 << (width - 1)
+    v = np.asarray(values).astype(np.int64) & mask
+    return np.where(v >= half, v - (1 << width), v).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# 1. Hamming distance (small, wide)
+# ----------------------------------------------------------------------
+def _hamming_build():
+    def fn(a: HTensor, b: HTensor):
+        bd = a.builder
+        diffs = [
+            bd.xor_(a.element(i)[0], b.element(i)[0]) for i in range(a.shape[0])
+        ]
+        count = arith.popcount(bd, diffs)
+        return HTensor.from_bits(bd, UInt(len(count)), [count], shape=())
+
+    return compile_function(
+        fn,
+        [TensorSpec("a", (32,), UInt(1)), TensorSpec("b", (32,), UInt(1))],
+        name="hamming_distance",
+    )
+
+
+def _hamming_reference(a, b):
+    return [np.asarray(float((a.astype(bool) ^ b.astype(bool)).sum()))]
+
+
+def _hamming_inputs():
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 2, 32).astype(float), rng.integers(0, 2, 32).astype(float)
+
+
+# ----------------------------------------------------------------------
+# 2. Dot product (paper's "linear arithmetic" example)
+# ----------------------------------------------------------------------
+def _dot_build():
+    return compile_function(
+        lambda a, b: F.dot(a, b),
+        [TensorSpec("a", (8,), SInt(8)), TensorSpec("b", (8,), SInt(8))],
+        name="dot_product",
+    )
+
+
+def _dot_reference(a, b):
+    return [_wrap(np.dot(a.astype(np.int64), b.astype(np.int64)), 8)]
+
+
+def _dot_inputs():
+    rng = np.random.default_rng(12)
+    return (
+        rng.integers(-5, 6, 8).astype(float),
+        rng.integers(-5, 6, 8).astype(float),
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Euler's number approximation (serial)
+# ----------------------------------------------------------------------
+_EULER_TERMS = 6
+
+
+def _euler_build():
+    def fn(x: HTensor):
+        term = x
+        total = x
+        for k in range(2, _EULER_TERMS + 1):
+            term = term * (1.0 / k)
+            total = total + term
+        return total
+
+    return compile_function(
+        fn, [TensorSpec("x", (), Fixed(6, 10))], name="euler_approx"
+    )
+
+
+def _euler_reference(x):
+    x = float(np.asarray(x))
+    term = total = x
+    for k in range(2, _EULER_TERMS + 1):
+        term = term / k
+        total = total + term
+    return [np.asarray(total)]
+
+
+def _euler_inputs():
+    return (np.asarray(1.0),)
+
+
+# ----------------------------------------------------------------------
+# 4. Newton-Raphson solver (sqrt; heavily serial, division-bound)
+# ----------------------------------------------------------------------
+_NR_ITERS = 3
+
+
+def _nr_build():
+    def fn(a: HTensor):
+        x = (a + 1.0) * 0.5
+        for _ in range(_NR_ITERS):
+            x = (x + a / x) * 0.5
+        return x
+
+    return compile_function(
+        fn, [TensorSpec("a", (), Fixed(6, 10))], name="nr_solver"
+    )
+
+
+def _nr_reference(a):
+    a = float(np.asarray(a))
+    x = (a + 1.0) * 0.5
+    for _ in range(_NR_ITERS):
+        x = (x + a / x) * 0.5
+    return [np.asarray(x)]
+
+
+def _nr_inputs():
+    return (np.asarray(2.25),)
+
+
+# ----------------------------------------------------------------------
+# 5. Parrondo's paradox (serial game simulation)
+# ----------------------------------------------------------------------
+_PARRONDO_ROUNDS = 8
+
+
+def _parrondo_build():
+    def fn(capital: HTensor, coins: HTensor):
+        ops = capital.ops
+        bd = capital.builder
+        cap = capital.element()
+        for r in range(_PARRONDO_ROUNDS):
+            coin = coins.element(r)[0]
+            cond = bd.xor_(cap[0], coin)  # parity-coupled game choice
+            win = ops.add(cap, ops.const(2))
+            lose = ops.sub(cap, ops.const(1))
+            cap = ops.select(cond, win, lose)
+        return HTensor.from_bits(bd, capital.dtype, [cap], shape=())
+
+    return compile_function(
+        fn,
+        [
+            TensorSpec("capital", (), SInt(8)),
+            TensorSpec("coins", (_PARRONDO_ROUNDS,), UInt(1)),
+        ],
+        name="parrondo",
+    )
+
+
+def _parrondo_reference(capital, coins):
+    cap = int(np.asarray(capital))
+    for r in range(_PARRONDO_ROUNDS):
+        cond = (cap & 1) ^ int(coins[r])
+        cap = cap + 2 if cond else cap - 1
+    return [_wrap(cap, 8)]
+
+
+def _parrondo_inputs():
+    rng = np.random.default_rng(13)
+    return np.asarray(5.0), rng.integers(0, 2, _PARRONDO_ROUNDS).astype(float)
+
+
+# ----------------------------------------------------------------------
+# 6. Roberts-Cross edge detection (wide)
+# ----------------------------------------------------------------------
+_RC_SIZE = 8
+
+
+def _roberts_build():
+    def fn(img: HTensor):
+        a = img[: _RC_SIZE - 1, : _RC_SIZE - 1]
+        d = img[1:, 1:]
+        b = img[: _RC_SIZE - 1, 1:]
+        c = img[1:, : _RC_SIZE - 1]
+        gx = (a - d).where(a >= d, d - a)
+        gy = (b - c).where(b >= c, c - b)
+        return gx + gy
+
+    return compile_function(
+        fn, [TensorSpec("img", (_RC_SIZE, _RC_SIZE), SInt(8))], name="roberts_cross"
+    )
+
+
+def _roberts_reference(img):
+    img = img.astype(np.int64)
+    a = img[:-1, :-1]
+    d = img[1:, 1:]
+    b = img[:-1, 1:]
+    c = img[1:, :-1]
+    return [_wrap(np.abs(a - d) + np.abs(b - c), 8)]
+
+
+def _roberts_inputs():
+    rng = np.random.default_rng(14)
+    return (rng.integers(0, 16, (_RC_SIZE, _RC_SIZE)).astype(float),)
+
+
+# ----------------------------------------------------------------------
+# 7. Bubble sort (compare-swap network)
+# ----------------------------------------------------------------------
+_SORT_N = 8
+
+
+def _sort_build():
+    def fn(v: HTensor):
+        ops = v.ops
+        elems = v.flat_elements()
+        n = len(elems)
+        for i in range(n):
+            for j in range(n - 1 - i):
+                lo = ops.min(elems[j], elems[j + 1])
+                hi = ops.max(elems[j], elems[j + 1])
+                elems[j], elems[j + 1] = lo, hi
+        return HTensor.from_bits(v.builder, v.dtype, elems, shape=(n,))
+
+    return compile_function(
+        fn, [TensorSpec("v", (_SORT_N,), SInt(8))], name="bubble_sort"
+    )
+
+
+def _sort_reference(v):
+    return [np.sort(v.astype(np.int64)).astype(np.float64)]
+
+
+def _sort_inputs():
+    rng = np.random.default_rng(15)
+    return (rng.integers(-50, 50, _SORT_N).astype(float),)
+
+
+# ----------------------------------------------------------------------
+# 8. Distinctness (wide predicate)
+# ----------------------------------------------------------------------
+_DISTINCT_N = 8
+
+
+def _distinct_build():
+    def fn(v: HTensor):
+        ops = v.ops
+        bd = v.builder
+        elems = v.flat_elements()
+        hits = [
+            ops.equal(elems[i], elems[j])
+            for i in range(len(elems))
+            for j in range(i + 1, len(elems))
+        ]
+        dup = arith.is_nonzero(bd, hits)
+        return HTensor.from_bits(bd, UInt(1), [(dup,)], shape=())
+
+    return compile_function(
+        fn, [TensorSpec("v", (_DISTINCT_N,), UInt(8))], name="distinctness"
+    )
+
+
+def _distinct_reference(v):
+    vals = [int(x) for x in v]
+    return [np.asarray(float(len(set(vals)) != len(vals)))]
+
+
+def _distinct_inputs():
+    rng = np.random.default_rng(16)
+    return (rng.integers(0, 255, _DISTINCT_N).astype(float),)
+
+
+# ----------------------------------------------------------------------
+# 9. Edit distance (DP, diagonal parallelism)
+# ----------------------------------------------------------------------
+_EDIT_N = 6
+
+
+def _edit_build():
+    def fn(s: HTensor, t: HTensor):
+        ops_cell = None
+        bd = s.builder
+        from ..chiseltorch.lowering import Lowering
+
+        cell = UInt(4)
+        ops_cell = Lowering(bd, cell)
+        n = _EDIT_N
+
+        def const_cell(v: int):
+            return ops_cell.const(v)
+
+        table = [[const_cell(max(i, j)) if i == 0 or j == 0 else None
+                  for j in range(n + 1)] for i in range(n + 1)]
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                same = s.ops.equal(s.element(i - 1), t.element(j - 1))
+                up = ops_cell.add(table[i - 1][j], const_cell(1))
+                left = ops_cell.add(table[i][j - 1], const_cell(1))
+                diag_miss = ops_cell.add(table[i - 1][j - 1], const_cell(1))
+                diag = ops_cell.select(same, table[i - 1][j - 1], diag_miss)
+                table[i][j] = ops_cell.min(ops_cell.min(up, left), diag)
+        return HTensor.from_bits(bd, cell, [table[n][n]], shape=())
+
+    return compile_function(
+        fn,
+        [
+            TensorSpec("s", (_EDIT_N,), UInt(2)),
+            TensorSpec("t", (_EDIT_N,), UInt(2)),
+        ],
+        name="edit_distance",
+    )
+
+
+def _edit_reference(s, t):
+    n = _EDIT_N
+    s = [int(x) for x in s]
+    t = [int(x) for x in t]
+    table = [[max(i, j) for j in range(n + 1)] for i in range(n + 1)]
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            cost = 0 if s[i - 1] == t[j - 1] else 1
+            table[i][j] = min(
+                table[i - 1][j] + 1,
+                table[i][j - 1] + 1,
+                table[i - 1][j - 1] + cost,
+            )
+    return [np.asarray(float(table[n][n]))]
+
+
+def _edit_inputs():
+    rng = np.random.default_rng(17)
+    return (
+        rng.integers(0, 4, _EDIT_N).astype(float),
+        rng.integers(0, 4, _EDIT_N).astype(float),
+    )
+
+
+# ----------------------------------------------------------------------
+# 10. Fibonacci (purely serial adds)
+# ----------------------------------------------------------------------
+_FIB_ITERS = 10
+
+
+def _fib_build():
+    def fn(a: HTensor, b: HTensor):
+        x, y = a, b
+        for _ in range(_FIB_ITERS):
+            x, y = y, x + y
+        return y
+
+    return compile_function(
+        fn,
+        [TensorSpec("a", (), UInt(8)), TensorSpec("b", (), UInt(8))],
+        name="fibonacci",
+    )
+
+
+def _fib_reference(a, b):
+    x, y = int(a), int(b)
+    for _ in range(_FIB_ITERS):
+        x, y = y, (x + y) & 0xFF
+    return [np.asarray(float(y))]
+
+
+def _fib_inputs():
+    return np.asarray(1.0), np.asarray(1.0)
+
+
+# ----------------------------------------------------------------------
+# 11. Filtered query (wide select + reduce)
+# ----------------------------------------------------------------------
+_QUERY_N = 16
+
+
+def _query_build():
+    def fn(values: HTensor, keys: HTensor, query: HTensor):
+        ops = values.ops
+        bd = values.builder
+        qbits = query.element()
+        masked = []
+        for i in range(_QUERY_N):
+            match = keys.ops.equal(keys.element(i), qbits)
+            masked.append(
+                ops.select(match, values.element(i), ops.const(0))
+            )
+        total = masked[0]
+        acc = masked
+        while len(acc) > 1:
+            nxt = [
+                ops.add(acc[i], acc[i + 1]) for i in range(0, len(acc) - 1, 2)
+            ]
+            if len(acc) % 2:
+                nxt.append(acc[-1])
+            acc = nxt
+        return HTensor.from_bits(bd, values.dtype, [acc[0]], shape=())
+
+    return compile_function(
+        fn,
+        [
+            TensorSpec("values", (_QUERY_N,), UInt(8)),
+            TensorSpec("keys", (_QUERY_N,), UInt(4)),
+            TensorSpec("query", (), UInt(4)),
+        ],
+        name="filtered_query",
+    )
+
+
+def _query_reference(values, keys, query):
+    mask = keys.astype(np.int64) == int(query)
+    return [np.asarray(float(values.astype(np.int64)[mask].sum() & 0xFF))]
+
+
+def _query_inputs():
+    rng = np.random.default_rng(18)
+    return (
+        rng.integers(0, 16, _QUERY_N).astype(float),
+        rng.integers(0, 8, _QUERY_N).astype(float),
+        np.asarray(3.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# 12. Gradient descent (serial, constant steps)
+# ----------------------------------------------------------------------
+_GD_ITERS = 4
+_GD_TARGET = 1.5
+
+
+def _gd_build():
+    def fn(x: HTensor):
+        for _ in range(_GD_ITERS):
+            grad = x - _GD_TARGET
+            x = x - grad * 0.5
+        return x
+
+    return compile_function(
+        fn, [TensorSpec("x", (), Fixed(6, 10))], name="gradient_descent"
+    )
+
+
+def _gd_reference(x):
+    x = float(np.asarray(x))
+    for _ in range(_GD_ITERS):
+        x = x - (x - _GD_TARGET) * 0.5
+    return [np.asarray(x)]
+
+
+def _gd_inputs():
+    return (np.asarray(-3.0),)
+
+
+# ----------------------------------------------------------------------
+# 13. Kadane's max-subarray (serial scan)
+# ----------------------------------------------------------------------
+_KADANE_N = 8
+
+
+def _kadane_build():
+    def fn(v: HTensor):
+        ops = v.ops
+        cur = v.element(0)
+        best = v.element(0)
+        for i in range(1, _KADANE_N):
+            x = v.element(i)
+            cur = ops.max(x, ops.add(cur, x))
+            best = ops.max(best, cur)
+        return HTensor.from_bits(v.builder, v.dtype, [best], shape=())
+
+    return compile_function(
+        fn, [TensorSpec("v", (_KADANE_N,), SInt(8))], name="kadane"
+    )
+
+
+def _kadane_reference(v):
+    vals = [int(x) for x in v]
+    cur = best = vals[0]
+    for x in vals[1:]:
+        cur = max(x, cur + x)
+        best = max(best, cur)
+    return [np.asarray(float(best))]
+
+
+def _kadane_inputs():
+    rng = np.random.default_rng(19)
+    return (rng.integers(-10, 11, _KADANE_N).astype(float),)
+
+
+# ----------------------------------------------------------------------
+# 14. Kepler's equation (serial, encrypted multiplies)
+# ----------------------------------------------------------------------
+_KEPLER_ITERS = 3
+_KEPLER_ECC = 0.5
+
+
+def _kepler_build():
+    def fn(mean_anomaly: HTensor):
+        e = mean_anomaly
+        for _ in range(_KEPLER_ITERS):
+            cube = e * e * e
+            sin_e = e - cube * (1.0 / 6.0)
+            e = mean_anomaly + sin_e * _KEPLER_ECC
+        return e
+
+    return compile_function(
+        fn, [TensorSpec("m", (), Fixed(4, 12))], name="kepler"
+    )
+
+
+def _kepler_reference(m):
+    m = float(np.asarray(m))
+    e = m
+    for _ in range(_KEPLER_ITERS):
+        sin_e = e - (e ** 3) / 6.0
+        e = m + _KEPLER_ECC * sin_e
+    return [np.asarray(e)]
+
+
+def _kepler_inputs():
+    return (np.asarray(0.8),)
+
+
+# ----------------------------------------------------------------------
+# 15. Linear regression (wide dot + closing division-free form)
+# ----------------------------------------------------------------------
+_LINREG_N = 8
+
+
+def _linreg_build():
+    xs = np.arange(_LINREG_N, dtype=np.float64)
+    x_mean = xs.mean()
+    denom = ((xs - x_mean) ** 2).sum()
+    coeffs = (xs - x_mean) / denom
+
+    def fn(y: HTensor):
+        slope_terms = [
+            y[i] * float(coeffs[i]) for i in range(_LINREG_N)
+        ]
+        slope = slope_terms[0]
+        for t in slope_terms[1:]:
+            slope = slope + t
+        mean = F.sum(y) * (1.0 / _LINREG_N)
+        intercept = mean - slope * float(x_mean)
+        return F.stack([slope.reshape(()), intercept.reshape(())])
+
+    return compile_function(
+        fn, [TensorSpec("y", (_LINREG_N,), Fixed(6, 10))], name="linear_regression"
+    )
+
+
+def _linreg_reference(y):
+    xs = np.arange(_LINREG_N, dtype=np.float64)
+    y = y.astype(np.float64)
+    slope = np.polyfit(xs, y, 1)[0]
+    intercept = y.mean() - slope * xs.mean()
+    return [np.asarray([slope, intercept])]
+
+
+def _linreg_inputs():
+    rng = np.random.default_rng(20)
+    xs = np.arange(_LINREG_N)
+    return (0.5 * xs - 1.0 + rng.uniform(-0.2, 0.2, _LINREG_N),)
+
+
+# ----------------------------------------------------------------------
+# 16. Set intersection (wide)
+# ----------------------------------------------------------------------
+_SET_N = 8
+
+
+def _setint_build():
+    def fn(a: HTensor, b: HTensor):
+        ops = a.ops
+        bd = a.builder
+        members = []
+        for i in range(_SET_N):
+            hits = [
+                ops.equal(a.element(i), b.element(j)) for j in range(_SET_N)
+            ]
+            members.append(arith.is_nonzero(bd, hits))
+        count = arith.popcount(bd, members)
+        return HTensor.from_bits(bd, UInt(len(count)), [count], shape=())
+
+    return compile_function(
+        fn,
+        [TensorSpec("a", (_SET_N,), UInt(8)), TensorSpec("b", (_SET_N,), UInt(8))],
+        name="set_intersection",
+    )
+
+
+def _setint_reference(a, b):
+    sa = set(int(x) for x in a)
+    sb = set(int(x) for x in b)
+    return [np.asarray(float(len(sa & sb)))]
+
+
+def _setint_inputs():
+    rng = np.random.default_rng(21)
+    a = rng.choice(np.arange(32), _SET_N, replace=False).astype(float)
+    b = rng.choice(np.arange(16, 48), _SET_N, replace=False).astype(float)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# 17. String search (wide)
+# ----------------------------------------------------------------------
+_TEXT_N = 16
+_PAT_N = 4
+
+
+def _search_build():
+    def fn(text: HTensor, pattern: HTensor):
+        ops = text.ops
+        bd = text.builder
+        matches = []
+        for i in range(_TEXT_N - _PAT_N + 1):
+            hits = [
+                ops.equal(text.element(i + j), pattern.element(j))
+                for j in range(_PAT_N)
+            ]
+            matches.append(arith._and_tree(bd, hits))
+        found = arith.is_nonzero(bd, matches)
+        bits = [(m,) for m in matches] + [(found,)]
+        return HTensor.from_bits(bd, UInt(1), bits, shape=(len(bits),))
+
+    return compile_function(
+        fn,
+        [
+            TensorSpec("text", (_TEXT_N,), UInt(4)),
+            TensorSpec("pattern", (_PAT_N,), UInt(4)),
+        ],
+        name="string_search",
+    )
+
+
+def _search_reference(text, pattern):
+    text = [int(x) for x in text]
+    pattern = [int(x) for x in pattern]
+    matches = [
+        float(text[i : i + _PAT_N] == pattern)
+        for i in range(_TEXT_N - _PAT_N + 1)
+    ]
+    return [np.asarray(matches + [float(any(matches))])]
+
+
+def _search_inputs():
+    rng = np.random.default_rng(22)
+    text = rng.integers(0, 4, _TEXT_N).astype(float)
+    start = 5
+    pattern = text[start : start + _PAT_N].copy()
+    return text, pattern
+
+
+# ----------------------------------------------------------------------
+# 18. TEA cipher rounds (wide xor/add mix)
+# ----------------------------------------------------------------------
+_TEA_ROUNDS = 2
+_TEA_KEY = (0x3A94, 0x1B7C, 0x55D2, 0x0F0F)
+_TEA_DELTA = 0x9E37
+
+
+def _tea_build():
+    def fn(v: HTensor):
+        ops = v.ops
+        bd = v.builder
+        v0 = v.element(0)
+        v1 = v.element(1)
+        total = 0
+        for _ in range(_TEA_ROUNDS):
+            total = (total + _TEA_DELTA) & 0xFFFF
+            t1 = ops.add(ops.shift_left_const(v1, 4), ops.const(_TEA_KEY[0]))
+            t2 = ops.add(v1, ops.const(total))
+            t3 = ops.add(ops.shift_right_const(v1, 5), ops.const(_TEA_KEY[1]))
+            v0 = ops.add(v0, ops.bitwise_xor(ops.bitwise_xor(t1, t2), t3))
+            u1 = ops.add(ops.shift_left_const(v0, 4), ops.const(_TEA_KEY[2]))
+            u2 = ops.add(v0, ops.const(total))
+            u3 = ops.add(ops.shift_right_const(v0, 5), ops.const(_TEA_KEY[3]))
+            v1 = ops.add(v1, ops.bitwise_xor(ops.bitwise_xor(u1, u2), u3))
+        return HTensor.from_bits(bd, v.dtype, [v0, v1], shape=(2,))
+
+    return compile_function(
+        fn, [TensorSpec("v", (2,), UInt(16))], name="tea_cipher"
+    )
+
+
+def _tea_reference(v):
+    mask = 0xFFFF
+    v0, v1 = int(v[0]), int(v[1])
+    total = 0
+    for _ in range(_TEA_ROUNDS):
+        total = (total + _TEA_DELTA) & mask
+        v0 = (
+            v0
+            + (
+                (((v1 << 4) + _TEA_KEY[0]) & mask)
+                ^ ((v1 + total) & mask)
+                ^ (((v1 >> 5) + _TEA_KEY[1]) & mask)
+            )
+        ) & mask
+        v1 = (
+            v1
+            + (
+                (((v0 << 4) + _TEA_KEY[2]) & mask)
+                ^ ((v0 + total) & mask)
+                ^ (((v0 >> 5) + _TEA_KEY[3]) & mask)
+            )
+        ) & mask
+    return [np.asarray([float(v0), float(v1)])]
+
+
+def _tea_inputs():
+    return (np.asarray([0x1234, 0xBEEF], dtype=np.float64),)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _workloads() -> List[Workload]:
+    return [
+        Workload("hamming_distance", "popcount of XOR of two 32-bit words",
+                 _hamming_build, _hamming_reference, _hamming_inputs),
+        Workload("dot_product", "SInt8 inner product, length 8",
+                 _dot_build, _dot_reference, _dot_inputs),
+        Workload("euler_approx", "e-series approximation (serial)",
+                 _euler_build, _euler_reference, _euler_inputs, atol=0.02),
+        Workload("nr_solver", "Newton-Raphson square root (serial)",
+                 _nr_build, _nr_reference, _nr_inputs, atol=0.05),
+        Workload("parrondo", "Parrondo's paradox game rounds (serial)",
+                 _parrondo_build, _parrondo_reference, _parrondo_inputs),
+        Workload("roberts_cross", "Roberts-Cross edge detection 8x8",
+                 _roberts_build, _roberts_reference, _roberts_inputs),
+        Workload("bubble_sort", "bubble sort of 8 SInt8 values",
+                 _sort_build, _sort_reference, _sort_inputs),
+        Workload("distinctness", "pairwise distinctness predicate",
+                 _distinct_build, _distinct_reference, _distinct_inputs),
+        Workload("edit_distance", "Levenshtein DP on 6-char strings",
+                 _edit_build, _edit_reference, _edit_inputs),
+        Workload("fibonacci", "10 Fibonacci iterations (serial)",
+                 _fib_build, _fib_reference, _fib_inputs),
+        Workload("filtered_query", "sum of values with matching key",
+                 _query_build, _query_reference, _query_inputs),
+        Workload("gradient_descent", "quadratic descent, 4 steps (serial)",
+                 _gd_build, _gd_reference, _gd_inputs, atol=0.02),
+        Workload("kadane", "max-subarray scan (serial)",
+                 _kadane_build, _kadane_reference, _kadane_inputs),
+        Workload("kepler", "Kepler equation fixed-point iteration",
+                 _kepler_build, _kepler_reference, _kepler_inputs, atol=0.02),
+        Workload("linear_regression", "least-squares fit of 8 points",
+                 _linreg_build, _linreg_reference, _linreg_inputs, atol=0.05),
+        Workload("set_intersection", "intersection count of 8-element sets",
+                 _setint_build, _setint_reference, _setint_inputs),
+        Workload("string_search", "4-gram search in a 16-char text",
+                 _search_build, _search_reference, _search_inputs),
+        Workload("tea_cipher", "two TEA cipher rounds on a 32-bit block",
+                 _tea_build, _tea_reference, _tea_inputs),
+    ]
+
+
+_CACHE: Dict[str, Workload] = {}
+
+
+def vip_workloads() -> Dict[str, Workload]:
+    """Name -> workload for the 18 VIP-Bench kernels (cached)."""
+    if not _CACHE:
+        for w in _workloads():
+            _CACHE[w.name] = w
+    return _CACHE
+
+
+def vip_workload(name: str) -> Workload:
+    return vip_workloads()[name]

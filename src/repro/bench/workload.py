@@ -1,0 +1,75 @@
+"""Workload wrapper used by the benchmark harness.
+
+A :class:`Workload` couples a lazily-built compiled circuit with a
+plaintext reference implementation and deterministic sample inputs, so
+every experiment can (a) verify functional correctness through the
+netlist and (b) feed the same DAG to every backend/simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.compiler import CompiledCircuit
+from ..runtime.scheduler import Schedule, build_schedule
+
+
+@dataclass
+class Workload:
+    """One benchmark: circuit factory + reference + sample inputs."""
+
+    name: str
+    description: str
+    build: Callable[[], CompiledCircuit]
+    reference: Callable[..., Sequence[np.ndarray]]
+    sample_inputs: Callable[[], Tuple[np.ndarray, ...]]
+    category: str = "kernel"  # kernel | network
+    atol: float = 0.0  # reference tolerance (fixed/float quantization)
+    _compiled: Optional[CompiledCircuit] = field(default=None, repr=False)
+    _schedule: Optional[Schedule] = field(default=None, repr=False)
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        if self._compiled is None:
+            self._compiled = self.build()
+        return self._compiled
+
+    @property
+    def netlist(self):
+        return self.compiled.netlist
+
+    @property
+    def schedule(self) -> Schedule:
+        if self._schedule is None:
+            self._schedule = build_schedule(self.netlist)
+        return self._schedule
+
+    def verify(self, *inputs: np.ndarray, atol: Optional[float] = None) -> bool:
+        """Check the netlist against the reference on given inputs."""
+        if atol is None:
+            atol = self.atol
+        if not inputs:
+            inputs = self.sample_inputs()
+        got = self.compiled.run_plain(*inputs)
+        want = self.reference(*inputs)
+        if len(got) != len(want):
+            return False
+        for g, w in zip(got, want):
+            if not np.allclose(
+                np.asarray(g, dtype=np.float64),
+                np.asarray(w, dtype=np.float64),
+                atol=atol,
+                rtol=0.0,
+            ):
+                return False
+        return True
+
+    def mismatch_report(self, *inputs: np.ndarray) -> str:
+        if not inputs:
+            inputs = self.sample_inputs()
+        got = self.compiled.run_plain(*inputs)
+        want = self.reference(*inputs)
+        return f"{self.name}: got={got} want={want}"

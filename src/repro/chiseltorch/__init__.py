@@ -1,0 +1,37 @@
+"""ChiselTorch: the PyTorch-compatible frontend of PyTFHE.
+
+Users declare models exactly as in paper Fig. 4(b)::
+
+    from repro.chiseltorch import nn
+    from repro.chiseltorch.dtypes import Float
+
+    model = nn.Sequential(
+        nn.Conv2d(1, 1, 3, 1),
+        nn.ReLU(),
+        nn.MaxPool2d(3, 1),
+        nn.Flatten(),
+        nn.Linear(576, 10),
+        dtype=Float(8, 8),
+    )
+
+and compile with :func:`repro.core.compile_model`.
+"""
+
+from . import functional
+from . import nn
+from .attention import SelfAttention, linear_const
+from .dtypes import DType, Fixed, Float, SInt, UInt
+from .tensor import HTensor
+
+__all__ = [
+    "DType",
+    "Fixed",
+    "Float",
+    "HTensor",
+    "SInt",
+    "SelfAttention",
+    "UInt",
+    "functional",
+    "linear_const",
+    "nn",
+]

@@ -1,0 +1,103 @@
+"""Self-attention built from ChiselTorch primitives.
+
+The paper (Section V-A) implements BERT-style self-attention layers
+with the provided ``reshape`` and ``matmul`` primitives to show the
+frontend handles non-native structures.  Softmax is not expressible in
+low-degree FHE circuits, so — following common FHE practice — we use a
+ReLU normalization: ``A = relu(S); W = A / (sum(A) + 1)``.  This keeps
+the data flow (two encrypted-by-encrypted matmuls, a normalization
+with division, plaintext projections) identical, which is what the
+gate-count and runtime experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .nn import Module
+from .tensor import HTensor
+
+
+def linear_const(x: HTensor, weight: np.ndarray) -> HTensor:
+    """``x @ W`` for 2-D ``x`` and a plaintext matrix ``W`` (k, m)."""
+    n, k = x.shape
+    k2, m = weight.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: {x.shape} @ {weight.shape}")
+    ops = x.ops
+    outputs = []
+    for i in range(n):
+        for j in range(m):
+            terms = [
+                ops.mul_const(x.element(i, t), float(weight[t, j]))
+                for t in range(k)
+            ]
+            outputs.append(F._reduce_pairwise(terms, ops.add))
+    return HTensor.from_bits(x.builder, x.dtype, outputs, shape=(n, m))
+
+
+class SelfAttention(Module):
+    """Single-head scaled self-attention over ``(seq_len, hidden)``.
+
+    Q/K/V/output projections are plaintext weights; the score matmul
+    and the value mixing operate on encrypted data.
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        seq_len: int,
+        project_output: bool = True,
+        seed: Optional[int] = 0,
+    ):
+        self.hidden = hidden
+        self.seq_len = seq_len
+        self.project_output = project_output
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(hidden)
+        self.w_query = rng.uniform(-scale, scale, size=(hidden, hidden))
+        self.w_key = rng.uniform(-scale, scale, size=(hidden, hidden))
+        self.w_value = rng.uniform(-scale, scale, size=(hidden, hidden))
+        self.w_output = (
+            rng.uniform(-scale, scale, size=(hidden, hidden))
+            if project_output
+            else None
+        )
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+    def forward(self, x: HTensor) -> HTensor:
+        if x.shape != (self.seq_len, self.hidden):
+            raise ValueError(
+                f"expected {(self.seq_len, self.hidden)}, got {x.shape}"
+            )
+        query = linear_const(x, self.w_query)
+        key = linear_const(x, self.w_key)
+        value = linear_const(x, self.w_value)
+
+        # Scaled dot-product scores: (seq, seq).
+        scores = F.matmul(query, key.transpose())
+        scores = scores * (1.0 / np.sqrt(self.hidden))
+
+        # ReLU normalization in place of softmax (see module docstring).
+        positive = scores.relu()
+        denom = F.sum(positive, axis=1)  # (seq,)
+        denom = denom + 1.0
+        ops = x.ops
+        weights = []
+        for i in range(self.seq_len):
+            denom_bits = denom.element(i)
+            for j in range(self.seq_len):
+                weights.append(ops.div(positive.element(i, j), denom_bits))
+        weight_tensor = HTensor.from_bits(
+            x.builder, x.dtype, weights, shape=(self.seq_len, self.seq_len)
+        )
+
+        mixed = F.matmul(weight_tensor, value)
+        if self.w_output is not None:
+            mixed = linear_const(mixed, self.w_output)
+        return mixed

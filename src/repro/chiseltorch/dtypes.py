@@ -1,0 +1,148 @@
+"""ChiselTorch data types.
+
+The paper's key performance lever (Section IV-B) is free choice of
+data type: integers and fixed-point of arbitrary bit width, and floats
+with arbitrary exponent/mantissa splits (``Float(8, 8)`` declares a
+bfloat16, ``Float(5, 11)`` a half float).  Each dtype knows how to
+quantize host values into bit patterns and back, and exposes reference
+arithmetic used by the tests to pin down circuit semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl.softfloat import FloatFormat
+
+
+class DType:
+    """Base class of all ChiselTorch element types."""
+
+    width: int
+
+    def quantize(self, value: float) -> int:
+        """Host value -> bit pattern (an unsigned ``width``-bit int)."""
+        raise NotImplementedError
+
+    def dequantize(self, pattern: int) -> float:
+        """Bit pattern -> host value."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self)
+
+
+@dataclass(frozen=True)
+class UInt(DType):
+    """Unsigned integer of arbitrary width (wrap-around arithmetic)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def quantize(self, value: float) -> int:
+        v = int(round(value))
+        return max(0, min(v, (1 << self.width) - 1))
+
+    def dequantize(self, pattern: int) -> float:
+        return float(pattern & ((1 << self.width) - 1))
+
+    def __str__(self) -> str:
+        return f"UInt({self.width})"
+
+
+@dataclass(frozen=True)
+class SInt(DType):
+    """Two's-complement signed integer of arbitrary width."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError("width must be >= 2")
+
+    def quantize(self, value: float) -> int:
+        half = 1 << (self.width - 1)
+        v = int(round(value))
+        v = max(-half, min(v, half - 1))
+        return v & ((1 << self.width) - 1)
+
+    def dequantize(self, pattern: int) -> float:
+        pattern &= (1 << self.width) - 1
+        half = 1 << (self.width - 1)
+        return float(pattern - (1 << self.width) if pattern >= half else pattern)
+
+    def __str__(self) -> str:
+        return f"SInt({self.width})"
+
+
+@dataclass(frozen=True)
+class Fixed(DType):
+    """Signed fixed-point with ``int_bits`` + ``frac_bits`` total bits.
+
+    The representable range is ``[-2**(int_bits-1), 2**(int_bits-1))``
+    with a resolution of ``2**-frac_bits``.  Multiplication truncates
+    toward negative infinity (an arithmetic right shift), matching the
+    gate-level implementation.
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 1 or self.frac_bits < 0:
+            raise ValueError("invalid fixed-point split")
+
+    @property
+    def width(self) -> int:
+        return self.int_bits + self.frac_bits
+
+    def quantize(self, value: float) -> int:
+        scaled = int(round(value * (1 << self.frac_bits)))
+        half = 1 << (self.width - 1)
+        scaled = max(-half, min(scaled, half - 1))
+        return scaled & ((1 << self.width) - 1)
+
+    def dequantize(self, pattern: int) -> float:
+        pattern &= (1 << self.width) - 1
+        half = 1 << (self.width - 1)
+        signed = pattern - (1 << self.width) if pattern >= half else pattern
+        return signed / (1 << self.frac_bits)
+
+    def __str__(self) -> str:
+        return f"Fixed({self.int_bits},{self.frac_bits})"
+
+
+@dataclass(frozen=True)
+class Float(DType):
+    """Parameterizable float: ``exponent_bits`` + ``mantissa_bits``.
+
+    Semantics are defined by :class:`repro.hdl.softfloat.FloatFormat`
+    (flush-to-zero, truncating rounding, saturating overflow).
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+
+    @property
+    def format(self) -> FloatFormat:
+        return FloatFormat(self.exponent_bits, self.mantissa_bits)
+
+    @property
+    def width(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    def quantize(self, value: float) -> int:
+        return self.format.encode(float(value))
+
+    def dequantize(self, pattern: int) -> float:
+        return self.format.decode(pattern)
+
+    def __str__(self) -> str:
+        return f"Float({self.exponent_bits},{self.mantissa_bits})"
+
+
+def is_signed(dtype: DType) -> bool:
+    return isinstance(dtype, (SInt, Fixed, Float))

@@ -1,0 +1,183 @@
+"""Primitive tensor operations (paper Table I, right column).
+
+``matmul``, ``dot``, ``view``/``reshape``/``transpose``/``pad``,
+``sum``/``prod``, ``argmax``/``argmin``, elementwise arithmetic and
+comparisons, ``max``/``min`` — everything ChiselTorch users need to
+assemble custom layers (e.g. the self-attention of Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hdl import arith
+from .dtypes import UInt
+from .tensor import HTensor
+
+
+def _reduce_pairwise(items: List, combine) -> object:
+    """Balanced binary reduction (shallower circuits than a left fold)."""
+    if not items:
+        raise ValueError("cannot reduce an empty sequence")
+    layer = list(items)
+    while len(layer) > 1:
+        nxt = [
+            combine(layer[i], layer[i + 1])
+            for i in range(0, len(layer) - 1, 2)
+        ]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def dot(a: HTensor, b: HTensor) -> HTensor:
+    """Inner product of two 1-D tensors."""
+    if a.ndim != 1 or b.ndim != 1 or a.shape != b.shape:
+        raise ValueError(f"dot requires equal 1-D shapes, got {a.shape}, {b.shape}")
+    ops = a.ops
+    products = [
+        ops.mul(x, y) for x, y in zip(a.flat_elements(), b.flat_elements())
+    ]
+    total = _reduce_pairwise(products, ops.add)
+    return HTensor.from_bits(a.builder, a.dtype, [total], shape=())
+
+
+def matmul(a: HTensor, b: HTensor) -> HTensor:
+    """Matrix product of 2-D tensors (batched over leading dims of ``a``).
+
+    Supports ``(n, k) @ (k, m)`` and ``(..., n, k) @ (k, m)``.
+    """
+    if a.ndim < 2 or b.ndim != 2:
+        raise ValueError("matmul supports (..., n, k) @ (k, m)")
+    if a.shape[-1] != b.shape[0]:
+        raise ValueError(f"inner dims differ: {a.shape} @ {b.shape}")
+    if a.ndim > 2:
+        lead = a.shape[:-2]
+        flat = a.reshape((int(np.prod(lead)) * a.shape[-2], a.shape[-1]))
+        out = matmul(flat, b)
+        return out.reshape(lead + (a.shape[-2], b.shape[1]))
+
+    n, k = a.shape
+    _, m = b.shape
+    ops = a.ops
+    rows = []
+    for i in range(n):
+        for j in range(m):
+            products = [
+                ops.mul(a.element(i, t), b.element(t, j)) for t in range(k)
+            ]
+            rows.append(_reduce_pairwise(products, ops.add))
+    return HTensor.from_bits(a.builder, a.dtype, rows, shape=(n, m))
+
+
+def sum(t: HTensor, axis: Optional[int] = None) -> HTensor:  # noqa: A001
+    ops = t.ops
+    if axis is None:
+        total = _reduce_pairwise(t.flat_elements(), ops.add)
+        return HTensor.from_bits(t.builder, t.dtype, [total], shape=())
+    return _reduce_axis(t, axis, ops.add)
+
+
+def prod(t: HTensor, axis: Optional[int] = None) -> HTensor:
+    ops = t.ops
+    if axis is None:
+        total = _reduce_pairwise(t.flat_elements(), ops.mul)
+        return HTensor.from_bits(t.builder, t.dtype, [total], shape=())
+    return _reduce_axis(t, axis, ops.mul)
+
+
+def max(t: HTensor, axis: Optional[int] = None) -> HTensor:  # noqa: A001
+    ops = t.ops
+    if axis is None:
+        total = _reduce_pairwise(t.flat_elements(), ops.max)
+        return HTensor.from_bits(t.builder, t.dtype, [total], shape=())
+    return _reduce_axis(t, axis, ops.max)
+
+
+def min(t: HTensor, axis: Optional[int] = None) -> HTensor:  # noqa: A001
+    ops = t.ops
+    if axis is None:
+        total = _reduce_pairwise(t.flat_elements(), ops.min)
+        return HTensor.from_bits(t.builder, t.dtype, [total], shape=())
+    return _reduce_axis(t, axis, ops.min)
+
+
+def _reduce_axis(t: HTensor, axis: int, combine) -> HTensor:
+    moved = np.moveaxis(t._elems, axis, 0)
+    out_shape = moved.shape[1:]
+    flat = moved.reshape(moved.shape[0], -1)
+    results = []
+    for col in range(flat.shape[1]):
+        results.append(_reduce_pairwise(list(flat[:, col]), combine))
+    return HTensor.from_bits(t.builder, t.dtype, results, shape=out_shape)
+
+
+def _arg_reduce(t: HTensor, want_max: bool) -> HTensor:
+    """Index of the extreme element of a 1-D tensor, as UInt bits."""
+    if t.ndim != 1:
+        raise ValueError("argmax/argmin operate on 1-D tensors")
+    n = t.shape[0]
+    index_width = int(np.maximum(1, np.ceil(np.log2(np.maximum(n, 2)))))
+    ops = t.ops
+    bd = t.builder
+
+    def combine(left, right):
+        (lv, li), (rv, ri) = left, right
+        # Prefer the left element on ties (first occurrence, torch-style).
+        if want_max:
+            take_right = ops.less_than(lv, rv)
+        else:
+            take_right = ops.less_than(rv, lv)
+        value = ops.select(take_right, rv, lv)
+        index = arith.mux_bits(bd, take_right, ri, li)
+        return value, index
+
+    pairs = [
+        (t.element(i), arith.const_bits(bd, i, index_width))
+        for i in range(n)
+    ]
+    _, best_index = _reduce_pairwise(pairs, combine)
+    return HTensor.from_bits(bd, UInt(index_width), [best_index], shape=())
+
+
+def argmax(t: HTensor) -> HTensor:
+    return _arg_reduce(t, want_max=True)
+
+
+def argmin(t: HTensor) -> HTensor:
+    return _arg_reduce(t, want_max=False)
+
+
+def reshape(t: HTensor, shape: Sequence[int]) -> HTensor:
+    return t.reshape(tuple(shape))
+
+
+def view(t: HTensor, shape: Sequence[int]) -> HTensor:
+    return t.reshape(tuple(shape))
+
+
+def transpose(t: HTensor, *axes: int) -> HTensor:
+    return t.transpose(*axes)
+
+
+def pad(t: HTensor, pad_width, value: float = 0) -> HTensor:
+    return t.pad(pad_width, value)
+
+
+def relu(t: HTensor) -> HTensor:
+    return t.relu()
+
+
+def cat(tensors: Sequence[HTensor], axis: int = 0) -> HTensor:
+    first = tensors[0]
+    elems = np.concatenate([t._elems for t in tensors], axis=axis)
+    return HTensor(first.builder, first.dtype, elems)
+
+
+def stack(tensors: Sequence[HTensor], axis: int = 0) -> HTensor:
+    first = tensors[0]
+    elems = np.stack([t._elems for t in tensors], axis=axis)
+    return HTensor(first.builder, first.dtype, elems)

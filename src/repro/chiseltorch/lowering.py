@@ -1,0 +1,169 @@
+"""Scalar lowering: dtype-polymorphic element operations on bit vectors.
+
+A :class:`Lowering` binds a :class:`~repro.chiseltorch.dtypes.DType` to
+a :class:`~repro.hdl.builder.CircuitBuilder` and emits the right gate
+structure for each abstract operation.  Constant operands go through
+the strength-reduced paths (CSD shift-add for integers/fixed-point;
+builder-level constant folding prunes float units), which is where the
+ChiselTorch gate-count advantage of paper Fig. 14 comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..hdl import arith, floatarith
+from ..hdl.builder import CircuitBuilder
+from .dtypes import DType, Fixed, Float, SInt, UInt
+
+Bits = List[int]
+
+
+class Lowering:
+    """Emits gate-level implementations of scalar ops for one dtype."""
+
+    def __init__(self, builder: CircuitBuilder, dtype: DType):
+        self.bd = builder
+        self.dtype = dtype
+        self._is_float = isinstance(dtype, Float)
+        self._is_fixed = isinstance(dtype, Fixed)
+        self._signed = isinstance(dtype, (SInt, Fixed))
+        if self._is_float:
+            self._fmt = dtype.format
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    def const(self, value: float) -> Bits:
+        pattern = self.dtype.quantize(value)
+        return arith.const_bits(self.bd, pattern, self.dtype.width)
+
+    def zero(self) -> Bits:
+        return self.const(0)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def add(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        if self._is_float:
+            return floatarith.float_add(self.bd, self._fmt, x, y)
+        return arith.ripple_add(
+            self.bd, x, y, width=self.dtype.width, signed=self._signed
+        )
+
+    def sub(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        if self._is_float:
+            return floatarith.float_sub(self.bd, self._fmt, x, y)
+        return arith.ripple_sub(
+            self.bd, x, y, width=self.dtype.width, signed=self._signed
+        )
+
+    def neg(self, x: Sequence[int]) -> Bits:
+        if self._is_float:
+            return floatarith.float_neg(self.bd, self._fmt, x)
+        return arith.negate(self.bd, list(x), self.dtype.width)
+
+    def mul(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        if self._is_float:
+            return floatarith.float_mul(self.bd, self._fmt, x, y)
+        if self._is_fixed:
+            frac = self.dtype.frac_bits
+            wide = arith.multiply(
+                self.bd, x, y, width=self.dtype.width + frac, signed=True
+            )
+            return wide[frac : frac + self.dtype.width]
+        return arith.multiply(
+            self.bd, x, y, width=self.dtype.width, signed=self._signed
+        )
+
+    def mul_const(self, x: Sequence[int], value: float) -> Bits:
+        """Multiply by a plaintext constant (weights, scales)."""
+        if self._is_float:
+            return floatarith.float_mul(self.bd, self._fmt, x, self.const(value))
+        if self._is_fixed:
+            frac = self.dtype.frac_bits
+            scaled = int(round(value * (1 << frac)))
+            wide = arith.multiply_const(
+                self.bd, x, scaled, width=self.dtype.width + frac, signed=True
+            )
+            return wide[frac : frac + self.dtype.width]
+        return arith.multiply_const(
+            self.bd,
+            x,
+            int(round(value)),
+            width=self.dtype.width,
+            signed=self._signed,
+        )
+
+    def div(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        if self._is_float:
+            return floatarith.float_div(self.bd, self._fmt, x, y)
+        if self._is_fixed:
+            frac = self.dtype.frac_bits
+            width = self.dtype.width + frac
+            numer = arith.const_bits(self.bd, 0, frac) + arith.extend(
+                self.bd, x, width - frac, signed=True
+            )
+            denom = arith.extend(self.bd, y, width, signed=True)
+            quotient = arith.divide_signed(self.bd, numer, denom)
+            return quotient[: self.dtype.width]
+        if self._signed:
+            return arith.divide_signed(self.bd, list(x), list(y))[
+                : self.dtype.width
+            ]
+        quotient, _ = arith.divide_unsigned(self.bd, list(x), list(y))
+        return quotient[: self.dtype.width]
+
+    # ------------------------------------------------------------------
+    # Comparisons / selection
+    # ------------------------------------------------------------------
+    def less_than(self, x: Sequence[int], y: Sequence[int]) -> int:
+        if self._is_float:
+            return floatarith.float_less_than(self.bd, self._fmt, x, y)
+        return arith.less_than(self.bd, x, y, signed=self._signed)
+
+    def equal(self, x: Sequence[int], y: Sequence[int]) -> int:
+        return arith.equals(self.bd, list(x), list(y))
+
+    def select(self, cond: int, x: Sequence[int], y: Sequence[int]) -> Bits:
+        """``cond ? x : y``."""
+        return arith.mux_bits(self.bd, cond, list(x), list(y))
+
+    def max(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        return self.select(self.less_than(x, y), y, x)
+
+    def min(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        return self.select(self.less_than(x, y), x, y)
+
+    # ------------------------------------------------------------------
+    # Activations
+    # ------------------------------------------------------------------
+    def relu(self, x: Sequence[int]) -> Bits:
+        if self._is_float:
+            return floatarith.float_relu(self.bd, self._fmt, x)
+        if isinstance(self.dtype, UInt):
+            return list(x)  # already non-negative
+        sign = x[-1]
+        from ..gatetypes import Gate
+
+        return [self.bd.gate(Gate.ANDYN, bit, sign) for bit in x]
+
+    # ------------------------------------------------------------------
+    # Shifts (integer/fixed only)
+    # ------------------------------------------------------------------
+    def shift_right_const(self, x: Sequence[int], amount: int) -> Bits:
+        if self._is_float:
+            raise TypeError("shift is not defined for floats")
+        return arith.shift_right_const(
+            self.bd, list(x), amount, arithmetic=self._signed
+        )
+
+    def shift_left_const(self, x: Sequence[int], amount: int) -> Bits:
+        if self._is_float:
+            raise TypeError("shift is not defined for floats")
+        return arith.shift_left_const(self.bd, list(x), amount)
+
+    def bitwise_xor(self, x: Sequence[int], y: Sequence[int]) -> Bits:
+        if self._is_float:
+            raise TypeError("bitwise xor is not defined for floats")
+        return [self.bd.xor_(a, b) for a, b in zip(x, y)]

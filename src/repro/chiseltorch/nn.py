@@ -1,0 +1,551 @@
+"""ChiselTorch ``nn`` modules — the PyTorch-compatible layer library.
+
+These are the pre-built, pre-validated neural network building blocks
+of paper Table I (left column): Conv1d/Conv2d, BatchNorm1d/2d, Linear,
+ReLU, MaxPool1d/2d, AvgPool1d/2d, Flatten, and Sequential.  Modules
+carry plaintext (server-side) weights, which are quantized and folded
+into the circuit at elaboration time via strength-reduced constant
+multipliers.
+
+Tensors carry no batch dimension: a Conv2d input is ``(C, H, W)``,
+matching single-query FHE inference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hdl import arith
+from . import functional as F
+from .dtypes import Fixed, Float, SInt, UInt
+from .tensor import HTensor
+
+
+def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class Module:
+    """Base class of all ChiselTorch layers."""
+
+    def forward(self, x: HTensor) -> HTensor:
+        raise NotImplementedError
+
+    def __call__(self, x: HTensor) -> HTensor:
+        return self.forward(x)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape inference without building gates (used by frontends)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.__class__.__name__
+
+
+class Sequential(Module):
+    """Chain of modules; optional ``dtype`` selects the element type.
+
+    Mirrors paper Fig. 4(b): ``Sequential(Seq(...), dtype=Float(8, 8))``.
+    """
+
+    def __init__(self, *modules: Module, dtype=None):
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        self.modules: List[Module] = list(modules)
+        self.dtype = dtype
+
+    def forward(self, x: HTensor) -> HTensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        shape = tuple(input_shape)
+        for module in self.modules:
+            shape = module.output_shape(shape)
+        return shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(m) for m in self.modules)
+        return f"Sequential({inner}, dtype={self.dtype})"
+
+
+class ReLU(Module):
+    def forward(self, x: HTensor) -> HTensor:
+        return x.relu()
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class Flatten(Module):
+    def forward(self, x: HTensor) -> HTensor:
+        return x.flatten()
+
+    def output_shape(self, input_shape):
+        return (int(np.prod(input_shape)),)
+
+
+class Dropout(Module):
+    """Inference-time dropout: the identity (kept for model parity)."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def forward(self, x: HTensor) -> HTensor:
+        return x
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class HardTanh(Module):
+    """Piecewise-linear tanh: clamp to [min_val, max_val].
+
+    The standard FHE-friendly stand-in for saturating activations —
+    exact under encryption (two compare-selects), no polynomial
+    approximation error.
+    """
+
+    def __init__(self, min_val: float = -1.0, max_val: float = 1.0):
+        if min_val >= max_val:
+            raise ValueError("min_val must be below max_val")
+        self.min_val = min_val
+        self.max_val = max_val
+
+    def forward(self, x: HTensor) -> HTensor:
+        ops = x.ops
+        lo = ops.const(self.min_val)
+        hi = ops.const(self.max_val)
+        out = []
+        for bits in x.flat_elements():
+            out.append(ops.min(ops.max(bits, lo), hi))
+        return HTensor.from_bits(x.builder, x.dtype, out, shape=x.shape)
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class HardSigmoid(Module):
+    """Piecewise-linear sigmoid: ``clamp(x/4 + 1/2, 0, 1)``.
+
+    Needs a fractional dtype (Fixed/Float); the x/4 slope quantizes to
+    zero on plain integers.
+    """
+
+    def forward(self, x: HTensor) -> HTensor:
+        ops = x.ops
+        zero = ops.const(0.0)
+        one = ops.const(1.0)
+        out = []
+        for bits in x.flat_elements():
+            scaled = ops.add(ops.mul_const(bits, 0.25), ops.const(0.5))
+            out.append(ops.min(ops.max(scaled, zero), one))
+        return HTensor.from_bits(x.builder, x.dtype, out, shape=x.shape)
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class Softmax(Module):
+    """ReLU-normalized softmax substitute over the last axis.
+
+    True softmax needs ``exp``, which has no efficient gate circuit;
+    following common FHE practice (and this repo's attention layer) we
+    use ``relu(x) / (sum(relu(x)) + 1)``: non-negative weights summing
+    to < 1, preserving the ranking of positive inputs.
+    """
+
+    def forward(self, x: HTensor) -> HTensor:
+        from . import functional as F
+
+        ops = x.ops
+        positive = x.relu()
+        if x.ndim == 1:
+            denom_bits = F.sum(positive).element()
+            denom_bits = ops.add(denom_bits, ops.const(1.0))
+            out = [
+                ops.div(bits, denom_bits)
+                for bits in positive.flat_elements()
+            ]
+            return HTensor.from_bits(x.builder, x.dtype, out, shape=x.shape)
+        denom = F.sum(positive, axis=x.ndim - 1)
+        out = []
+        flat = positive._elems.reshape(-1, x.shape[-1])
+        denom_flat = denom._elems.reshape(-1)
+        for row in range(flat.shape[0]):
+            denom_bits = ops.add(denom_flat[row], ops.const(1.0))
+            for col in range(x.shape[-1]):
+                out.append(ops.div(flat[row, col], denom_bits))
+        return HTensor.from_bits(x.builder, x.dtype, out, shape=x.shape)
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = W x + b`` with plaintext weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight: Optional[np.ndarray] = None,
+        bias_values: Optional[np.ndarray] = None,
+        seed: Optional[int] = None,
+    ):
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = (
+            np.asarray(weight, dtype=np.float64)
+            if weight is not None
+            else rng.uniform(-scale, scale, size=(out_features, in_features))
+        )
+        if self.weight.shape != (out_features, in_features):
+            raise ValueError("weight shape mismatch")
+        if bias:
+            self.bias = (
+                np.asarray(bias_values, dtype=np.float64)
+                if bias_values is not None
+                else rng.uniform(-scale, scale, size=out_features)
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: HTensor) -> HTensor:
+        if x.ndim != 1 or x.shape[0] != self.in_features:
+            raise ValueError(
+                f"Linear expected ({self.in_features},), got {x.shape}"
+            )
+        ops = x.ops
+        elements = x.flat_elements()
+        outputs = []
+        for o in range(self.out_features):
+            terms = [
+                ops.mul_const(elements[i], float(self.weight[o, i]))
+                for i in range(self.in_features)
+            ]
+            acc = F._reduce_pairwise(terms, ops.add)
+            if self.bias is not None:
+                acc = ops.add(acc, ops.const(float(self.bias[o])))
+            outputs.append(acc)
+        return HTensor.from_bits(
+            x.builder, x.dtype, outputs, shape=(self.out_features,)
+        )
+
+    def output_shape(self, input_shape):
+        return (self.out_features,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(C, H, W)`` inputs, plaintext weights."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]],
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Union[int, Tuple[int, int]] = 0,
+        bias: bool = True,
+        weight: Optional[np.ndarray] = None,
+        bias_values: Optional[np.ndarray] = None,
+        seed: Optional[int] = None,
+    ):
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * self.kernel_size[0] * self.kernel_size[1]
+        scale = 1.0 / np.sqrt(fan_in)
+        shape = (out_channels, in_channels) + self.kernel_size
+        self.weight = (
+            np.asarray(weight, dtype=np.float64)
+            if weight is not None
+            else rng.uniform(-scale, scale, size=shape)
+        )
+        if self.weight.shape != shape:
+            raise ValueError("weight shape mismatch")
+        if bias:
+            self.bias = (
+                np.asarray(bias_values, dtype=np.float64)
+                if bias_values is not None
+                else rng.uniform(-scale, scale, size=out_channels)
+            )
+        else:
+            self.bias = None
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        oh = (h + 2 * ph - kh) // sh + 1
+        ow = (w + 2 * pw - kw) // sw + 1
+        return (self.out_channels, oh, ow)
+
+    def forward(self, x: HTensor) -> HTensor:
+        if x.ndim != 3 or x.shape[0] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected ({self.in_channels}, H, W), got {x.shape}"
+            )
+        ph, pw = self.padding
+        if ph or pw:
+            x = x.pad(((0, 0), (ph, ph), (pw, pw)), 0)
+        c, h, w = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        ops = x.ops
+        outputs = []
+        for o in range(self.out_channels):
+            for i in range(oh):
+                for j in range(ow):
+                    terms = []
+                    for ci in range(c):
+                        for ki in range(kh):
+                            for kj in range(kw):
+                                elem = x.element(ci, i * sh + ki, j * sw + kj)
+                                terms.append(
+                                    ops.mul_const(
+                                        elem, float(self.weight[o, ci, ki, kj])
+                                    )
+                                )
+                    acc = F._reduce_pairwise(terms, ops.add)
+                    if self.bias is not None:
+                        acc = ops.add(acc, ops.const(float(self.bias[o])))
+                    outputs.append(acc)
+        return HTensor.from_bits(
+            x.builder, x.dtype, outputs, shape=(self.out_channels, oh, ow)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"{self.kernel_size}, stride={self.stride})"
+        )
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(C, L)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        weight: Optional[np.ndarray] = None,
+        bias_values: Optional[np.ndarray] = None,
+        seed: Optional[int] = None,
+    ):
+        self._conv = Conv2d(
+            in_channels,
+            out_channels,
+            (1, kernel_size),
+            stride=(1, stride),
+            padding=(0, padding),
+            bias=bias,
+            weight=(
+                np.asarray(weight, dtype=np.float64)[:, :, None, :]
+                if weight is not None
+                else None
+            ),
+            bias_values=bias_values,
+            seed=seed,
+        )
+
+    @property
+    def weight(self) -> np.ndarray:
+        return self._conv.weight[:, :, 0, :]
+
+    @property
+    def bias(self):
+        return self._conv.bias
+
+    def output_shape(self, input_shape):
+        c, length = input_shape
+        o, _, ol = self._conv.output_shape((c, 1, length))
+        return (o, ol)
+
+    def forward(self, x: HTensor) -> HTensor:
+        c, length = x.shape
+        y = self._conv(x.reshape(c, 1, length))
+        o, _, ol = y.shape
+        return y.reshape(o, ol)
+
+
+class _Pool2d(Module):
+    def __init__(self, kernel_size, stride=None):
+        self.kernel_size = _pair(kernel_size)
+        if stride is None:
+            stride = self.kernel_size
+        self.stride = _pair(stride)
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        return (c, (h - kh) // sh + 1, (w - kw) // sw + 1)
+
+    def _windows(self, x: HTensor):
+        c, h, w = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        for ci in range(c):
+            for i in range(oh):
+                for j in range(ow):
+                    yield [
+                        x.element(ci, i * sh + ki, j * sw + kj)
+                        for ki in range(kh)
+                        for kj in range(kw)
+                    ]
+
+
+class MaxPool2d(_Pool2d):
+    def forward(self, x: HTensor) -> HTensor:
+        ops = x.ops
+        outputs = [
+            F._reduce_pairwise(window, ops.max) for window in self._windows(x)
+        ]
+        return HTensor.from_bits(
+            x.builder, x.dtype, outputs, shape=self.output_shape(x.shape)
+        )
+
+
+class AvgPool2d(_Pool2d):
+    def forward(self, x: HTensor) -> HTensor:
+        ops = x.ops
+        count = self.kernel_size[0] * self.kernel_size[1]
+        outputs = []
+        for window in self._windows(x):
+            total = F._reduce_pairwise(window, ops.add)
+            outputs.append(_divide_by_count(x, total, count))
+        return HTensor.from_bits(
+            x.builder, x.dtype, outputs, shape=self.output_shape(x.shape)
+        )
+
+
+def _divide_by_count(x: HTensor, bits, count: int):
+    """Average denominator: constant multiply for float/fixed, shift or
+    divide for integers."""
+    ops = x.ops
+    if isinstance(x.dtype, (Float, Fixed)):
+        return ops.mul_const(bits, 1.0 / count)
+    if count & (count - 1) == 0:
+        return ops.shift_right_const(bits, count.bit_length() - 1)
+    divisor = arith.const_bits(x.builder, count, x.dtype.width)
+    if isinstance(x.dtype, SInt):
+        return arith.divide_signed(x.builder, bits, divisor)[: x.dtype.width]
+    quotient, _ = arith.divide_unsigned(x.builder, bits, divisor)
+    return quotient[: x.dtype.width]
+
+
+class _Pool1d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def output_shape(self, input_shape):
+        c, length = input_shape
+        return (c, (length - self.kernel_size) // self.stride + 1)
+
+
+class MaxPool1d(_Pool1d):
+    def forward(self, x: HTensor) -> HTensor:
+        c, length = x.shape
+        pooled = MaxPool2d((1, self.kernel_size), (1, self.stride))(
+            x.reshape(c, 1, length)
+        )
+        return pooled.reshape(self.output_shape(x.shape))
+
+
+class AvgPool1d(_Pool1d):
+    def forward(self, x: HTensor) -> HTensor:
+        c, length = x.shape
+        pooled = AvgPool2d((1, self.kernel_size), (1, self.stride))(
+            x.reshape(c, 1, length)
+        )
+        return pooled.reshape(self.output_shape(x.shape))
+
+
+class _BatchNorm(Module):
+    """Inference-time batch norm: a per-channel affine transform."""
+
+    def __init__(
+        self,
+        num_features: int,
+        gamma: Optional[np.ndarray] = None,
+        beta: Optional[np.ndarray] = None,
+        running_mean: Optional[np.ndarray] = None,
+        running_var: Optional[np.ndarray] = None,
+        eps: float = 1e-5,
+    ):
+        self.num_features = num_features
+        ones = np.ones(num_features)
+        zeros = np.zeros(num_features)
+        self.gamma = np.asarray(gamma if gamma is not None else ones, np.float64)
+        self.beta = np.asarray(beta if beta is not None else zeros, np.float64)
+        self.running_mean = np.asarray(
+            running_mean if running_mean is not None else zeros, np.float64
+        )
+        self.running_var = np.asarray(
+            running_var if running_var is not None else ones, np.float64
+        )
+        self.eps = eps
+
+    def _affine(self) -> Tuple[np.ndarray, np.ndarray]:
+        scale = self.gamma / np.sqrt(self.running_var + self.eps)
+        shift = self.beta - self.running_mean * scale
+        return scale, shift
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)
+
+    def _apply(self, x: HTensor, channel_of) -> HTensor:
+        scale, shift = self._affine()
+        ops = x.ops
+        flat = x.flat_elements()
+        out = []
+        for idx, bits in enumerate(flat):
+            channel = channel_of(idx)
+            scaled = ops.mul_const(bits, float(scale[channel]))
+            out.append(ops.add(scaled, ops.const(float(shift[channel]))))
+        return HTensor.from_bits(x.builder, x.dtype, out, shape=x.shape)
+
+
+class BatchNorm1d(_BatchNorm):
+    def forward(self, x: HTensor) -> HTensor:
+        if x.ndim == 1:
+            if x.shape[0] != self.num_features:
+                raise ValueError("BatchNorm1d feature mismatch")
+            return self._apply(x, lambda idx: idx)
+        if x.ndim == 2:
+            length = x.shape[1]
+            return self._apply(x, lambda idx: idx // length)
+        raise ValueError("BatchNorm1d expects (F,) or (C, L)")
+
+
+class BatchNorm2d(_BatchNorm):
+    def forward(self, x: HTensor) -> HTensor:
+        if x.ndim != 3 or x.shape[0] != self.num_features:
+            raise ValueError("BatchNorm2d expects (C, H, W)")
+        per_channel = x.shape[1] * x.shape[2]
+        return self._apply(x, lambda idx: idx // per_channel)

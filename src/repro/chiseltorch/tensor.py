@@ -1,0 +1,262 @@
+"""HTensor: the symbolic tensor ChiselTorch models operate on.
+
+An :class:`HTensor` is a numpy object array whose elements are tuples
+of netlist node ids — the bits of one value in the tensor's dtype.
+Shape manipulation (``view``/``reshape``/``transpose``/``pad``/slicing)
+therefore never emits gates: like the paper's Flatten-to-wiring
+optimization (Section V-C), it is pure re-indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hdl.builder import CircuitBuilder
+from .dtypes import DType
+from .lowering import Lowering
+
+Number = Union[int, float]
+
+
+class HTensor:
+    """A tensor of encrypted (symbolic) values of a single dtype."""
+
+    def __init__(self, builder: CircuitBuilder, dtype: DType, elems: np.ndarray):
+        self.builder = builder
+        self.dtype = dtype
+        self._elems = np.asarray(elems, dtype=object)
+        self._ops = Lowering(builder, dtype)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def input(
+        builder: CircuitBuilder,
+        shape: Sequence[int],
+        dtype: DType,
+        name: str = "x",
+    ) -> "HTensor":
+        """Declare fresh circuit inputs for every bit of the tensor.
+
+        Input bit order is row-major over elements, LSB-first within an
+        element — the order :class:`IOSpec` uses for encoding.
+        """
+        shape = tuple(shape)
+        count = int(np.prod(shape)) if shape else 1
+        flat = np.empty(count, dtype=object)
+        for i in range(count):
+            flat[i] = tuple(
+                builder.input(f"{name}[{i}].{b}") for b in range(dtype.width)
+            )
+        return HTensor(builder, dtype, flat.reshape(shape))
+
+    @staticmethod
+    def from_array(
+        builder: CircuitBuilder, values: np.ndarray, dtype: DType
+    ) -> "HTensor":
+        """Embed plaintext values as constants (quantized to ``dtype``)."""
+        values = np.asarray(values, dtype=np.float64)
+        lowering = Lowering(builder, dtype)
+        flat = np.empty(values.size, dtype=object)
+        for i, v in enumerate(values.reshape(-1)):
+            flat[i] = tuple(lowering.const(float(v)))
+        return HTensor(builder, dtype, flat.reshape(values.shape))
+
+    @staticmethod
+    def from_bits(
+        builder: CircuitBuilder,
+        dtype: DType,
+        bits: Sequence[Sequence[int]],
+        shape: Optional[Sequence[int]] = None,
+    ) -> "HTensor":
+        flat = np.empty(len(bits), dtype=object)
+        for i, b in enumerate(bits):
+            flat[i] = tuple(b)
+        if shape is not None:
+            flat = flat.reshape(tuple(shape))
+        return HTensor(builder, dtype, flat)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._elems.shape
+
+    @property
+    def ndim(self) -> int:
+        return self._elems.ndim
+
+    @property
+    def size(self) -> int:
+        return self._elems.size
+
+    @property
+    def ops(self) -> Lowering:
+        return self._ops
+
+    def element(self, *index: int) -> Tuple[int, ...]:
+        """Bits (LSB-first node ids) of one element."""
+        return self._elems[tuple(index)]
+
+    def flat_elements(self) -> List[Tuple[int, ...]]:
+        return list(self._elems.reshape(-1))
+
+    def all_bits(self) -> List[int]:
+        """All node ids, element-major then LSB-first (the I/O order)."""
+        out: List[int] = []
+        for elem in self._elems.reshape(-1):
+            out.extend(elem)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape ops (zero gates)
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "HTensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return HTensor(self.builder, self.dtype, self._elems.reshape(shape))
+
+    def view(self, *shape: int) -> "HTensor":
+        return self.reshape(*shape)
+
+    def flatten(self) -> "HTensor":
+        return HTensor(self.builder, self.dtype, self._elems.reshape(-1))
+
+    def transpose(self, *axes: int) -> "HTensor":
+        axes_arg = axes if axes else None
+        return HTensor(self.builder, self.dtype, self._elems.transpose(axes_arg))
+
+    def permute(self, *axes: int) -> "HTensor":
+        return self.transpose(*axes)
+
+    def pad(self, pad_width, value: Number = 0) -> "HTensor":
+        """Pad with a (quantized) constant, numpy ``pad_width`` style."""
+        fill = tuple(self._ops.const(float(value)))
+        padded = np.pad(
+            self._elems, pad_width, mode="constant", constant_values=None
+        )
+        flat = padded.reshape(-1)
+        for i, e in enumerate(flat):
+            if e is None:
+                flat[i] = fill
+        return HTensor(self.builder, self.dtype, flat.reshape(padded.shape))
+
+    def __getitem__(self, index) -> "HTensor":
+        sub = self._elems[index]
+        if not isinstance(sub, np.ndarray):  # a single element (tuple)
+            wrapped = np.empty((), dtype=object)
+            wrapped[()] = sub
+            sub = wrapped
+        return HTensor(self.builder, self.dtype, sub)
+
+    # ------------------------------------------------------------------
+    # Elementwise helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "HTensor":
+        if isinstance(other, HTensor):
+            if other.dtype != self.dtype:
+                raise TypeError(
+                    f"dtype mismatch: {self.dtype} vs {other.dtype}"
+                )
+            return other
+        values = np.asarray(other, dtype=np.float64)
+        return HTensor.from_array(self.builder, values, self.dtype)
+
+    def _zip(self, other: "HTensor", fn) -> "HTensor":
+        a, b = np.broadcast_arrays(self._elems, other._elems)
+        flat = np.empty(a.size, dtype=object)
+        for i, (x, y) in enumerate(zip(a.reshape(-1), b.reshape(-1))):
+            flat[i] = tuple(fn(x, y))
+        return HTensor(self.builder, self.dtype, flat.reshape(a.shape))
+
+    def _map(self, fn) -> "HTensor":
+        flat = np.empty(self.size, dtype=object)
+        for i, x in enumerate(self._elems.reshape(-1)):
+            flat[i] = tuple(fn(x))
+        return HTensor(self.builder, self.dtype, flat.reshape(self.shape))
+
+    def _zip_pred(self, other: "HTensor", fn) -> "HTensor":
+        """Comparison producing a UInt(1) tensor."""
+        from .dtypes import UInt
+
+        a, b = np.broadcast_arrays(self._elems, other._elems)
+        flat = np.empty(a.size, dtype=object)
+        for i, (x, y) in enumerate(zip(a.reshape(-1), b.reshape(-1))):
+            flat[i] = (fn(x, y),)
+        return HTensor(self.builder, UInt(1), flat.reshape(a.shape))
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "HTensor":
+        if not isinstance(other, HTensor) and np.isscalar(other):
+            return self._map(lambda x: self._ops.add(x, self._ops.const(float(other))))
+        return self._zip(self._coerce(other), self._ops.add)
+
+    def __radd__(self, other) -> "HTensor":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "HTensor":
+        return self._zip(self._coerce(other), self._ops.sub)
+
+    def __rsub__(self, other) -> "HTensor":
+        return self._coerce(other)._zip(self, self._ops.sub)
+
+    def __mul__(self, other) -> "HTensor":
+        if not isinstance(other, HTensor) and np.isscalar(other):
+            return self._map(lambda x: self._ops.mul_const(x, float(other)))
+        return self._zip(self._coerce(other), self._ops.mul)
+
+    def __rmul__(self, other) -> "HTensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "HTensor":
+        return self._zip(self._coerce(other), self._ops.div)
+
+    def __neg__(self) -> "HTensor":
+        return self._map(self._ops.neg)
+
+    def __lt__(self, other) -> "HTensor":
+        return self._zip_pred(self._coerce(other), self._ops.less_than)
+
+    def __gt__(self, other) -> "HTensor":
+        other = self._coerce(other)
+        return other._zip_pred(self, other._ops.less_than)
+
+    def __le__(self, other) -> "HTensor":
+        gt = self.__gt__(other)
+        return gt._map(lambda x: [self.builder.not_(x[0])])
+
+    def __ge__(self, other) -> "HTensor":
+        lt = self.__lt__(other)
+        return lt._map(lambda x: [self.builder.not_(x[0])])
+
+    def eq(self, other) -> "HTensor":
+        return self._zip_pred(self._coerce(other), self._ops.equal)
+
+    def ne(self, other) -> "HTensor":
+        eq = self.eq(other)
+        return eq._map(lambda x: [self.builder.not_(x[0])])
+
+    def relu(self) -> "HTensor":
+        return self._map(self._ops.relu)
+
+    def where(self, cond: "HTensor", other) -> "HTensor":
+        """Elementwise ``cond ? self : other`` (cond is a UInt(1) tensor)."""
+        other = self._coerce(other)
+        a, c, b = np.broadcast_arrays(
+            self._elems, cond._elems, other._elems
+        )
+        flat = np.empty(a.size, dtype=object)
+        for i, (x, s, y) in enumerate(
+            zip(a.reshape(-1), c.reshape(-1), b.reshape(-1))
+        ):
+            flat[i] = tuple(self._ops.select(s[0], x, y))
+        return HTensor(self.builder, self.dtype, flat.reshape(a.shape))
+
+    def __repr__(self) -> str:
+        return f"HTensor(shape={self.shape}, dtype={self.dtype})"

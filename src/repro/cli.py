@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+A small operator toolbox around the library:
+
+* ``compile``  — compile a built-in workload to a PyTFHE binary file;
+* ``disasm``   — textual listing of a PyTFHE binary;
+* ``stats``    — gate statistics of a binary;
+* ``estimate`` — backend runtime estimates for a binary (paper model);
+* ``keygen``   — generate and save a (secret, cloud) key pair;
+* ``bench-gate`` — measure this machine's bootstrapped-gate cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .isa import assemble, disassemble, format_program
+
+
+def _workload_by_name(name: str):
+    from .bench import attention_workload, mnist_workload, vip_workloads
+
+    vips = vip_workloads()
+    if name in vips:
+        return vips[name]
+    if name.startswith("mnist_"):
+        variant = name.split("_")[1].upper()
+        return mnist_workload(variant, "reduced")
+    if name == "attention":
+        return attention_workload(8, name="attention")
+    raise SystemExit(
+        f"unknown workload {name!r}; try one of: "
+        f"{', '.join(sorted(vips))}, mnist_s/m/l, attention"
+    )
+
+
+def cmd_compile(args) -> int:
+    workload = _workload_by_name(args.workload)
+    binary = assemble(workload.netlist)
+    with open(args.output, "wb") as handle:
+        handle.write(binary)
+    stats = workload.netlist.stats()
+    print(
+        f"wrote {args.output}: {len(binary)} bytes, "
+        f"{stats.num_gates} gates ({stats.num_bootstrapped_gates} "
+        f"bootstrapped, depth {stats.bootstrap_depth})"
+    )
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    with open(args.binary, "rb") as handle:
+        data = handle.read()
+    print(format_program(data, max_rows=args.max_rows))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    with open(args.binary, "rb") as handle:
+        netlist = disassemble(handle.read())
+    print(netlist.stats())
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from .perfmodel import (
+        A5000,
+        ClusterSimulator,
+        GpuSimulator,
+        PAPER_GATE_COST,
+        RTX4090,
+        TABLE_II_CLUSTER,
+        single_node,
+    )
+    from .runtime import build_schedule
+
+    with open(args.binary, "rb") as handle:
+        netlist = disassemble(handle.read())
+    schedule = build_schedule(netlist)
+    single_ms = schedule.num_bootstrapped * PAPER_GATE_COST.gate_ms
+    rows = [
+        ("single core", single_ms),
+        (
+            "1 node (18 workers)",
+            ClusterSimulator(single_node(), PAPER_GATE_COST)
+            .simulate(schedule)
+            .total_ms,
+        ),
+        (
+            "4 nodes (72 workers)",
+            ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST)
+            .simulate(schedule)
+            .total_ms,
+        ),
+        (
+            "A5000 GPU",
+            GpuSimulator(A5000, PAPER_GATE_COST)
+            .simulate_pytfhe(schedule)
+            .total_ms,
+        ),
+        (
+            "RTX 4090 GPU",
+            GpuSimulator(RTX4090, PAPER_GATE_COST)
+            .simulate_pytfhe(schedule)
+            .total_ms,
+        ),
+    ]
+    print(f"{schedule.num_bootstrapped} bootstrapped gates, "
+          f"{schedule.depth} levels")
+    for name, ms in rows:
+        print(f"  {name:22s} {ms / 1e3:10.1f} s  ({single_ms / ms:6.1f}x)")
+    return 0
+
+
+def cmd_keygen(args) -> int:
+    from .serialization import save_cloud_key, save_secret_key
+    from .tfhe import PARAMETER_SETS, generate_keys
+
+    params = PARAMETER_SETS.get(args.params)
+    if params is None:
+        raise SystemExit(
+            f"unknown parameter set {args.params!r}; "
+            f"choose from {sorted(PARAMETER_SETS)}"
+        )
+    secret, cloud = generate_keys(params, seed=args.seed)
+    with open(args.secret_out, "wb") as handle:
+        handle.write(save_secret_key(secret))
+    with open(args.cloud_out, "wb") as handle:
+        handle.write(save_cloud_key(cloud))
+    print(f"wrote {args.secret_out} (KEEP PRIVATE) and {args.cloud_out}")
+    return 0
+
+
+def cmd_bench_gate(args) -> int:
+    from .runtime import profile_gate
+    from .tfhe import PARAMETER_SETS, generate_keys
+
+    params = PARAMETER_SETS[args.params]
+    print(f"generating keys for {params.name} ...")
+    _, cloud = generate_keys(params, seed=0)
+    profile = profile_gate(cloud, repetitions=args.repetitions)
+    for phase, ms, fraction in profile.rows():
+        print(f"  {phase:20s} {ms:8.2f} ms  ({fraction * 100:5.1f}%)")
+    print(f"  {'total':20s} {profile.total_ms:8.2f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pytfhe", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a workload to a binary")
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", default="program.pytfhe")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("disasm", help="list a binary's instructions")
+    p.add_argument("binary")
+    p.add_argument("--max-rows", type=int, default=64)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("stats", help="gate statistics of a binary")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("estimate", help="backend runtime estimates")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("keygen", help="generate a key pair")
+    p.add_argument("--params", default="tfhe-default-128")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--secret-out", default="secret.key")
+    p.add_argument("--cloud-out", default="cloud.key")
+    p.set_defaults(func=cmd_keygen)
+
+    p = sub.add_parser("bench-gate", help="measure local gate cost")
+    p.add_argument("--params", default="tfhe-test")
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_bench_gate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""End-to-end compilation pipeline and client/server sessions."""
+
+from .compiler import (
+    CompiledCircuit,
+    TensorSpec,
+    compile_function,
+    compile_model,
+)
+from .session import Client, Server, compile_to_binary
+
+__all__ = [
+    "Client",
+    "CompiledCircuit",
+    "Server",
+    "TensorSpec",
+    "compile_function",
+    "compile_model",
+    "compile_to_binary",
+]

@@ -1,0 +1,186 @@
+"""End-to-end compilation: ChiselTorch model -> netlist + I/O metadata.
+
+This is step (1)+(2) of the paper's Fig. 2 flow: elaborate the PyTorch
+style model into gates (ChiselTorch + synthesis) and keep the tensor
+layout metadata needed to encode plaintext inputs into input bits and
+decode output bits back into numbers.  Step (3), the binary format,
+lives in :mod:`repro.isa`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chiseltorch.dtypes import DType
+from ..chiseltorch.nn import Module, Sequential
+from ..chiseltorch.tensor import HTensor
+from ..hdl.builder import CircuitBuilder
+from ..hdl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape/dtype/name of one circuit-level tensor."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def num_bits(self) -> int:
+        return self.num_elements * self.dtype.width
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Quantize host values into a flat boolean bit array."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.shape:
+            raise ValueError(
+                f"{self.name}: expected shape {self.shape}, got {values.shape}"
+            )
+        width = self.dtype.width
+        bits = np.zeros(self.num_bits, dtype=bool)
+        for i, v in enumerate(values.reshape(-1)):
+            pattern = self.dtype.quantize(float(v))
+            for b in range(width):
+                bits[i * width + b] = (pattern >> b) & 1
+        return bits
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Decode a flat boolean bit array back into host values."""
+        bits = np.asarray(bits, dtype=bool).reshape(-1)
+        if bits.size != self.num_bits:
+            raise ValueError(
+                f"{self.name}: expected {self.num_bits} bits, got {bits.size}"
+            )
+        width = self.dtype.width
+        out = np.empty(self.num_elements, dtype=np.float64)
+        for i in range(self.num_elements):
+            pattern = 0
+            for b in range(width):
+                pattern |= int(bits[i * width + b]) << b
+            out[i] = self.dtype.dequantize(pattern)
+        return out.reshape(self.shape)
+
+
+@dataclass
+class CompiledCircuit:
+    """A netlist plus the tensor-level I/O contract."""
+
+    netlist: Netlist
+    input_specs: List[TensorSpec]
+    output_specs: List[TensorSpec]
+
+    def encode_inputs(self, *arrays: np.ndarray) -> np.ndarray:
+        """Host tensors -> the netlist's flat boolean input vector."""
+        if len(arrays) != len(self.input_specs):
+            raise ValueError(
+                f"expected {len(self.input_specs)} inputs, got {len(arrays)}"
+            )
+        parts = [
+            spec.encode(arr) for spec, arr in zip(self.input_specs, arrays)
+        ]
+        bits = np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
+        if bits.size != self.netlist.num_inputs:
+            raise AssertionError("input bit count mismatch")
+        return bits
+
+    def decode_outputs(self, bits: np.ndarray) -> List[np.ndarray]:
+        """The netlist's flat boolean output vector -> host tensors."""
+        bits = np.asarray(bits, dtype=bool).reshape(-1)
+        out: List[np.ndarray] = []
+        offset = 0
+        for spec in self.output_specs:
+            out.append(spec.decode(bits[offset : offset + spec.num_bits]))
+            offset += spec.num_bits
+        return out
+
+    def run_plain(self, *arrays: np.ndarray) -> List[np.ndarray]:
+        """Reference plaintext execution through the netlist itself."""
+        bits = self.encode_inputs(*arrays)
+        result = self.netlist.evaluate(bits)
+        return self.decode_outputs(result)
+
+
+def compile_model(
+    model: Module,
+    input_shape: Sequence[int],
+    dtype: Optional[DType] = None,
+    name: str = "model",
+    via_verilog: bool = False,
+    adder_style: str = "ripple",
+) -> CompiledCircuit:
+    """Elaborate a ChiselTorch module into a :class:`CompiledCircuit`.
+
+    ``dtype`` defaults to the model's declared dtype when it is a
+    :class:`~repro.chiseltorch.nn.Sequential` built with one.
+
+    ``via_verilog=True`` routes the netlist through the structural
+    Verilog text and back before returning — the paper's literal Fig. 2
+    pipeline (ChiselTorch -> Verilog -> synthesis).  Functionally a
+    no-op (round-trip is exact); useful for validating the interchange.
+    """
+    if dtype is None:
+        dtype = getattr(model, "dtype", None)
+    if dtype is None:
+        raise ValueError("dtype must be given (or declared on the Sequential)")
+
+    def fn(x: HTensor) -> HTensor:
+        return model(x)
+
+    compiled = compile_function(
+        fn,
+        [TensorSpec("x", tuple(input_shape), dtype)],
+        name=name,
+        adder_style=adder_style,
+    )
+    if via_verilog:
+        from ..verilog import emit_verilog, parse_verilog
+
+        compiled = CompiledCircuit(
+            netlist=parse_verilog(emit_verilog(compiled.netlist, name)),
+            input_specs=compiled.input_specs,
+            output_specs=compiled.output_specs,
+        )
+    return compiled
+
+
+def compile_function(
+    fn: Callable[..., object],
+    input_specs: Sequence[TensorSpec],
+    name: str = "function",
+    adder_style: str = "ripple",
+) -> CompiledCircuit:
+    """Elaborate an arbitrary tensor function built from the primitives.
+
+    ``adder_style="prefix"`` swaps every adder for the log-depth
+    Sklansky structure: more gates, far fewer bootstrap levels — the
+    latency-oriented choice for wide (GPU/distributed) execution.
+    """
+    builder = CircuitBuilder(name=name, adder_style=adder_style)
+    tensors = [
+        HTensor.input(builder, spec.shape, spec.dtype, name=spec.name)
+        for spec in input_specs
+    ]
+    result = fn(*tensors)
+    if isinstance(result, HTensor):
+        results: Tuple[HTensor, ...] = (result,)
+    else:
+        results = tuple(result)
+    output_specs: List[TensorSpec] = []
+    for i, tensor in enumerate(results):
+        spec = TensorSpec(f"y{i}", tensor.shape, tensor.dtype)
+        output_specs.append(spec)
+        for j, node in enumerate(tensor.all_bits()):
+            builder.output(node, f"y{i}.{j}")
+    return CompiledCircuit(
+        netlist=builder.build(),
+        input_specs=list(input_specs),
+        output_specs=output_specs,
+    )

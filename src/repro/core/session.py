@@ -1,0 +1,122 @@
+"""Client/server session: the cloud-offload workflow of paper Fig. 1.
+
+The *client* owns the secret key: it encrypts inputs and decrypts
+results.  The *server* (cloud) holds only the cloud key and the
+compiled PyTFHE binary: it evaluates the DAG of bootstrapped gates
+without ever seeing a plaintext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..hdl.netlist import Netlist
+from ..isa import assemble, disassemble
+from ..runtime.distributed import DistributedCpuBackend
+from ..runtime.executors import CpuBackend, ExecutionReport
+from ..tfhe import (
+    CloudKey,
+    LweCiphertext,
+    SecretKey,
+    TFHEParameters,
+    TFHE_DEFAULT_128,
+    decrypt_bits,
+    encrypt_bits,
+    generate_keys,
+)
+from .compiler import CompiledCircuit
+
+
+class Client:
+    """Key owner: encrypts inputs, decrypts outputs."""
+
+    def __init__(
+        self,
+        params: TFHEParameters = TFHE_DEFAULT_128,
+        seed: Optional[int] = None,
+    ):
+        self.params = params
+        self._secret, self._cloud = generate_keys(params, seed=seed)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def cloud_key(self) -> CloudKey:
+        """The evaluation key to ship to the server (no secret inside)."""
+        return self._cloud
+
+    def encrypt(
+        self, compiled: CompiledCircuit, *arrays: np.ndarray
+    ) -> LweCiphertext:
+        bits = compiled.encode_inputs(*arrays)
+        return encrypt_bits(self._secret, bits, self._rng)
+
+    def decrypt(
+        self, compiled: CompiledCircuit, ciphertext: LweCiphertext
+    ) -> List[np.ndarray]:
+        bits = decrypt_bits(self._secret, ciphertext)
+        return compiled.decode_outputs(bits)
+
+    def encrypt_bits(self, bits) -> LweCiphertext:
+        return encrypt_bits(self._secret, bits, self._rng)
+
+    def decrypt_bits(self, ciphertext: LweCiphertext) -> np.ndarray:
+        return decrypt_bits(self._secret, ciphertext)
+
+
+class Server:
+    """Cloud evaluator: runs PyTFHE binaries over ciphertexts."""
+
+    def __init__(
+        self,
+        cloud_key: CloudKey,
+        backend: str = "batched",
+        num_workers: Optional[int] = None,
+    ):
+        self.cloud_key = cloud_key
+        if backend == "single":
+            self._backend = CpuBackend(cloud_key, batched=False)
+        elif backend == "batched":
+            self._backend = CpuBackend(cloud_key, batched=True)
+        elif backend == "distributed":
+            self._backend = DistributedCpuBackend(cloud_key, num_workers)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend_name = backend
+
+    def execute(
+        self,
+        program: Union[Netlist, bytes, CompiledCircuit],
+        inputs: LweCiphertext,
+    ) -> Tuple[LweCiphertext, ExecutionReport]:
+        netlist = _resolve_netlist(program)
+        return self._backend.run(netlist, inputs)
+
+    def shutdown(self) -> None:
+        if isinstance(self._backend, DistributedCpuBackend):
+            self._backend.shutdown()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _resolve_netlist(
+    program: Union[Netlist, bytes, CompiledCircuit]
+) -> Netlist:
+    if isinstance(program, Netlist):
+        return program
+    if isinstance(program, (bytes, bytearray)):
+        return disassemble(bytes(program))
+    if isinstance(program, CompiledCircuit):
+        return program.netlist
+    raise TypeError(f"cannot execute {type(program)!r}")
+
+
+def compile_to_binary(compiled: CompiledCircuit) -> bytes:
+    """Assemble a compiled circuit into the PyTFHE binary format."""
+    return assemble(compiled.netlist)

@@ -1,0 +1,42 @@
+"""Baseline TFHE framework models: Transpiler, Cingulata, E3, PyTFHE."""
+
+from .base import (
+    CnnSpec,
+    ConvSpec,
+    Frontend,
+    LinearSpec,
+    make_cnn_spec,
+    reference_cnn,
+)
+from .cingulata import CiInt, CingulataFrontend
+from .e3 import E3Frontend, SecureInt8
+from .pytfhe import PyTFHEFrontend, spec_to_sequential
+from .transpiler import CShort, TranspilerFrontend
+
+ALL_FRONTENDS = {
+    f.name: f
+    for f in (
+        PyTFHEFrontend(),
+        CingulataFrontend(),
+        E3Frontend(),
+        TranspilerFrontend(),
+    )
+}
+
+__all__ = [
+    "ALL_FRONTENDS",
+    "CShort",
+    "CiInt",
+    "CingulataFrontend",
+    "CnnSpec",
+    "ConvSpec",
+    "E3Frontend",
+    "Frontend",
+    "LinearSpec",
+    "PyTFHEFrontend",
+    "SecureInt8",
+    "TranspilerFrontend",
+    "make_cnn_spec",
+    "reference_cnn",
+    "spec_to_sequential",
+]

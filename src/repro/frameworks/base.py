@@ -1,0 +1,191 @@
+"""Shared model specification for the cross-framework experiments.
+
+The paper builds *the same* MNIST_S model in PyTFHE, Google Transpiler,
+Cingulata, and E3 and compares gate counts (Fig. 14) and runtimes
+(Fig. 13, Table IV).  :class:`CnnSpec` is the framework-neutral
+description each frontend compiles from: layer shapes plus fixed
+integer-quantized weights, so every framework lowers identical
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..hdl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    out_channels: int
+    kernel: int
+    stride: int
+    weight: np.ndarray  # (O, C, K, K) integers
+    bias: np.ndarray  # (O,) integers
+
+    def output_shape(self, input_shape: Tuple[int, int, int]):
+        c, h, w = input_shape
+        oh = (h - self.kernel) // self.stride + 1
+        ow = (w - self.kernel) // self.stride + 1
+        return (self.out_channels, oh, ow)
+
+
+@dataclass(frozen=True)
+class LinearSpec:
+    out_features: int
+    weight: np.ndarray  # (out, in) integers
+    bias: np.ndarray  # (out,) integers
+
+
+@dataclass(frozen=True)
+class CnnSpec:
+    """Conv -> ReLU -> MaxPool stages, then Flatten -> Linear."""
+
+    name: str
+    input_shape: Tuple[int, int, int]
+    convs: Tuple[ConvSpec, ...]
+    pool_kernel: int
+    pool_stride: int
+    linear: LinearSpec
+    bit_width: int = 8  # the quantized element width
+
+    def stage_shapes(self) -> List[Tuple[int, int, int]]:
+        shapes = [self.input_shape]
+        shape = self.input_shape
+        for conv in self.convs:
+            shape = conv.output_shape(shape)
+            c, h, w = shape
+            h = (h - self.pool_kernel) // self.pool_stride + 1
+            w = (w - self.pool_kernel) // self.pool_stride + 1
+            shape = (c, h, w)
+            shapes.append(shape)
+        return shapes
+
+    @property
+    def flatten_size(self) -> int:
+        c, h, w = self.stage_shapes()[-1]
+        return c * h * w
+
+
+def make_cnn_spec(
+    name: str,
+    input_hw: int = 28,
+    conv_channels: Tuple[int, ...] = (1,),
+    kernel: int = 3,
+    pool_kernel: int = 3,
+    pool_stride: int = 1,
+    classes: int = 10,
+    weight_scale: int = 4,
+    seed: int = 0,
+    bit_width: int = 8,
+) -> CnnSpec:
+    """Build a deterministic integer-quantized CNN spec.
+
+    ``conv_channels`` gives the output channel count of each
+    convolutional stage (the paper's MNIST_S/M/L differ in the number
+    of convolutional kernels).
+    """
+    rng = np.random.default_rng(seed)
+    convs: List[ConvSpec] = []
+    in_channels = 1
+    shape = (1, input_hw, input_hw)
+    for out_channels in conv_channels:
+        weight = rng.integers(
+            -weight_scale,
+            weight_scale + 1,
+            size=(out_channels, in_channels, kernel, kernel),
+        )
+        bias = rng.integers(-weight_scale, weight_scale + 1, size=out_channels)
+        conv = ConvSpec(
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=1,
+            weight=weight,
+            bias=bias,
+        )
+        convs.append(conv)
+        shape = conv.output_shape(shape)
+        shape = (
+            shape[0],
+            (shape[1] - pool_kernel) // pool_stride + 1,
+            (shape[2] - pool_kernel) // pool_stride + 1,
+        )
+        in_channels = out_channels
+    flat = int(np.prod(shape))
+    linear = LinearSpec(
+        out_features=classes,
+        weight=rng.integers(-weight_scale, weight_scale + 1, (classes, flat)),
+        bias=rng.integers(-weight_scale, weight_scale + 1, classes),
+    )
+    return CnnSpec(
+        name=name,
+        input_shape=(1, input_hw, input_hw),
+        convs=tuple(convs),
+        pool_kernel=pool_kernel,
+        pool_stride=pool_stride,
+        linear=linear,
+        bit_width=bit_width,
+    )
+
+
+def reference_cnn(
+    spec: CnnSpec, image: np.ndarray, width: Optional[int] = None
+) -> np.ndarray:
+    """Plaintext reference with wrap-around ``width``-bit semantics.
+
+    ``width`` defaults to the spec's quantized width; the Transpiler
+    frontend computes in 16-bit C ints, so its reference passes 16.
+    """
+    width = width or spec.bit_width
+
+    def wrap(v: np.ndarray) -> np.ndarray:
+        mask = (1 << width) - 1
+        half = 1 << (width - 1)
+        v = np.asarray(v).astype(np.int64) & mask
+        return np.where(v >= half, v - (1 << width), v)
+
+    x = wrap(image.astype(np.int64))
+    for conv in spec.convs:
+        c, h, w = x.shape
+        oc, oh, ow = conv.output_shape(x.shape)
+        out = np.zeros((oc, oh, ow), dtype=np.int64)
+        for o in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    acc = conv.bias[o]
+                    window = x[
+                        :,
+                        i * conv.stride : i * conv.stride + conv.kernel,
+                        j * conv.stride : j * conv.stride + conv.kernel,
+                    ]
+                    acc = acc + (window * conv.weight[o]).sum()
+                    out[o, i, j] = acc
+        x = wrap(out)
+        x = np.maximum(x, 0)  # ReLU
+        c, h, w = x.shape
+        k, s = spec.pool_kernel, spec.pool_stride
+        oh = (h - k) // s + 1
+        ow = (w - k) // s + 1
+        pooled = np.zeros((c, oh, ow), dtype=np.int64)
+        for ci in range(c):
+            for i in range(oh):
+                for j in range(ow):
+                    pooled[ci, i, j] = x[
+                        ci, i * s : i * s + k, j * s : j * s + k
+                    ].max()
+        x = pooled
+    flat = x.reshape(-1)
+    logits = wrap(spec.linear.weight @ flat + spec.linear.bias)
+    return logits
+
+
+class Frontend:
+    """Base interface: compile a :class:`CnnSpec` into a netlist."""
+
+    name = "frontend"
+
+    def compile_cnn(self, spec: CnnSpec) -> Netlist:
+        raise NotImplementedError

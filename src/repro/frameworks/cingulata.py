@@ -1,0 +1,208 @@
+"""Cingulata-style frontend: an overloaded-operator integer DSL.
+
+Cingulata (paper Section III-B) exposes encrypted integers with
+overloaded arithmetic and compiles to TFHE gates, but — per the paper —
+"does not provide any gate-level or boolean optimizations": there is no
+structural sharing and no inverter absorption into composite gates, and
+multiplication is a sequential shift-add (no CSD recoding, no balanced
+adder trees).  Constant bits do fold (Cingulata evaluates
+compile-time-known expressions), which keeps plaintext weights from
+exploding the netlist entirely.
+
+The :class:`CiInt` class mirrors Cingulata's ``CiInt``; the MNIST model
+is written against it from scratch, exactly the way a Cingulata user
+would have to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..hdl.builder import CircuitBuilder
+from ..hdl.netlist import Netlist
+from .base import CnnSpec, Frontend
+
+
+class CiInt:
+    """Cingulata-style encrypted two's-complement integer."""
+
+    def __init__(self, builder: CircuitBuilder, bits: Sequence[int]):
+        self.bd = builder
+        self.bits = list(bits)
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    # -- construction --------------------------------------------------
+    @staticmethod
+    def input(builder: CircuitBuilder, width: int, name: str) -> "CiInt":
+        return CiInt(
+            builder, [builder.input(f"{name}.{i}") for i in range(width)]
+        )
+
+    @staticmethod
+    def const(builder: CircuitBuilder, value: int, width: int) -> "CiInt":
+        return CiInt(
+            builder, [builder.const((value >> i) & 1) for i in range(width)]
+        )
+
+    # -- helpers -------------------------------------------------------
+    def _full_add(self, a: int, b: int, cin: int):
+        s1 = self.bd.xor_(a, b)
+        total = self.bd.xor_(s1, cin)
+        carry = self.bd.or_(self.bd.and_(a, b), self.bd.and_(s1, cin))
+        return total, carry
+
+    def _add_bits(self, other_bits: Sequence[int], cin: int) -> List[int]:
+        out = []
+        carry = cin
+        for a, b in zip(self.bits, other_bits):
+            bit, carry = self._full_add(a, b, carry)
+            out.append(bit)
+        return out
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "CiInt") -> "CiInt":
+        return CiInt(self.bd, self._add_bits(other.bits, self.bd.const(False)))
+
+    def __sub__(self, other: "CiInt") -> "CiInt":
+        inverted = [self.bd.not_(b) for b in other.bits]
+        return CiInt(self.bd, self._add_bits(inverted, self.bd.const(True)))
+
+    def __mul__(self, other: "CiInt") -> "CiInt":
+        """Sequential shift-add multiplication modulo 2**width.
+
+        The running sum is a ripple chain (depth O(width^2)), which is
+        how Cingulata's generic multiplier composes.
+        """
+        width = self.width
+        acc = CiInt.const(self.bd, 0, width)
+        for i, bbit in enumerate(other.bits):
+            row_bits = [self.bd.const(False)] * i + [
+                self.bd.and_(a, bbit) for a in self.bits[: width - i]
+            ]
+            acc = acc + CiInt(self.bd, row_bits)
+        return acc
+
+    def mul_plain(self, value: int) -> "CiInt":
+        """Multiply by a compile-time constant (folds through consts)."""
+        return self * CiInt.const(self.bd, value, self.width)
+
+    # -- comparisons / selection ---------------------------------------
+    def greater_than(self, other: "CiInt") -> int:
+        """Signed ``self > other`` via a borrow chain on flipped signs."""
+        bd = self.bd
+        borrow = bd.const(False)
+        a_bits = list(other.bits)
+        b_bits = list(self.bits)
+        a_bits[-1] = bd.not_(a_bits[-1])
+        b_bits[-1] = bd.not_(b_bits[-1])
+        for x, y in zip(a_bits, b_bits):
+            not_x = bd.not_(x)
+            strictly = bd.and_(not_x, y)
+            loose = bd.or_(not_x, y)
+            borrow = bd.or_(strictly, bd.and_(loose, borrow))
+        return borrow
+
+    def select(self, cond: int, other: "CiInt") -> "CiInt":
+        """``cond ? self : other`` with explicit AND/OR/NOT muxes."""
+        bd = self.bd
+        ncond = bd.not_(cond)
+        bits = [
+            bd.or_(bd.and_(t, cond), bd.and_(f, ncond))
+            for t, f in zip(self.bits, other.bits)
+        ]
+        return CiInt(bd, bits)
+
+    def relu(self) -> "CiInt":
+        zero = CiInt.const(self.bd, 0, self.width)
+        return self.select(self.greater_than(zero), zero)
+
+    def max(self, other: "CiInt") -> "CiInt":
+        return self.select(self.greater_than(other), other)
+
+
+class CingulataFrontend(Frontend):
+    """MNIST written from scratch in the Cingulata DSL."""
+
+    name = "Cingulata"
+
+    def __init__(self):
+        # No sharing, no inverter absorption; constants do fold.
+        self._builder_kwargs = dict(
+            hash_cons=False, fold_constants=True, absorb_inverters=False
+        )
+
+    def compile_cnn(self, spec: CnnSpec) -> Netlist:
+        bd = CircuitBuilder(name=f"cingulata-{spec.name}", **self._builder_kwargs)
+        width = spec.bit_width
+        c, h, w = spec.input_shape
+        image = [
+            [
+                [CiInt.input(bd, width, f"x{ci}_{i}_{j}") for j in range(w)]
+                for i in range(h)
+            ]
+            for ci in range(c)
+        ]
+
+        x = image
+        shape = spec.input_shape
+        for conv in spec.convs:
+            oc, oh, ow = conv.output_shape(shape)
+            out = []
+            for o in range(oc):
+                plane = []
+                for i in range(oh):
+                    row = []
+                    for j in range(ow):
+                        acc = CiInt.const(bd, int(conv.bias[o]), width)
+                        for ci in range(shape[0]):
+                            for ki in range(conv.kernel):
+                                for kj in range(conv.kernel):
+                                    pixel = x[ci][i * conv.stride + ki][
+                                        j * conv.stride + kj
+                                    ]
+                                    acc = acc + pixel.mul_plain(
+                                        int(conv.weight[o, ci, ki, kj])
+                                    )
+                        row.append(acc.relu())
+                    plane.append(row)
+                out.append(plane)
+            # Max pooling
+            k, s = spec.pool_kernel, spec.pool_stride
+            ph = (oh - k) // s + 1
+            pw = (ow - k) // s + 1
+            pooled = []
+            for o in range(oc):
+                plane = []
+                for i in range(ph):
+                    row = []
+                    for j in range(pw):
+                        best = out[o][i * s][j * s]
+                        for ki in range(k):
+                            for kj in range(k):
+                                if ki == 0 and kj == 0:
+                                    continue
+                                best = best.max(out[o][i * s + ki][j * s + kj])
+                        row.append(best)
+                    plane.append(row)
+                pooled.append(plane)
+            x = pooled
+            shape = (oc, ph, pw)
+
+        flat: List[CiInt] = [
+            x[ci][i][j]
+            for ci in range(shape[0])
+            for i in range(shape[1])
+            for j in range(shape[2])
+        ]
+        for o in range(spec.linear.out_features):
+            acc = CiInt.const(bd, int(spec.linear.bias[o]), width)
+            for idx, value in enumerate(flat):
+                acc = acc + value.mul_plain(int(spec.linear.weight[o, idx]))
+            for b, bit in enumerate(acc.bits):
+                bd.output(bit, f"logit{o}.{b}")
+        return bd.build()

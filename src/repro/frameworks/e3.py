@@ -1,0 +1,228 @@
+"""E3-style frontend: hardcoded 8-bit secure integer templates.
+
+E3 (paper Section III-B) "only supports bits and 8-bit integers as
+encrypted variables and hardcodes the gates for these types".  We model
+that faithfully: every operator instantiates a fixed 8-bit gate
+template with **no** constant folding, sharing, or composite-gate
+absorption — a multiply by a plaintext weight emits the full 8x8 array
+multiplier with the weight's bits as constant gates feeding it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..gatetypes import Gate
+from ..hdl.builder import CircuitBuilder
+from ..hdl.netlist import Netlist
+from .base import CnnSpec, Frontend
+
+E3_WIDTH = 8
+
+
+class SecureInt8:
+    """E3's hardcoded 8-bit encrypted integer."""
+
+    def __init__(self, builder: CircuitBuilder, bits: Sequence[int]):
+        if len(bits) != E3_WIDTH:
+            raise ValueError("E3 only supports 8-bit encrypted integers")
+        self.bd = builder
+        self.bits = list(bits)
+
+    @staticmethod
+    def input(builder: CircuitBuilder, name: str) -> "SecureInt8":
+        return SecureInt8(
+            builder, [builder.input(f"{name}.{i}") for i in range(E3_WIDTH)]
+        )
+
+    @staticmethod
+    def const(builder: CircuitBuilder, value: int) -> "SecureInt8":
+        return SecureInt8(
+            builder,
+            [builder.const((value >> i) & 1) for i in range(E3_WIDTH)],
+        )
+
+    # -- hardcoded templates --------------------------------------------
+    def _adder_template(
+        self, other_bits: Sequence[int], carry: int
+    ) -> List[int]:
+        bd = self.bd
+        out = []
+        for a, b in zip(self.bits, other_bits):
+            s1 = bd.gate(Gate.XOR, a, b)
+            out.append(bd.gate(Gate.XOR, s1, carry))
+            carry = bd.gate(
+                Gate.OR, bd.gate(Gate.AND, a, b), bd.gate(Gate.AND, s1, carry)
+            )
+        return out
+
+    def __add__(self, other: "SecureInt8") -> "SecureInt8":
+        zero = self.bd.gate(Gate.CONST0)
+        return SecureInt8(self.bd, self._adder_template(other.bits, zero))
+
+    def __sub__(self, other: "SecureInt8") -> "SecureInt8":
+        bd = self.bd
+        inverted = [bd.gate(Gate.NOT, b) for b in other.bits]
+        one = bd.gate(Gate.CONST1)
+        return SecureInt8(bd, self._adder_template(inverted, one))
+
+    def __mul__(self, other: "SecureInt8") -> "SecureInt8":
+        """The fixed 8x8 -> 16 array-multiplier template.
+
+        E3's hardcoded template always produces the full double-width
+        product; assigning it to an 8-bit variable truncates, but since
+        E3 performs no gate-level optimization the high-half gates stay
+        in the emitted program (they are never dead-gate eliminated).
+        """
+        bd = self.bd
+        width = 2 * E3_WIDTH
+        zero = bd.gate(Gate.CONST0)
+        acc = [zero] * width
+        for i in range(E3_WIDTH):
+            bbit = other.bits[i]
+            row = [zero] * i + [
+                bd.gate(Gate.AND, a, bbit) for a in self.bits
+            ]
+            row += [zero] * (width - len(row))
+            out = []
+            carry = bd.gate(Gate.CONST0)
+            for a, b in zip(acc, row):
+                s1 = bd.gate(Gate.XOR, a, b)
+                out.append(bd.gate(Gate.XOR, s1, carry))
+                carry = bd.gate(
+                    Gate.OR,
+                    bd.gate(Gate.AND, a, b),
+                    bd.gate(Gate.AND, s1, carry),
+                )
+            acc = out
+        return SecureInt8(bd, acc[:E3_WIDTH])
+
+    def greater_than(self, other: "SecureInt8") -> int:
+        """Signed ``self > other`` via the hardcoded SUB template.
+
+        E3 composes comparisons from its full subtraction template (all
+        difference bits are produced; only the overflow-corrected sign
+        is consumed, and the rest is never dead-gate eliminated).
+        """
+        bd = self.bd
+        diff = other - self  # full 8-bit difference template
+        # Overflow-corrected sign: (a - b) < 0 iff sign(diff) ^ overflow.
+        sa = other.bits[-1]
+        sb = self.bits[-1]
+        sd = diff.bits[-1]
+        overflow = bd.gate(
+            Gate.AND,
+            bd.gate(Gate.XOR, sa, sb),
+            bd.gate(Gate.XOR, sa, sd),
+        )
+        return bd.gate(Gate.XOR, sd, overflow)
+
+    def select(self, cond: int, other: "SecureInt8") -> "SecureInt8":
+        bd = self.bd
+        ncond = bd.gate(Gate.NOT, cond)
+        bits = [
+            bd.gate(
+                Gate.OR,
+                bd.gate(Gate.AND, t, cond),
+                bd.gate(Gate.AND, f, ncond),
+            )
+            for t, f in zip(self.bits, other.bits)
+        ]
+        return SecureInt8(bd, bits)
+
+    def relu(self) -> "SecureInt8":
+        zero = SecureInt8.const(self.bd, 0)
+        return self.select(self.greater_than(zero), zero)
+
+    def max(self, other: "SecureInt8") -> "SecureInt8":
+        return self.select(self.greater_than(other), other)
+
+
+class E3Frontend(Frontend):
+    """MNIST written from scratch against the E3 SecureInt8 type."""
+
+    name = "E3"
+
+    def compile_cnn(self, spec: CnnSpec) -> Netlist:
+        if spec.bit_width != E3_WIDTH:
+            raise ValueError("E3 only supports 8-bit encrypted integers")
+        # Hardcoded templates: no sharing, no absorption, no dead-gate
+        # elimination.  Compile-time constants do propagate (E3 programs
+        # run through a real C++ compiler).
+        bd = CircuitBuilder(
+            name=f"e3-{spec.name}",
+            hash_cons=False,
+            fold_constants=True,
+            absorb_inverters=False,
+        )
+        c, h, w = spec.input_shape
+        image = [
+            [
+                [SecureInt8.input(bd, f"x{ci}_{i}_{j}") for j in range(w)]
+                for i in range(h)
+            ]
+            for ci in range(c)
+        ]
+
+        x = image
+        shape = spec.input_shape
+        for conv in spec.convs:
+            oc, oh, ow = conv.output_shape(shape)
+            out = []
+            for o in range(oc):
+                plane = []
+                for i in range(oh):
+                    row = []
+                    for j in range(ow):
+                        acc = SecureInt8.const(bd, int(conv.bias[o]) & 0xFF)
+                        for ci in range(shape[0]):
+                            for ki in range(conv.kernel):
+                                for kj in range(conv.kernel):
+                                    pixel = x[ci][i * conv.stride + ki][
+                                        j * conv.stride + kj
+                                    ]
+                                    weight = SecureInt8.const(
+                                        bd,
+                                        int(conv.weight[o, ci, ki, kj]) & 0xFF,
+                                    )
+                                    acc = acc + pixel * weight
+                        row.append(acc.relu())
+                    plane.append(row)
+                out.append(plane)
+            k, s = spec.pool_kernel, spec.pool_stride
+            ph = (oh - k) // s + 1
+            pw = (ow - k) // s + 1
+            pooled = []
+            for o in range(oc):
+                plane = []
+                for i in range(ph):
+                    row = []
+                    for j in range(pw):
+                        best = out[o][i * s][j * s]
+                        for ki in range(k):
+                            for kj in range(k):
+                                if ki == 0 and kj == 0:
+                                    continue
+                                best = best.max(out[o][i * s + ki][j * s + kj])
+                        row.append(best)
+                    plane.append(row)
+                pooled.append(plane)
+            x = pooled
+            shape = (oc, ph, pw)
+
+        flat: List[SecureInt8] = [
+            x[ci][i][j]
+            for ci in range(shape[0])
+            for i in range(shape[1])
+            for j in range(shape[2])
+        ]
+        for o in range(spec.linear.out_features):
+            acc = SecureInt8.const(bd, int(spec.linear.bias[o]) & 0xFF)
+            for idx, value in enumerate(flat):
+                weight = SecureInt8.const(
+                    bd, int(spec.linear.weight[o, idx]) & 0xFF
+                )
+                acc = acc + value * weight
+            for b, bit in enumerate(acc.bits):
+                bd.output(bit, f"logit{o}.{b}")
+        return bd.build()

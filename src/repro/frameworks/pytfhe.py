@@ -1,0 +1,50 @@
+"""The PyTFHE (ChiselTorch) frontend over the shared CNN spec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chiseltorch import nn
+from ..chiseltorch.dtypes import SInt
+from ..core.compiler import compile_model
+from ..hdl.netlist import Netlist
+from .base import CnnSpec, Frontend
+
+
+def spec_to_sequential(spec: CnnSpec) -> nn.Sequential:
+    """Materialize the spec as a ChiselTorch Sequential (paper Fig. 4b)."""
+    layers = []
+    for conv in spec.convs:
+        layers.append(
+            nn.Conv2d(
+                conv.weight.shape[1],
+                conv.out_channels,
+                conv.kernel,
+                conv.stride,
+                weight=conv.weight.astype(np.float64),
+                bias_values=conv.bias.astype(np.float64),
+            )
+        )
+        layers.append(nn.ReLU())
+        layers.append(nn.MaxPool2d(spec.pool_kernel, spec.pool_stride))
+    layers.append(nn.Flatten())
+    layers.append(
+        nn.Linear(
+            spec.flatten_size,
+            spec.linear.out_features,
+            weight=spec.linear.weight.astype(np.float64),
+            bias_values=spec.linear.bias.astype(np.float64),
+        )
+    )
+    return nn.Sequential(*layers, dtype=SInt(spec.bit_width))
+
+
+class PyTFHEFrontend(Frontend):
+    """Our own flow: ChiselTorch elaboration + full synthesis."""
+
+    name = "PyTFHE"
+
+    def compile_cnn(self, spec: CnnSpec) -> Netlist:
+        model = spec_to_sequential(spec)
+        compiled = compile_model(model, spec.input_shape, name=spec.name)
+        return compiled.netlist

@@ -1,0 +1,189 @@
+"""Gate vocabulary shared by every layer of the PyTFHE stack.
+
+The paper's binary format encodes each gate type in a 4-bit nibble
+(Fig. 5) and states that eleven boolean gate types are supported.  The
+only code the paper pins down is XOR = ``0b0110`` (Fig. 6); the other
+codes are assigned here.  Nibbles ``0xF`` and ``0x3`` are reserved as
+the *input* and *output* instruction markers (Fig. 5) and are therefore
+never used as gate codes.
+
+This module is dependency-free on purpose: the synthesizer, the
+assembler, the TFHE gate library, and every backend all import their
+gate vocabulary from here.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+
+class Gate(enum.IntEnum):
+    """Boolean gate types understood by the PyTFHE ISA.
+
+    Values are the 4-bit encodings used in gate instructions.  ``0x3``
+    and ``0xF`` are reserved instruction markers and intentionally
+    absent.
+    """
+
+    AND = 0x0
+    NAND = 0x1
+    OR = 0x2
+    NOR = 0x4
+    BUF = 0x5
+    XOR = 0x6  # pinned by Fig. 6 of the paper
+    XNOR = 0x7
+    NOT = 0x8
+    ANDNY = 0x9  # (NOT a) AND b
+    ANDYN = 0xA  # a AND (NOT b)
+    ORNY = 0xB  # (NOT a) OR b
+    ORYN = 0xC  # a OR (NOT b)
+    CONST0 = 0xD
+    CONST1 = 0xE
+
+    @property
+    def arity(self) -> int:
+        """Number of gate inputs consumed (0, 1, or 2)."""
+        return _ARITY[self]
+
+    @property
+    def is_constant(self) -> bool:
+        return self in (Gate.CONST0, Gate.CONST1)
+
+    @property
+    def needs_bootstrap(self) -> bool:
+        """Whether homomorphic evaluation requires a bootstrapping.
+
+        NOT, BUF, and the constants are evaluated on a ciphertext by
+        cheap linear operations (negation / copy / trivial sample) and
+        never bootstrap, which is why backends treat them as free.
+        """
+        return self not in (Gate.NOT, Gate.BUF, Gate.CONST0, Gate.CONST1)
+
+
+_ARITY: Dict[Gate, int] = {
+    Gate.AND: 2,
+    Gate.NAND: 2,
+    Gate.OR: 2,
+    Gate.NOR: 2,
+    Gate.BUF: 1,
+    Gate.XOR: 2,
+    Gate.XNOR: 2,
+    Gate.NOT: 1,
+    Gate.ANDNY: 2,
+    Gate.ANDYN: 2,
+    Gate.ORNY: 2,
+    Gate.ORYN: 2,
+    Gate.CONST0: 0,
+    Gate.CONST1: 0,
+}
+
+#: The eleven bootstrapped boolean gates of the paper (Section IV-C).
+BOOTSTRAPPED_GATES = (
+    Gate.AND,
+    Gate.NAND,
+    Gate.OR,
+    Gate.NOR,
+    Gate.XOR,
+    Gate.XNOR,
+    Gate.ANDNY,
+    Gate.ANDYN,
+    Gate.ORNY,
+    Gate.ORYN,
+)
+
+#: All two-input gate types.
+TWO_INPUT_GATES = tuple(g for g in Gate if g.arity == 2)
+
+_TRUTH: Dict[Gate, Callable[[int, int], int]] = {
+    Gate.AND: lambda a, b: a & b,
+    Gate.NAND: lambda a, b: 1 - (a & b),
+    Gate.OR: lambda a, b: a | b,
+    Gate.NOR: lambda a, b: 1 - (a | b),
+    Gate.BUF: lambda a, b: a,
+    Gate.XOR: lambda a, b: a ^ b,
+    Gate.XNOR: lambda a, b: 1 - (a ^ b),
+    Gate.NOT: lambda a, b: 1 - a,
+    Gate.ANDNY: lambda a, b: (1 - a) & b,
+    Gate.ANDYN: lambda a, b: a & (1 - b),
+    Gate.ORNY: lambda a, b: (1 - a) | b,
+    Gate.ORYN: lambda a, b: a | (1 - b),
+    Gate.CONST0: lambda a, b: 0,
+    Gate.CONST1: lambda a, b: 1,
+}
+
+
+def evaluate_plain(gate: Gate, a: int = 0, b: int = 0) -> int:
+    """Evaluate ``gate`` on plaintext bits (0/1).
+
+    Works elementwise on numpy integer arrays as well, because every
+    truth function is expressed with ``&``, ``|``, ``^`` and integer
+    subtraction.
+    """
+    return _TRUTH[gate](a, b)
+
+
+#: Gate obtained by complementing the *output* of each gate.
+COMPLEMENT: Dict[Gate, Gate] = {
+    Gate.AND: Gate.NAND,
+    Gate.NAND: Gate.AND,
+    Gate.OR: Gate.NOR,
+    Gate.NOR: Gate.OR,
+    Gate.XOR: Gate.XNOR,
+    Gate.XNOR: Gate.XOR,
+    Gate.BUF: Gate.NOT,
+    Gate.NOT: Gate.BUF,
+    Gate.ANDNY: Gate.ORYN,
+    Gate.ANDYN: Gate.ORNY,
+    Gate.ORNY: Gate.ANDYN,
+    Gate.ORYN: Gate.ANDNY,
+    Gate.CONST0: Gate.CONST1,
+    Gate.CONST1: Gate.CONST0,
+}
+
+#: Gate obtained by complementing the *first input* of a two-input gate.
+INVERT_A: Dict[Gate, Gate] = {
+    Gate.AND: Gate.ANDNY,
+    Gate.ANDNY: Gate.AND,
+    Gate.ANDYN: Gate.NOR,
+    Gate.NAND: Gate.ORYN,
+    Gate.OR: Gate.ORNY,
+    Gate.ORNY: Gate.OR,
+    Gate.ORYN: Gate.NAND,
+    Gate.NOR: Gate.ANDYN,
+    Gate.XOR: Gate.XNOR,
+    Gate.XNOR: Gate.XOR,
+}
+
+#: Gate obtained by complementing the *second input* of a two-input gate.
+INVERT_B: Dict[Gate, Gate] = {
+    Gate.AND: Gate.ANDYN,
+    Gate.ANDYN: Gate.AND,
+    Gate.ANDNY: Gate.NOR,
+    Gate.NAND: Gate.ORNY,
+    Gate.OR: Gate.ORYN,
+    Gate.ORYN: Gate.OR,
+    Gate.ORNY: Gate.NAND,
+    Gate.NOR: Gate.ANDNY,
+    Gate.XOR: Gate.XNOR,
+    Gate.XNOR: Gate.XOR,
+}
+
+#: Gate obtained by swapping the two inputs.
+SWAP: Dict[Gate, Gate] = {
+    Gate.AND: Gate.AND,
+    Gate.NAND: Gate.NAND,
+    Gate.OR: Gate.OR,
+    Gate.NOR: Gate.NOR,
+    Gate.XOR: Gate.XOR,
+    Gate.XNOR: Gate.XNOR,
+    Gate.ANDNY: Gate.ANDYN,
+    Gate.ANDYN: Gate.ANDNY,
+    Gate.ORNY: Gate.ORYN,
+    Gate.ORYN: Gate.ORNY,
+}
+
+#: Symmetric (commutative) two-input gates.
+COMMUTATIVE = frozenset(
+    (Gate.AND, Gate.NAND, Gate.OR, Gate.NOR, Gate.XOR, Gate.XNOR)
+)

@@ -1,0 +1,14 @@
+"""Circuit construction DSL: builder, netlist IR, arithmetic generators."""
+
+from .builder import CircuitBuilder
+from .netlist import NO_INPUT, Netlist, NetlistStats
+from .softfloat import ADD_GUARD_BITS, FloatFormat
+
+__all__ = [
+    "ADD_GUARD_BITS",
+    "CircuitBuilder",
+    "FloatFormat",
+    "NO_INPUT",
+    "Netlist",
+    "NetlistStats",
+]

@@ -1,0 +1,440 @@
+"""Integer arithmetic circuit generators.
+
+All functions take a :class:`~repro.hdl.builder.CircuitBuilder` and
+bit vectors as **little-endian lists of node ids** (bit 0 first) and
+return new bit vectors.  Signedness is two's complement and is a
+property of how callers extend/interpret the bits, so most functions
+take a ``signed`` flag for the extension step.
+
+These generators play the role of the pre-built, pre-validated Chisel
+arithmetic modules the paper's ChiselTorch frontend instantiates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..gatetypes import Gate
+from .builder import CircuitBuilder
+
+Bits = List[int]
+
+
+def const_bits(bd: CircuitBuilder, value: int, width: int) -> Bits:
+    """Two's-complement constant as ``width`` constant nodes."""
+    return [bd.const((value >> i) & 1) for i in range(width)]
+
+
+def extend(bd: CircuitBuilder, bits: Sequence[int], width: int, signed: bool) -> Bits:
+    """Zero- or sign-extend (or truncate) to ``width`` bits."""
+    bits = list(bits)
+    if len(bits) >= width:
+        return bits[:width]
+    pad = bits[-1] if (signed and bits) else bd.const(False)
+    return bits + [pad] * (width - len(bits))
+
+
+def full_adder(
+    bd: CircuitBuilder, a: int, b: int, cin: int
+) -> Tuple[int, int]:
+    """One full adder; returns ``(sum, carry_out)``."""
+    partial = bd.xor_(a, b)
+    total = bd.xor_(partial, cin)
+    carry = bd.or_(bd.and_(a, b), bd.and_(partial, cin))
+    return total, carry
+
+
+def half_adder(bd: CircuitBuilder, a: int, b: int) -> Tuple[int, int]:
+    return bd.xor_(a, b), bd.and_(a, b)
+
+
+def ripple_add(
+    bd: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    carry_in: Optional[int] = None,
+    width: Optional[int] = None,
+    signed: bool = True,
+) -> Bits:
+    """Addition truncated to ``width`` bits.
+
+    Despite the name (kept for API stability) this dispatches on the
+    builder's ``adder_style``: the default ripple-carry chain, or the
+    log-depth Sklansky prefix adder when the builder was created with
+    ``adder_style="prefix"``.
+    """
+    if getattr(bd, "adder_style", "ripple") == "prefix":
+        return prefix_add(
+            bd, a, b, carry_in=carry_in, width=width, signed=signed
+        )
+    width = width or max(len(a), len(b))
+    ax = extend(bd, a, width, signed)
+    bx = extend(bd, b, width, signed)
+    carry = carry_in if carry_in is not None else bd.const(False)
+    out: Bits = []
+    for i in range(width):
+        bit, carry = full_adder(bd, ax[i], bx[i], carry)
+        out.append(bit)
+    return out
+
+
+def prefix_add(
+    bd: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    carry_in: Optional[int] = None,
+    width: Optional[int] = None,
+    signed: bool = True,
+) -> Bits:
+    """Sklansky parallel-prefix addition: O(log n) bootstrap depth.
+
+    Emits more gates than :func:`ripple_add` but collapses the carry
+    chain's depth from ``n`` to ``~log2(n)`` levels — the right trade
+    on wide backends (GPU / distributed) where level *count*, not gate
+    count, bounds latency.  Same wrap-around semantics as ripple_add.
+    """
+    width = width or max(len(a), len(b))
+    ax = extend(bd, a, width, signed)
+    bx = extend(bd, b, width, signed)
+
+    generate = [bd.and_(x, y) for x, y in zip(ax, bx)]
+    propagate = [bd.xor_(x, y) for x, y in zip(ax, bx)]
+    if carry_in is not None and bd.const_value(carry_in) is not False:
+        # Fold the carry-in as a generate at a virtual position -1.
+        generate = [bd.or_(generate[0], bd.and_(propagate[0], carry_in))] + generate[1:]
+
+    # Sklansky tree: after the sweep, group[i] = carry out of bit i.
+    group_g = list(generate)
+    group_p = list(propagate)
+    distance = 1
+    while distance < width:
+        for i in range(width):
+            if (i // distance) % 2 == 1:
+                j = (i // distance) * distance - 1  # end of previous block
+                group_g[i] = bd.or_(
+                    group_g[i], bd.and_(group_p[i], group_g[j])
+                )
+                group_p[i] = bd.and_(group_p[i], group_p[j])
+        distance *= 2
+
+    carries = [carry_in if carry_in is not None else bd.const(False)]
+    carries += group_g[: width - 1]
+    return [bd.xor_(p, c) for p, c in zip(propagate, carries)]
+
+
+def ripple_sub(
+    bd: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    width: Optional[int] = None,
+    signed: bool = True,
+) -> Bits:
+    """``a - b`` via ``a + ~b + 1`` (inverters absorb into composites)."""
+    width = width or max(len(a), len(b))
+    bx = extend(bd, b, width, signed)
+    inverted = [bd.not_(bit) for bit in bx]
+    return ripple_add(bd, a, inverted, carry_in=bd.const(True), width=width, signed=signed)
+
+
+def negate(bd: CircuitBuilder, bits: Sequence[int], width: Optional[int] = None) -> Bits:
+    width = width or len(bits)
+    return ripple_sub(bd, [bd.const(False)], bits, width=width, signed=True)
+
+
+def adder_tree(
+    bd: CircuitBuilder,
+    terms: Sequence[Sequence[int]],
+    width: int,
+    signed: bool = True,
+) -> Bits:
+    """Balanced binary reduction of many addends (shallower than a chain)."""
+    if not terms:
+        return const_bits(bd, 0, width)
+    layer = [list(t) for t in terms]
+    while len(layer) > 1:
+        nxt: List[Bits] = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(ripple_add(bd, layer[i], layer[i + 1], width=width, signed=signed))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return extend(bd, layer[0], width, signed)
+
+
+def multiply(
+    bd: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    width: Optional[int] = None,
+    signed: bool = True,
+) -> Bits:
+    """Array multiplier, exact modulo ``2**width``.
+
+    Operands are extended to the output width so two's-complement
+    wrap-around semantics hold; hash-consing collapses the duplicated
+    sign-extension partial products.
+    """
+    width = width or (len(a) + len(b))
+    ax = extend(bd, a, width, signed)
+    bx = extend(bd, b, width, signed)
+    terms: List[Bits] = []
+    for i, bbit in enumerate(bx):
+        if bd.const_value(bbit) is False:
+            continue
+        row = [bd.and_(abit, bbit) for abit in ax[: width - i]]
+        terms.append(const_bits(bd, 0, i) + row)
+    return adder_tree(bd, terms, width=width, signed=False)
+
+
+def _csd_digits(value: int) -> List[Tuple[int, int]]:
+    """Canonical signed-digit recoding: list of (shift, ±1) terms."""
+    digits: List[Tuple[int, int]] = []
+    shift = 0
+    v = value
+    while v:
+        if v & 1:
+            rem = v & 3
+            if rem == 3:  # run of ones: use -1 here, +1 later
+                digits.append((shift, -1))
+                v += 1
+            else:
+                digits.append((shift, 1))
+                v -= 1
+        v >>= 1
+        shift += 1
+    return digits
+
+
+def multiply_const(
+    bd: CircuitBuilder,
+    bits: Sequence[int],
+    constant: int,
+    width: int,
+    signed: bool = True,
+) -> Bits:
+    """Multiply by a plaintext integer via CSD shift-add strength reduction.
+
+    This is how elaboration-time neural-network weights become cheap:
+    a weight with ``h`` nonzero CSD digits costs ``h - 1`` adders
+    instead of a full array multiplier.
+    """
+    if constant == 0:
+        return const_bits(bd, 0, width)
+    negative = constant < 0
+    digits = _csd_digits(-constant if negative else constant)
+    ext = extend(bd, bits, width, signed)
+    # Highest CSD digit of a positive value is always +1; start there so
+    # the accumulator is never negated mid-stream.
+    acc: Optional[Bits] = None
+    for shift, sign in reversed(digits):
+        if shift >= width:
+            continue  # contributes 0 modulo 2**width
+        term = const_bits(bd, 0, shift) + ext[: width - shift]
+        if acc is None:
+            acc = term if sign > 0 else negate(bd, term, width)
+        elif sign > 0:
+            acc = ripple_add(bd, acc, term, width=width, signed=True)
+        else:
+            acc = ripple_sub(bd, acc, term, width=width, signed=True)
+    if acc is None:
+        return const_bits(bd, 0, width)
+    if negative:
+        acc = negate(bd, acc, width)
+    return extend(bd, acc, width, signed)
+
+
+def equals(bd: CircuitBuilder, a: Sequence[int], b: Sequence[int]) -> int:
+    """Single-bit equality of two equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError("equals() requires equal widths")
+    bits = [bd.xnor_(x, y) for x, y in zip(a, b)]
+    return _and_tree(bd, bits)
+
+
+def _and_tree(bd: CircuitBuilder, bits: Sequence[int]) -> int:
+    nodes = list(bits)
+    if not nodes:
+        return bd.const(True)
+    while len(nodes) > 1:
+        nxt = [
+            bd.and_(nodes[i], nodes[i + 1])
+            for i in range(0, len(nodes) - 1, 2)
+        ]
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    return nodes[0]
+
+
+def _or_tree(bd: CircuitBuilder, bits: Sequence[int]) -> int:
+    nodes = list(bits)
+    if not nodes:
+        return bd.const(False)
+    while len(nodes) > 1:
+        nxt = [
+            bd.or_(nodes[i], nodes[i + 1])
+            for i in range(0, len(nodes) - 1, 2)
+        ]
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    return nodes[0]
+
+
+def less_than_unsigned(
+    bd: CircuitBuilder, a: Sequence[int], b: Sequence[int]
+) -> int:
+    """``a < b`` for unsigned vectors (borrow chain, LSB to MSB)."""
+    width = max(len(a), len(b))
+    ax = extend(bd, a, width, signed=False)
+    bx = extend(bd, b, width, signed=False)
+    borrow = bd.const(False)
+    for x, y in zip(ax, bx):
+        strictly = bd.gate(Gate.ANDNY, x, y)  # ~x & y
+        carries = bd.gate(Gate.ORNY, x, y)  # ~x | y  (i.e. not(x & ~y))
+        borrow = bd.or_(strictly, bd.and_(carries, borrow))
+    return borrow
+
+
+def less_than_signed(
+    bd: CircuitBuilder, a: Sequence[int], b: Sequence[int]
+) -> int:
+    """``a < b`` for two's-complement vectors (flip sign bits, compare)."""
+    width = max(len(a), len(b))
+    ax = extend(bd, a, width, signed=True)
+    bx = extend(bd, b, width, signed=True)
+    ax[-1] = bd.not_(ax[-1])
+    bx[-1] = bd.not_(bx[-1])
+    return less_than_unsigned(bd, ax, bx)
+
+
+def less_than(
+    bd: CircuitBuilder, a: Sequence[int], b: Sequence[int], signed: bool
+) -> int:
+    if signed:
+        return less_than_signed(bd, a, b)
+    return less_than_unsigned(bd, a, b)
+
+
+def mux_bits(
+    bd: CircuitBuilder, sel: int, when_true: Sequence[int], when_false: Sequence[int]
+) -> Bits:
+    if len(when_true) != len(when_false):
+        raise ValueError("mux_bits requires equal widths")
+    return [bd.mux(sel, t, f) for t, f in zip(when_true, when_false)]
+
+
+def shift_left_const(bd: CircuitBuilder, bits: Sequence[int], amount: int) -> Bits:
+    """Logical left shift by a constant; width is preserved."""
+    if amount <= 0:
+        return list(bits)
+    return (const_bits(bd, 0, min(amount, len(bits))) + list(bits))[: len(bits)]
+
+
+def shift_right_const(
+    bd: CircuitBuilder, bits: Sequence[int], amount: int, arithmetic: bool = False
+) -> Bits:
+    if amount <= 0:
+        return list(bits)
+    fill = bits[-1] if arithmetic else bd.const(False)
+    kept = list(bits[amount:])
+    return kept + [fill] * (len(bits) - len(kept))
+
+
+def barrel_shift_right(
+    bd: CircuitBuilder,
+    bits: Sequence[int],
+    amount: Sequence[int],
+    arithmetic: bool = False,
+) -> Bits:
+    """Right shift by an encrypted amount (log-depth mux stages)."""
+    current = list(bits)
+    for stage, sel in enumerate(amount):
+        shifted = shift_right_const(bd, current, 1 << stage, arithmetic)
+        current = mux_bits(bd, sel, shifted, current)
+    return current
+
+
+def barrel_shift_left(
+    bd: CircuitBuilder, bits: Sequence[int], amount: Sequence[int]
+) -> Bits:
+    current = list(bits)
+    for stage, sel in enumerate(amount):
+        shifted = shift_left_const(bd, current, 1 << stage)
+        current = mux_bits(bd, sel, shifted, current)
+    return current
+
+
+def divide_unsigned(
+    bd: CircuitBuilder, dividend: Sequence[int], divisor: Sequence[int]
+) -> Tuple[Bits, Bits]:
+    """Restoring division; returns ``(quotient, remainder)``.
+
+    Division by zero yields quotient of all ones and remainder equal to
+    the dividend, matching the usual hardware convention.
+    """
+    n = len(dividend)
+    m = len(divisor)
+    remainder: Bits = const_bits(bd, 0, m + 1)
+    quotient: Bits = [bd.const(False)] * n
+    divisor_ext = extend(bd, divisor, m + 1, signed=False)
+    for i in range(n - 1, -1, -1):
+        remainder = [dividend[i]] + remainder[:m]
+        diff = ripple_sub(bd, remainder, divisor_ext, width=m + 1, signed=False)
+        no_borrow = bd.not_(diff[m])  # diff >= 0 iff MSB of (m+1)-bit sub is 0
+        quotient[i] = no_borrow
+        remainder = mux_bits(bd, no_borrow, diff, remainder)
+    return quotient, remainder[:m]
+
+
+def divide_signed(
+    bd: CircuitBuilder, dividend: Sequence[int], divisor: Sequence[int]
+) -> Bits:
+    """Truncating signed division (quotient only)."""
+    n = max(len(dividend), len(divisor))
+    ax = extend(bd, dividend, n, signed=True)
+    bx = extend(bd, divisor, n, signed=True)
+    sign_a, sign_b = ax[-1], bx[-1]
+    abs_a = mux_bits(bd, sign_a, negate(bd, ax), ax)
+    abs_b = mux_bits(bd, sign_b, negate(bd, bx), bx)
+    quotient, _ = divide_unsigned(bd, abs_a, abs_b)
+    flip = bd.xor_(sign_a, sign_b)
+    return mux_bits(bd, flip, negate(bd, quotient), quotient)
+
+
+def is_zero(bd: CircuitBuilder, bits: Sequence[int]) -> int:
+    return bd.not_(_or_tree(bd, bits))
+
+
+def is_nonzero(bd: CircuitBuilder, bits: Sequence[int]) -> int:
+    return _or_tree(bd, bits)
+
+
+def popcount(bd: CircuitBuilder, bits: Sequence[int]) -> Bits:
+    """Population count as an unsigned vector of ``ceil(log2(n+1))`` bits."""
+    n = len(bits)
+    if n == 0:
+        return [bd.const(False)]
+    width = max(1, (n).bit_length())
+    terms = [[bit] for bit in bits]
+    return adder_tree(bd, terms, width=width, signed=False)
+
+
+def count_leading_zeros(bd: CircuitBuilder, bits: Sequence[int]) -> Bits:
+    """Leading-zero count (from the MSB) as an unsigned bit vector.
+
+    Used by the floating-point normalizer.  Output width is
+    ``ceil(log2(len+1))``.
+    """
+    n = len(bits)
+    out_width = max(1, (n).bit_length())
+    counts: List[Bits] = []
+    # count = i when the highest set bit is at position n-1-i.
+    seen_any = bd.const(False)
+    result = const_bits(bd, n, out_width)  # all zeros -> n
+    for i in range(n):
+        bit = bits[n - 1 - i]
+        here = bd.and_(bit, bd.not_(seen_any))
+        result = mux_bits(bd, here, const_bits(bd, i, out_width), result)
+        seen_any = bd.or_(seen_any, bit)
+    return result

@@ -1,0 +1,262 @@
+"""Circuit builder: the mutable construction API behind ChiselTorch.
+
+The builder appends gates in topological order and (optionally)
+performs the two local optimizations the PyTFHE flow relies on for its
+gate-count advantage over the baseline frameworks:
+
+* **hash-consing** (structural sharing): identical gates are created
+  once, with commutative/swappable operand canonicalization;
+* **constant folding + local algebraic rules**: plaintext neural-network
+  weights collapse at elaboration time, and inverters are absorbed into
+  the composite TFHE gates (AND + NOT -> NAND, etc.), since TFHE
+  evaluates e.g. ANDYN at the same cost as AND.
+
+Baseline framework models construct their netlists with these switches
+off, reproducing their characteristic gate inflation (paper Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..gatetypes import (
+    COMMUTATIVE,
+    Gate,
+    INVERT_A,
+    INVERT_B,
+    SWAP,
+    evaluate_plain,
+)
+from .netlist import NO_INPUT, Netlist
+
+
+class CircuitBuilder:
+    """Incrementally builds a :class:`Netlist`."""
+
+    def __init__(
+        self,
+        hash_cons: bool = True,
+        fold_constants: bool = True,
+        absorb_inverters: bool = True,
+        name: str = "netlist",
+        adder_style: str = "ripple",
+    ):
+        if adder_style not in ("ripple", "prefix"):
+            raise ValueError("adder_style must be 'ripple' or 'prefix'")
+        self.name = name
+        self.hash_cons = hash_cons
+        self.fold_constants = fold_constants
+        self.absorb_inverters = absorb_inverters
+        #: Which adder the arithmetic generators should instantiate:
+        #: "ripple" (fewest gates) or "prefix" (log-depth Sklansky, for
+        #: latency-bound wide backends).
+        self.adder_style = adder_style
+        self._num_inputs = 0
+        self._input_names: List[str] = []
+        self._ops: List[int] = []
+        self._in0: List[int] = []
+        self._in1: List[int] = []
+        self._outputs: List[int] = []
+        self._output_names: List[str] = []
+        self._cache: Dict[Tuple[int, int, int], int] = {}
+        self._const_nodes: Dict[bool, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node creation
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self._ops)
+
+    @property
+    def num_inputs(self) -> int:
+        return self._num_inputs
+
+    def input(self, name: Optional[str] = None) -> int:
+        """Declare a fresh circuit input; returns its node id.
+
+        All inputs must be declared before any gate is created (inputs
+        occupy the low node ids).
+        """
+        if self._ops:
+            raise RuntimeError("inputs must be declared before gates")
+        node = self._num_inputs
+        self._num_inputs += 1
+        self._input_names.append(name or f"in{node}")
+        return node
+
+    def inputs(self, count: int, prefix: str = "in") -> List[int]:
+        return [self.input(f"{prefix}{i}") for i in range(count)]
+
+    def const(self, value: bool) -> int:
+        """Node carrying a boolean constant (one CONST gate per value)."""
+        value = bool(value)
+        node = self._const_nodes.get(value)
+        if node is None:
+            node = self._append(
+                Gate.CONST1 if value else Gate.CONST0, NO_INPUT, NO_INPUT
+            )
+            self._const_nodes[value] = node
+        return node
+
+    def const_value(self, node: int) -> Optional[bool]:
+        """The constant carried by ``node``, or None if non-constant."""
+        idx = node - self._num_inputs
+        if idx < 0:
+            return None
+        op = self._ops[idx]
+        if op == int(Gate.CONST0):
+            return False
+        if op == int(Gate.CONST1):
+            return True
+        return None
+
+    def _op_of(self, node: int) -> Optional[int]:
+        idx = node - self._num_inputs
+        return self._ops[idx] if idx >= 0 else None
+
+    def _append(self, gate: Gate, a: int, b: int) -> int:
+        key = (int(gate), a, b)
+        if self.hash_cons:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        self._ops.append(int(gate))
+        self._in0.append(a)
+        self._in1.append(b)
+        node = self._num_inputs + len(self._ops) - 1
+        if self.hash_cons:
+            self._cache[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Gate creation with local rules
+    # ------------------------------------------------------------------
+    def gate(self, gate: Gate, a: int = NO_INPUT, b: int = NO_INPUT) -> int:
+        """Create (or reuse) a gate; returns the node carrying its output."""
+        gate = Gate(gate)
+        if gate.arity == 0:
+            return self.const(gate is Gate.CONST1)
+        if gate is Gate.BUF:
+            return a if self.fold_constants else self._append(gate, a, NO_INPUT)
+        if gate is Gate.NOT:
+            return self._not(a)
+        return self._gate2(gate, a, b)
+
+    def _not(self, a: int) -> int:
+        if self.fold_constants:
+            cv = self.const_value(a)
+            if cv is not None:
+                return self.const(not cv)
+            if self._op_of(a) == int(Gate.NOT):
+                return self._in0[a - self._num_inputs]
+        return self._append(Gate.NOT, a, NO_INPUT)
+
+    def _gate2(self, gate: Gate, a: int, b: int) -> int:
+        if a < 0 or b < 0:
+            raise ValueError(f"{gate.name} requires two inputs")
+        if self.fold_constants:
+            ca, cb = self.const_value(a), self.const_value(b)
+            if ca is not None and cb is not None:
+                return self.const(bool(evaluate_plain(gate, ca, cb)))
+            if ca is not None:
+                return self._fold_one_const(gate, ca, b, const_is_a=True)
+            if cb is not None:
+                return self._fold_one_const(gate, cb, a, const_is_a=False)
+            if a == b:
+                v0 = evaluate_plain(gate, 0, 0)
+                v1 = evaluate_plain(gate, 1, 1)
+                return self._shape_result(v0, v1, a)
+        if self.absorb_inverters:
+            if self._op_of(a) == int(Gate.NOT) and gate in INVERT_A:
+                return self._gate2(
+                    INVERT_A[gate], self._in0[a - self._num_inputs], b
+                )
+            if self._op_of(b) == int(Gate.NOT) and gate in INVERT_B:
+                return self._gate2(
+                    INVERT_B[gate], a, self._in0[b - self._num_inputs]
+                )
+        # Canonicalize operand order for sharing.
+        if self.hash_cons and a > b:
+            if gate in COMMUTATIVE:
+                a, b = b, a
+            elif gate in SWAP:
+                gate, a, b = SWAP[gate], b, a
+        return self._append(gate, a, b)
+
+    def _fold_one_const(
+        self, gate: Gate, const: bool, x: int, const_is_a: bool
+    ) -> int:
+        if const_is_a:
+            v0 = evaluate_plain(gate, int(const), 0)
+            v1 = evaluate_plain(gate, int(const), 1)
+        else:
+            v0 = evaluate_plain(gate, 0, int(const))
+            v1 = evaluate_plain(gate, 1, int(const))
+        return self._shape_result(v0, v1, x)
+
+    def _shape_result(self, value_at_0: int, value_at_1: int, x: int) -> int:
+        """Resolve a unary residual function {0,1} -> {0,1} of node ``x``."""
+        if value_at_0 == value_at_1:
+            return self.const(bool(value_at_0))
+        if (value_at_0, value_at_1) == (0, 1):
+            return x
+        return self._not(x)
+
+    # ------------------------------------------------------------------
+    # Convenience gate helpers
+    # ------------------------------------------------------------------
+    def and_(self, a: int, b: int) -> int:
+        return self.gate(Gate.AND, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.gate(Gate.OR, a, b)
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.gate(Gate.XOR, a, b)
+
+    def nand_(self, a: int, b: int) -> int:
+        return self.gate(Gate.NAND, a, b)
+
+    def nor_(self, a: int, b: int) -> int:
+        return self.gate(Gate.NOR, a, b)
+
+    def xnor_(self, a: int, b: int) -> int:
+        return self.gate(Gate.XNOR, a, b)
+
+    def not_(self, a: int) -> int:
+        return self.gate(Gate.NOT, a)
+
+    def mux(self, sel: int, when_true: int, when_false: int) -> int:
+        """2:1 multiplexer: ``sel ? when_true : when_false`` (3 gates)."""
+        if self.fold_constants:
+            sv = self.const_value(sel)
+            if sv is not None:
+                return when_true if sv else when_false
+            if when_true == when_false:
+                return when_true
+        taken = self.and_(when_true, sel)
+        skipped = self.gate(Gate.ANDNY, sel, when_false)
+        return self.or_(taken, skipped)
+
+    # ------------------------------------------------------------------
+    # Outputs / finalization
+    # ------------------------------------------------------------------
+    def output(self, node: int, name: Optional[str] = None) -> None:
+        if not (0 <= node < self._num_inputs + len(self._ops)):
+            raise ValueError(f"output node {node} does not exist")
+        self._outputs.append(node)
+        self._output_names.append(name or f"out{len(self._outputs) - 1}")
+
+    def build(self) -> Netlist:
+        """Freeze into an immutable :class:`Netlist`."""
+        return Netlist(
+            num_inputs=self._num_inputs,
+            ops=self._ops,
+            in0=self._in0,
+            in1=self._in1,
+            outputs=self._outputs,
+            input_names=list(self._input_names),
+            output_names=list(self._output_names),
+            name=self.name,
+        )

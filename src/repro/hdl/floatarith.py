@@ -1,0 +1,268 @@
+"""Gate-level floating-point units for arbitrary ``Float(e, m)`` formats.
+
+Each function mirrors, step for step, the reference semantics of
+:class:`repro.hdl.softfloat.FloatFormat`; the test suite asserts
+bit-exact agreement.  Values are little-endian bit vectors of width
+``1 + e + m`` laid out as ``[mantissa | exponent | sign]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..gatetypes import Gate
+from . import arith
+from .builder import CircuitBuilder
+from .softfloat import ADD_GUARD_BITS, FloatFormat
+
+Bits = List[int]
+
+
+def unpack(fmt: FloatFormat, bits: Sequence[int]) -> Tuple[int, Bits, Bits]:
+    """Split packed bits into ``(sign, exponent, mantissa)`` (LE)."""
+    m, e = fmt.mantissa_bits, fmt.exponent_bits
+    if len(bits) != fmt.width:
+        raise ValueError(f"expected {fmt.width} bits, got {len(bits)}")
+    mantissa = list(bits[:m])
+    exponent = list(bits[m : m + e])
+    sign = bits[m + e]
+    return sign, exponent, mantissa
+
+
+def pack(
+    bd: CircuitBuilder,
+    fmt: FloatFormat,
+    sign: int,
+    exponent: Sequence[int],
+    mantissa: Sequence[int],
+) -> Bits:
+    return list(mantissa) + list(exponent) + [sign]
+
+
+def zero_bits(bd: CircuitBuilder, fmt: FloatFormat) -> Bits:
+    return arith.const_bits(bd, 0, fmt.width)
+
+
+def is_zero(bd: CircuitBuilder, fmt: FloatFormat, bits: Sequence[int]) -> int:
+    _, exponent, _ = unpack(fmt, bits)
+    return arith.is_zero(bd, exponent)
+
+
+def _saturated(bd: CircuitBuilder, fmt: FloatFormat, sign: int) -> Bits:
+    ones = arith.const_bits(bd, (1 << fmt.mantissa_bits) - 1, fmt.mantissa_bits)
+    max_exp = arith.const_bits(bd, fmt.max_exponent, fmt.exponent_bits)
+    return pack(bd, fmt, sign, max_exp, ones)
+
+
+def _finalize(
+    bd: CircuitBuilder,
+    fmt: FloatFormat,
+    sign: int,
+    exponent_signed: Sequence[int],
+    mantissa: Sequence[int],
+    force_zero: int,
+) -> Bits:
+    """Clamp exponent (signed, wider than e bits) and assemble the result.
+
+    ``exponent_signed`` is a two's-complement vector wider than ``e``;
+    underflow (exp <= 0) flushes to zero, overflow saturates.
+    """
+    e = fmt.exponent_bits
+    width = len(exponent_signed)
+    one = arith.const_bits(bd, 1, width)
+    max_exp = arith.const_bits(bd, fmt.max_exponent, width)
+    underflow = arith.less_than_signed(bd, exponent_signed, one)
+    overflow = arith.less_than_signed(bd, max_exp, exponent_signed)
+    normal = pack(bd, fmt, sign, list(exponent_signed)[:e], mantissa)
+    result = arith.mux_bits(bd, overflow, _saturated(bd, fmt, sign), normal)
+    zero = bd.or_(force_zero, underflow)
+    return arith.mux_bits(bd, zero, zero_bits(bd, fmt), result)
+
+
+def float_neg(bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int]) -> Bits:
+    sign, exponent, mantissa = unpack(fmt, x)
+    nonzero = arith.is_nonzero(bd, exponent)
+    new_sign = bd.gate(Gate.ANDNY, sign, nonzero)  # ~sign & nonzero
+    return pack(bd, fmt, new_sign, exponent, mantissa)
+
+
+def float_abs(bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int]) -> Bits:
+    _, exponent, mantissa = unpack(fmt, x)
+    return pack(bd, fmt, bd.const(False), exponent, mantissa)
+
+
+def float_relu(bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int]) -> Bits:
+    sign = x[fmt.width - 1]
+    return [bd.gate(Gate.ANDYN, bit, sign) for bit in x]
+
+
+def float_add(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> Bits:
+    m, e, g = fmt.mantissa_bits, fmt.exponent_bits, ADD_GUARD_BITS
+    sx, ex, mx = unpack(fmt, x)
+    sy, ey, my = unpack(fmt, y)
+    x_zero = arith.is_zero(bd, ex)
+    y_zero = arith.is_zero(bd, ey)
+
+    # Order operands by magnitude: swap when (ex, mx) < (ey, my).
+    mag_x = list(mx) + list(ex)
+    mag_y = list(my) + list(ey)
+    swap = arith.less_than_unsigned(bd, mag_x, mag_y)
+    sa = bd.mux(swap, sy, sx)
+    sb = bd.mux(swap, sx, sy)
+    ea = arith.mux_bits(bd, swap, ey, ex)
+    eb = arith.mux_bits(bd, swap, ex, ey)
+    ma = arith.mux_bits(bd, swap, my, mx)
+    mb = arith.mux_bits(bd, swap, mx, my)
+
+    # Working mantissas: implicit one + guard bits, width m + g + 1.
+    work = m + g + 1
+    big = arith.const_bits(bd, 0, g) + list(ma) + [bd.const(True)]
+    small = arith.const_bits(bd, 0, g) + list(mb) + [bd.const(True)]
+    shift = arith.ripple_sub(bd, ea, eb, width=e, signed=False)
+    small = arith.barrel_shift_right(bd, small, shift)
+
+    same_sign = bd.xnor_(sa, sb)
+    total_width = work + 1
+    added = arith.ripple_add(bd, big, small, width=total_width, signed=False)
+    subbed = arith.ripple_sub(bd, big, small, width=total_width, signed=False)
+    total = arith.mux_bits(bd, same_sign, added, subbed)
+
+    total_zero = arith.is_zero(bd, total)
+    carry = total[work]
+
+    # Normalization: either shift right once (carry) or left by clz.
+    low = total[:work]
+    lz = arith.count_leading_zeros(bd, low)
+    shifted_left = arith.barrel_shift_left(bd, low, lz)
+    shifted_right = arith.shift_right_const(bd, low, 1)
+    carried_in = [total[work]]  # the carry bit falls into the top position
+    right_norm = shifted_right[:-1] + carried_in
+    normalized = arith.mux_bits(bd, carry, right_norm, shifted_left)
+
+    exp_width = e + 2
+    ea_wide = arith.extend(bd, ea, exp_width, signed=False)
+    lz_wide = arith.extend(bd, lz, exp_width, signed=False)
+    exp_carry = arith.ripple_add(
+        bd, ea_wide, arith.const_bits(bd, 1, exp_width), width=exp_width
+    )
+    exp_norm = arith.ripple_sub(bd, ea_wide, lz_wide, width=exp_width)
+    exponent = arith.mux_bits(bd, carry, exp_carry, exp_norm)
+
+    mantissa = normalized[g : g + m]
+    computed = _finalize(bd, fmt, sa, exponent, mantissa, total_zero)
+    result = arith.mux_bits(bd, y_zero, list(x), computed)
+    return arith.mux_bits(bd, x_zero, list(y), result)
+
+
+def float_sub(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> Bits:
+    return float_add(bd, fmt, x, float_neg(bd, fmt, y))
+
+
+def float_mul(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> Bits:
+    m, e = fmt.mantissa_bits, fmt.exponent_bits
+    sx, ex, mx = unpack(fmt, x)
+    sy, ey, my = unpack(fmt, y)
+    sign = bd.xor_(sx, sy)
+    any_zero = bd.or_(arith.is_zero(bd, ex), arith.is_zero(bd, ey))
+
+    full_x = list(mx) + [bd.const(True)]
+    full_y = list(my) + [bd.const(True)]
+    product = arith.multiply(
+        bd, full_x, full_y, width=2 * m + 2, signed=False
+    )
+    top = product[2 * m + 1]
+    mant_hi = product[m + 1 : 2 * m + 1]
+    mant_lo = product[m : 2 * m]
+    mantissa = arith.mux_bits(bd, top, mant_hi, mant_lo)
+
+    exp_width = e + 2
+    ex_w = arith.extend(bd, ex, exp_width, signed=False)
+    ey_w = arith.extend(bd, ey, exp_width, signed=False)
+    exponent = arith.ripple_add(bd, ex_w, ey_w, width=exp_width)
+    exponent = arith.ripple_sub(
+        bd, exponent, arith.const_bits(bd, fmt.bias, exp_width), width=exp_width
+    )
+    exponent = arith.ripple_add(
+        bd,
+        exponent,
+        arith.extend(bd, [top], exp_width, signed=False),
+        width=exp_width,
+    )
+    return _finalize(bd, fmt, sign, exponent, mantissa, any_zero)
+
+
+def float_div(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> Bits:
+    m, e = fmt.mantissa_bits, fmt.exponent_bits
+    sx, ex, mx = unpack(fmt, x)
+    sy, ey, my = unpack(fmt, y)
+    sign = bd.xor_(sx, sy)
+    x_zero = arith.is_zero(bd, ex)
+    y_zero = arith.is_zero(bd, ey)
+
+    numerator = (
+        arith.const_bits(bd, 0, m + 1) + list(mx) + [bd.const(True)]
+    )  # (1.mx) << (m+1), width 2m+2
+    denominator = list(my) + [bd.const(True)]
+    quotient, _ = arith.divide_unsigned(bd, numerator, denominator)
+    top = quotient[m + 1]
+    mantissa = arith.mux_bits(bd, top, quotient[1 : m + 1], quotient[:m])
+
+    exp_width = e + 2
+    ex_w = arith.extend(bd, ex, exp_width, signed=False)
+    ey_w = arith.extend(bd, ey, exp_width, signed=False)
+    exponent = arith.ripple_sub(bd, ex_w, ey_w, width=exp_width)
+    exponent = arith.ripple_add(
+        bd, exponent, arith.const_bits(bd, fmt.bias - 1, exp_width), width=exp_width
+    )
+    exponent = arith.ripple_add(
+        bd,
+        exponent,
+        arith.extend(bd, [top], exp_width, signed=False),
+        width=exp_width,
+    )
+    computed = _finalize(bd, fmt, sign, exponent, mantissa, bd.const(False))
+    result = arith.mux_bits(bd, y_zero, _saturated(bd, fmt, sign), computed)
+    return arith.mux_bits(bd, x_zero, zero_bits(bd, fmt), result)
+
+
+def float_less_than(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> int:
+    m, e = fmt.mantissa_bits, fmt.exponent_bits
+    sx = x[fmt.width - 1]
+    sy = y[fmt.width - 1]
+    mag_x = list(x[: m + e])
+    mag_y = list(y[: m + e])
+    pos_lt = arith.less_than_unsigned(bd, mag_x, mag_y)
+    neg_lt = arith.less_than_unsigned(bd, mag_y, mag_x)
+    same_sign_lt = bd.mux(sx, neg_lt, pos_lt)
+    diff_sign = bd.xor_(sx, sy)
+    return bd.mux(diff_sign, sx, same_sign_lt)
+
+
+def float_equal(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> int:
+    return arith.equals(bd, list(x), list(y))
+
+
+def float_max(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> Bits:
+    lt = float_less_than(bd, fmt, x, y)
+    return arith.mux_bits(bd, lt, list(y), list(x))
+
+
+def float_min(
+    bd: CircuitBuilder, fmt: FloatFormat, x: Sequence[int], y: Sequence[int]
+) -> Bits:
+    lt = float_less_than(bd, fmt, x, y)
+    return arith.mux_bits(bd, lt, list(x), list(y))

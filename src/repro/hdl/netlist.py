@@ -1,0 +1,296 @@
+"""The gate netlist intermediate representation.
+
+A :class:`Netlist` is the common currency of the toolchain: ChiselTorch
+elaboration produces one, the synthesis passes rewrite one, the
+assembler serializes one, and every backend executes one.
+
+Nodes are integers.  Node ids ``0 .. num_inputs-1`` are the circuit
+inputs; gate ``j`` has node id ``num_inputs + j``.  Gates are stored in
+topological order (producers before consumers) in flat arrays, which
+keeps multi-million-gate MNIST netlists cheap to hold and traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..gatetypes import Gate
+
+#: Placeholder for an unused gate input operand.
+NO_INPUT = -1
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics of a netlist (paper Figs. 10/14 use these)."""
+
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_bootstrapped_gates: int
+    gate_histogram: Dict[str, int]
+    bootstrap_depth: int
+    max_level_width: int
+    mean_level_width: float
+
+    def __str__(self) -> str:
+        lines = [
+            f"inputs={self.num_inputs} outputs={self.num_outputs} "
+            f"gates={self.num_gates} bootstrapped={self.num_bootstrapped_gates}",
+            f"bootstrap depth={self.bootstrap_depth} "
+            f"max width={self.max_level_width} "
+            f"mean width={self.mean_level_width:.1f}",
+        ]
+        hist = ", ".join(
+            f"{k}:{v}" for k, v in sorted(self.gate_histogram.items())
+        )
+        lines.append(f"histogram: {hist}")
+        return "\n".join(lines)
+
+
+class Netlist:
+    """An immutable combinational circuit as a DAG of boolean gates."""
+
+    def __init__(
+        self,
+        num_inputs: int,
+        ops: Sequence[int],
+        in0: Sequence[int],
+        in1: Sequence[int],
+        outputs: Sequence[int],
+        input_names: Optional[List[str]] = None,
+        output_names: Optional[List[str]] = None,
+        name: str = "netlist",
+    ):
+        self.num_inputs = int(num_inputs)
+        self.ops = np.asarray(ops, dtype=np.uint8)
+        self.in0 = np.asarray(in0, dtype=np.int64)
+        self.in1 = np.asarray(in1, dtype=np.int64)
+        self.outputs = np.asarray(outputs, dtype=np.int64)
+        self.name = name
+        if not (len(self.ops) == len(self.in0) == len(self.in1)):
+            raise ValueError("ops/in0/in1 length mismatch")
+        self.input_names = input_names or [
+            f"in{i}" for i in range(self.num_inputs)
+        ]
+        self.output_names = output_names or [
+            f"out{i}" for i in range(len(self.outputs))
+        ]
+        if len(self.input_names) != self.num_inputs:
+            raise ValueError("input_names length mismatch")
+        if len(self.output_names) != len(self.outputs):
+            raise ValueError("output_names length mismatch")
+        self._levels_cache: Optional[np.ndarray] = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_inputs + self.num_gates
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def is_input(self, node: int) -> bool:
+        return 0 <= node < self.num_inputs
+
+    def gate_of(self, node: int) -> Gate:
+        return Gate(int(self.ops[node - self.num_inputs]))
+
+    def _validate(self) -> None:
+        n_in = self.num_inputs
+        for idx in range(self.num_gates):
+            gate = Gate(int(self.ops[idx]))
+            node = n_in + idx
+            arity = gate.arity
+            a, b = int(self.in0[idx]), int(self.in1[idx])
+            if arity >= 1 and not (0 <= a < node):
+                raise ValueError(
+                    f"gate {node} ({gate.name}) input0 {a} not topological"
+                )
+            if arity == 2 and not (0 <= b < node):
+                raise ValueError(
+                    f"gate {node} ({gate.name}) input1 {b} not topological"
+                )
+        for out in self.outputs:
+            if not (0 <= out < self.num_nodes):
+                raise ValueError(f"output node {out} out of range")
+
+    # ------------------------------------------------------------------
+    # Levels / statistics
+    # ------------------------------------------------------------------
+    def bootstrap_levels(self) -> np.ndarray:
+        """Per-node bootstrap level.
+
+        Inputs sit at level 0.  A bootstrapped gate sits one level above
+        the max of its inputs; free gates (NOT/BUF/CONST) inherit the
+        max of their inputs.  The level of a gate is the earliest
+        BFS round (Algorithm 1 of the paper) in which it can execute.
+        """
+        if self._levels_cache is not None:
+            return self._levels_cache
+        n_in = self.num_inputs
+        levels = np.zeros(self.num_nodes, dtype=np.int64)
+        ops = self.ops.tolist()
+        in0 = self.in0.tolist()
+        in1 = self.in1.tolist()
+        lv = levels.tolist()
+        for idx in range(self.num_gates):
+            gate = Gate(ops[idx])
+            arity = gate.arity
+            if arity == 0:
+                base = 0
+            elif arity == 1:
+                base = lv[in0[idx]]
+            else:
+                la, lb = lv[in0[idx]], lv[in1[idx]]
+                base = la if la > lb else lb
+            lv[n_in + idx] = base + 1 if gate.needs_bootstrap else base
+        self._levels_cache = np.asarray(lv, dtype=np.int64)
+        return self._levels_cache
+
+    def stats(self) -> NetlistStats:
+        histogram: Dict[str, int] = {}
+        for code, count in zip(*np.unique(self.ops, return_counts=True)):
+            histogram[Gate(int(code)).name] = int(count)
+        needs = np.array(
+            [Gate(int(code)).needs_bootstrap for code in self.ops], dtype=bool
+        )
+        num_bs = int(needs.sum())
+        levels = self.bootstrap_levels()
+        gate_levels = levels[self.num_inputs :][needs] if num_bs else np.array([0])
+        depth = int(gate_levels.max()) if num_bs else 0
+        if num_bs:
+            __, widths = np.unique(gate_levels, return_counts=True)
+            max_width = int(widths.max())
+            mean_width = float(widths.mean())
+        else:
+            max_width, mean_width = 0, 0.0
+        return NetlistStats(
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            num_gates=self.num_gates,
+            num_bootstrapped_gates=num_bs,
+            gate_histogram=histogram,
+            bootstrap_depth=depth,
+            max_level_width=max_width,
+            mean_level_width=mean_width,
+        )
+
+    # ------------------------------------------------------------------
+    # Plaintext evaluation (bit-parallel reference semantics)
+    # ------------------------------------------------------------------
+    def evaluate_masks(self, input_masks: Sequence[int], width: int) -> List[int]:
+        """Evaluate on ``width`` plaintext vectors at once.
+
+        Each entry of ``input_masks`` is an arbitrary-precision integer
+        whose bit ``t`` is the value of that input in test vector ``t``.
+        Returns one mask per output.  This is the reference semantics
+        every backend must agree with.
+        """
+        if len(input_masks) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} input masks, got {len(input_masks)}"
+            )
+        full = (1 << width) - 1
+        values: List[int] = list(input_masks) + [0] * self.num_gates
+        ops = self.ops.tolist()
+        in0 = self.in0.tolist()
+        in1 = self.in1.tolist()
+        n_in = self.num_inputs
+
+        and_, nand = int(Gate.AND), int(Gate.NAND)
+        or_, nor = int(Gate.OR), int(Gate.NOR)
+        xor, xnor = int(Gate.XOR), int(Gate.XNOR)
+        not_, buf = int(Gate.NOT), int(Gate.BUF)
+        andny, andyn = int(Gate.ANDNY), int(Gate.ANDYN)
+        orny, oryn = int(Gate.ORNY), int(Gate.ORYN)
+        const0, const1 = int(Gate.CONST0), int(Gate.CONST1)
+
+        for idx in range(self.num_gates):
+            op = ops[idx]
+            a = values[in0[idx]] if in0[idx] >= 0 else 0
+            b = values[in1[idx]] if in1[idx] >= 0 else 0
+            if op == and_:
+                v = a & b
+            elif op == xor:
+                v = a ^ b
+            elif op == or_:
+                v = a | b
+            elif op == nand:
+                v = full ^ (a & b)
+            elif op == nor:
+                v = full ^ (a | b)
+            elif op == xnor:
+                v = full ^ a ^ b
+            elif op == not_:
+                v = full ^ a
+            elif op == buf:
+                v = a
+            elif op == andny:
+                v = (full ^ a) & b
+            elif op == andyn:
+                v = a & (full ^ b)
+            elif op == orny:
+                v = (full ^ a) | b
+            elif op == oryn:
+                v = a | (full ^ b)
+            elif op == const0:
+                v = 0
+            elif op == const1:
+                v = full
+            else:  # pragma: no cover - enum is closed
+                raise ValueError(f"unknown op code {op}")
+            values[n_in + idx] = v
+        return [values[out] for out in self.outputs]
+
+    def evaluate(self, inputs: np.ndarray) -> np.ndarray:
+        """Evaluate on boolean input vectors.
+
+        ``inputs`` has shape ``(num_inputs,)`` or ``(batch, num_inputs)``;
+        the result has shape ``(num_outputs,)`` or ``(batch, num_outputs)``.
+        """
+        arr = np.asarray(inputs).astype(bool)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} inputs, got {arr.shape[1]}"
+            )
+        batch = arr.shape[0]
+        masks = [_pack_mask(arr[:, i]) for i in range(self.num_inputs)]
+        out_masks = self.evaluate_masks(masks, batch)
+        out = np.empty((batch, self.num_outputs), dtype=bool)
+        for j, mask in enumerate(out_masks):
+            out[:, j] = _unpack_mask(mask, batch)
+        return out[0] if single else out
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={self.num_inputs}, "
+            f"gates={self.num_gates}, outputs={self.num_outputs})"
+        )
+
+
+def _pack_mask(column: np.ndarray) -> int:
+    packed = np.packbits(column.astype(np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def _unpack_mask(mask: int, width: int) -> np.ndarray:
+    nbytes = (width + 7) // 8
+    raw = np.frombuffer(
+        mask.to_bytes(nbytes, "little"), dtype=np.uint8
+    )
+    return np.unpackbits(raw, bitorder="little")[:width].astype(bool)

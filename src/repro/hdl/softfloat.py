@@ -1,0 +1,223 @@
+"""Software reference model for ChiselTorch's parameterizable floats.
+
+``Float(e, m)`` declares a floating-point type with ``e`` exponent bits
+and ``m`` mantissa bits (paper Fig. 4: ``Float(8, 8)`` is a bfloat16;
+``Float(5, 11)`` is effectively a half float).  The semantics are a
+simplified IEEE-754:
+
+* implicit leading one, bias ``2**(e-1) - 1``;
+* exponent 0 means exactly zero (flush-to-zero, no denormals);
+* no NaN/Inf — overflow saturates to the largest finite value;
+* all roundings truncate (round toward zero);
+* zero is canonical (sign bit 0).
+
+The gate-level circuits in :mod:`repro.hdl.floatarith` implement this
+model *bit-exactly*; the test suite checks them against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Guard bits carried through addition before truncation.
+ADD_GUARD_BITS = 3
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A float layout: sign (MSB), exponent, mantissa (LSBs)."""
+
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2 or self.mantissa_bits < 1:
+            raise ValueError("need >= 2 exponent and >= 1 mantissa bits")
+
+    @property
+    def width(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        return (1 << self.exponent_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+    def pack(self, sign: int, exponent: int, mantissa: int) -> int:
+        e, m = self.exponent_bits, self.mantissa_bits
+        return (sign << (e + m)) | ((exponent & ((1 << e) - 1)) << m) | (
+            mantissa & ((1 << m) - 1)
+        )
+
+    def unpack(self, bits: int) -> "tuple[int, int, int]":
+        e, m = self.exponent_bits, self.mantissa_bits
+        mantissa = bits & ((1 << m) - 1)
+        exponent = (bits >> m) & ((1 << e) - 1)
+        sign = (bits >> (e + m)) & 1
+        return sign, exponent, mantissa
+
+    @property
+    def max_finite_bits(self) -> int:
+        return self.pack(0, self.max_exponent, (1 << self.mantissa_bits) - 1)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def encode(self, value: float) -> int:
+        """Quantize a Python float into this format (truncating)."""
+        if value != value:
+            raise ValueError("NaN is not representable")
+        sign = 1 if value < 0 else 0
+        magnitude = abs(value)
+        if magnitude == 0.0:
+            return 0
+        import math
+
+        exponent = math.floor(math.log2(magnitude))
+        # Guard against log2 rounding at power-of-two boundaries.
+        if magnitude < 2.0 ** exponent:
+            exponent -= 1
+        if magnitude >= 2.0 ** (exponent + 1):
+            exponent += 1
+        biased = exponent + self.bias
+        if biased <= 0:
+            return 0  # flush to zero
+        if biased > self.max_exponent:
+            return self.pack(sign, self.max_exponent, (1 << self.mantissa_bits) - 1)
+        frac = magnitude / (2.0 ** exponent) - 1.0  # in [0, 1)
+        mantissa = int(frac * (1 << self.mantissa_bits))
+        mantissa = min(mantissa, (1 << self.mantissa_bits) - 1)
+        return self.pack(sign, biased, mantissa)
+
+    def decode(self, bits: int) -> float:
+        sign, exponent, mantissa = self.unpack(bits)
+        if exponent == 0:
+            return 0.0
+        value = (1.0 + mantissa / (1 << self.mantissa_bits)) * 2.0 ** (
+            exponent - self.bias
+        )
+        return -value if sign else value
+
+    def is_zero(self, bits: int) -> bool:
+        _, exponent, _ = self.unpack(bits)
+        return exponent == 0
+
+    # ------------------------------------------------------------------
+    # Arithmetic (the reference the circuits must match bit-exactly)
+    # ------------------------------------------------------------------
+    def add(self, x: int, y: int) -> int:
+        m = self.mantissa_bits
+        g = ADD_GUARD_BITS
+        sx, ex, mx = self.unpack(x)
+        sy, ey, my = self.unpack(y)
+        if ex == 0:
+            return y
+        if ey == 0:
+            return x
+        # Order by magnitude (exponent then mantissa).
+        if (ey, my) > (ex, mx):
+            sx, ex, mx, sy, ey, my = sy, ey, my, sx, ex, mx
+        big = ((1 << m) | mx) << g
+        small = ((1 << m) | my) << g
+        shift = ex - ey
+        small = small >> shift if shift <= m + g + 1 else 0
+        if sx == sy:
+            total = big + small
+        else:
+            total = big - small
+        if total == 0:
+            return 0
+        # Normalize: ideal MSB position is m + g.
+        exponent = ex
+        if total >> (m + g + 1):
+            total >>= 1
+            exponent += 1
+        else:
+            while not (total >> (m + g)):
+                total <<= 1
+                exponent -= 1
+        if exponent <= 0:
+            return 0
+        if exponent > self.max_exponent:
+            return self.pack(sx, self.max_exponent, (1 << m) - 1)
+        mantissa = (total >> g) & ((1 << m) - 1)
+        return self.pack(sx, exponent, mantissa)
+
+    def sub(self, x: int, y: int) -> int:
+        return self.add(x, self.neg(y))
+
+    def neg(self, x: int) -> int:
+        if self.is_zero(x):
+            return 0
+        return x ^ (1 << (self.width - 1))
+
+    def mul(self, x: int, y: int) -> int:
+        m = self.mantissa_bits
+        sx, ex, mx = self.unpack(x)
+        sy, ey, my = self.unpack(y)
+        sign = sx ^ sy
+        if ex == 0 or ey == 0:
+            return 0
+        product = ((1 << m) | mx) * ((1 << m) | my)  # 2m+2 bits
+        if product >> (2 * m + 1):
+            mantissa = (product >> (m + 1)) & ((1 << m) - 1)
+            adjust = 1
+        else:
+            mantissa = (product >> m) & ((1 << m) - 1)
+            adjust = 0
+        exponent = ex + ey - self.bias + adjust
+        if exponent <= 0:
+            return 0
+        if exponent > self.max_exponent:
+            return self.pack(sign, self.max_exponent, (1 << m) - 1)
+        return self.pack(sign, exponent, mantissa)
+
+    def div(self, x: int, y: int) -> int:
+        """Truncating division; x/0 saturates to the largest finite value."""
+        m = self.mantissa_bits
+        sx, ex, mx = self.unpack(x)
+        sy, ey, my = self.unpack(y)
+        sign = sx ^ sy
+        if ex == 0:
+            return 0
+        if ey == 0:
+            return self.pack(sign, self.max_exponent, (1 << m) - 1)
+        quotient = (((1 << m) | mx) << (m + 1)) // ((1 << m) | my)
+        if quotient >> (m + 1):
+            mantissa = (quotient >> 1) & ((1 << m) - 1)
+            adjust = 0
+        else:
+            mantissa = quotient & ((1 << m) - 1)
+            adjust = -1
+        exponent = ex - ey + self.bias + adjust
+        if exponent <= 0:
+            return 0
+        if exponent > self.max_exponent:
+            return self.pack(sign, self.max_exponent, (1 << m) - 1)
+        return self.pack(sign, exponent, mantissa)
+
+    def less_than(self, x: int, y: int) -> bool:
+        sx, ex, mx = self.unpack(x)
+        sy, ey, my = self.unpack(y)
+        if ex == 0:
+            mx = 0
+        if ey == 0:
+            my = 0
+        if sx != sy:
+            return sx == 1  # canonical zeros carry sign 0
+        if sx == 0:
+            return (ex, mx) < (ey, my)
+        return (ex, mx) > (ey, my)
+
+    def equal(self, x: int, y: int) -> bool:
+        return x == y  # canonical encodings are unique
+
+    def relu(self, x: int) -> int:
+        sign, _, _ = self.unpack(x)
+        return 0 if sign else x

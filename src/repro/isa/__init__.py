@@ -1,0 +1,37 @@
+"""The PyTFHE instruction set: binary encoding and (dis)assembly."""
+
+from .assembler import assemble, binary_size_bytes, disassemble
+from .disassembler import format_program
+from .encoding import (
+    FIELD_ALL_ONES,
+    INPUT_MARKER,
+    INSTRUCTION_BYTES,
+    Instruction,
+    MAX_NODE_INDEX,
+    OUTPUT_MARKER,
+    decode_instruction,
+    encode_gate,
+    encode_header,
+    encode_input,
+    encode_output,
+    iter_instructions,
+)
+
+__all__ = [
+    "format_program",
+    "FIELD_ALL_ONES",
+    "INPUT_MARKER",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "MAX_NODE_INDEX",
+    "OUTPUT_MARKER",
+    "assemble",
+    "binary_size_bytes",
+    "decode_instruction",
+    "disassemble",
+    "encode_gate",
+    "encode_header",
+    "encode_input",
+    "encode_output",
+    "iter_instructions",
+]

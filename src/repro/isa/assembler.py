@@ -1,0 +1,97 @@
+"""Assembler / disassembler between netlists and PyTFHE binaries.
+
+Node numbering follows paper Fig. 6: inputs take indices
+``1 .. num_inputs`` in declaration order, gates continue from
+``num_inputs + 1`` in topological order.  (Internally netlists are
+0-based; the +1 shift exists only in the serialized form.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..gatetypes import Gate
+from ..hdl.netlist import NO_INPUT, Netlist
+from .encoding import (
+    FIELD_ALL_ONES,
+    INSTRUCTION_BYTES,
+    encode_gate,
+    encode_header,
+    encode_input,
+    encode_output,
+    iter_instructions,
+)
+
+
+def assemble(netlist: Netlist) -> bytes:
+    """Serialize a netlist into the PyTFHE binary format."""
+    chunks: List[bytes] = [encode_header(netlist.num_gates)]
+    chunks.extend(encode_input() for _ in range(netlist.num_inputs))
+    ops = netlist.ops
+    in0 = netlist.in0
+    in1 = netlist.in1
+    for idx in range(netlist.num_gates):
+        gate = Gate(int(ops[idx]))
+        a: Optional[int] = None
+        b: Optional[int] = None
+        if gate.arity >= 1:
+            a = int(in0[idx]) + 1
+        if gate.arity == 2:
+            b = int(in1[idx]) + 1
+        chunks.append(encode_gate(gate, a, b))
+    for out in netlist.outputs:
+        chunks.append(encode_output(int(out) + 1))
+    return b"".join(chunks)
+
+
+def disassemble(data: bytes, name: str = "binary") -> Netlist:
+    """Parse a PyTFHE binary back into a netlist."""
+    instructions = list(iter_instructions(data))
+    if not instructions or instructions[0].kind != "header":
+        raise ValueError("binary does not start with a header instruction")
+    total_gates = instructions[0].total_gates
+
+    num_inputs = 0
+    ops: List[int] = []
+    in0: List[int] = []
+    in1: List[int] = []
+    outputs: List[int] = []
+    state = "inputs"
+    for inst in instructions[1:]:
+        if inst.kind == "input":
+            if state != "inputs":
+                raise ValueError("input instruction after gates began")
+            num_inputs += 1
+        elif inst.kind == "gate":
+            if state == "outputs":
+                raise ValueError("gate instruction after outputs began")
+            state = "gates"
+            gate = inst.gate
+            a = NO_INPUT if inst.field0 == FIELD_ALL_ONES else inst.field0 - 1
+            b = NO_INPUT if inst.field1 == FIELD_ALL_ONES else inst.field1 - 1
+            ops.append(int(gate))
+            in0.append(a)
+            in1.append(b)
+        elif inst.kind == "output":
+            state = "outputs"
+            outputs.append(inst.output_node - 1)
+        else:
+            raise ValueError("unexpected extra header instruction")
+    if len(ops) != total_gates:
+        raise ValueError(
+            f"header claims {total_gates} gates, binary holds {len(ops)}"
+        )
+    return Netlist(
+        num_inputs=num_inputs,
+        ops=ops,
+        in0=in0,
+        in1=in1,
+        outputs=outputs,
+        name=name,
+    )
+
+
+def binary_size_bytes(netlist: Netlist) -> int:
+    """Size of the assembled binary without materializing it."""
+    count = 1 + netlist.num_inputs + netlist.num_gates + netlist.num_outputs
+    return count * INSTRUCTION_BYTES

@@ -1,0 +1,42 @@
+"""Textual disassembly of PyTFHE binaries (objdump-style listing)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .encoding import FIELD_ALL_ONES, INSTRUCTION_BYTES, iter_instructions
+
+
+def format_program(data: bytes, max_rows: int = 0) -> str:
+    """Human-readable listing of a PyTFHE binary.
+
+    Each row shows the byte offset, the node index the instruction
+    defines (inputs and gates are numbered sequentially from 1, as in
+    paper Fig. 6), and the decoded instruction.  ``max_rows`` truncates
+    long programs (0 = unlimited).
+    """
+    lines: List[str] = []
+    next_index = 1
+    for position, inst in enumerate(iter_instructions(data)):
+        offset = position * INSTRUCTION_BYTES
+        if inst.kind == "header":
+            text = f"header  total_gates={inst.total_gates}"
+            index = "-"
+        elif inst.kind == "input":
+            index = str(next_index)
+            next_index += 1
+            text = "input"
+        elif inst.kind == "gate":
+            index = str(next_index)
+            next_index += 1
+            a = "-" if inst.field0 == FIELD_ALL_ONES else str(inst.field0)
+            b = "-" if inst.field1 == FIELD_ALL_ONES else str(inst.field1)
+            text = f"gate    {inst.gate.name:6s} in0={a} in1={b}"
+        else:
+            index = "-"
+            text = f"output  node={inst.output_node}"
+        lines.append(f"{offset:#08x}  [{index:>6s}]  {text}")
+        if max_rows and len(lines) >= max_rows:
+            lines.append(f"... ({len(data) // INSTRUCTION_BYTES} instructions total)")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""The PyTFHE binary instruction encoding (paper Fig. 5).
+
+Every instruction is 128 bits, serialized little-endian:
+
+* bits ``[3:0]``    — type nibble (gate type, or a marker),
+* bits ``[65:4]``   — 62-bit field 1 (input-1 index / total gates /
+  output gate index),
+* bits ``[127:66]`` — 62-bit field 0 (input-0 index).
+
+Instruction kinds:
+
+* **header** — first instruction of every binary; field 1 holds the
+  total number of gates, everything else 0.
+* **input**  — all fields set to ones (marker nibble ``0xF``); the
+  input's index is implied by its position, indices are assigned
+  sequentially starting at 1 (Fig. 6 numbers input A as 1).
+* **gate**   — field 0 / field 1 are the producing node indices of the
+  two operands; the nibble is the :class:`~repro.gatetypes.Gate` code.
+  Unused operands (NOT/BUF/CONST) carry the all-ones marker.
+* **output** — field 0 all ones, nibble ``0x3``, field 1 names the node
+  whose value is the output.
+
+Decoding is unambiguous: a real operand index is always
+``<= total nodes < 2**62 - 1``, so an all-ones field 0 can only mean an
+input (nibble ``0xF``) or output (nibble ``0x3``) instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..gatetypes import Gate
+
+INSTRUCTION_BYTES = 16
+FIELD_BITS = 62
+FIELD_ALL_ONES = (1 << FIELD_BITS) - 1
+TYPE_MASK = 0xF
+INPUT_MARKER = 0xF
+OUTPUT_MARKER = 0x3
+
+#: Largest node index representable (the paper's 2^62 gate ceiling).
+MAX_NODE_INDEX = FIELD_ALL_ONES - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded 128-bit instruction."""
+
+    kind: str  # "header" | "input" | "gate" | "output"
+    gate: Optional[Gate] = None
+    field0: int = 0
+    field1: int = 0
+
+    @property
+    def total_gates(self) -> int:
+        if self.kind != "header":
+            raise TypeError("total_gates is only defined on headers")
+        return self.field1
+
+    @property
+    def operands(self) -> "tuple[int, int]":
+        if self.kind != "gate":
+            raise TypeError("operands are only defined on gate instructions")
+        return self.field0, self.field1
+
+    @property
+    def output_node(self) -> int:
+        if self.kind != "output":
+            raise TypeError("output_node is only defined on outputs")
+        return self.field1
+
+
+def _pack(field0: int, field1: int, nibble: int) -> bytes:
+    if not (0 <= field0 <= FIELD_ALL_ONES and 0 <= field1 <= FIELD_ALL_ONES):
+        raise ValueError("field out of 62-bit range")
+    word = (field0 << 66) | (field1 << 4) | (nibble & TYPE_MASK)
+    return word.to_bytes(INSTRUCTION_BYTES, "little")
+
+
+def encode_header(total_gates: int) -> bytes:
+    if total_gates > MAX_NODE_INDEX:
+        raise ValueError("too many gates for the 62-bit index space")
+    return _pack(0, total_gates, 0)
+
+
+def encode_input() -> bytes:
+    return _pack(FIELD_ALL_ONES, FIELD_ALL_ONES, INPUT_MARKER)
+
+
+def encode_gate(gate: Gate, in0: Optional[int], in1: Optional[int]) -> bytes:
+    gate = Gate(gate)
+    for operand in (in0, in1):
+        if operand is not None and not (0 <= operand <= MAX_NODE_INDEX):
+            raise ValueError("operand index out of range")
+    f0 = FIELD_ALL_ONES if in0 is None else in0
+    f1 = FIELD_ALL_ONES if in1 is None else in1
+    return _pack(f0, f1, int(gate))
+
+
+def encode_output(node: int) -> bytes:
+    if node > MAX_NODE_INDEX:
+        raise ValueError("output index out of range")
+    return _pack(FIELD_ALL_ONES, node, OUTPUT_MARKER)
+
+
+def decode_instruction(raw: bytes, is_first: bool = False) -> Instruction:
+    if len(raw) != INSTRUCTION_BYTES:
+        raise ValueError(f"instruction must be {INSTRUCTION_BYTES} bytes")
+    word = int.from_bytes(raw, "little")
+    nibble = word & TYPE_MASK
+    field1 = (word >> 4) & FIELD_ALL_ONES
+    field0 = (word >> 66) & FIELD_ALL_ONES
+    if is_first:
+        if field0 != 0 or nibble != 0:
+            raise ValueError("malformed header instruction")
+        return Instruction(kind="header", field1=field1)
+    if field0 == FIELD_ALL_ONES and nibble == INPUT_MARKER:
+        return Instruction(kind="input", field0=field0, field1=field1)
+    if field0 == FIELD_ALL_ONES and nibble == OUTPUT_MARKER:
+        return Instruction(kind="output", field0=field0, field1=field1)
+    try:
+        gate = Gate(nibble)
+    except ValueError as exc:
+        raise ValueError(f"unknown gate nibble {nibble:#x}") from exc
+    return Instruction(kind="gate", gate=gate, field0=field0, field1=field1)
+
+
+def iter_instructions(data: bytes) -> Iterator[Instruction]:
+    if len(data) % INSTRUCTION_BYTES:
+        raise ValueError("binary length is not a multiple of 16 bytes")
+    for offset in range(0, len(data), INSTRUCTION_BYTES):
+        yield decode_instruction(
+            data[offset : offset + INSTRUCTION_BYTES], is_first=offset == 0
+        )

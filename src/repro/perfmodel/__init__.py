@@ -1,0 +1,47 @@
+"""Calibrated performance models for the hardware the paper used."""
+
+from .analysis import (
+    ParallelismProfile,
+    classify_workload,
+    parallelism_profile,
+)
+from .cluster import (
+    ClusterConfig,
+    ClusterSimResult,
+    ClusterSimulator,
+    TABLE_II_CLUSTER,
+    single_node,
+)
+from .costs import GateCostModel, PAPER_GATE_COST, measured_gate_cost
+from .gpu import (
+    A5000,
+    GPU_PLATFORMS,
+    GpuConfig,
+    GpuSimResult,
+    GpuSimulator,
+    RTX4090,
+    cufhe_timeline,
+    pytfhe_timeline,
+)
+
+__all__ = [
+    "ParallelismProfile",
+    "classify_workload",
+    "parallelism_profile",
+    "A5000",
+    "ClusterConfig",
+    "ClusterSimResult",
+    "ClusterSimulator",
+    "GPU_PLATFORMS",
+    "GateCostModel",
+    "GpuConfig",
+    "GpuSimResult",
+    "GpuSimulator",
+    "PAPER_GATE_COST",
+    "RTX4090",
+    "TABLE_II_CLUSTER",
+    "cufhe_timeline",
+    "measured_gate_cost",
+    "pytfhe_timeline",
+    "single_node",
+]

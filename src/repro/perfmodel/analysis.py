@@ -1,0 +1,78 @@
+"""Parallelism analysis of TFHE program DAGs.
+
+Explains the Fig. 10/11 scaling differences from first principles: a
+program's maximum speedup over single-threaded execution is bounded by
+``gates / depth`` (the average level width — a work/span argument), so
+NRSolver (depth ~ gates) cannot scale while MNIST (width >> workers)
+scales to the worker count.  The simulators must respect these bounds;
+the tests check that they do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..hdl.netlist import Netlist
+from ..runtime.scheduler import Schedule, build_schedule
+
+
+@dataclass
+class ParallelismProfile:
+    """Work/span characterization of one program."""
+
+    gates: int
+    depth: int
+    max_width: int
+    mean_width: float
+    width_p50: float
+    width_p90: float
+
+    @property
+    def max_speedup(self) -> float:
+        """The work/span bound on any level-synchronous execution."""
+        if self.depth == 0:
+            return 1.0
+        return self.gates / self.depth
+
+    def saturating_workers(self, efficiency: float = 0.9) -> int:
+        """Workers beyond which utilization drops below ``efficiency``.
+
+        With level-synchronous scheduling, ``w`` workers are at least
+        ``efficiency``-utilized while ``w <= mean_width * (1 -
+        efficiency + efficiency/1)``; we use the simple mean-width
+        bound ``w <= mean_width / efficiency`` as the knee estimate.
+        """
+        return max(1, int(self.mean_width / efficiency))
+
+
+def parallelism_profile(
+    program: Union[Netlist, Schedule]
+) -> ParallelismProfile:
+    schedule = (
+        program if isinstance(program, Schedule) else build_schedule(program)
+    )
+    widths = np.array(schedule.level_widths(), dtype=np.int64)
+    if not len(widths):
+        return ParallelismProfile(0, 0, 0, 0.0, 0.0, 0.0)
+    return ParallelismProfile(
+        gates=int(widths.sum()),
+        depth=len(widths),
+        max_width=int(widths.max()),
+        mean_width=float(widths.mean()),
+        width_p50=float(np.percentile(widths, 50)),
+        width_p90=float(np.percentile(widths, 90)),
+    )
+
+
+def classify_workload(profile: ParallelismProfile) -> str:
+    """Coarse label matching the paper's discussion buckets."""
+    if profile.gates == 0:
+        return "trivial"
+    if profile.max_speedup < 4:
+        return "serial"
+    if profile.max_speedup < 32:
+        return "moderate"
+    return "wide"

@@ -1,0 +1,63 @@
+"""Gate cost models shared by the cluster and GPU simulators.
+
+Two calibrations are shipped:
+
+* :data:`PAPER_GATE_COST` — the paper's platform (TFHE C++ library on a
+  Xeon Gold 5215): ~13 ms per bootstrapped gate, dominated by blind
+  rotation (Fig. 7), with 2.46 KB ciphertexts.
+* :func:`measured_gate_cost` — calibrate from *this* machine by timing
+  our own implementation, so "measured" experiment rows reflect real
+  local numbers.
+
+All experiment harnesses report speedups normalized against the same
+single-core cost, matching the paper's methodology (its baseline
+framework runtimes are likewise gate-count ÷ single-core throughput,
+see footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GateCostModel:
+    """Per-gate execution cost on a single CPU core."""
+
+    name: str
+    linear_ms: float
+    blind_rotation_ms: float
+    key_switching_ms: float
+    ciphertext_bytes: int
+
+    @property
+    def gate_ms(self) -> float:
+        return self.linear_ms + self.blind_rotation_ms + self.key_switching_ms
+
+    @property
+    def gates_per_second(self) -> float:
+        return 1e3 / self.gate_ms
+
+
+#: Single-core TFHE-library cost on the paper's Xeon platform (Fig. 7).
+PAPER_GATE_COST = GateCostModel(
+    name="paper-xeon-5215",
+    linear_ms=0.2,
+    blind_rotation_ms=10.5,
+    key_switching_ms=2.3,
+    ciphertext_bytes=2524,
+)
+
+
+def measured_gate_cost(cloud_key, repetitions: int = 3) -> GateCostModel:
+    """Calibrate a cost model by profiling this implementation."""
+    from ..runtime.profiler import profile_gate
+
+    profile = profile_gate(cloud_key, repetitions=repetitions)
+    return GateCostModel(
+        name=f"measured-{cloud_key.params.name}",
+        linear_ms=profile.linear_ms,
+        blind_rotation_ms=profile.blind_rotation_ms,
+        key_switching_ms=profile.key_switching_ms,
+        ciphertext_bytes=profile.ciphertext_bytes,
+    )

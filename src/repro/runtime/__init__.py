@@ -1,0 +1,29 @@
+"""Execution backends for PyTFHE programs."""
+
+from .distributed import DistributedCpuBackend, RayActorPool
+from .executors import (
+    CpuBackend,
+    ExecutionReport,
+    MAX_FHE_NODES,
+    PlaintextBackend,
+)
+from .profiler import GateProfile, profile_gate
+from .scheduler import Level, Schedule, build_schedule
+from .trace import TraceEvent, render as render_trace, summarize as summarize_trace
+
+__all__ = [
+    "TraceEvent",
+    "render_trace",
+    "summarize_trace",
+    "CpuBackend",
+    "DistributedCpuBackend",
+    "ExecutionReport",
+    "GateProfile",
+    "Level",
+    "MAX_FHE_NODES",
+    "PlaintextBackend",
+    "RayActorPool",
+    "Schedule",
+    "build_schedule",
+    "profile_gate",
+]

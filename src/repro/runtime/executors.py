@@ -1,0 +1,344 @@
+"""Backends that execute TFHE program netlists.
+
+* :class:`PlaintextBackend` — reference bit semantics (no crypto).
+* :class:`CpuBackend` — real TFHE execution on this process.  With
+  ``batched=False`` it evaluates one bootstrapped gate at a time (the
+  paper's single-threaded CPU baseline); with ``batched=True`` each BFS
+  level bootstraps as one vectorized numpy computation, the functional
+  analogue of the paper's GPU batch execution.
+
+Every run returns an :class:`ExecutionReport` with gate/level counts,
+wall time, and communication volume, which the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gatetypes import Gate
+from ..hdl.netlist import Netlist
+from ..tfhe.gates import (
+    MU_GATE,
+    evaluate_gate,
+    evaluate_gates_batch,
+    trivial_bit,
+)
+from ..tfhe.keys import CloudKey
+from ..tfhe.lwe import LweCiphertext
+from ..tfhe.torus import wrap_int32
+from .scheduler import Schedule, build_schedule
+
+
+@dataclass
+class ExecutionReport:
+    """What happened during one backend run."""
+
+    backend: str
+    gates_total: int
+    gates_bootstrapped: int
+    levels: int
+    wall_time_s: float
+    ciphertext_bytes_moved: int = 0
+    tasks_submitted: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+    trace: List = field(default_factory=list)
+
+    @property
+    def seconds_per_bootstrapped_gate(self) -> float:
+        if not self.gates_bootstrapped:
+            return 0.0
+        return self.wall_time_s / self.gates_bootstrapped
+
+
+class PlaintextBackend:
+    """Reference executor over plaintext bits."""
+
+    name = "plaintext"
+
+    def run(
+        self, netlist: Netlist, inputs: np.ndarray
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        start = time.perf_counter()
+        outputs = netlist.evaluate(inputs)
+        elapsed = time.perf_counter() - start
+        stats = netlist.stats()
+        report = ExecutionReport(
+            backend=self.name,
+            gates_total=netlist.num_gates,
+            gates_bootstrapped=stats.num_bootstrapped_gates,
+            levels=stats.bootstrap_depth,
+            wall_time_s=elapsed,
+        )
+        return outputs, report
+
+
+class _NodeStore:
+    """Per-node LWE sample storage for an in-flight execution."""
+
+    def __init__(self, num_nodes: int, dimension: int):
+        self.a = np.zeros((num_nodes, dimension), dtype=np.int32)
+        self.b = np.zeros(num_nodes, dtype=np.int32)
+
+    def put(self, nodes: np.ndarray, ct: LweCiphertext) -> None:
+        self.a[nodes] = ct.a
+        self.b[nodes] = ct.b
+
+    def get(self, nodes: np.ndarray) -> LweCiphertext:
+        return LweCiphertext(self.a[nodes], self.b[nodes])
+
+
+#: Refuse real-FHE execution beyond this size (use the simulators).
+MAX_FHE_NODES = 2_000_000
+
+
+class CpuBackend:
+    """Real TFHE execution (single process).
+
+    ``max_batch`` caps how many gates bootstrap in one vectorized call
+    (bounding the FFT working set); ``None`` means whole BFS levels —
+    the analogue of sizing GPU batches to device memory (Fig. 9).
+    """
+
+    def __init__(
+        self,
+        cloud_key: CloudKey,
+        batched: bool = False,
+        max_batch: Optional[int] = None,
+        trace: bool = False,
+    ):
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.cloud_key = cloud_key
+        self.batched = batched
+        self.max_batch = max_batch
+        self.trace_enabled = trace
+        self.name = "cpu-batched" if batched else "cpu-single"
+
+    def run(
+        self,
+        netlist: Netlist,
+        inputs: LweCiphertext,
+        schedule: Optional[Schedule] = None,
+    ) -> Tuple[LweCiphertext, ExecutionReport]:
+        if netlist.num_nodes > MAX_FHE_NODES:
+            raise ValueError(
+                f"{netlist.num_nodes} nodes exceeds the real-FHE executor "
+                f"limit ({MAX_FHE_NODES}); use the performance simulators"
+            )
+        if inputs.batch_shape != (netlist.num_inputs,):
+            raise ValueError(
+                f"expected {netlist.num_inputs} input ciphertexts, "
+                f"got {inputs.batch_shape}"
+            )
+        schedule = schedule or build_schedule(netlist)
+        params = self.cloud_key.params
+        start = time.perf_counter()
+        store = _NodeStore(netlist.num_nodes, params.lwe_dimension)
+        store.put(np.arange(netlist.num_inputs), inputs)
+
+        n_in = netlist.num_inputs
+        moved = 0
+        trace_events: List = []
+        for level in schedule.levels:
+            if level.width:
+                t0 = time.perf_counter()
+                moved += self._run_bootstrapped(
+                    netlist, store, level.bootstrapped, n_in
+                )
+                if self.trace_enabled:
+                    from .trace import TraceEvent
+
+                    trace_events.append(
+                        TraceEvent(
+                            level=level.index,
+                            kind="bootstrap",
+                            gates=level.width,
+                            start_s=t0 - start,
+                            end_s=time.perf_counter() - start,
+                        )
+                    )
+            if len(level.free):
+                t0 = time.perf_counter()
+                for gate_idx in level.free:
+                    self._run_free(netlist, store, int(gate_idx), n_in)
+                if self.trace_enabled:
+                    from .trace import TraceEvent
+
+                    trace_events.append(
+                        TraceEvent(
+                            level=level.index,
+                            kind="free",
+                            gates=len(level.free),
+                            start_s=t0 - start,
+                            end_s=time.perf_counter() - start,
+                        )
+                    )
+        outputs = store.get(netlist.outputs)
+        elapsed = time.perf_counter() - start
+        stats_bs = schedule.num_bootstrapped
+        report = ExecutionReport(
+            backend=self.name,
+            gates_total=netlist.num_gates,
+            gates_bootstrapped=stats_bs,
+            levels=schedule.depth,
+            wall_time_s=elapsed,
+            ciphertext_bytes_moved=moved,
+            tasks_submitted=stats_bs if not self.batched else schedule.depth,
+            trace=trace_events,
+        )
+        return outputs, report
+
+    def run_many(
+        self,
+        netlist: Netlist,
+        inputs: LweCiphertext,
+        schedule: Optional[Schedule] = None,
+    ) -> Tuple[LweCiphertext, ExecutionReport]:
+        """Evaluate the same netlist over many encrypted input sets.
+
+        ``inputs`` has batch shape ``(instances, num_inputs)``; the
+        result has batch shape ``(instances, num_outputs)``.  Each BFS
+        level bootstraps all instances in one vectorized call, so the
+        per-gate cost amortizes across instances — SIMD over inference
+        requests, the CPU analogue of GPU batch throughput.
+        """
+        if not self.batched:
+            raise ValueError("run_many requires the batched backend")
+        if inputs.a.ndim != 3 or inputs.batch_shape[1] != netlist.num_inputs:
+            raise ValueError(
+                "inputs must have batch shape (instances, num_inputs)"
+            )
+        instances = inputs.batch_shape[0]
+        if netlist.num_nodes * instances > MAX_FHE_NODES:
+            raise ValueError("instances * nodes exceeds the real-FHE limit")
+        schedule = schedule or build_schedule(netlist)
+        params = self.cloud_key.params
+        start = time.perf_counter()
+
+        dim = params.lwe_dimension
+        store_a = np.zeros(
+            (netlist.num_nodes, instances, dim), dtype=np.int32
+        )
+        store_b = np.zeros((netlist.num_nodes, instances), dtype=np.int32)
+        store_a[: netlist.num_inputs] = np.swapaxes(inputs.a, 0, 1)
+        store_b[: netlist.num_inputs] = np.swapaxes(inputs.b, 0, 1)
+
+        n_in = netlist.num_inputs
+        for level in schedule.levels:
+            if level.width:
+                ids = level.bootstrapped
+                codes = np.broadcast_to(
+                    netlist.ops[ids].astype(np.int64)[:, None],
+                    (len(ids), instances),
+                )
+                ca = LweCiphertext(
+                    store_a[netlist.in0[ids]], store_b[netlist.in0[ids]]
+                )
+                cb = LweCiphertext(
+                    store_a[netlist.in1[ids]], store_b[netlist.in1[ids]]
+                )
+                out = evaluate_gates_batch(self.cloud_key, codes, ca, cb)
+                store_a[ids + n_in] = out.a
+                store_b[ids + n_in] = out.b
+            for gate_idx in level.free:
+                gate = Gate(int(netlist.ops[gate_idx]))
+                node = n_in + gate_idx
+                if gate is Gate.CONST0 or gate is Gate.CONST1:
+                    ct = trivial_bit(gate is Gate.CONST1, params)
+                    store_a[node] = ct.a
+                    store_b[node] = ct.b
+                    continue
+                src = int(netlist.in0[gate_idx])
+                if gate is Gate.BUF:
+                    store_a[node] = store_a[src]
+                    store_b[node] = store_b[src]
+                elif gate is Gate.NOT:
+                    store_a[node] = wrap_int32(
+                        -store_a[src].astype(np.int64)
+                    )
+                    store_b[node] = wrap_int32(
+                        -store_b[src].astype(np.int64)
+                    )
+                else:  # pragma: no cover
+                    raise AssertionError(f"{gate.name} is not free")
+        outputs = LweCiphertext(
+            np.swapaxes(store_a[netlist.outputs], 0, 1),
+            np.swapaxes(store_b[netlist.outputs], 0, 1),
+        )
+        elapsed = time.perf_counter() - start
+        report = ExecutionReport(
+            backend=f"{self.name}-x{instances}",
+            gates_total=netlist.num_gates * instances,
+            gates_bootstrapped=schedule.num_bootstrapped * instances,
+            levels=schedule.depth,
+            wall_time_s=elapsed,
+            tasks_submitted=schedule.depth,
+        )
+        return outputs, report
+
+    def _run_bootstrapped(
+        self,
+        netlist: Netlist,
+        store: _NodeStore,
+        gate_indices: np.ndarray,
+        n_in: int,
+    ) -> int:
+        codes = netlist.ops[gate_indices].astype(np.int64)
+        ca = store.get(netlist.in0[gate_indices])
+        cb = store.get(netlist.in1[gate_indices])
+        if self.batched:
+            cap = self.max_batch or len(gate_indices)
+            parts = []
+            for start in range(0, len(gate_indices), cap):
+                stop = start + cap
+                parts.append(
+                    evaluate_gates_batch(
+                        self.cloud_key,
+                        codes[start:stop],
+                        ca[start:stop],
+                        cb[start:stop],
+                    )
+                )
+            out = (
+                parts[0]
+                if len(parts) == 1
+                else LweCiphertext(
+                    np.concatenate([p.a for p in parts]),
+                    np.concatenate([p.b for p in parts]),
+                )
+            )
+        else:
+            parts = [
+                evaluate_gate(
+                    self.cloud_key, Gate(int(codes[i])), ca[i], cb[i]
+                )
+                for i in range(len(gate_indices))
+            ]
+            out = LweCiphertext.stack(parts)
+        store.put(gate_indices + n_in, out)
+        return (ca.nbytes() + cb.nbytes() + out.nbytes())
+
+    def _run_free(
+        self, netlist: Netlist, store: _NodeStore, gate_idx: int, n_in: int
+    ) -> None:
+        gate = Gate(int(netlist.ops[gate_idx]))
+        node = n_in + gate_idx
+        params = self.cloud_key.params
+        if gate is Gate.CONST0 or gate is Gate.CONST1:
+            ct = trivial_bit(gate is Gate.CONST1, params)
+            store.a[node] = ct.a
+            store.b[node] = ct.b
+            return
+        src = int(netlist.in0[gate_idx])
+        if gate is Gate.BUF:
+            store.a[node] = store.a[src]
+            store.b[node] = store.b[src]
+        elif gate is Gate.NOT:
+            store.a[node] = wrap_int32(-store.a[src].astype(np.int64))
+            store.b[node] = wrap_int32(-np.int64(store.b[src]))
+        else:  # pragma: no cover - schedule guarantees free gates only
+            raise AssertionError(f"{gate.name} is not a free gate")

@@ -1,0 +1,93 @@
+"""Gate-level profiling (reproduces paper Fig. 7).
+
+Measures the three phases of one bootstrapped gate — the linear
+combination, the blind rotation (bootstrap proper), and the key switch
+— and relates the ciphertext communication volume to the compute time
+the way the paper's 0.094% figure does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gatetypes import Gate
+from ..tfhe.bootstrap import bootstrap_to_extracted
+from ..tfhe.gates import MU_GATE, gate_linear_input, trivial_bit
+from ..tfhe.keys import CloudKey
+from ..tfhe.keyswitch import keyswitch_apply
+
+
+@dataclass
+class GateProfile:
+    """Measured single-gate execution breakdown."""
+
+    linear_ms: float
+    blind_rotation_ms: float
+    key_switching_ms: float
+    ciphertext_bytes: int
+
+    @property
+    def total_ms(self) -> float:
+        return self.linear_ms + self.blind_rotation_ms + self.key_switching_ms
+
+    def communication_fraction(self, network_gbps: float = 1.0) -> float:
+        """Fraction of a distributed task spent moving ciphertexts.
+
+        A task ships two input ciphertexts and one output ciphertext
+        over the NIC; the paper measures 0.094% for its gigabit
+        cluster (Fig. 7).
+        """
+        bytes_moved = 3 * self.ciphertext_bytes
+        wire_ms = bytes_moved * 8 / (network_gbps * 1e9) * 1e3
+        return wire_ms / (wire_ms + self.total_ms)
+
+    def rows(self):
+        """(phase, ms, fraction) rows, Fig. 7 style."""
+        total = self.total_ms
+        return [
+            ("blind rotation", self.blind_rotation_ms, self.blind_rotation_ms / total),
+            ("key switching", self.key_switching_ms, self.key_switching_ms / total),
+            ("linear combination", self.linear_ms, self.linear_ms / total),
+        ]
+
+
+def profile_gate(
+    cloud_key: CloudKey, gate: Gate = Gate.NAND, repetitions: int = 5
+) -> GateProfile:
+    """Time the phases of one bootstrapped gate evaluation.
+
+    Uses trivial (noiseless) samples so no secret key is needed — the
+    evaluator-side work is identical.
+    """
+    params = cloud_key.params
+    ca = trivial_bit(True, params)
+    cb = trivial_bit(False, params)
+    ca = ca.__class__(ca.a[None, :], ca.b[None])
+    cb = cb.__class__(cb.a[None, :], cb.b[None])
+
+    linear_s = 0.0
+    rotate_s = 0.0
+    switch_s = 0.0
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        linear = gate_linear_input(gate, ca, cb)
+        t1 = time.perf_counter()
+        extracted = bootstrap_to_extracted(
+            linear, cloud_key.bootstrapping_key, params, MU_GATE
+        )
+        t2 = time.perf_counter()
+        keyswitch_apply(cloud_key.keyswitching_key, extracted)
+        t3 = time.perf_counter()
+        linear_s += t1 - t0
+        rotate_s += t2 - t1
+        switch_s += t3 - t2
+    scale = 1e3 / repetitions
+    return GateProfile(
+        linear_ms=linear_s * scale,
+        blind_rotation_ms=rotate_s * scale,
+        key_switching_ms=switch_s * scale,
+        ciphertext_bytes=params.ciphertext_bytes,
+    )

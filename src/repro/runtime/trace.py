@@ -1,0 +1,61 @@
+"""Execution tracing: per-level timing of real backend runs.
+
+The GPU/cluster simulators produce *modeled* timelines (Figs. 8/9);
+this records *actual* ones from the local backends, for profiling
+where a program's wall time goes level by level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class TraceEvent:
+    """One timed step of an execution."""
+
+    level: int
+    kind: str  # "bootstrap" | "free"
+    gates: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def summarize(events: List[TraceEvent]) -> dict:
+    """Aggregate statistics of a trace."""
+    bootstrap = [e for e in events if e.kind == "bootstrap"]
+    free = [e for e in events if e.kind == "free"]
+    total = sum(e.duration_s for e in events)
+    bootstrap_s = sum(e.duration_s for e in bootstrap)
+    return {
+        "levels": len(bootstrap),
+        "total_s": total,
+        "bootstrap_s": bootstrap_s,
+        "free_s": sum(e.duration_s for e in free),
+        "bootstrap_fraction": bootstrap_s / total if total else 0.0,
+        "widest_level": max((e.gates for e in bootstrap), default=0),
+    }
+
+
+def render(events: List[TraceEvent], width: int = 60) -> str:
+    """ASCII Gantt chart of a trace (one row per level)."""
+    if not events:
+        return "(empty trace)"
+    t0 = min(e.start_s for e in events)
+    t1 = max(e.end_s for e in events)
+    span = max(t1 - t0, 1e-9)
+    lines = []
+    for event in events:
+        begin = int((event.start_s - t0) / span * width)
+        length = max(1, int(event.duration_s / span * width))
+        bar = " " * begin + ("#" if event.kind == "bootstrap" else ".") * length
+        lines.append(
+            f"L{event.level:<4d} {event.kind:9s} {event.gates:6d}g "
+            f"|{bar:<{width}}| {event.duration_s * 1e3:8.1f} ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Serialization of keys, ciphertexts, and parameters.
+
+A deployment needs to ship the cloud key to the server once and move
+ciphertexts back and forth (paper Fig. 1); netlists already have their
+own wire format (:mod:`repro.isa`).  Everything here round-trips
+through ``numpy.savez_compressed`` payloads, with the parameter set
+embedded so a receiver can validate compatibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from typing import Tuple
+
+import numpy as np
+
+from .tfhe.keys import CloudKey, SecretKey
+from .tfhe.keyswitch import KeySwitchingKey
+from .tfhe.lwe import LweCiphertext
+from .tfhe.params import TFHEParameters
+from .tfhe.tgsw import TgswFFT
+
+
+def _params_to_json(params: TFHEParameters) -> str:
+    return json.dumps(dataclasses.asdict(params))
+
+
+def _params_from_json(text: str) -> TFHEParameters:
+    return TFHEParameters(**json.loads(text))
+
+
+def _pack(**arrays) -> bytes:
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _unpack(data: bytes):
+    return np.load(io.BytesIO(data), allow_pickle=False)
+
+
+# ----------------------------------------------------------------------
+# Ciphertexts
+# ----------------------------------------------------------------------
+def save_ciphertext(ct: LweCiphertext) -> bytes:
+    return _pack(a=ct.a, b=ct.b)
+
+
+def load_ciphertext(data: bytes) -> LweCiphertext:
+    loaded = _unpack(data)
+    return LweCiphertext(loaded["a"], loaded["b"])
+
+
+# ----------------------------------------------------------------------
+# Secret keys (client side only!)
+# ----------------------------------------------------------------------
+def save_secret_key(secret: SecretKey) -> bytes:
+    return _pack(
+        params=np.frombuffer(
+            _params_to_json(secret.params).encode(), dtype=np.uint8
+        ),
+        lwe_key=secret.lwe_key,
+        tlwe_key=secret.tlwe_key,
+    )
+
+
+def load_secret_key(data: bytes) -> SecretKey:
+    loaded = _unpack(data)
+    params = _params_from_json(bytes(loaded["params"]).decode())
+    return SecretKey(
+        params=params,
+        lwe_key=loaded["lwe_key"],
+        tlwe_key=loaded["tlwe_key"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Cloud keys
+# ----------------------------------------------------------------------
+def save_cloud_key(cloud: CloudKey) -> bytes:
+    spectra = np.stack([t.spectrum for t in cloud.bootstrapping_key])
+    return _pack(
+        params=np.frombuffer(
+            _params_to_json(cloud.params).encode(), dtype=np.uint8
+        ),
+        bootstrapping_key=spectra,
+        ks_a=cloud.keyswitching_key.a,
+        ks_b=cloud.keyswitching_key.b,
+    )
+
+
+def load_cloud_key(data: bytes) -> CloudKey:
+    loaded = _unpack(data)
+    params = _params_from_json(bytes(loaded["params"]).decode())
+    spectra = loaded["bootstrapping_key"]
+    bootstrapping_key = [TgswFFT(spectra[i]) for i in range(spectra.shape[0])]
+    ksk = KeySwitchingKey(
+        a=loaded["ks_a"], b=loaded["ks_b"], params=params
+    )
+    return CloudKey(
+        params=params,
+        bootstrapping_key=bootstrapping_key,
+        keyswitching_key=ksk,
+    )

@@ -1,0 +1,188 @@
+"""Netlist optimization passes — the augmented-Yosys stage of the flow.
+
+All passes are rewrites from :class:`Netlist` to :class:`Netlist`.
+The central implementation trick: replaying a netlist through a
+:class:`CircuitBuilder` with the right switches gives us constant
+folding, structural hashing (CSE), and inverter absorption in one
+mechanism, and replaying only output-reachable gates gives dead-gate
+elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..gatetypes import COMPLEMENT, Gate
+from ..hdl.builder import CircuitBuilder
+from ..hdl.netlist import NO_INPUT, Netlist
+
+
+def reachable_mask(netlist: Netlist) -> np.ndarray:
+    """Boolean mask over all nodes reachable backward from the outputs."""
+    mask = np.zeros(netlist.num_nodes, dtype=bool)
+    mask[netlist.outputs] = True
+    n_in = netlist.num_inputs
+    in0 = netlist.in0
+    in1 = netlist.in1
+    # Gates are topological, so one backward sweep suffices.
+    for idx in range(netlist.num_gates - 1, -1, -1):
+        if mask[n_in + idx]:
+            if in0[idx] != NO_INPUT:
+                mask[in0[idx]] = True
+            if in1[idx] != NO_INPUT:
+                mask[in1[idx]] = True
+    return mask
+
+
+def _replay(
+    netlist: Netlist,
+    builder: CircuitBuilder,
+    only_reachable: bool = True,
+) -> Netlist:
+    """Replay ``netlist`` through ``builder`` and return the result."""
+    mask = reachable_mask(netlist) if only_reachable else None
+    mapping: List[int] = [0] * netlist.num_nodes
+    for i in range(netlist.num_inputs):
+        mapping[i] = builder.input(netlist.input_names[i])
+    n_in = netlist.num_inputs
+    for idx in range(netlist.num_gates):
+        node = n_in + idx
+        if mask is not None and not mask[node]:
+            continue
+        gate = Gate(int(netlist.ops[idx]))
+        a = int(netlist.in0[idx])
+        b = int(netlist.in1[idx])
+        new_a = mapping[a] if a != NO_INPUT else NO_INPUT
+        new_b = mapping[b] if b != NO_INPUT else NO_INPUT
+        mapping[node] = builder.gate(gate, new_a, new_b)
+    for out, name in zip(netlist.outputs, netlist.output_names):
+        builder.output(mapping[int(out)], name)
+    return builder.build()
+
+
+def dead_gate_elimination(netlist: Netlist) -> Netlist:
+    """Drop gates not reachable from any output (no other rewriting)."""
+    builder = CircuitBuilder(
+        hash_cons=False,
+        fold_constants=False,
+        absorb_inverters=False,
+        name=netlist.name,
+    )
+    return _replay(netlist, builder, only_reachable=True)
+
+
+def optimize(
+    netlist: Netlist,
+    fold_constants: bool = True,
+    share_structure: bool = True,
+    absorb_inverters: bool = True,
+) -> Netlist:
+    """The full PyTFHE synthesis pipeline on an existing netlist."""
+    builder = CircuitBuilder(
+        hash_cons=share_structure,
+        fold_constants=fold_constants,
+        absorb_inverters=absorb_inverters,
+        name=netlist.name,
+    )
+    rewritten = _replay(netlist, builder, only_reachable=True)
+    # Folding/absorption can orphan gates (e.g. a NOT whose only user
+    # was absorbed into a composite); sweep them.
+    return dead_gate_elimination(rewritten)
+
+
+def structural_hash(netlist: Netlist) -> Netlist:
+    """CSE only (no folding, no absorption)."""
+    return optimize(
+        netlist,
+        fold_constants=False,
+        share_structure=True,
+        absorb_inverters=False,
+    )
+
+
+#: Decompositions of composite gates into the {AND, OR, NOT, XOR} base.
+_BASIC_DECOMP = {
+    Gate.NAND: ("not", Gate.AND, False, False),
+    Gate.NOR: ("not", Gate.OR, False, False),
+    Gate.XNOR: ("not", Gate.XOR, False, False),
+    Gate.ANDNY: ("plain", Gate.AND, True, False),
+    Gate.ANDYN: ("plain", Gate.AND, False, True),
+    Gate.ORNY: ("plain", Gate.OR, True, False),
+    Gate.ORYN: ("plain", Gate.OR, False, True),
+}
+
+
+def restrict_gate_set(
+    netlist: Netlist,
+    allowed: Iterable[Gate] = (Gate.AND, Gate.OR, Gate.NOT, Gate.XOR),
+) -> Netlist:
+    """Rewrite composite gates into a smaller base.
+
+    Used to model frontends like Google Transpiler whose IR only knows
+    AND/OR/NOT (and, depending on configuration, XOR): composite gates
+    become explicit inverter trees, inflating gate counts.
+    """
+    allowed_set: FrozenSet[Gate] = frozenset(Gate(g) for g in allowed)
+    for required in (Gate.AND, Gate.OR, Gate.NOT):
+        if required not in allowed_set:
+            raise ValueError("restrict_gate_set needs at least AND/OR/NOT")
+    builder = CircuitBuilder(
+        hash_cons=False,
+        fold_constants=False,
+        absorb_inverters=False,
+        name=netlist.name,
+    )
+
+    xor_allowed = Gate.XOR in allowed_set
+
+    def emit(gate: Gate, a: int, b: int) -> int:
+        if gate in allowed_set:
+            return builder.gate(gate, a, b)
+        if gate is Gate.XOR and not xor_allowed:
+            either = builder.gate(Gate.OR, a, b)
+            both = builder.gate(Gate.AND, a, b)
+            return builder.gate(
+                Gate.AND, either, builder.gate(Gate.NOT, both)
+            )
+        if gate is Gate.XNOR and not xor_allowed:
+            return builder.gate(Gate.NOT, emit(Gate.XOR, a, b))
+        decomp = _BASIC_DECOMP.get(gate)
+        if decomp is None:
+            raise ValueError(f"cannot decompose {gate.name}")
+        kind, base, invert_a, invert_b = decomp
+        if invert_a:
+            a = builder.gate(Gate.NOT, a)
+        if invert_b:
+            b = builder.gate(Gate.NOT, b)
+        if kind == "not":
+            return builder.gate(Gate.NOT, emit(base, a, b))
+        return builder.gate(base, a, b)
+
+    mapping: List[int] = [0] * netlist.num_nodes
+    for i in range(netlist.num_inputs):
+        mapping[i] = builder.input(netlist.input_names[i])
+    n_in = netlist.num_inputs
+    for idx in range(netlist.num_gates):
+        gate = Gate(int(netlist.ops[idx]))
+        a = int(netlist.in0[idx])
+        b = int(netlist.in1[idx])
+        if gate.arity == 0:
+            if gate not in allowed_set and gate not in (
+                Gate.CONST0,
+                Gate.CONST1,
+            ):
+                raise ValueError(f"cannot decompose {gate.name}")
+            mapping[n_in + idx] = builder.gate(gate)
+        elif gate.arity == 1:
+            target = mapping[a]
+            if gate is Gate.BUF:
+                mapping[n_in + idx] = builder.gate(Gate.BUF, target)
+            else:
+                mapping[n_in + idx] = builder.gate(Gate.NOT, target)
+        else:
+            mapping[n_in + idx] = emit(gate, mapping[a], mapping[b])
+    for out, name in zip(netlist.outputs, netlist.output_names):
+        builder.output(mapping[int(out)], name)
+    return builder.build()

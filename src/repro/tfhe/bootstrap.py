@@ -1,0 +1,82 @@
+"""Programmable bootstrapping: blind rotation + extraction.
+
+The bootstrap takes a (noisy) LWE sample under the small key and
+returns a *fresh* LWE sample under the extracted key whose message is
+``+mu`` when the input phase is in (0, 1/2) and ``-mu`` otherwise.
+Everything is batched: a whole level of gates bootstraps as one numpy
+computation, which is also the functional analogue of the paper's GPU
+batch execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .lwe import LweCiphertext
+from .params import TFHEParameters
+from .polynomial import negacyclic_shift
+from .tgsw import TgswFFT, external_product
+from .tlwe import tlwe_extract_lwe
+from .torus import wrap_int32
+
+
+def _round_to_2n(values: np.ndarray, two_n: int) -> np.ndarray:
+    """Round torus elements to multiples of 1/2N, returned in [0, 2N)."""
+    log2_two_n = int(two_n).bit_length() - 1
+    shift = 32 - log2_two_n
+    as_int = values.view(np.uint32).astype(np.int64)
+    return ((as_int + (1 << (shift - 1))) >> shift) & (two_n - 1)
+
+
+def blind_rotate(
+    test_poly: np.ndarray,
+    ct: LweCiphertext,
+    bootstrapping_key: Sequence[TgswFFT],
+    params: TFHEParameters,
+) -> np.ndarray:
+    """Rotate ``test_poly`` by the (rounded) phase of each sample.
+
+    Returns TLWE sample(s) of shape ``batch + (k+1, N)`` whose message
+    is ``X**(-phase_rounded) * test_poly``.
+    """
+    n_lwe = params.lwe_dimension
+    big_n = params.tlwe_degree
+    two_n = 2 * big_n
+    k = params.tlwe_k
+
+    bara = _round_to_2n(ct.a, two_n)  # batch + (n,)
+    barb = _round_to_2n(ct.b, two_n)  # batch
+
+    batch_shape = ct.batch_shape
+    acc = np.zeros(batch_shape + (k + 1, big_n), dtype=np.int32)
+    acc[..., k, :] = negacyclic_shift(
+        np.broadcast_to(test_poly, batch_shape + (big_n,)), two_n - barb
+    )
+
+    for i in range(n_lwe):
+        amounts = bara[..., i]
+        if not np.any(amounts):
+            continue
+        rotated = negacyclic_shift(acc, amounts[..., None])
+        diff = wrap_int32(rotated.astype(np.int64) - acc.astype(np.int64))
+        acc = wrap_int32(
+            acc.astype(np.int64)
+            + external_product(bootstrapping_key[i], diff, params).astype(
+                np.int64
+            )
+        )
+    return acc
+
+
+def bootstrap_to_extracted(
+    ct: LweCiphertext,
+    bootstrapping_key: Sequence[TgswFFT],
+    params: TFHEParameters,
+    mu: np.int32,
+) -> LweCiphertext:
+    """Bootstrap sample(s) to LWE(±mu) under the extracted key."""
+    test_poly = np.full(params.tlwe_degree, np.int32(mu), dtype=np.int32)
+    acc = blind_rotate(test_poly, ct, bootstrapping_key, params)
+    return tlwe_extract_lwe(acc, params)

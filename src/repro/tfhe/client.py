@@ -1,0 +1,30 @@
+"""Client-side encrypt / decrypt helpers for bit vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gates import MU_GATE
+from .keys import SecretKey
+from .lwe import LweCiphertext, lwe_decrypt_bit, lwe_encrypt
+from .torus import wrap_int32
+
+
+def encrypt_bits(
+    secret: SecretKey, bits, rng: np.random.Generator = None
+) -> LweCiphertext:
+    """Encrypt an array of booleans as LWE samples with messages ±1/8."""
+    if rng is None:
+        rng = np.random.default_rng()
+    bit_arr = np.asarray(bits).astype(bool)
+    mu = np.where(
+        bit_arr, np.int64(MU_GATE), -np.int64(MU_GATE)
+    )
+    return lwe_encrypt(
+        secret.lwe_key, wrap_int32(mu), secret.params.lwe_noise_std, rng
+    )
+
+
+def decrypt_bits(secret: SecretKey, ct: LweCiphertext) -> np.ndarray:
+    """Decrypt gate-encoded LWE samples back to booleans."""
+    return lwe_decrypt_bit(secret.lwe_key, ct)

@@ -1,0 +1,143 @@
+"""LWE-to-LWE key switching.
+
+After bootstrapping, the result lives under the *extracted* key of
+dimension ``k*N``.  The key-switching key re-encrypts it under the
+small LWE key of dimension ``n`` so the next gate's linear combination
+stays cheap.
+
+The apply path is expressed as dense matrix products: the digit
+decomposition of the input mask is one-hot encoded per digit value and
+multiplied against per-value slices of the key-switch table.  Products
+of 0/1 masks with int32 table entries stay below 2**53, so the float64
+BLAS accumulation is exact before the final mod-2**32 wrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .lwe import LweCiphertext, lwe_encrypt
+from .params import TFHEParameters
+from .torus import wrap_int32
+
+
+@dataclass
+class KeySwitchingKey:
+    """Precomputed key-switch table.
+
+    ``a`` has shape ``(kN, t, base, n)`` and ``b`` shape
+    ``(kN, t, base)``; entry ``[i, j, v]`` encrypts
+    ``v * s'_i * 2**(32 - (j+1)*basebit)`` under the small key.  The
+    ``v = 0`` entries are exact zero samples so zero digits contribute
+    nothing (this mirrors the TFHE library skipping zero digits).
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    params: TFHEParameters
+    _float_tables: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def nbytes(self) -> int:
+        return self.a.nbytes + self.b.nbytes
+
+    def float_tables(self) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Per-digit-value flattened float64 views (cached)."""
+        if self._float_tables is None:
+            kn = self.params.extracted_lwe_dimension
+            t = self.params.ks_decomp_length
+            n = self.params.lwe_dimension
+            tables: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+            for v in range(1, self.params.ks_base):
+                a_slice = (
+                    self.a[:, :, v, :]
+                    .reshape(kn * t, n)
+                    .astype(np.float64)
+                )
+                b_slice = self.b[:, :, v].reshape(kn * t).astype(np.float64)
+                tables[v] = (a_slice, b_slice)
+            self._float_tables = tables
+        return self._float_tables
+
+
+def keyswitch_key_gen(
+    extracted_key: np.ndarray,
+    small_key: np.ndarray,
+    params: TFHEParameters,
+    rng: np.random.Generator,
+) -> KeySwitchingKey:
+    t = params.ks_decomp_length
+    base = params.ks_base
+    gamma = params.ks_decomp_log2_base
+
+    factors = np.array(
+        [1 << (32 - (j + 1) * gamma) for j in range(t)], dtype=np.int64
+    )
+    v = np.arange(base, dtype=np.int64)
+    mu = wrap_int32(
+        extracted_key.astype(np.int64)[:, None, None]
+        * factors[None, :, None]
+        * v[None, None, :]
+    )
+    ct = lwe_encrypt(small_key, mu, params.lwe_noise_std, rng)
+    a = ct.a.copy()
+    b = ct.b.copy()
+    # Make the v == 0 entries exact zeros (a no-op when summed).
+    a[:, :, 0, :] = 0
+    b[:, :, 0] = 0
+    return KeySwitchingKey(a=a, b=b, params=params)
+
+
+def keyswitch_apply(
+    ksk: KeySwitchingKey, ct: LweCiphertext, chunk: int = 4096
+) -> LweCiphertext:
+    """Switch extracted-key sample(s) to the small key.
+
+    ``ct`` is a batch of samples of dimension ``k*N``; the result is a
+    batch of dimension ``n``.  Work is chunked along the batch axis to
+    bound the footprint of the one-hot temporaries.
+    """
+    params = ksk.params
+    t = params.ks_decomp_length
+    base = params.ks_base
+    gamma = params.ks_decomp_log2_base
+    kn = params.extracted_lwe_dimension
+    n = params.lwe_dimension
+
+    batch_shape = ct.batch_shape
+    a_in = ct.a.reshape((-1, kn))
+    b_in = ct.b.reshape((-1,))
+    total = a_in.shape[0]
+
+    tables = ksk.float_tables()
+    shifts = np.array(
+        [32 - (j + 1) * gamma for j in range(t)], dtype=np.int64
+    )
+    round_offset = 1 << (32 - t * gamma - 1)
+
+    out_a = np.empty((total, n), dtype=np.int64)
+    out_b = np.empty(total, dtype=np.int64)
+    for start in range(0, total, chunk):
+        stop = min(start + chunk, total)
+        values = (
+            a_in[start:stop].view(np.uint32).astype(np.int64) + round_offset
+        )
+        digits = (values[:, :, None] >> shifts[None, None, :]) & (base - 1)
+        digits = digits.reshape(stop - start, kn * t)
+        acc_a = np.zeros((stop - start, n), dtype=np.float64)
+        acc_b = b_in[start:stop].astype(np.float64)
+        for v, (a_slice, b_slice) in tables.items():
+            mask = (digits == v).astype(np.float64)
+            acc_a -= mask @ a_slice
+            acc_b -= mask @ b_slice
+        out_a[start:stop] = acc_a.astype(np.int64)
+        out_b[start:stop] = acc_b.astype(np.int64)
+
+    return LweCiphertext(
+        wrap_int32(out_a).reshape(batch_shape + (n,)),
+        wrap_int32(out_b).reshape(batch_shape),
+    )

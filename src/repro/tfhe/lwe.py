@@ -1,0 +1,141 @@
+"""LWE samples over the discretized torus.
+
+An LWE sample is a pair ``(a, b)`` with mask ``a`` in T^n and body
+``b = <a, s> + mu + e``.  Ciphertexts here are *batched*: ``a`` has
+shape ``(..., n)`` and ``b`` shape ``(...,)``, so a whole layer of gate
+inputs travels through numpy as one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .torus import gaussian_torus, uniform_torus, wrap_int32
+
+
+@dataclass
+class LweCiphertext:
+    """A batch of LWE samples.
+
+    Attributes
+    ----------
+    a:
+        Mask coefficients, int32 array of shape ``batch_shape + (n,)``.
+    b:
+        Bodies, int32 array of shape ``batch_shape``.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=np.int32)
+        self.b = np.asarray(self.b, dtype=np.int32)
+        if self.a.shape[:-1] != self.b.shape:
+            raise ValueError(
+                f"mask batch shape {self.a.shape[:-1]} != body shape {self.b.shape}"
+            )
+
+    @property
+    def dimension(self) -> int:
+        return self.a.shape[-1]
+
+    @property
+    def batch_shape(self):
+        return self.b.shape
+
+    def __len__(self) -> int:
+        if self.b.ndim == 0:
+            raise TypeError("scalar ciphertext has no length")
+        return self.b.shape[0]
+
+    def __getitem__(self, index) -> "LweCiphertext":
+        return LweCiphertext(self.a[index], self.b[index])
+
+    def copy(self) -> "LweCiphertext":
+        return LweCiphertext(self.a.copy(), self.b.copy())
+
+    def __add__(self, other: "LweCiphertext") -> "LweCiphertext":
+        return LweCiphertext(
+            wrap_int32(self.a.astype(np.int64) + other.a.astype(np.int64)),
+            wrap_int32(self.b.astype(np.int64) + other.b.astype(np.int64)),
+        )
+
+    def __sub__(self, other: "LweCiphertext") -> "LweCiphertext":
+        return LweCiphertext(
+            wrap_int32(self.a.astype(np.int64) - other.a.astype(np.int64)),
+            wrap_int32(self.b.astype(np.int64) - other.b.astype(np.int64)),
+        )
+
+    def __neg__(self) -> "LweCiphertext":
+        return LweCiphertext(
+            wrap_int32(-self.a.astype(np.int64)),
+            wrap_int32(-self.b.astype(np.int64)),
+        )
+
+    def scale(self, factor: int) -> "LweCiphertext":
+        """Multiply the encrypted message (and noise) by an integer."""
+        return LweCiphertext(
+            wrap_int32(self.a.astype(np.int64) * factor),
+            wrap_int32(self.b.astype(np.int64) * factor),
+        )
+
+    def add_constant(self, mu) -> "LweCiphertext":
+        """Homomorphically add a plaintext torus constant."""
+        return LweCiphertext(
+            self.a,
+            wrap_int32(self.b.astype(np.int64) + np.int64(np.int32(mu))),
+        )
+
+    @staticmethod
+    def stack(parts) -> "LweCiphertext":
+        parts = list(parts)
+        return LweCiphertext(
+            np.stack([p.a for p in parts]), np.stack([p.b for p in parts])
+        )
+
+    def nbytes(self) -> int:
+        return self.a.nbytes + self.b.nbytes
+
+
+def lwe_trivial(mu, dimension: int) -> LweCiphertext:
+    """Noiseless 'encryption' of ``mu`` under any key (mask = 0)."""
+    body = np.asarray(mu, dtype=np.int32)
+    return LweCiphertext(
+        np.zeros(body.shape + (dimension,), dtype=np.int32), body
+    )
+
+
+def lwe_encrypt(
+    key: np.ndarray,
+    mu,
+    noise_std: float,
+    rng: np.random.Generator,
+) -> LweCiphertext:
+    """Encrypt torus message(s) ``mu`` under binary LWE ``key``."""
+    key = np.asarray(key, dtype=np.int64)
+    mu_arr = np.asarray(mu, dtype=np.int32)
+    n = key.shape[0]
+    a = uniform_torus(mu_arr.shape + (n,), rng)
+    noise = gaussian_torus(noise_std, mu_arr.shape, rng)
+    b = wrap_int32(
+        a.astype(np.int64) @ key
+        + mu_arr.astype(np.int64)
+        + noise.astype(np.int64)
+    )
+    return LweCiphertext(a, b)
+
+
+def lwe_phase(key: np.ndarray, ct: LweCiphertext) -> np.ndarray:
+    """Compute ``b - <a, s>`` — the noisy message, as int32 torus."""
+    key = np.asarray(key, dtype=np.int64)
+    return wrap_int32(
+        ct.b.astype(np.int64) - ct.a.astype(np.int64) @ key
+    )
+
+
+def lwe_decrypt_bit(key: np.ndarray, ct: LweCiphertext) -> np.ndarray:
+    """Decrypt gate-encoded samples (message ±1/8): True iff phase > 0."""
+    return lwe_phase(key, ct) > 0

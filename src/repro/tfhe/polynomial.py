@@ -1,0 +1,118 @@
+"""Negacyclic polynomial arithmetic over the discretized torus.
+
+All bootstrapping math happens in the ring T_N[X] = T[X]/(X^N + 1).
+Products of an *integer* polynomial by a *torus* polynomial are computed
+with a twisted complex FFT, the same double-precision strategy the TFHE
+library uses: FFT rounding errors land below the cryptographic noise
+floor and are absorbed by it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .torus import wrap_int32
+
+
+class NegacyclicRing:
+    """FFT helper for Z[X]/(X^N+1) products with batching support.
+
+    The negacyclic convolution of length ``N`` is computed as a cyclic
+    convolution of length ``N`` after "twisting" the inputs by the 2N-th
+    roots of unity.
+    """
+
+    def __init__(self, degree: int):
+        if degree & (degree - 1):
+            raise ValueError("degree must be a power of two")
+        self.degree = degree
+        j = np.arange(degree)
+        self._twist = np.exp(1j * np.pi * j / degree)
+        self._untwist = np.exp(-1j * np.pi * j / degree)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Twisted FFT of integer/torus coefficient arrays (..., N)."""
+        return np.fft.fft(
+            np.asarray(coeffs, dtype=np.float64) * self._twist, axis=-1
+        )
+
+    def backward(self, spectrum: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward`, rounded back onto int32 torus."""
+        coeffs = np.fft.ifft(spectrum, axis=-1) * self._untwist
+        return wrap_int32(np.round(coeffs.real).astype(np.int64))
+
+    def multiply(self, int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:
+        """Product of an integer polynomial with a torus polynomial."""
+        return self.backward(self.forward(int_poly) * self.forward(torus_poly))
+
+
+_RING_CACHE: Dict[int, NegacyclicRing] = {}
+
+
+def get_ring(degree: int) -> NegacyclicRing:
+    """Return the (cached) ring helper for polynomials of degree ``N``."""
+    ring = _RING_CACHE.get(degree)
+    if ring is None:
+        ring = NegacyclicRing(degree)
+        _RING_CACHE[degree] = ring
+    return ring
+
+
+def negacyclic_multiply_naive(
+    int_poly: np.ndarray, torus_poly: np.ndarray
+) -> np.ndarray:
+    """Schoolbook negacyclic product (reference; O(N^2), exact)."""
+    a = np.asarray(int_poly, dtype=np.int64)
+    b = np.asarray(torus_poly, dtype=np.int64)
+    n = a.shape[-1]
+    if b.shape[-1] != n:
+        raise ValueError("polynomial degrees differ")
+    result = np.zeros(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)
+    a, b = np.broadcast_arrays(a, b)
+    for shift in range(n):
+        term = a[..., shift : shift + 1] * np.roll(b, shift, axis=-1)
+        term[..., :shift] = -term[..., :shift]
+        result += term
+    return wrap_int32(result)
+
+
+def negacyclic_shift(poly: np.ndarray, amount) -> np.ndarray:
+    """Multiply polynomial(s) by ``X**amount`` in T[X]/(X^N+1).
+
+    ``amount`` may be a scalar or an integer array broadcastable against
+    the leading (batch) dimensions of ``poly``; it is interpreted modulo
+    ``2N`` (a shift by ``N`` negates the polynomial).
+    """
+    poly = np.asarray(poly)
+    n = poly.shape[-1]
+    amount_arr = np.asarray(amount, dtype=np.int64) % (2 * n)
+    if amount_arr.ndim == 0:
+        return _shift_scalar(poly, int(amount_arr))
+
+    # Per-batch shifts: result[..., j] = sign * poly[..., (j - k) mod 2N].
+    k = amount_arr.reshape(amount_arr.shape + (1,) * (poly.ndim - amount_arr.ndim))
+    j = np.arange(n)
+    src = (j - k) % (2 * n)
+    sign = np.where(src >= n, -1, 1).astype(poly.dtype)
+    src = src % n
+    src_b = np.broadcast_to(src, poly.shape)
+    sign_b = np.broadcast_to(sign, poly.shape)
+    gathered = np.take_along_axis(poly, src_b, axis=-1)
+    return wrap_int32(gathered.astype(np.int64) * sign_b.astype(np.int64))
+
+
+def _shift_scalar(poly: np.ndarray, amount: int) -> np.ndarray:
+    n = poly.shape[-1]
+    amount %= 2 * n
+    negate = amount >= n
+    amount %= n
+    rolled = np.roll(poly, amount, axis=-1)
+    if amount:
+        rolled[..., :amount] = wrap_int32(
+            -rolled[..., :amount].astype(np.int64)
+        )
+    if negate:
+        rolled = wrap_int32(-rolled.astype(np.int64))
+    return rolled

@@ -1,0 +1,130 @@
+"""TGSW samples, gadget decomposition, and the external product.
+
+A TGSW sample encrypting an integer ``mu`` is a stack of ``(k+1)*l``
+TLWE zero-encryptions with ``mu`` times the gadget matrix added.  The
+external product TGSW ⊡ TLWE is the workhorse of blind rotation; it is
+evaluated in the FFT domain with the TGSW rows pre-transformed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import TFHEParameters
+from .polynomial import get_ring
+from .tlwe import tlwe_encrypt_zero
+from .torus import wrap_int32
+
+
+def gadget_values(params: TFHEParameters) -> np.ndarray:
+    """The gadget scaling factors ``2**(32 - (j+1)*Bgbit)`` for j < l."""
+    beta = params.bs_decomp_log2_base
+    return np.array(
+        [1 << (32 - (j + 1) * beta) for j in range(params.bs_decomp_length)],
+        dtype=np.int64,
+    )
+
+
+def tgsw_encrypt_int(
+    key: np.ndarray,
+    mu: int,
+    params: TFHEParameters,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Encrypt the integer ``mu`` (as a constant polynomial) in TGSW.
+
+    Returns an int32 array of shape ``((k+1)*l, k+1, N)``.
+    """
+    k, ell = params.tlwe_k, params.bs_decomp_length
+    rows = (k + 1) * ell
+    sample = tlwe_encrypt_zero(key, params, rng, batch_shape=(rows,))
+    factors = gadget_values(params)
+    for i in range(k + 1):
+        for j in range(ell):
+            row = i * ell + j
+            sample[row, i, 0] = wrap_int32(
+                sample[row, i, 0].astype(np.int64) + mu * factors[j]
+            )
+    return sample
+
+
+def decomposition_offset(params: TFHEParameters) -> int:
+    """Rounding offset for the signed gadget decomposition."""
+    beta = params.bs_decomp_log2_base
+    half_base = 1 << (beta - 1)
+    offset = 0
+    for j in range(params.bs_decomp_length):
+        offset += half_base << (32 - (j + 1) * beta)
+    return offset
+
+
+def tgsw_decompose(tlwe: np.ndarray, params: TFHEParameters) -> np.ndarray:
+    """Signed gadget decomposition of TLWE sample(s).
+
+    Input shape ``batch + (k+1, N)``; output ``batch + ((k+1)*l, N)``
+    with digits in ``[-Bg/2, Bg/2)`` such that
+    ``sum_j digit_j * 2**(32-(j+1)*beta)`` approximates each torus
+    coefficient.
+    """
+    k, ell = params.tlwe_k, params.bs_decomp_length
+    beta = params.bs_decomp_log2_base
+    base = 1 << beta
+    half_base = base >> 1
+
+    values = tlwe.view(np.uint32).astype(np.int64) + decomposition_offset(params)
+    batch = tlwe.shape[:-2]
+    n = params.tlwe_degree
+    digits = np.empty(batch + ((k + 1) * ell, n), dtype=np.int64)
+    for i in range(k + 1):
+        for j in range(ell):
+            shift = 32 - (j + 1) * beta
+            digits[..., i * ell + j, :] = (
+                (values[..., i, :] >> shift) & (base - 1)
+            ) - half_base
+    return digits
+
+
+@dataclass
+class TgswFFT:
+    """A TGSW sample pre-transformed into the FFT domain.
+
+    ``spectrum`` has shape ``((k+1)*l, k+1, N)`` complex128.
+    """
+
+    spectrum: np.ndarray
+
+    @staticmethod
+    def from_sample(sample: np.ndarray, params: TFHEParameters) -> "TgswFFT":
+        ring = get_ring(params.tlwe_degree)
+        return TgswFFT(ring.forward(sample))
+
+
+def external_product(
+    tgsw_fft: TgswFFT, tlwe: np.ndarray, params: TFHEParameters
+) -> np.ndarray:
+    """TGSW ⊡ TLWE, batched over the leading dimensions of ``tlwe``."""
+    ring = get_ring(params.tlwe_degree)
+    digits = tgsw_decompose(tlwe, params)
+    digit_spec = ring.forward(digits)
+    out_spec = np.einsum(
+        "...rn,rcn->...cn", digit_spec, tgsw_fft.spectrum, optimize=True
+    )
+    return ring.backward(out_spec)
+
+
+def cmux(
+    tgsw_fft: TgswFFT,
+    when_true: np.ndarray,
+    when_false: np.ndarray,
+    params: TFHEParameters,
+) -> np.ndarray:
+    """Homomorphic select: TGSW(1) yields ``when_true``, TGSW(0) the other."""
+    diff = wrap_int32(
+        when_true.astype(np.int64) - when_false.astype(np.int64)
+    )
+    return wrap_int32(
+        when_false.astype(np.int64)
+        + external_product(tgsw_fft, diff, params).astype(np.int64)
+    )

@@ -1,0 +1,92 @@
+"""TLWE (ring-LWE over the torus) samples.
+
+A TLWE sample is ``(a_1..a_k, b)`` where each component is a torus
+polynomial of degree N.  Samples are stored as int32 arrays of shape
+``batch_shape + (k+1, N)`` with the body ``b`` in the last component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lwe import LweCiphertext
+from .params import TFHEParameters
+from .polynomial import get_ring
+from .torus import gaussian_torus, uniform_torus, wrap_int32
+
+
+def tlwe_key_gen(params: TFHEParameters, rng: np.random.Generator) -> np.ndarray:
+    """Sample a binary TLWE key of shape ``(k, N)``."""
+    return rng.integers(
+        0, 2, size=(params.tlwe_k, params.tlwe_degree), dtype=np.int64
+    ).astype(np.int32)
+
+
+def tlwe_zero(params: TFHEParameters, batch_shape=()) -> np.ndarray:
+    """The all-zero (trivial) TLWE sample."""
+    k, n = params.tlwe_k, params.tlwe_degree
+    return np.zeros(tuple(batch_shape) + (k + 1, n), dtype=np.int32)
+
+
+def tlwe_trivial(mu_poly: np.ndarray, params: TFHEParameters) -> np.ndarray:
+    """Noiseless sample whose body is the torus polynomial ``mu_poly``."""
+    sample = tlwe_zero(params, np.asarray(mu_poly).shape[:-1])
+    sample[..., -1, :] = mu_poly
+    return sample
+
+
+def tlwe_encrypt_zero(
+    key: np.ndarray,
+    params: TFHEParameters,
+    rng: np.random.Generator,
+    batch_shape=(),
+) -> np.ndarray:
+    """Encrypt the zero polynomial: ``b = sum a_i * s_i + e``."""
+    k, n = params.tlwe_k, params.tlwe_degree
+    ring = get_ring(n)
+    a = uniform_torus(tuple(batch_shape) + (k, n), rng)
+    noise = gaussian_torus(
+        params.tlwe_noise_std, tuple(batch_shape) + (n,), rng
+    )
+    body = noise.astype(np.int64)
+    for i in range(k):
+        body = body + ring.multiply(key[i], a[..., i, :]).astype(np.int64)
+    sample = np.empty(tuple(batch_shape) + (k + 1, n), dtype=np.int32)
+    sample[..., :k, :] = a
+    sample[..., k, :] = wrap_int32(body)
+    return sample
+
+
+def tlwe_phase(
+    key: np.ndarray, sample: np.ndarray, params: TFHEParameters
+) -> np.ndarray:
+    """``b - sum a_i * s_i`` — the noisy message polynomial."""
+    k, n = params.tlwe_k, params.tlwe_degree
+    ring = get_ring(n)
+    phase = sample[..., k, :].astype(np.int64)
+    for i in range(k):
+        phase = phase - ring.multiply(key[i], sample[..., i, :]).astype(np.int64)
+    return wrap_int32(phase)
+
+
+def tlwe_extract_lwe(
+    sample: np.ndarray, params: TFHEParameters
+) -> LweCiphertext:
+    """Extract the constant coefficient as an LWE sample of dim ``k*N``.
+
+    The extracted sample decrypts under :func:`tlwe_extract_key` of the
+    same TLWE key.
+    """
+    k, n = params.tlwe_k, params.tlwe_degree
+    a = sample[..., :k, :]
+    batch_shape = sample.shape[:-2]
+    ext = np.empty(batch_shape + (k, n), dtype=np.int32)
+    ext[..., 0] = a[..., 0]
+    ext[..., 1:] = wrap_int32(-a[..., :0:-1].astype(np.int64))
+    body = sample[..., k, 0]
+    return LweCiphertext(ext.reshape(batch_shape + (k * n,)), body)
+
+
+def tlwe_extract_key(key: np.ndarray) -> np.ndarray:
+    """Flatten a TLWE key into the matching extracted-LWE key."""
+    return np.asarray(key, dtype=np.int32).reshape(-1)

@@ -1,0 +1,67 @@
+"""Discretized torus arithmetic.
+
+The real torus T = R/Z is discretized to 32 bits: a torus element is an
+``int32`` whose value ``t`` represents ``t / 2**32`` (in [-1/2, 1/2)
+when interpreted as a signed integer).  Addition on the torus is exact
+int32 wrap-around addition; multiplication by an integer is exact
+wrap-around multiplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+TORUS_DTYPE = np.int32
+_TWO32 = 1 << 32
+
+
+def wrap_int32(values: np.ndarray) -> np.ndarray:
+    """Reduce arbitrary-precision integers modulo 2**32 into int32."""
+    arr = np.asarray(values, dtype=np.int64)
+    return (arr & 0xFFFFFFFF).astype(np.uint32).view(np.int32).copy()
+
+
+def double_to_torus(values) -> np.ndarray:
+    """Convert real numbers (interpreted mod 1) to torus elements."""
+    arr = np.asarray(values, dtype=np.float64)
+    scaled = np.round(np.mod(arr, 1.0) * _TWO32).astype(np.int64)
+    return wrap_int32(scaled)
+
+
+def torus_to_double(values: np.ndarray) -> np.ndarray:
+    """Convert torus elements to reals in [-1/2, 1/2)."""
+    return np.asarray(values, dtype=np.int64) / _TWO32
+
+
+def fraction_to_torus(numerator: int, denominator: int) -> np.int32:
+    """Exact torus encoding of the rational ``numerator/denominator``.
+
+    Used for the canonical gate constants (±1/8, ±1/4, ...), which must
+    be exact for the bootstrap margins of the paper's gate formulas.
+    """
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    value = (numerator * _TWO32) // denominator
+    return wrap_int32(np.asarray(value))[()]
+
+
+def gaussian_torus(std: float, shape, rng: np.random.Generator) -> np.ndarray:
+    """Sample torus elements from a centered Gaussian with deviation ``std``.
+
+    ``std`` is expressed in torus units (fractions of 1).
+    """
+    noise = rng.normal(0.0, std, size=shape)
+    return wrap_int32(np.round(noise * _TWO32).astype(np.int64))
+
+
+def uniform_torus(shape, rng: np.random.Generator) -> np.ndarray:
+    """Sample uniformly random torus elements."""
+    return rng.integers(0, _TWO32, size=shape, dtype=np.uint32).view(np.int32)
+
+
+def torus_distance(a, b) -> np.ndarray:
+    """Absolute distance on the torus, in torus units (range [0, 1/2])."""
+    diff = wrap_int32(
+        np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    )
+    return np.abs(diff.astype(np.int64)) / _TWO32

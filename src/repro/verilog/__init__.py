@@ -1,0 +1,6 @@
+"""Structural Verilog emission and parsing."""
+
+from .emit import emit_verilog
+from .parse import VerilogParseError, parse_verilog
+
+__all__ = ["VerilogParseError", "emit_verilog", "parse_verilog"]

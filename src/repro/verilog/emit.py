@@ -1,0 +1,73 @@
+"""Structural Verilog emission.
+
+ChiselTorch in the paper elaborates to Verilog before Yosys synthesis;
+we keep that interface alive by emitting (and, in
+:mod:`repro.verilog.parse`, re-reading) a canonical structural subset:
+one continuous ``assign`` per gate, ``1'b0``/``1'b1`` constants, and
+sanitized flat identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..gatetypes import Gate
+from ..hdl.netlist import Netlist
+
+_FORMATS: Dict[Gate, str] = {
+    Gate.AND: "{a} & {b}",
+    Gate.NAND: "~({a} & {b})",
+    Gate.OR: "{a} | {b}",
+    Gate.NOR: "~({a} | {b})",
+    Gate.XOR: "{a} ^ {b}",
+    Gate.XNOR: "~({a} ^ {b})",
+    Gate.NOT: "~{a}",
+    Gate.BUF: "{a}",
+    Gate.ANDNY: "~{a} & {b}",
+    Gate.ANDYN: "{a} & ~{b}",
+    Gate.ORNY: "~{a} | {b}",
+    Gate.ORYN: "{a} | ~{b}",
+    Gate.CONST0: "1'b0",
+    Gate.CONST1: "1'b1",
+}
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if not text or text[0].isdigit():
+        text = "v_" + text
+    return text
+
+
+def emit_verilog(netlist: Netlist, module_name: str = "pytfhe_top") -> str:
+    """Render a netlist as a single flat structural-Verilog module."""
+    in_names = [f"in_{i}" for i in range(netlist.num_inputs)]
+    out_names = [f"out_{i}" for i in range(netlist.num_outputs)]
+
+    def ref(node: int) -> str:
+        if node < netlist.num_inputs:
+            return in_names[node]
+        return f"g_{node - netlist.num_inputs}"
+
+    lines: List[str] = []
+    ports = ", ".join(in_names + out_names)
+    lines.append(f"module {_sanitize(module_name)}({ports});")
+    for name in in_names:
+        lines.append(f"  input {name};")
+    for name in out_names:
+        lines.append(f"  output {name};")
+    for idx in range(netlist.num_gates):
+        lines.append(f"  wire g_{idx};")
+    for idx in range(netlist.num_gates):
+        gate = Gate(int(netlist.ops[idx]))
+        fmt = _FORMATS[gate]
+        a = ref(int(netlist.in0[idx])) if gate.arity >= 1 else ""
+        b = ref(int(netlist.in1[idx])) if gate.arity == 2 else ""
+        lines.append(f"  assign g_{idx} = {fmt.format(a=a, b=b)};")
+    for j, out in enumerate(netlist.outputs):
+        lines.append(f"  assign {out_names[j]} = {ref(int(out))};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

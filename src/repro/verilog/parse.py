@@ -1,0 +1,125 @@
+"""Parser for the canonical structural-Verilog subset we emit.
+
+Round-trips :func:`repro.verilog.emit.emit_verilog` output back into a
+:class:`Netlist`.  The grammar is deliberately small: one module, one
+``assign`` per gate, expression shapes exactly as the emitter writes
+them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..gatetypes import Gate
+from ..hdl.netlist import NO_INPUT, Netlist
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.S
+)
+_DECL_RE = re.compile(r"(input|output|wire)\s+(\w+)\s*;")
+_ASSIGN_RE = re.compile(r"assign\s+(\w+)\s*=\s*(.+?)\s*;")
+
+#: Expression shapes, tried in order (most specific first).
+_PATTERNS: List[Tuple[re.Pattern, Gate]] = [
+    (re.compile(r"^~\(\s*(\w+)\s*&\s*(\w+)\s*\)$"), Gate.NAND),
+    (re.compile(r"^~\(\s*(\w+)\s*\|\s*(\w+)\s*\)$"), Gate.NOR),
+    (re.compile(r"^~\(\s*(\w+)\s*\^\s*(\w+)\s*\)$"), Gate.XNOR),
+    (re.compile(r"^~(\w+)\s*&\s*(\w+)$"), Gate.ANDNY),
+    (re.compile(r"^(\w+)\s*&\s*~(\w+)$"), Gate.ANDYN),
+    (re.compile(r"^~(\w+)\s*\|\s*(\w+)$"), Gate.ORNY),
+    (re.compile(r"^(\w+)\s*\|\s*~(\w+)$"), Gate.ORYN),
+    (re.compile(r"^(\w+)\s*&\s*(\w+)$"), Gate.AND),
+    (re.compile(r"^(\w+)\s*\|\s*(\w+)$"), Gate.OR),
+    (re.compile(r"^(\w+)\s*\^\s*(\w+)$"), Gate.XOR),
+    (re.compile(r"^~(\w+)$"), Gate.NOT),
+]
+
+
+class VerilogParseError(ValueError):
+    pass
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse one flat structural module into a netlist."""
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogParseError("no module declaration found")
+    name = module.group("name")
+
+    inputs: List[str] = []
+    output_ports: List[str] = []
+    for kind, ident in _DECL_RE.findall(text):
+        if kind == "input":
+            inputs.append(ident)
+        elif kind == "output":
+            output_ports.append(ident)
+
+    node_of: Dict[str, int] = {ident: i for i, ident in enumerate(inputs)}
+    ops: List[int] = []
+    in0: List[int] = []
+    in1: List[int] = []
+    pending_outputs: Dict[str, str] = {}
+
+    def resolve(ident: str) -> int:
+        if ident not in node_of:
+            raise VerilogParseError(f"use of undeclared signal {ident!r}")
+        return node_of[ident]
+
+    num_inputs = len(inputs)
+    for target, expr in _ASSIGN_RE.findall(text):
+        expr = expr.strip()
+        if target in output_ports:
+            # Output aliases are resolved after all gates are known —
+            # but the emitter always writes them last, so the referenced
+            # signal already exists unless it is a direct passthrough.
+            pending_outputs[target] = expr
+            continue
+        gate, operands = _parse_expression(expr)
+        a = resolve(operands[0]) if len(operands) >= 1 else NO_INPUT
+        b = resolve(operands[1]) if len(operands) == 2 else NO_INPUT
+        ops.append(int(gate))
+        in0.append(a)
+        in1.append(b)
+        node_of[target] = num_inputs + len(ops) - 1
+
+    outputs: List[int] = []
+    for port in output_ports:
+        if port not in pending_outputs:
+            raise VerilogParseError(f"output {port!r} is never assigned")
+        expr = pending_outputs[port]
+        if re.fullmatch(r"\w+", expr):
+            outputs.append(resolve(expr))
+        else:
+            gate, operands = _parse_expression(expr)
+            a = resolve(operands[0]) if len(operands) >= 1 else NO_INPUT
+            b = resolve(operands[1]) if len(operands) == 2 else NO_INPUT
+            ops.append(int(gate))
+            in0.append(a)
+            in1.append(b)
+            outputs.append(num_inputs + len(ops) - 1)
+
+    return Netlist(
+        num_inputs=num_inputs,
+        ops=ops,
+        in0=in0,
+        in1=in1,
+        outputs=outputs,
+        input_names=inputs,
+        output_names=output_ports,
+        name=name,
+    )
+
+
+def _parse_expression(expr: str) -> Tuple[Gate, List[str]]:
+    if expr == "1'b0":
+        return Gate.CONST0, []
+    if expr == "1'b1":
+        return Gate.CONST1, []
+    for pattern, gate in _PATTERNS:
+        match = pattern.match(expr)
+        if match:
+            return gate, list(match.groups())
+    if re.fullmatch(r"\w+", expr):
+        return Gate.BUF, [expr]
+    raise VerilogParseError(f"unsupported expression: {expr!r}")

@@ -1,0 +1,82 @@
+"""MNIST workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import mnist_spec, mnist_workload, mnist_workloads, synthetic_digit
+from repro.bench.mnist import mnist_float_model
+
+
+class TestSpecs:
+    def test_variant_kernel_counts(self):
+        """MNIST_S/M/L differ in convolutional kernels (paper V-A)."""
+        assert mnist_spec("S").convs[0].out_channels == 1
+        assert mnist_spec("M").convs[0].out_channels == 2
+        assert mnist_spec("L").convs[0].out_channels == 3
+
+    def test_full_scale_matches_fig4_geometry(self):
+        """Fig. 4: Linear(576, 10) after conv3 + maxpool3/1 on 28x28."""
+        spec = mnist_spec("S", scale="full")
+        assert spec.input_shape == (1, 28, 28)
+        assert spec.flatten_size == 576
+        assert spec.linear.out_features == 10
+
+    def test_reduced_scale_preserves_structure(self):
+        full = mnist_spec("S", "full")
+        reduced = mnist_spec("S", "reduced")
+        assert len(full.convs) == len(reduced.convs)
+        assert full.pool_kernel == reduced.pool_kernel
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ValueError):
+            mnist_spec("X")
+        with pytest.raises(ValueError):
+            mnist_spec("S", scale="huge")
+
+    def test_specs_are_deterministic(self):
+        a = mnist_spec("S")
+        b = mnist_spec("S")
+        assert np.array_equal(a.convs[0].weight, b.convs[0].weight)
+
+
+class TestWorkloads:
+    def test_small_verifies(self):
+        w = mnist_workload("S", "reduced")
+        assert w.verify(), w.mismatch_report()
+
+    def test_gate_counts_ordered_by_size(self):
+        """Fig. 10 sorts benchmarks by gate count: S < M < L."""
+        loads = mnist_workloads("reduced")
+        counts = [w.netlist.num_gates for w in loads.values()]
+        assert counts == sorted(counts)
+
+    def test_multiple_images(self):
+        w = mnist_workload("S", "reduced")
+        for seed in range(3):
+            image = synthetic_digit(w.compiled.input_specs[0].shape, seed)
+            assert w.verify(image)
+
+    def test_category_is_network(self):
+        assert mnist_workload("S").category == "network"
+
+
+class TestSyntheticDigit:
+    def test_shape_and_range(self):
+        img = synthetic_digit((1, 12, 12), seed=1)
+        assert img.shape == (1, 12, 12)
+        assert img.min() >= 0
+        assert img.max() <= 8
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            synthetic_digit((1, 12, 12), 3), synthetic_digit((1, 12, 12), 3)
+        )
+
+
+def test_float_model_declaration():
+    """The Fig. 4(b) bfloat16 declaration elaborates."""
+    from repro.chiseltorch.dtypes import Float
+
+    model = mnist_float_model(input_hw=28)
+    assert model.dtype == Float(8, 8)
+    assert model.output_shape((1, 28, 28)) == (10,)

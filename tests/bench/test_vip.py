@@ -1,0 +1,107 @@
+"""VIP-Bench workload tests: all 18 kernels verify and have the
+parallelism shapes the paper's figures rely on."""
+
+import numpy as np
+import pytest
+
+from repro.bench import vip_workload, vip_workloads
+
+ALL_NAMES = sorted(vip_workloads())
+
+
+def test_suite_has_18_benchmarks():
+    """The paper: 'A wide range of 18 benchmarks is provided'."""
+    assert len(vip_workloads()) == 18
+
+
+def test_paper_named_benchmarks_present():
+    """Kernels the paper names explicitly (Section V-A)."""
+    names = set(vip_workloads())
+    for required in (
+        "dot_product",
+        "euler_approx",
+        "roberts_cross",
+        "hamming_distance",
+        "nr_solver",
+        "parrondo",
+    ):
+        assert required in names
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_matches_reference(name):
+    w = vip_workload(name)
+    assert w.verify(), w.mismatch_report()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_has_gates(name):
+    w = vip_workload(name)
+    assert w.netlist.stats().num_bootstrapped_gates > 0
+
+
+def test_serial_benchmarks_are_deep_and_narrow():
+    """nr_solver / fibonacci are the paper's poorly-scaling kernels."""
+    for name in ("nr_solver", "fibonacci", "kadane"):
+        stats = vip_workload(name).netlist.stats()
+        assert stats.mean_level_width < 15, name
+        assert stats.bootstrap_depth > 30, name
+
+
+def test_wide_benchmarks_have_wide_levels():
+    for name in ("roberts_cross", "set_intersection", "distinctness"):
+        stats = vip_workload(name).netlist.stats()
+        assert stats.max_level_width > 100, name
+
+
+def test_workloads_are_cached():
+    assert vip_workload("dot_product") is vip_workload("dot_product")
+
+
+def test_schedule_is_cached_and_consistent():
+    w = vip_workload("hamming_distance")
+    assert w.schedule is w.schedule
+    assert w.schedule.num_bootstrapped == w.netlist.stats().num_bootstrapped_gates
+
+
+def test_randomized_verification_dot_product():
+    """Extra input points beyond the canned samples."""
+    w = vip_workload("dot_product")
+    rng = np.random.default_rng(99)
+    for _ in range(5):
+        a = rng.integers(-5, 6, 8).astype(float)
+        b = rng.integers(-5, 6, 8).astype(float)
+        assert w.verify(a, b)
+
+
+def test_randomized_verification_sort():
+    w = vip_workload("bubble_sort")
+    rng = np.random.default_rng(100)
+    for _ in range(5):
+        v = rng.integers(-60, 60, 8).astype(float)
+        assert w.verify(v)
+
+
+def test_randomized_verification_tea():
+    w = vip_workload("tea_cipher")
+    rng = np.random.default_rng(101)
+    for _ in range(5):
+        v = rng.integers(0, 1 << 16, 2).astype(float)
+        assert w.verify(v)
+
+
+def test_string_search_negative_case():
+    w = vip_workload("string_search")
+    text = np.zeros(16)
+    pattern = np.array([1.0, 2.0, 3.0, 1.0])
+    got = w.compiled.run_plain(text, pattern)[0]
+    assert got[-1] == 0.0  # not found
+
+
+def test_distinctness_negative_case():
+    w = vip_workload("distinctness")
+    distinct = np.arange(8).astype(float)
+    assert w.compiled.run_plain(distinct)[0] == 0.0
+    dup = distinct.copy()
+    dup[3] = dup[5]
+    assert w.compiled.run_plain(dup)[0] == 1.0

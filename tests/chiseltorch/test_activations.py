@@ -1,0 +1,101 @@
+"""Tests for the extended activation layers (FHE-friendly forms)."""
+
+import numpy as np
+import pytest
+
+from repro.chiseltorch import nn
+from repro.chiseltorch.dtypes import Fixed, SInt
+from repro.core import compile_model
+
+
+def _run(layer, shape, x, dtype):
+    model = nn.Sequential(layer, dtype=dtype)
+    return compile_model(model, shape).run_plain(x)[0]
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        x = rng.integers(-5, 6, 6).astype(float)
+        got = _run(nn.Dropout(0.5), (6,), x, SInt(8))
+        assert np.array_equal(got, x)
+
+    def test_shape_inference(self):
+        assert nn.Dropout().output_shape((2, 3)) == (2, 3)
+
+
+class TestHardTanh:
+    def test_clamps_integers(self):
+        x = np.array([-9.0, -1.0, 0.0, 1.0, 9.0])
+        got = _run(nn.HardTanh(-1, 1), (5,), x, SInt(8))
+        assert np.array_equal(got, [-1.0, -1.0, 0.0, 1.0, 1.0])
+
+    def test_custom_bounds_fixed(self):
+        x = np.array([-3.5, 0.25, 2.75])
+        got = _run(nn.HardTanh(-2.0, 2.0), (3,), x, Fixed(6, 8))
+        assert np.allclose(got, [-2.0, 0.25, 2.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            nn.HardTanh(1.0, -1.0)
+
+    def test_matches_numpy_randomized(self, rng):
+        x = rng.uniform(-4, 4, 12)
+        got = _run(nn.HardTanh(), (12,), x, Fixed(6, 8))
+        quantized = np.round(x * 256) / 256
+        assert np.allclose(got, np.clip(quantized, -1, 1), atol=1 / 128)
+
+
+class TestHardSigmoid:
+    def test_center(self):
+        got = _run(nn.HardSigmoid(), (1,), np.array([0.0]), Fixed(6, 10))
+        assert abs(got[0] - 0.5) < 0.01
+
+    def test_saturation(self):
+        x = np.array([-10.0, 10.0])
+        got = _run(nn.HardSigmoid(), (2,), x, Fixed(6, 10))
+        assert np.allclose(got, [0.0, 1.0], atol=0.01)
+
+    def test_linear_region(self, rng):
+        x = rng.uniform(-1.5, 1.5, 8)
+        got = _run(nn.HardSigmoid(), (8,), x, Fixed(6, 10))
+        assert np.allclose(got, x / 4 + 0.5, atol=0.01)
+
+
+class TestSoftmaxSubstitute:
+    def test_output_properties_1d(self, rng):
+        x = rng.uniform(-2, 2, 6)
+        got = _run(nn.Softmax(), (6,), x, Fixed(6, 8))
+        assert (got >= 0).all()
+        assert got.sum() < 1.0 + 0.05
+
+    def test_preserves_ranking_of_positives(self):
+        x = np.array([0.5, 2.0, 1.0, -1.0])
+        got = _run(nn.Softmax(), (4,), x, Fixed(6, 8))
+        assert got[1] > got[2] > got[0]
+        assert got[3] == 0.0
+
+    def test_2d_rows_normalized_independently(self, rng):
+        x = rng.uniform(0.1, 2, (3, 4))
+        got = _run(nn.Softmax(), (3, 4), x, Fixed(6, 8))
+        assert got.shape == (3, 4)
+        for row in got:
+            assert row.sum() < 1.0 + 0.05
+            assert (row > 0).all()
+
+    def test_shape_inference(self):
+        assert nn.Softmax().output_shape((2, 5)) == (2, 5)
+
+
+def test_activations_compose_in_model(rng):
+    model = nn.Sequential(
+        nn.Linear(4, 4, weight=np.eye(4), bias=False),
+        nn.HardTanh(-2, 2),
+        nn.Dropout(),
+        nn.Softmax(),
+        dtype=Fixed(6, 8),
+    )
+    cc = compile_model(model, (4,))
+    x = rng.uniform(-3, 3, 4)
+    got = cc.run_plain(x)[0]
+    assert got.shape == (4,)
+    assert (got >= 0).all()

@@ -1,0 +1,70 @@
+"""Self-attention layer tests (paper Section V-A, Attention_S/L)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.attention import (
+    attention_reference,
+    attention_workload,
+    tiny_attention_workload,
+)
+from repro.chiseltorch.attention import SelfAttention, linear_const
+from repro.chiseltorch.dtypes import Fixed, SInt
+from repro.core.compiler import TensorSpec, compile_function
+
+
+def test_linear_const_matches_numpy(rng):
+    w = rng.integers(-3, 4, (3, 2)).astype(float)
+    cc = compile_function(
+        lambda x: linear_const(x, w),
+        [TensorSpec("x", (2, 3), SInt(8))],
+    )
+    x = rng.integers(-4, 5, (2, 3)).astype(float)
+    assert np.array_equal(cc.run_plain(x)[0], x @ w)
+
+
+def test_linear_const_shape_mismatch():
+    with pytest.raises(ValueError):
+        compile_function(
+            lambda x: linear_const(x, np.zeros((4, 2))),
+            [TensorSpec("x", (2, 3), SInt(8))],
+        )
+
+
+def test_attention_rejects_wrong_shape():
+    layer = SelfAttention(hidden=8, seq_len=2)
+    with pytest.raises(ValueError):
+        compile_function(
+            lambda x: layer(x), [TensorSpec("x", (3, 8), Fixed(6, 8))]
+        )
+
+
+def test_tiny_attention_matches_reference():
+    w = tiny_attention_workload()
+    assert w.verify(), w.mismatch_report()
+
+
+def test_attention_weights_sum_below_one():
+    """ReLU normalization yields weights in [0, 1): the circuit's
+    mixing matrix is a (sub-)convex combination."""
+    layer = SelfAttention(hidden=4, seq_len=2, seed=1)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, (2, 4))
+    # Reference path exposes the normalization behaviour.
+    out = attention_reference(layer, x)
+    assert out.shape == (2, 4)
+
+
+def test_attention_output_projection_optional():
+    layer = SelfAttention(hidden=4, seq_len=2, project_output=False, seed=2)
+    assert layer.w_output is None
+    cc = compile_function(
+        lambda x: layer(x), [TensorSpec("x", (2, 4), Fixed(6, 8))]
+    )
+    assert cc.output_specs[0].shape == (2, 4)
+
+
+def test_attention_workload_names():
+    w = attention_workload(8, seq_len=2, name="custom")
+    assert w.name == "custom"
+    assert w.category == "network"

@@ -1,0 +1,105 @@
+"""DType quantization tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chiseltorch.dtypes import Fixed, Float, SInt, UInt, is_signed
+
+
+class TestUInt:
+    def test_width(self):
+        assert UInt(5).width == 5
+
+    def test_quantize_clamps(self):
+        assert UInt(4).quantize(100) == 15
+        assert UInt(4).quantize(-3) == 0
+
+    def test_roundtrip(self):
+        for v in range(16):
+            assert UInt(4).dequantize(UInt(4).quantize(v)) == v
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            UInt(0)
+
+
+class TestSInt:
+    def test_quantize_negative(self):
+        assert SInt(8).quantize(-1) == 0xFF
+
+    def test_clamps_to_range(self):
+        assert SInt(8).dequantize(SInt(8).quantize(1000)) == 127
+        assert SInt(8).dequantize(SInt(8).quantize(-1000)) == -128
+
+    @given(st.integers(min_value=-128, max_value=127))
+    @settings(max_examples=40)
+    def test_roundtrip(self, v):
+        assert SInt(8).dequantize(SInt(8).quantize(v)) == v
+
+    def test_rounding(self):
+        assert SInt(8).dequantize(SInt(8).quantize(3.6)) == 4
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            SInt(1)
+
+
+class TestFixed:
+    def test_width_is_sum(self):
+        assert Fixed(6, 10).width == 16
+
+    def test_resolution(self):
+        f = Fixed(4, 4)
+        assert f.dequantize(f.quantize(0.0625)) == 0.0625
+
+    def test_negative_values(self):
+        f = Fixed(4, 4)
+        assert f.dequantize(f.quantize(-1.5)) == -1.5
+
+    def test_clamps(self):
+        f = Fixed(4, 4)
+        assert f.dequantize(f.quantize(100.0)) == 8 - 1 / 16
+        assert f.dequantize(f.quantize(-100.0)) == -8
+
+    @given(st.floats(min_value=-7.9, max_value=7.9, allow_nan=False))
+    @settings(max_examples=60)
+    def test_quantization_error_bound(self, v):
+        f = Fixed(4, 8)
+        assert abs(f.dequantize(f.quantize(v)) - v) <= 2 ** -9 + 1e-12
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValueError):
+            Fixed(0, 4)
+
+
+class TestFloatDType:
+    def test_bfloat16_width(self):
+        assert Float(8, 8).width == 17
+
+    def test_quantize_matches_format(self):
+        d = Float(5, 11)
+        assert d.quantize(1.5) == d.format.encode(1.5)
+
+    def test_dequantize(self):
+        d = Float(8, 8)
+        assert d.dequantize(d.quantize(-0.75)) == -0.75
+
+
+def test_is_signed():
+    assert not is_signed(UInt(4))
+    assert is_signed(SInt(4))
+    assert is_signed(Fixed(2, 2))
+    assert is_signed(Float(5, 4))
+
+
+def test_dtypes_hashable_and_comparable():
+    assert SInt(8) == SInt(8)
+    assert SInt(8) != SInt(9)
+    assert len({UInt(4), UInt(4), SInt(4)}) == 2
+
+
+def test_str_forms():
+    assert str(SInt(7)) == "SInt(7)"
+    assert str(Float(5, 11)) == "Float(5,11)"
+    assert str(Fixed(8, 8)) == "Fixed(8,8)"

@@ -1,0 +1,175 @@
+"""Tensor primitive tests (paper Table I right column)."""
+
+import numpy as np
+import pytest
+
+from repro.chiseltorch import functional as F
+from repro.chiseltorch.dtypes import Fixed, SInt, UInt
+from repro.core.compiler import TensorSpec, compile_function
+
+S8 = SInt(8)
+
+
+def _run(fn, specs, *arrays):
+    return compile_function(fn, specs).run_plain(*arrays)
+
+
+class TestMatmulDot:
+    def test_dot(self, rng):
+        a = rng.integers(-5, 6, 6).astype(float)
+        b = rng.integers(-5, 6, 6).astype(float)
+        got = _run(
+            lambda x, y: F.dot(x, y),
+            [TensorSpec("x", (6,), S8), TensorSpec("y", (6,), S8)],
+            a,
+            b,
+        )[0]
+        assert got == float(a @ b)
+
+    def test_dot_requires_1d(self):
+        with pytest.raises(ValueError):
+            compile_function(
+                lambda x, y: F.dot(x, y),
+                [TensorSpec("x", (2, 3), S8), TensorSpec("y", (2, 3), S8)],
+            )
+
+    def test_matmul_2d(self, rng):
+        a = rng.integers(-3, 4, (2, 3)).astype(float)
+        b = rng.integers(-3, 4, (3, 4)).astype(float)
+        got = _run(
+            lambda x, y: F.matmul(x, y),
+            [TensorSpec("x", (2, 3), S8), TensorSpec("y", (3, 4), S8)],
+            a,
+            b,
+        )[0]
+        assert np.array_equal(got, a @ b)
+
+    def test_matmul_batched(self, rng):
+        a = rng.integers(-2, 3, (2, 2, 3)).astype(float)
+        b = rng.integers(-2, 3, (3, 2)).astype(float)
+        got = _run(
+            lambda x, y: F.matmul(x, y),
+            [TensorSpec("x", (2, 2, 3), S8), TensorSpec("y", (3, 2), S8)],
+            a,
+            b,
+        )[0]
+        assert np.array_equal(got, a @ b)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compile_function(
+                lambda x, y: F.matmul(x, y),
+                [TensorSpec("x", (2, 3), S8), TensorSpec("y", (4, 2), S8)],
+            )
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = rng.integers(-5, 6, (3, 4)).astype(float)
+        got = _run(lambda x: F.sum(x), [TensorSpec("x", (3, 4), S8)], a)[0]
+        assert got == a.sum()
+
+    def test_sum_axis(self, rng):
+        a = rng.integers(-5, 6, (3, 4)).astype(float)
+        got = _run(
+            lambda x: F.sum(x, axis=1), [TensorSpec("x", (3, 4), S8)], a
+        )[0]
+        assert np.array_equal(got, a.sum(axis=1))
+
+    def test_prod(self):
+        a = np.array([2.0, 3.0, -1.0])
+        got = _run(lambda x: F.prod(x), [TensorSpec("x", (3,), S8)], a)[0]
+        assert got == -6.0
+
+    def test_max_all(self, rng):
+        a = rng.integers(-50, 50, 7).astype(float)
+        got = _run(lambda x: F.max(x), [TensorSpec("x", (7,), S8)], a)[0]
+        assert got == a.max()
+
+    def test_min_axis(self, rng):
+        a = rng.integers(-50, 50, (2, 5)).astype(float)
+        got = _run(
+            lambda x: F.min(x, axis=0), [TensorSpec("x", (2, 5), S8)], a
+        )[0]
+        assert np.array_equal(got, a.min(axis=0))
+
+
+class TestArgReductions:
+    def test_argmax(self, rng):
+        for seed in range(5):
+            a = np.random.default_rng(seed).integers(-40, 40, 10).astype(float)
+            got = _run(
+                lambda x: F.argmax(x), [TensorSpec("x", (10,), S8)], a
+            )[0]
+            assert got == np.argmax(a)
+
+    def test_argmin(self, rng):
+        a = np.array([5.0, -3.0, 7.0, -3.0])
+        got = _run(lambda x: F.argmin(x), [TensorSpec("x", (4,), S8)], a)[0]
+        assert got == 1  # first occurrence on ties
+
+    def test_argmax_tie_prefers_first(self):
+        a = np.array([7.0, 7.0, 1.0])
+        got = _run(lambda x: F.argmax(x), [TensorSpec("x", (3,), S8)], a)[0]
+        assert got == 0
+
+    def test_argmax_requires_1d(self):
+        with pytest.raises(ValueError):
+            compile_function(
+                lambda x: F.argmax(x), [TensorSpec("x", (2, 2), S8)]
+            )
+
+
+class TestConcatStack:
+    def test_cat(self, rng):
+        a = rng.integers(0, 5, (2, 2)).astype(float)
+        b = rng.integers(0, 5, (3, 2)).astype(float)
+        got = _run(
+            lambda x, y: F.cat([x, y], axis=0),
+            [TensorSpec("x", (2, 2), S8), TensorSpec("y", (3, 2), S8)],
+            a,
+            b,
+        )[0]
+        assert np.array_equal(got, np.concatenate([a, b]))
+
+    def test_stack(self, rng):
+        a = rng.integers(0, 5, 3).astype(float)
+        b = rng.integers(0, 5, 3).astype(float)
+        got = _run(
+            lambda x, y: F.stack([x, y], axis=1),
+            [TensorSpec("x", (3,), S8), TensorSpec("y", (3,), S8)],
+            a,
+            b,
+        )[0]
+        assert np.array_equal(got, np.stack([a, b], axis=1))
+
+
+class TestViewAliases:
+    def test_view_reshape_transpose_pad(self, rng):
+        a = rng.integers(0, 5, (2, 3)).astype(float)
+        got = _run(
+            lambda x: F.pad(F.transpose(F.view(x, (3, 2))), ((0, 1), (0, 0))),
+            [TensorSpec("x", (2, 3), S8)],
+            a,
+        )[0]
+        want = np.pad(a.reshape(3, 2).T, ((0, 1), (0, 0)))
+        assert np.array_equal(got, want)
+
+    def test_relu_alias(self):
+        a = np.array([-1.0, 2.0])
+        got = _run(lambda x: F.relu(x), [TensorSpec("x", (2,), S8)], a)[0]
+        assert np.array_equal(got, [0.0, 2.0])
+
+
+class TestFixedPointFunctional:
+    def test_fixed_dot(self):
+        fx = Fixed(6, 8)
+        a = np.array([0.5, 1.25, -0.75])
+        b = np.array([2.0, 0.5, 1.0])
+        got = _run(
+            lambda x, y: F.dot(x, y),
+            [TensorSpec("x", (3,), fx), TensorSpec("y", (3,), fx)],
+            a,
+            b,
+        )[0]
+        assert abs(got - float(a @ b)) < 0.02

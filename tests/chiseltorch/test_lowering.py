@@ -1,0 +1,202 @@
+"""Scalar lowering tests across all dtype families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chiseltorch.dtypes import Fixed, Float, SInt, UInt
+from repro.chiseltorch.lowering import Lowering
+from repro.hdl.builder import CircuitBuilder
+
+
+def _apply(dtype, op_name, values, *extra):
+    """Build op circuit on fresh inputs, evaluate on quantized values."""
+    bd = CircuitBuilder()
+    ins = [[bd.input() for _ in range(dtype.width)] for _ in values]
+    ops = Lowering(bd, dtype)
+    result = getattr(ops, op_name)(*ins, *extra)
+    if isinstance(result, int):
+        result = [result]
+    for node in result:
+        bd.output(node)
+    nl = bd.build()
+    bits = []
+    for v in values:
+        pattern = dtype.quantize(v)
+        bits.extend((pattern >> i) & 1 for i in range(dtype.width))
+    out = nl.evaluate(np.array(bits, dtype=bool))
+    return sum(int(b) << i for i, b in enumerate(out))
+
+
+small = st.integers(min_value=-10, max_value=10)
+
+
+class TestSIntLowering:
+    @given(small, small)
+    @settings(max_examples=30, deadline=None)
+    def test_add(self, a, b):
+        assert _apply(SInt(8), "add", (a, b)) == SInt(8).quantize(a + b)
+
+    @given(small, small)
+    @settings(max_examples=30, deadline=None)
+    def test_mul(self, a, b):
+        assert _apply(SInt(8), "mul", (a, b)) == SInt(8).quantize(a * b)
+
+    @given(small, st.integers(min_value=-12, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_mul_const(self, a, c):
+        got = _apply(SInt(8), "mul_const", (a,), float(c))
+        want = (a * c) & 0xFF  # wrap-around semantics
+        assert got == want
+
+    @given(small, small)
+    @settings(max_examples=30, deadline=None)
+    def test_less_than(self, a, b):
+        assert _apply(SInt(8), "less_than", (a, b)) == int(a < b)
+
+    @given(small)
+    @settings(max_examples=20, deadline=None)
+    def test_relu(self, a):
+        got = _apply(SInt(8), "relu", (a,))
+        assert got == SInt(8).quantize(max(a, 0))
+
+    def test_neg(self):
+        assert _apply(SInt(8), "neg", (5,)) == SInt(8).quantize(-5)
+
+    def test_div(self):
+        assert _apply(SInt(8), "div", (17, 5)) == 3
+        assert _apply(SInt(8), "div", (-17, 5)) == SInt(8).quantize(-3)
+
+
+class TestUIntLowering:
+    def test_relu_is_identity(self):
+        bd = CircuitBuilder()
+        ops = Lowering(bd, UInt(8))
+        ins = [bd.input() for _ in range(8)]
+        assert ops.relu(ins) == ins
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=255))
+    @settings(max_examples=20, deadline=None)
+    def test_div(self, a, b):
+        assert _apply(UInt(8), "div", (a, b)) == a // b
+
+    def test_bitwise_xor(self):
+        assert _apply(UInt(8), "bitwise_xor", (0b1100, 0b1010)) == 0b0110
+
+    def test_shift_left(self):
+        assert _apply(UInt(8), "shift_left_const", (3,), 2) == 12
+
+    def test_shift_right(self):
+        assert _apply(UInt(8), "shift_right_const", (12,), 2) == 3
+
+
+class TestFixedLowering:
+    F = Fixed(6, 8)
+
+    @given(
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_add(self, a, b):
+        got = self.F.dequantize(_apply(self.F, "add", (a, b)))
+        qa = self.F.dequantize(self.F.quantize(a))
+        qb = self.F.dequantize(self.F.quantize(b))
+        assert abs(got - (qa + qb)) < 1e-9 or abs(qa + qb) > 31  # wrap edge
+
+    @given(
+        st.floats(min_value=-4, max_value=4, allow_nan=False),
+        st.floats(min_value=-4, max_value=4, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mul_truncation(self, a, b):
+        got = self.F.dequantize(_apply(self.F, "mul", (a, b)))
+        qa = self.F.dequantize(self.F.quantize(a))
+        qb = self.F.dequantize(self.F.quantize(b))
+        exact = qa * qb
+        if abs(exact) > 30:
+            return
+        # Truncation toward -inf at 2^-8 resolution.
+        assert exact - 2 ** -8 <= got <= exact + 1e-9
+
+    def test_mul_const_matches_scaling(self):
+        got = self.F.dequantize(_apply(self.F, "mul_const", (2.0,), 0.25))
+        assert abs(got - 0.5) < 2 ** -7
+
+    def test_div(self):
+        got = self.F.dequantize(_apply(self.F, "div", (3.0, 2.0)))
+        assert abs(got - 1.5) < 2 ** -7
+
+    def test_relu_negative(self):
+        assert self.F.dequantize(_apply(self.F, "relu", (-2.5,))) == 0.0
+
+    def test_shift_is_arithmetic(self):
+        got = self.F.dequantize(_apply(self.F, "shift_right_const", (-4.0,), 1))
+        assert got == -2.0
+
+
+class TestFloatLowering:
+    D = Float(5, 6)
+
+    def test_add(self):
+        got = self.D.dequantize(_apply(self.D, "add", (1.5, 2.25)))
+        assert got == 3.75
+
+    def test_mul(self):
+        got = self.D.dequantize(_apply(self.D, "mul", (1.5, -2.0)))
+        assert got == -3.0
+
+    def test_relu(self):
+        assert self.D.dequantize(_apply(self.D, "relu", (-1.0,))) == 0.0
+
+    def test_select(self):
+        bd = CircuitBuilder()
+        ops = Lowering(bd, self.D)
+        x = [bd.input() for _ in range(self.D.width)]
+        y = [bd.input() for _ in range(self.D.width)]
+        s = bd.input()
+        for node in ops.select(s, x, y):
+            bd.output(node)
+        nl = bd.build()
+        px, py = self.D.quantize(2.0), self.D.quantize(-3.0)
+        w = self.D.width
+        bits = [(px >> i) & 1 for i in range(w)] + [
+            (py >> i) & 1 for i in range(w)
+        ]
+        for sel, want in ((1, 2.0), (0, -3.0)):
+            out = nl.evaluate(np.array(bits + [sel], dtype=bool))
+            pattern = sum(int(b) << i for i, b in enumerate(out))
+            assert self.D.dequantize(pattern) == want
+
+    def test_shift_rejected(self):
+        bd = CircuitBuilder()
+        ops = Lowering(bd, self.D)
+        with pytest.raises(TypeError):
+            ops.shift_right_const([bd.input() for _ in range(self.D.width)], 1)
+
+    def test_xor_rejected(self):
+        bd = CircuitBuilder()
+        ops = Lowering(bd, self.D)
+        ins = [bd.input() for _ in range(self.D.width)]
+        with pytest.raises(TypeError):
+            ops.bitwise_xor(ins, ins)
+
+
+class TestMinMax:
+    @given(small, small)
+    @settings(max_examples=30, deadline=None)
+    def test_max(self, a, b):
+        got = _apply(SInt(8), "max", (a, b))
+        assert got == SInt(8).quantize(max(a, b))
+
+    @given(small, small)
+    @settings(max_examples=30, deadline=None)
+    def test_min(self, a, b):
+        got = _apply(SInt(8), "min", (a, b))
+        assert got == SInt(8).quantize(min(a, b))
+
+    @given(small, small)
+    @settings(max_examples=20, deadline=None)
+    def test_equal(self, a, b):
+        assert _apply(SInt(8), "equal", (a, b)) == int(a == b)

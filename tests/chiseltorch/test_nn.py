@@ -1,0 +1,265 @@
+"""nn module tests: every pre-built layer of paper Table I."""
+
+import numpy as np
+import pytest
+
+from repro.chiseltorch import nn
+from repro.chiseltorch.dtypes import Fixed, Float, SInt, UInt
+from repro.core.compiler import compile_model
+
+S8 = SInt(8)
+
+
+def _run_layer(layer, input_shape, x, dtype=S8):
+    model = nn.Sequential(layer, dtype=dtype)
+    cc = compile_model(model, input_shape)
+    return cc.run_plain(x)[0]
+
+
+class TestLinear:
+    def test_matches_numpy(self, rng):
+        w = rng.integers(-3, 4, (3, 5)).astype(float)
+        b = rng.integers(-3, 4, 3).astype(float)
+        layer = nn.Linear(5, 3, weight=w, bias_values=b)
+        x = rng.integers(-4, 5, 5).astype(float)
+        assert np.array_equal(_run_layer(layer, (5,), x), w @ x + b)
+
+    def test_no_bias(self, rng):
+        w = rng.integers(-3, 4, (2, 4)).astype(float)
+        layer = nn.Linear(4, 2, bias=False, weight=w)
+        x = rng.integers(-4, 5, 4).astype(float)
+        assert np.array_equal(_run_layer(layer, (4,), x), w @ x)
+
+    def test_seeded_weights_deterministic(self):
+        assert np.array_equal(
+            nn.Linear(4, 2, seed=5).weight, nn.Linear(4, 2, seed=5).weight
+        )
+
+    def test_shape_inference(self):
+        assert nn.Linear(10, 3).output_shape((10,)) == (3,)
+
+    def test_wrong_input_shape_rejected(self, rng):
+        layer = nn.Linear(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            _run_layer(layer, (5,), rng.integers(0, 2, 5).astype(float))
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            nn.Linear(4, 2, weight=np.zeros((3, 3)))
+
+
+class TestConv2d:
+    def test_matches_numpy(self, rng):
+        w = rng.integers(-2, 3, (2, 1, 2, 2)).astype(float)
+        b = np.array([1.0, -1.0])
+        layer = nn.Conv2d(1, 2, 2, 1, weight=w, bias_values=b)
+        x = rng.integers(-3, 4, (1, 4, 4)).astype(float)
+        got = _run_layer(layer, (1, 4, 4), x)
+        want = np.zeros((2, 3, 3))
+        for o in range(2):
+            for i in range(3):
+                for j in range(3):
+                    want[o, i, j] = (
+                        x[0, i : i + 2, j : j + 2] * w[o, 0]
+                    ).sum() + b[o]
+        assert np.array_equal(got, want)
+
+    def test_stride(self, rng):
+        w = np.ones((1, 1, 2, 2))
+        layer = nn.Conv2d(1, 1, 2, 2, weight=w, bias=False)
+        x = np.arange(16).reshape(1, 4, 4).astype(float)
+        got = _run_layer(layer, (1, 4, 4), x)
+        assert got.shape == (1, 2, 2)
+        assert got[0, 0, 0] == x[0, :2, :2].sum()
+
+    def test_padding(self):
+        w = np.ones((1, 1, 3, 3))
+        layer = nn.Conv2d(1, 1, 3, 1, padding=1, weight=w, bias=False)
+        x = np.ones((1, 3, 3))
+        got = _run_layer(layer, (1, 3, 3), x)
+        assert got.shape == (1, 3, 3)
+        assert got[0, 1, 1] == 9
+        assert got[0, 0, 0] == 4
+
+    def test_multi_channel_input(self, rng):
+        w = rng.integers(-2, 3, (1, 3, 2, 2)).astype(float)
+        layer = nn.Conv2d(3, 1, 2, 1, weight=w, bias=False)
+        x = rng.integers(-2, 3, (3, 3, 3)).astype(float)
+        got = _run_layer(layer, (3, 3, 3), x)
+        want = np.zeros((1, 2, 2))
+        for i in range(2):
+            for j in range(2):
+                want[0, i, j] = (x[:, i : i + 2, j : j + 2] * w[0]).sum()
+        assert np.array_equal(got, want)
+
+    def test_output_shape(self):
+        layer = nn.Conv2d(1, 4, 3, 1)
+        assert layer.output_shape((1, 28, 28)) == (4, 26, 26)
+
+
+class TestConv1d:
+    def test_matches_numpy(self, rng):
+        w = rng.integers(-2, 3, (2, 1, 3)).astype(float)
+        layer = nn.Conv1d(1, 2, 3, weight=w, bias=False)
+        x = rng.integers(-3, 4, (1, 8)).astype(float)
+        got = _run_layer(layer, (1, 8), x)
+        want = np.zeros((2, 6))
+        for o in range(2):
+            for i in range(6):
+                want[o, i] = (x[0, i : i + 3] * w[o, 0]).sum()
+        assert np.array_equal(got, want)
+
+    def test_output_shape(self):
+        assert nn.Conv1d(1, 2, 3).output_shape((1, 10)) == (2, 8)
+
+
+class TestPools:
+    def test_maxpool2d(self, rng):
+        x = rng.integers(-20, 20, (1, 4, 4)).astype(float)
+        got = _run_layer(nn.MaxPool2d(2, 2), (1, 4, 4), x)
+        want = x.reshape(1, 2, 2, 2, 2).max(axis=(2, 4))
+        assert np.array_equal(got, want)
+
+    def test_maxpool2d_stride_one(self, rng):
+        x = rng.integers(-20, 20, (1, 4, 4)).astype(float)
+        got = _run_layer(nn.MaxPool2d(3, 1), (1, 4, 4), x)
+        assert got.shape == (1, 2, 2)
+        assert got[0, 0, 0] == x[0, :3, :3].max()
+
+    def test_avgpool2d_power_of_two(self):
+        x = np.array([[[4.0, 8.0], [2.0, 6.0]]])
+        got = _run_layer(nn.AvgPool2d(2), (1, 2, 2), x)
+        assert got[0, 0, 0] == 5.0
+
+    def test_avgpool2d_non_power_of_two_integer(self):
+        x = np.arange(9).reshape(1, 3, 3).astype(float)
+        got = _run_layer(nn.AvgPool2d(3), (1, 3, 3), x, dtype=UInt(8))
+        assert got[0, 0, 0] == 36 // 9
+
+    def test_avgpool2d_fixed(self):
+        x = np.array([[[1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [1.0, 2.0, 3.0]]])
+        got = _run_layer(nn.AvgPool2d(3), (1, 3, 3), x, dtype=Fixed(6, 8))
+        assert abs(got[0, 0, 0] - 2.0) < 0.05
+
+    def test_maxpool1d(self, rng):
+        x = rng.integers(-20, 20, (2, 6)).astype(float)
+        got = _run_layer(nn.MaxPool1d(2), (2, 6), x)
+        want = x.reshape(2, 3, 2).max(axis=2)
+        assert np.array_equal(got, want)
+
+    def test_avgpool1d(self):
+        x = np.array([[2.0, 4.0, 6.0, 8.0]])
+        got = _run_layer(nn.AvgPool1d(2), (1, 4), x)
+        assert np.array_equal(got, [[3.0, 7.0]])
+
+    def test_pool_shape_inference(self):
+        assert nn.MaxPool2d(3, 1).output_shape((1, 28, 28)) == (1, 26, 26)
+        assert nn.MaxPool1d(2).output_shape((4, 10)) == (4, 5)
+
+
+class TestBatchNorm:
+    def test_batchnorm1d_feature_vector(self):
+        layer = nn.BatchNorm1d(
+            3,
+            gamma=np.array([2.0, 1.0, 1.0]),
+            beta=np.array([0.0, 1.0, 0.0]),
+            running_mean=np.array([1.0, 0.0, 0.0]),
+            running_var=np.array([1.0, 1.0, 4.0]),
+            eps=0.0,
+        )
+        x = np.array([3.0, 5.0, 8.0])
+        # Fractional scales (1/sqrt(4)) need a fixed-point dtype.
+        got = _run_layer(layer, (3,), x, dtype=Fixed(8, 8))
+        want = np.array([(3 - 1) * 2.0, 5 + 1, 8 / 2.0])
+        assert np.allclose(got, want, atol=0.05)
+
+    def test_batchnorm_integer_scale_truncates_to_zero(self):
+        """With an integer dtype a 0.5 scale quantizes to zero — the
+        quantization contract, not a bug."""
+        layer = nn.BatchNorm1d(
+            1, running_var=np.array([4.0]), eps=0.0
+        )
+        got = _run_layer(layer, (1,), np.array([8.0]), dtype=S8)
+        assert got[0] == 0.0
+
+    def test_batchnorm2d(self):
+        layer = nn.BatchNorm2d(
+            2,
+            gamma=np.array([1.0, 2.0]),
+            running_mean=np.array([1.0, 0.0]),
+            eps=0.0,
+        )
+        x = np.ones((2, 2, 2)) * 3
+        got = _run_layer(layer, (2, 2, 2), x)
+        assert np.allclose(got[0], 2.0)
+        assert np.allclose(got[1], 6.0)
+
+    def test_batchnorm1d_channels(self):
+        layer = nn.BatchNorm1d(2, running_mean=np.array([1.0, 2.0]), eps=0.0)
+        x = np.array([[3.0, 3.0], [5.0, 5.0]])
+        got = _run_layer(layer, (2, 2), x)
+        assert np.allclose(got, [[2.0, 2.0], [3.0, 3.0]])
+
+    def test_feature_mismatch_rejected(self):
+        layer = nn.BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            _run_layer(layer, (4,), np.zeros(4))
+
+
+class TestSequentialAndMisc:
+    def test_flatten(self, rng):
+        x = rng.integers(0, 5, (2, 3, 2)).astype(float)
+        got = _run_layer(nn.Flatten(), (2, 3, 2), x)
+        assert np.array_equal(got, x.reshape(-1))
+
+    def test_relu_layer(self):
+        x = np.array([-2.0, 3.0])
+        assert np.array_equal(_run_layer(nn.ReLU(), (2,), x), [0.0, 3.0])
+
+    def test_sequential_list_form(self):
+        model = nn.Sequential([nn.ReLU(), nn.Flatten()], dtype=S8)
+        assert len(model.modules) == 2
+
+    def test_sequential_shape_inference(self):
+        model = nn.Sequential(
+            nn.Conv2d(1, 1, 3, 1),
+            nn.ReLU(),
+            nn.MaxPool2d(3, 1),
+            nn.Flatten(),
+            nn.Linear(576, 10),
+            dtype=S8,
+        )
+        assert model.output_shape((1, 28, 28)) == (10,)
+
+    def test_paper_fig4_model_declares(self):
+        """The exact Fig. 4(b) MNIST declaration with Float(8, 8)."""
+        model = nn.Sequential(
+            nn.Conv2d(1, 1, 3, 1, seed=0),
+            nn.ReLU(),
+            nn.MaxPool2d(3, 1),
+            nn.Flatten(),
+            nn.Linear(576, 10, seed=1),
+            dtype=Float(8, 8),
+        )
+        assert model.output_shape((1, 28, 28)) == (10,)
+        assert model.dtype == Float(8, 8)
+
+    def test_small_float_cnn_end_to_end(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(1, 1, 2, 1, seed=3),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(9, 2, seed=4),
+            dtype=Float(5, 6),
+        )
+        cc = compile_model(model, (1, 4, 4))
+        x = rng.uniform(-1, 1, (1, 4, 4))
+        got = cc.run_plain(x)[0]
+        conv = np.zeros((3, 3))
+        w = model.modules[0].weight[0, 0]
+        for i in range(3):
+            for j in range(3):
+                conv[i, j] = (x[0, i : i + 2, j : j + 2] * w).sum()
+        conv = np.maximum(conv + model.modules[0].bias[0], 0)
+        want = model.modules[3].weight @ conv.reshape(-1) + model.modules[3].bias
+        assert np.abs(got - want).max() < 0.2

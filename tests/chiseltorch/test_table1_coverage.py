@@ -1,0 +1,137 @@
+"""Paper Table I coverage: every listed layer and tensor primitive
+exists and is exercised through the public API."""
+
+import numpy as np
+import pytest
+
+from repro.chiseltorch import functional as F
+from repro.chiseltorch import nn
+from repro.chiseltorch.dtypes import SInt
+from repro.core.compiler import TensorSpec, compile_function, compile_model
+
+S8 = SInt(8)
+
+#: Table I, left column: pre-built neural network layers.
+TABLE1_LAYERS = [
+    "Conv1d",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Linear",
+    "ReLU",
+    "MaxPool1d",
+    "AvgPool1d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+]
+
+
+@pytest.mark.parametrize("layer_name", TABLE1_LAYERS)
+def test_layer_exists(layer_name):
+    assert hasattr(nn, layer_name), f"Table I layer {layer_name} missing"
+
+
+def test_all_table1_layers_compile_together():
+    """One model using every Table I layer compiles and runs."""
+    model = nn.Sequential(
+        nn.Conv2d(1, 2, 3, 1, seed=1),
+        nn.BatchNorm2d(2),
+        nn.ReLU(),
+        nn.MaxPool2d(2, 2),
+        nn.AvgPool2d(2, 2),
+        nn.Flatten(),
+        nn.Linear(2, 4, seed=2),
+        dtype=S8,
+    )
+    cc = compile_model(model, (1, 6, 6))
+    out = cc.run_plain(np.ones((1, 6, 6)))[0]
+    assert out.shape == (4,)
+
+
+def test_1d_layers_compile_together():
+    model = nn.Sequential(
+        nn.Conv1d(1, 2, 3, seed=3),
+        nn.BatchNorm1d(2),
+        nn.ReLU(),
+        nn.MaxPool1d(2),
+        nn.AvgPool1d(2),
+        nn.Flatten(),
+        dtype=S8,
+    )
+    # Conv1d(1->2, k3): (2, 8); MaxPool1d(2): (2, 4); AvgPool1d(2):
+    # (2, 2); Flatten: (4,).
+    cc = compile_model(model, (1, 10))
+    assert cc.run_plain(np.ones((1, 10)))[0].shape == (4,)
+
+
+class TestTable1Primitives:
+    """Table I, right column: primitive tensor operations."""
+
+    def _two(self, fn, a, b, shape=(4,)):
+        cc = compile_function(
+            fn,
+            [TensorSpec("a", shape, S8), TensorSpec("b", shape, S8)],
+        )
+        return cc.run_plain(a, b)
+
+    def test_matmul_and_dot(self, rng):
+        a = rng.integers(-3, 4, 4).astype(float)
+        b = rng.integers(-3, 4, 4).astype(float)
+        assert self._two(lambda x, y: F.dot(x, y), a, b)[0] == a @ b
+
+    def test_comparison_operators(self, rng):
+        a = rng.integers(-3, 4, 4).astype(float)
+        b = rng.integers(-3, 4, 4).astype(float)
+        results = self._two(
+            lambda x, y: (x.eq(y), x.ne(y), x > y, x < y, x >= y, x <= y),
+            a,
+            b,
+        )
+        wants = [a == b, a != b, a > b, a < b, a >= b, a <= b]
+        for got, want in zip(results, wants):
+            assert np.array_equal(got.astype(bool), want)
+
+    def test_view_reshape_transpose_pad(self, rng):
+        a = rng.integers(0, 4, (2, 2)).astype(float)
+        cc = compile_function(
+            lambda x: F.pad(F.transpose(F.reshape(F.view(x, (4,)), (2, 2))), 1),
+            [TensorSpec("x", (2, 2), S8)],
+        )
+        got = cc.run_plain(a)[0]
+        assert got.shape == (4, 4)
+
+    def test_sum_prod(self, rng):
+        a = rng.integers(1, 3, 4).astype(float)
+        cc = compile_function(
+            lambda x: (F.sum(x), F.prod(x)), [TensorSpec("x", (4,), S8)]
+        )
+        s, p = cc.run_plain(a)
+        assert s == a.sum() and p == a.prod()
+
+    def test_argmax_argmin(self, rng):
+        a = rng.permutation(8).astype(float)
+        cc = compile_function(
+            lambda x: (F.argmax(x), F.argmin(x)), [TensorSpec("x", (8,), S8)]
+        )
+        amax, amin = cc.run_plain(a)
+        assert amax == np.argmax(a) and amin == np.argmin(a)
+
+    def test_arithmetic_operators(self, rng):
+        a = rng.integers(1, 5, 4).astype(float)
+        b = rng.integers(1, 5, 4).astype(float)
+        add, sub, mul, div = self._two(
+            lambda x, y: (x + y, x - y, x * y, x / y), a, b
+        )
+        assert np.array_equal(add, a + b)
+        assert np.array_equal(sub, a - b)
+        assert np.array_equal(mul, a * b)
+        assert np.array_equal(div, np.trunc(a / b))
+
+    def test_max_min(self, rng):
+        a = rng.integers(-9, 9, 6).astype(float)
+        cc = compile_function(
+            lambda x: (F.max(x), F.min(x)), [TensorSpec("x", (6,), S8)]
+        )
+        mx, mn = cc.run_plain(a)
+        assert mx == a.max() and mn == a.min()

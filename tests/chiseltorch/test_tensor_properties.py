@@ -1,0 +1,141 @@
+"""Property-based tests: HTensor programs agree with numpy.
+
+Hypothesis generates small integer tensors and random compositions of
+shape/elementwise/reduction primitives; the compiled circuit must match
+the equivalent numpy computation under wrap-around SInt8 semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chiseltorch import functional as F
+from repro.chiseltorch.dtypes import SInt
+from repro.core.compiler import TensorSpec, compile_function
+
+S8 = SInt(8)
+
+
+def _wrap8(values):
+    v = np.asarray(values).astype(np.int64) & 0xFF
+    return np.where(v >= 128, v - 256, v).astype(np.float64)
+
+
+small_arrays = st.lists(
+    st.integers(min_value=-10, max_value=10), min_size=4, max_size=4
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+@given(small_arrays, small_arrays)
+@settings(max_examples=25, deadline=None)
+def test_add_mul_chain(a, b):
+    cc = compile_function(
+        lambda x, y: (x + y) * y - x,
+        [TensorSpec("x", (4,), S8), TensorSpec("y", (4,), S8)],
+    )
+    got = cc.run_plain(a, b)[0]
+    assert np.array_equal(got, _wrap8(_wrap8(_wrap8(a + b) * b) - a))
+
+
+@given(small_arrays)
+@settings(max_examples=25, deadline=None)
+def test_relu_neg_involution(a):
+    cc = compile_function(
+        lambda x: (-(-x)).relu(),
+        [TensorSpec("x", (4,), S8)],
+    )
+    got = cc.run_plain(a)[0]
+    want = np.maximum(_wrap8(-_wrap8(-a)), 0)
+    assert np.array_equal(got, want)
+
+
+@given(small_arrays, small_arrays)
+@settings(max_examples=25, deadline=None)
+def test_min_max_decomposition(a, b):
+    """min(x,y) + max(x,y) == x + y (mod 256)."""
+    cc = compile_function(
+        lambda x, y: (
+            x.where(x < y, y),  # min
+            x.where(x > y, y),  # max
+        ),
+        [TensorSpec("x", (4,), S8), TensorSpec("y", (4,), S8)],
+    )
+    lo, hi = cc.run_plain(a, b)
+    assert np.array_equal(_wrap8(lo + hi), _wrap8(a + b))
+    assert np.array_equal(lo, np.minimum(a, b))
+    assert np.array_equal(hi, np.maximum(a, b))
+
+
+@given(small_arrays)
+@settings(max_examples=20, deadline=None)
+def test_sum_invariant_under_reshape(a):
+    cc = compile_function(
+        lambda x: (F.sum(x), F.sum(x.reshape(2, 2))),
+        [TensorSpec("x", (4,), S8)],
+    )
+    flat, shaped = cc.run_plain(a)
+    assert flat == shaped
+
+
+@given(small_arrays)
+@settings(max_examples=20, deadline=None)
+def test_sort_network_properties(a):
+    """Compare-exchange chains produce a sorted permutation."""
+
+    def network(x):
+        elems = x.flat_elements()
+        ops = x.ops
+        for i in range(len(elems)):
+            for j in range(len(elems) - 1 - i):
+                lo = ops.min(elems[j], elems[j + 1])
+                hi = ops.max(elems[j], elems[j + 1])
+                elems[j], elems[j + 1] = lo, hi
+        from repro.chiseltorch.tensor import HTensor
+
+        return HTensor.from_bits(x.builder, x.dtype, elems, shape=(len(elems),))
+
+    cc = compile_function(network, [TensorSpec("x", (4,), S8)])
+    got = cc.run_plain(a)[0]
+    assert np.array_equal(got, np.sort(a))
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=15, deadline=None)
+def test_matmul_matches_numpy(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-3, 4, (n, m)).astype(float)
+    b = rng.integers(-3, 4, (m, 2)).astype(float)
+    cc = compile_function(
+        lambda x, y: F.matmul(x, y),
+        [TensorSpec("x", (n, m), S8), TensorSpec("y", (m, 2), S8)],
+    )
+    got = cc.run_plain(a, b)[0]
+    assert np.array_equal(got, _wrap8(a @ b))
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=15, deadline=None)
+def test_transpose_transpose_identity(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-8, 8, (3, 2)).astype(float)
+    cc = compile_function(
+        lambda x: x.transpose().transpose(),
+        [TensorSpec("x", (3, 2), S8)],
+    )
+    assert np.array_equal(cc.run_plain(a)[0], a)
+
+
+@given(small_arrays)
+@settings(max_examples=20, deadline=None)
+def test_argmax_picks_max(a):
+    cc = compile_function(
+        lambda x: (F.argmax(x), F.max(x)),
+        [TensorSpec("x", (4,), S8)],
+    )
+    idx, mx = cc.run_plain(a)
+    assert a[int(idx)] == mx == a.max()

@@ -1,0 +1,27 @@
+"""Shared fixtures: session-scoped TFHE test keys and RNGs."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe import TFHE_TEST, generate_keys
+
+
+@pytest.fixture(scope="session")
+def test_keys():
+    """A deterministic (secret, cloud) pair with the fast test params."""
+    return generate_keys(TFHE_TEST, seed=42)
+
+
+@pytest.fixture(scope="session")
+def secret_key(test_keys):
+    return test_keys[0]
+
+
+@pytest.fixture(scope="session")
+def cloud_key(test_keys):
+    return test_keys[1]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,121 @@
+"""Compile pipeline tests: TensorSpec encoding, CompiledCircuit."""
+
+import numpy as np
+import pytest
+
+from repro.chiseltorch import nn
+from repro.chiseltorch.dtypes import Fixed, Float, SInt, UInt
+from repro.core import TensorSpec, compile_function, compile_model
+
+
+class TestTensorSpec:
+    def test_bit_counts(self):
+        spec = TensorSpec("x", (2, 3), SInt(8))
+        assert spec.num_elements == 6
+        assert spec.num_bits == 48
+
+    def test_scalar_spec(self):
+        spec = TensorSpec("x", (), SInt(8))
+        assert spec.num_elements == 1
+
+    def test_encode_decode_roundtrip_int(self):
+        spec = TensorSpec("x", (4,), SInt(6))
+        values = np.array([-3.0, 0.0, 7.0, -17.0])
+        assert np.array_equal(spec.decode(spec.encode(values)), values)
+
+    def test_encode_decode_roundtrip_float(self):
+        spec = TensorSpec("x", (3,), Float(5, 6))
+        values = np.array([0.5, -2.25, 0.0])
+        assert np.array_equal(spec.decode(spec.encode(values)), values)
+
+    def test_encode_quantizes(self):
+        spec = TensorSpec("x", (1,), SInt(8))
+        assert spec.decode(spec.encode(np.array([3.7])))[0] == 4.0
+
+    def test_encode_shape_checked(self):
+        spec = TensorSpec("x", (2, 2), UInt(4))
+        with pytest.raises(ValueError):
+            spec.encode(np.zeros(4))
+
+    def test_decode_length_checked(self):
+        spec = TensorSpec("x", (2,), UInt(4))
+        with pytest.raises(ValueError):
+            spec.decode(np.zeros(9, dtype=bool))
+
+    def test_bit_order_is_lsb_first_element_major(self):
+        spec = TensorSpec("x", (2,), UInt(4))
+        bits = spec.encode(np.array([1.0, 8.0]))
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 1]
+
+
+class TestCompileFunction:
+    def test_multiple_outputs(self):
+        cc = compile_function(
+            lambda x: (x + 1, x * 2),
+            [TensorSpec("x", (2,), SInt(8))],
+        )
+        a, b = cc.run_plain(np.array([3.0, 4.0]))
+        assert np.array_equal(a, [4.0, 5.0])
+        assert np.array_equal(b, [6.0, 8.0])
+
+    def test_multiple_inputs(self):
+        cc = compile_function(
+            lambda x, y: x - y,
+            [TensorSpec("x", (2,), SInt(8)), TensorSpec("y", (2,), SInt(8))],
+        )
+        got = cc.run_plain(np.array([5.0, 1.0]), np.array([2.0, 2.0]))[0]
+        assert np.array_equal(got, [3.0, -1.0])
+
+    def test_wrong_arity_rejected(self):
+        cc = compile_function(
+            lambda x: x, [TensorSpec("x", (1,), SInt(8))]
+        )
+        with pytest.raises(ValueError):
+            cc.encode_inputs(np.zeros(1), np.zeros(1))
+
+    def test_output_specs_capture_shapes(self):
+        cc = compile_function(
+            lambda x: x.reshape(3, 2),
+            [TensorSpec("x", (2, 3), SInt(8))],
+        )
+        assert cc.output_specs[0].shape == (3, 2)
+
+    def test_mixed_dtypes_across_inputs(self):
+        from repro.chiseltorch import functional as F
+
+        cc = compile_function(
+            lambda x, flags: x.where(flags, -x),
+            [
+                TensorSpec("x", (2,), SInt(8)),
+                TensorSpec("flags", (2,), UInt(1)),
+            ],
+        )
+        got = cc.run_plain(np.array([5.0, 7.0]), np.array([1.0, 0.0]))[0]
+        assert np.array_equal(got, [5.0, -7.0])
+
+
+class TestCompileModel:
+    def test_dtype_from_sequential(self):
+        model = nn.Sequential(nn.ReLU(), dtype=SInt(8))
+        cc = compile_model(model, (3,))
+        assert cc.input_specs[0].dtype == SInt(8)
+
+    def test_dtype_override(self):
+        model = nn.Sequential(nn.ReLU(), dtype=SInt(8))
+        cc = compile_model(model, (3,), dtype=Fixed(4, 4))
+        assert cc.input_specs[0].dtype == Fixed(4, 4)
+
+    def test_dtype_required(self):
+        model = nn.Sequential(nn.ReLU())
+        with pytest.raises(ValueError):
+            compile_model(model, (3,))
+
+    def test_run_plain_end_to_end(self, rng):
+        w = rng.integers(-2, 3, (2, 3)).astype(float)
+        model = nn.Sequential(
+            nn.Linear(3, 2, weight=w, bias=False), nn.ReLU(), dtype=SInt(8)
+        )
+        cc = compile_model(model, (3,))
+        x = rng.integers(-4, 5, 3).astype(float)
+        got = cc.run_plain(x)[0]
+        assert np.array_equal(got, np.maximum(w @ x, 0))

@@ -1,0 +1,83 @@
+"""Randomized functional equivalence across frameworks.
+
+All four frontends must compute the same function (up to their output
+widths): PyTFHE/Cingulata/E3 are bit-identical at 8 bits; the
+Transpiler computes in 16-bit and must agree whenever the 8-bit result
+doesn't wrap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import ALL_FRONTENDS, make_cnn_spec, reference_cnn
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return make_cnn_spec(
+        "equiv",
+        input_hw=5,
+        conv_channels=(1,),
+        kernel=2,
+        pool_kernel=2,
+        pool_stride=1,
+        classes=2,
+        weight_scale=2,
+        seed=9,
+    )
+
+
+@pytest.fixture(scope="module")
+def netlists(small_spec):
+    return {
+        name: fe.compile_cnn(small_spec)
+        for name, fe in ALL_FRONTENDS.items()
+    }
+
+
+def _input_bits(image):
+    bits = []
+    for v in image.reshape(-1):
+        pattern = int(v) & 0xFF
+        bits.extend((pattern >> i) & 1 for i in range(8))
+    return np.array(bits, dtype=bool)
+
+
+def _logits(output_bits, classes, width):
+    out = []
+    for o in range(classes):
+        pattern = sum(
+            int(output_bits[o * width + b]) << b for b in range(width)
+        )
+        if pattern >= 1 << (width - 1):
+            pattern -= 1 << width
+        out.append(pattern)
+    return np.array(out)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_dsl_frameworks_bit_identical(netlists, small_spec, seed):
+    rng = np.random.default_rng(seed)
+    image = rng.integers(-6, 7, small_spec.input_shape)
+    bits = _input_bits(image)
+    reference = None
+    for name in ("PyTFHE", "Cingulata", "E3"):
+        got = _logits(netlists[name].evaluate(bits), 2, 8)
+        if reference is None:
+            reference = got
+        assert np.array_equal(got, reference), name
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_transpiler_agrees_modulo_width(netlists, small_spec, seed):
+    rng = np.random.default_rng(100 + seed)
+    image = rng.integers(-3, 4, small_spec.input_shape)
+    bits = _input_bits(image)
+    got16 = _logits(netlists["Transpiler"].evaluate(bits), 2, 16)
+    want16 = reference_cnn(small_spec, image, width=16)
+    assert np.array_equal(got16, want16)
+    # Where the 8-bit computation doesn't wrap, all widths agree.
+    want8 = reference_cnn(small_spec, image, width=8)
+    matches = want16 == want8
+    got8 = _logits(netlists["PyTFHE"].evaluate(bits), 2, 8)
+    assert np.array_equal(got8[matches], want16[matches])

@@ -1,0 +1,208 @@
+"""Cross-framework tests: all four frontends compile the same model
+correctly, with the paper's gate-count ordering (Fig. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    ALL_FRONTENDS,
+    CingulataFrontend,
+    E3Frontend,
+    PyTFHEFrontend,
+    TranspilerFrontend,
+    make_cnn_spec,
+    reference_cnn,
+)
+from repro.gatetypes import Gate
+from repro.hdl.builder import CircuitBuilder
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_cnn_spec(
+        "test",
+        input_hw=6,
+        conv_channels=(1,),
+        kernel=3,
+        pool_kernel=2,
+        pool_stride=1,
+        classes=3,
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def image(spec):
+    rng = np.random.default_rng(5)
+    return rng.integers(-8, 8, spec.input_shape)
+
+
+@pytest.fixture(scope="module")
+def netlists(spec):
+    return {
+        name: frontend.compile_cnn(spec)
+        for name, frontend in ALL_FRONTENDS.items()
+    }
+
+
+def _input_bits(image):
+    bits = []
+    for v in image.reshape(-1):
+        pattern = int(v) & 0xFF
+        bits.extend((pattern >> i) & 1 for i in range(8))
+    return np.array(bits, dtype=bool)
+
+
+def _decode_logits(output_bits, classes, width):
+    logits = []
+    for o in range(classes):
+        pattern = sum(
+            int(output_bits[o * width + b]) << b for b in range(width)
+        )
+        if pattern >= 1 << (width - 1):
+            pattern -= 1 << width
+        logits.append(pattern)
+    return np.array(logits)
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize(
+        "name,width",
+        [("PyTFHE", 8), ("Cingulata", 8), ("E3", 8), ("Transpiler", 16)],
+    )
+    def test_matches_reference(self, netlists, spec, image, name, width):
+        nl = netlists[name]
+        out = nl.evaluate(_input_bits(image))
+        got = _decode_logits(out, 3, width)
+        want = reference_cnn(spec, image, width=width)
+        assert np.array_equal(got, want), name
+
+    def test_all_accept_same_input_bit_count(self, netlists, spec):
+        expected = int(np.prod(spec.input_shape)) * 8
+        for name, nl in netlists.items():
+            assert nl.num_inputs == expected, name
+
+
+class TestGateCountOrdering:
+    """Fig. 14: PyTFHE < Cingulata < E3 << Transpiler."""
+
+    def test_pytfhe_smallest(self, netlists):
+        p = netlists["PyTFHE"].num_gates
+        assert p < netlists["Cingulata"].num_gates
+        assert p < netlists["E3"].num_gates
+        assert p < netlists["Transpiler"].num_gates
+
+    def test_e3_worse_than_cingulata(self, netlists):
+        assert netlists["E3"].num_gates > netlists["Cingulata"].num_gates
+
+    def test_transpiler_significantly_larger(self, netlists):
+        """The paper calls the Transpiler output 'significantly larger'."""
+        assert (
+            netlists["Transpiler"].num_gates
+            > 5 * netlists["PyTFHE"].num_gates
+        )
+
+    def test_cingulata_ratio_band(self, netlists):
+        """Paper: PyTFHE = 65.3% of Cingulata's gates.  We assert the
+        measured ratio lands in a generous band around it."""
+        ratio = (
+            netlists["PyTFHE"].num_gates / netlists["Cingulata"].num_gates
+        )
+        assert 0.4 < ratio < 0.9
+
+    def test_e3_ratio_band(self, netlists):
+        """Paper: PyTFHE = 53.6% of E3's gates."""
+        ratio = netlists["PyTFHE"].num_gates / netlists["E3"].num_gates
+        assert 0.2 < ratio < 0.8
+
+
+class TestTranspilerCharacteristics:
+    def test_gate_set_is_and_or_not(self, netlists):
+        codes = set(netlists["Transpiler"].ops.tolist())
+        allowed = {
+            int(Gate.AND),
+            int(Gate.OR),
+            int(Gate.NOT),
+            int(Gate.BUF),
+            int(Gate.CONST0),
+            int(Gate.CONST1),
+        }
+        assert codes.issubset(allowed)
+
+    def test_flatten_emits_copy_gates(self, netlists):
+        """Paper Section V-C: Transpiler emits gates for Flatten."""
+        hist = netlists["Transpiler"].stats().gate_histogram
+        assert hist.get("BUF", 0) > 0
+
+    def test_pytfhe_flatten_is_wiring(self, netlists):
+        hist = netlists["PyTFHE"].stats().gate_histogram
+        assert hist.get("BUF", 0) == 0
+
+
+class TestDslUnits:
+    def test_ciint_arithmetic(self):
+        from repro.frameworks import CiInt
+
+        bd = CircuitBuilder(hash_cons=False, absorb_inverters=False)
+        a = CiInt.input(bd, 8, "a")
+        b = CiInt.input(bd, 8, "b")
+        total = a + b
+        prod = a * b
+        diff = a - b
+        for bits in (total.bits, prod.bits, diff.bits):
+            for bit in bits:
+                bd.output(bit)
+        nl = bd.build()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x, y = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            vec = [(x >> i) & 1 for i in range(8)] + [
+                (y >> i) & 1 for i in range(8)
+            ]
+            out = nl.evaluate(np.array(vec, dtype=bool))
+            vals = [
+                sum(int(out[k * 8 + i]) << i for i in range(8))
+                for k in range(3)
+            ]
+            assert vals[0] == (x + y) % 256
+            assert vals[1] == (x * y) % 256
+            assert vals[2] == (x - y) % 256
+
+    def test_secureint8_relu(self):
+        from repro.frameworks import SecureInt8
+
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=True, absorb_inverters=False
+        )
+        a = SecureInt8.input(bd, "a")
+        for bit in a.relu().bits:
+            bd.output(bit)
+        nl = bd.build()
+        for x in (5, -5 & 0xFF, 0, 127, 128):
+            vec = [(x >> i) & 1 for i in range(8)]
+            out = nl.evaluate(np.array(vec, dtype=bool))
+            val = sum(int(out[i]) << i for i in range(8))
+            signed = x - 256 if x >= 128 else x
+            assert val == (signed if signed > 0 else 0) % 256
+
+    def test_cshort_promotes_bytes(self):
+        from repro.frameworks import CShort
+
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=False, absorb_inverters=False
+        )
+        a = CShort.from_byte_input(bd, "a")
+        for bit in a.bits:
+            bd.output(bit)
+        nl = bd.build()
+        x = 0x85  # negative int8
+        vec = [(x >> i) & 1 for i in range(8)]
+        out = nl.evaluate(np.array(vec, dtype=bool))
+        val = sum(int(out[i]) << i for i in range(16))
+        assert val == (x - 256) & 0xFFFF  # sign-extended
+
+    def test_e3_rejects_non_8bit_spec(self):
+        spec = make_cnn_spec("w16", input_hw=4, kernel=2, pool_kernel=2,
+                             classes=2, bit_width=16)
+        with pytest.raises(ValueError):
+            E3Frontend().compile_cnn(spec)

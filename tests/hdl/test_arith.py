@@ -1,0 +1,335 @@
+"""Integer arithmetic generator tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import arith
+from repro.hdl.builder import CircuitBuilder
+
+WIDTH = 8
+MOD = 1 << WIDTH
+
+
+def _signed(value, width=WIDTH):
+    value &= (1 << width) - 1
+    return value - (1 << width) if value >= 1 << (width - 1) else value
+
+
+def _run(builder_fn, input_widths, values):
+    """Build with fresh builder, evaluate once, return output int."""
+    bd = CircuitBuilder()
+    ins = [[bd.input() for _ in range(w)] for w in input_widths]
+    outs = builder_fn(bd, ins)
+    for o in outs:
+        bd.output(o)
+    nl = bd.build()
+    bits = []
+    for v, w in zip(values, input_widths):
+        bits.extend((v >> i) & 1 for i in range(w))
+    result = nl.evaluate(np.array(bits, dtype=bool))
+    return sum(int(b) << i for i, b in enumerate(result))
+
+
+u8 = st.integers(min_value=0, max_value=MOD - 1)
+
+
+class TestAddSub:
+    @given(u8, u8)
+    @settings(max_examples=60, deadline=None)
+    def test_add_wraps(self, a, b):
+        got = _run(
+            lambda bd, ins: arith.ripple_add(bd, ins[0], ins[1], width=WIDTH),
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == (a + b) % MOD
+
+    @given(u8, u8)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_wraps(self, a, b):
+        got = _run(
+            lambda bd, ins: arith.ripple_sub(bd, ins[0], ins[1], width=WIDTH),
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == (a - b) % MOD
+
+    @given(u8)
+    @settings(max_examples=30, deadline=None)
+    def test_negate(self, a):
+        got = _run(
+            lambda bd, ins: arith.negate(bd, ins[0]), [WIDTH], (a,)
+        )
+        assert got == (-a) % MOD
+
+    def test_mixed_width_add_sign_extends(self):
+        got = _run(
+            lambda bd, ins: arith.ripple_add(
+                bd, ins[0], ins[1], width=8, signed=True
+            ),
+            [8, 4],
+            (10, 0b1111),  # 4-bit -1 sign-extends
+        )
+        assert got == 9
+
+    def test_mixed_width_add_zero_extends_unsigned(self):
+        got = _run(
+            lambda bd, ins: arith.ripple_add(
+                bd, ins[0], ins[1], width=8, signed=False
+            ),
+            [8, 4],
+            (10, 0b1111),
+        )
+        assert got == 25
+
+    def test_adder_tree_empty(self):
+        got = _run(
+            lambda bd, ins: arith.adder_tree(bd, [], width=4), [1], (0,)
+        )
+        assert got == 0
+
+    @given(st.lists(u8, min_size=1, max_size=9))
+    @settings(max_examples=30, deadline=None)
+    def test_adder_tree_sums(self, values):
+        got = _run(
+            lambda bd, ins: arith.adder_tree(bd, ins, width=WIDTH, signed=False),
+            [WIDTH] * len(values),
+            tuple(values),
+        )
+        assert got == sum(values) % MOD
+
+
+class TestMultiply:
+    @given(u8, u8)
+    @settings(max_examples=60, deadline=None)
+    def test_signed_multiply(self, a, b):
+        got = _run(
+            lambda bd, ins: arith.multiply(bd, ins[0], ins[1], width=16),
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert _signed(got, 16) == _signed(a) * _signed(b)
+
+    @given(u8, u8)
+    @settings(max_examples=40, deadline=None)
+    def test_unsigned_multiply_truncated(self, a, b):
+        got = _run(
+            lambda bd, ins: arith.multiply(
+                bd, ins[0], ins[1], width=WIDTH, signed=False
+            ),
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == (a * b) % MOD
+
+    @given(u8, st.integers(min_value=-300, max_value=300))
+    @settings(max_examples=80, deadline=None)
+    def test_multiply_const(self, a, c):
+        got = _run(
+            lambda bd, ins: arith.multiply_const(bd, ins[0], c, width=16),
+            [WIDTH],
+            (a,),
+        )
+        assert _signed(got, 16) == _signed(_signed(a) * c, 16)
+
+    @pytest.mark.parametrize("c", [0, 1, -1, 2, -2, 255, 256, 257, -128])
+    def test_multiply_const_edge_constants(self, c):
+        for a in (0, 1, 127, 128, 255):
+            got = _run(
+                lambda bd, ins: arith.multiply_const(bd, ins[0], c, width=16),
+                [WIDTH],
+                (a,),
+            )
+            assert _signed(got, 16) == _signed(_signed(a) * c, 16)
+
+    def test_const_multiplier_cheaper_than_generic(self):
+        bd1 = CircuitBuilder()
+        ins = [bd1.input() for _ in range(8)]
+        arith.multiply_const(bd1, ins, 100, width=16)
+        bd2 = CircuitBuilder()
+        ins2 = [bd2.input() for _ in range(8)]
+        other = [bd2.input() for _ in range(8)]
+        arith.multiply(bd2, ins2, other, width=16)
+        assert bd1.num_gates < bd2.num_gates / 2
+
+    def test_csd_digits_reconstruct(self):
+        for value in (1, 3, 7, 100, 255, 1023, 12345):
+            digits = arith._csd_digits(value)
+            assert sum(sign << shift for shift, sign in digits) == value
+            # CSD has no two adjacent nonzero digits.
+            shifts = sorted(s for s, _ in digits)
+            assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+
+class TestCompare:
+    @given(u8, u8)
+    @settings(max_examples=60, deadline=None)
+    def test_less_than_unsigned(self, a, b):
+        got = _run(
+            lambda bd, ins: [arith.less_than_unsigned(bd, ins[0], ins[1])],
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == int(a < b)
+
+    @given(u8, u8)
+    @settings(max_examples=60, deadline=None)
+    def test_less_than_signed(self, a, b):
+        got = _run(
+            lambda bd, ins: [arith.less_than_signed(bd, ins[0], ins[1])],
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == int(_signed(a) < _signed(b))
+
+    @given(u8, u8)
+    @settings(max_examples=40, deadline=None)
+    def test_equals(self, a, b):
+        got = _run(
+            lambda bd, ins: [arith.equals(bd, ins[0], ins[1])],
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == int(a == b)
+
+    def test_equals_requires_same_width(self):
+        bd = CircuitBuilder()
+        with pytest.raises(ValueError):
+            arith.equals(bd, bd.inputs(4), [bd.const(False)] * 5)
+
+    def test_is_zero_nonzero(self):
+        for value, want in ((0, 1), (1, 0), (255, 0)):
+            got = _run(
+                lambda bd, ins: [arith.is_zero(bd, ins[0])], [WIDTH], (value,)
+            )
+            assert got == want
+
+
+class TestDivision:
+    @given(u8, st.integers(min_value=1, max_value=MOD - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_unsigned_divide(self, a, b):
+        got = _run(
+            lambda bd, ins: arith.divide_unsigned(bd, ins[0], ins[1])[0],
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == a // b
+
+    @given(u8, st.integers(min_value=1, max_value=MOD - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_unsigned_remainder(self, a, b):
+        got = _run(
+            lambda bd, ins: arith.divide_unsigned(bd, ins[0], ins[1])[1],
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        assert got == a % b
+
+    def test_divide_by_zero_convention(self):
+        got = _run(
+            lambda bd, ins: arith.divide_unsigned(bd, ins[0], ins[1])[0],
+            [WIDTH, WIDTH],
+            (42, 0),
+        )
+        assert got == MOD - 1  # all ones
+
+    @given(u8, u8)
+    @settings(max_examples=40, deadline=None)
+    def test_signed_divide_truncates_toward_zero(self, a, b):
+        sa, sb = _signed(a), _signed(b)
+        if sb == 0:
+            return
+        got = _run(
+            lambda bd, ins: arith.divide_signed(bd, ins[0], ins[1]),
+            [WIDTH, WIDTH],
+            (a, b),
+        )
+        want = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            want = -want
+        assert _signed(got) == _signed(want)
+
+
+class TestShifts:
+    @given(u8, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_barrel_right_logical(self, a, k):
+        got = _run(
+            lambda bd, ins: arith.barrel_shift_right(bd, ins[0], ins[1]),
+            [WIDTH, 3],
+            (a, k),
+        )
+        assert got == a >> k
+
+    @given(u8, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_barrel_right_arithmetic(self, a, k):
+        got = _run(
+            lambda bd, ins: arith.barrel_shift_right(
+                bd, ins[0], ins[1], arithmetic=True
+            ),
+            [WIDTH, 3],
+            (a, k),
+        )
+        assert _signed(got) == _signed(a) >> k
+
+    @given(u8, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_barrel_left(self, a, k):
+        got = _run(
+            lambda bd, ins: arith.barrel_shift_left(bd, ins[0], ins[1]),
+            [WIDTH, 3],
+            (a, k),
+        )
+        assert got == (a << k) % MOD
+
+    def test_const_shift_right_preserves_width(self):
+        bd = CircuitBuilder()
+        bits = bd.inputs(8)
+        assert len(arith.shift_right_const(bd, bits, 3)) == 8
+
+    def test_const_shift_left_overflow_drops(self):
+        got = _run(
+            lambda bd, ins: arith.shift_left_const(bd, ins[0], 10),
+            [WIDTH],
+            (0xFF,),
+        )
+        assert got == 0
+
+
+class TestBitUtils:
+    @given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_popcount(self, a):
+        got = _run(
+            lambda bd, ins: arith.popcount(bd, ins[0]), [16], (a,)
+        )
+        assert got == bin(a).count("1")
+
+    @given(u8)
+    @settings(max_examples=40, deadline=None)
+    def test_count_leading_zeros(self, a):
+        got = _run(
+            lambda bd, ins: arith.count_leading_zeros(bd, ins[0]),
+            [WIDTH],
+            (a,),
+        )
+        assert got == WIDTH - a.bit_length()
+
+    def test_extend_truncates(self):
+        bd = CircuitBuilder()
+        bits = bd.inputs(8)
+        assert arith.extend(bd, bits, 4, signed=True) == bits[:4]
+
+    @given(u8, u8, st.integers(min_value=0, max_value=1))
+    @settings(max_examples=30, deadline=None)
+    def test_mux_bits(self, a, b, sel):
+        got = _run(
+            lambda bd, ins: arith.mux_bits(bd, ins[2][0], ins[0], ins[1]),
+            [WIDTH, WIDTH, 1],
+            (a, b, sel),
+        )
+        assert got == (a if sel else b)

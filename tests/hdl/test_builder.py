@@ -1,0 +1,191 @@
+"""Circuit builder tests: hash-consing, folding, inverter absorption."""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import Gate
+from repro.hdl.builder import CircuitBuilder
+
+
+def _eval1(builder, out_node, *input_values):
+    builder.output(out_node)
+    nl = builder.build()
+    return bool(nl.evaluate(np.array(input_values, dtype=bool))[0])
+
+
+class TestBasics:
+    def test_inputs_before_gates_enforced(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        bd.not_(a)  # a real gate (AND(a, a) would fold to a wire)
+        with pytest.raises(RuntimeError):
+            bd.input()
+
+    def test_output_must_exist(self):
+        bd = CircuitBuilder()
+        with pytest.raises(ValueError):
+            bd.output(3)
+
+    def test_inputs_helper(self):
+        bd = CircuitBuilder()
+        nodes = bd.inputs(4)
+        assert nodes == [0, 1, 2, 3]
+
+    def test_input_can_be_output_directly(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        bd.output(a)
+        nl = bd.build()
+        assert nl.num_gates == 0
+        assert nl.evaluate(np.array([True]))[0]
+
+
+class TestHashConsing:
+    def test_identical_gates_shared(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        g1 = bd.and_(a, b)
+        g2 = bd.and_(a, b)
+        assert g1 == g2
+        assert bd.num_gates == 1
+
+    def test_commutative_operands_canonicalized(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        assert bd.xor_(a, b) == bd.xor_(b, a)
+
+    def test_swappable_composites_canonicalized(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        # ANDNY(b, a) == ANDYN(a, b)
+        g1 = bd.gate(Gate.ANDNY, b, a)
+        g2 = bd.gate(Gate.ANDYN, a, b)
+        assert g1 == g2
+
+    def test_sharing_disabled(self):
+        bd = CircuitBuilder(hash_cons=False)
+        a, b = bd.inputs(2)
+        assert bd.and_(a, b) != bd.and_(a, b)
+        assert bd.num_gates == 2
+
+
+class TestConstantFolding:
+    def test_const_nodes_deduplicated(self):
+        bd = CircuitBuilder()
+        assert bd.const(True) == bd.const(True)
+        assert bd.const(True) != bd.const(False)
+
+    def test_and_with_true_is_identity(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        assert bd.and_(a, bd.const(True)) == a
+
+    def test_and_with_false_is_false(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        assert bd.const_value(bd.and_(a, bd.const(False))) is False
+
+    def test_xor_with_true_is_not(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        node = bd.xor_(a, bd.const(True))
+        assert bd.const_value(node) is None
+        assert not _eval1(bd, node, True)
+
+    def test_both_const_folds(self):
+        bd = CircuitBuilder()
+        assert bd.const_value(bd.nand_(bd.const(True), bd.const(True))) is False
+
+    def test_same_operand_and(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        assert bd.and_(a, a) == a
+
+    def test_same_operand_xor_is_false(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        assert bd.const_value(bd.xor_(a, a)) is False
+
+    def test_same_operand_nand_is_not(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        node = bd.nand_(a, a)
+        assert not _eval1(bd, node, True)
+
+    def test_double_negation_collapses(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        assert bd.not_(bd.not_(a)) == a
+
+    def test_not_of_const(self):
+        bd = CircuitBuilder()
+        assert bd.const_value(bd.not_(bd.const(False))) is True
+
+    def test_buf_folds_away(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        assert bd.gate(Gate.BUF, a) == a
+
+    def test_folding_disabled_keeps_gates(self):
+        bd = CircuitBuilder(fold_constants=False)
+        a = bd.input()
+        t = bd.const(True)
+        node = bd.and_(a, t)
+        assert node != a
+        assert bd.num_gates == 2  # CONST1 + AND
+
+
+class TestInverterAbsorption:
+    def test_and_with_not_becomes_andyn(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        node = bd.and_(a, bd.not_(b))
+        idx = node - bd.num_inputs
+        assert Gate(bd._ops[idx]) == Gate.ANDYN
+
+    def test_absorbed_result_is_correct(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        node = bd.or_(bd.not_(a), b)  # ORNY
+        bd.output(node)
+        nl = bd.build()
+        for va in (0, 1):
+            for vb in (0, 1):
+                got = nl.evaluate(np.array([va, vb], dtype=bool))[0]
+                assert got == ((not va) or vb)
+
+    def test_xor_with_not_becomes_xnor(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        node = bd.xor_(bd.not_(a), b)
+        idx = node - bd.num_inputs
+        assert Gate(bd._ops[idx]) == Gate.XNOR
+
+    def test_absorption_disabled(self):
+        bd = CircuitBuilder(absorb_inverters=False)
+        a, b = bd.inputs(2)
+        node = bd.and_(a, bd.not_(b))
+        idx = node - bd.num_inputs
+        assert Gate(bd._ops[idx]) == Gate.AND
+
+
+class TestMux:
+    @pytest.mark.parametrize("sel", [0, 1])
+    @pytest.mark.parametrize("t", [0, 1])
+    @pytest.mark.parametrize("f", [0, 1])
+    def test_mux_truth_table(self, sel, t, f):
+        bd = CircuitBuilder()
+        s, a, b = bd.inputs(3)
+        node = bd.mux(s, a, b)
+        assert _eval1(bd, node, sel, t, f) == (t if sel else f)
+
+    def test_mux_const_selector_folds(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        assert bd.mux(bd.const(True), a, b) == a
+        assert bd.mux(bd.const(False), a, b) == b
+
+    def test_mux_equal_branches_folds(self):
+        bd = CircuitBuilder()
+        s, a = bd.inputs(2)
+        assert bd.mux(s, a, a) == a

@@ -1,0 +1,191 @@
+"""Gate-level float units vs the SoftFloat reference (bit-exact)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import floatarith as fa
+from repro.hdl.builder import CircuitBuilder
+from repro.hdl.softfloat import FloatFormat
+
+FORMATS = {
+    "f54": FloatFormat(5, 4),
+    "bf16": FloatFormat(8, 8),
+    "fp16": FloatFormat(5, 11),
+}
+
+
+def _build_binary(fmt, circuit_fn):
+    bd = CircuitBuilder()
+    xs = [bd.input() for _ in range(fmt.width)]
+    ys = [bd.input() for _ in range(fmt.width)]
+    out = circuit_fn(bd, fmt, xs, ys)
+    if isinstance(out, int):
+        out = [out]
+    for o in out:
+        bd.output(o)
+    return bd.build()
+
+
+def _build_unary(fmt, circuit_fn):
+    bd = CircuitBuilder()
+    xs = [bd.input() for _ in range(fmt.width)]
+    out = circuit_fn(bd, fmt, xs)
+    for o in out:
+        bd.output(o)
+    return bd.build()
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _as_int(bools):
+    return sum(int(b) << i for i, b in enumerate(bools))
+
+
+def _sample_encodings(fmt, count, seed):
+    rng = np.random.default_rng(seed)
+    out = [0, fmt.encode(1.0), fmt.encode(-1.0), fmt.max_finite_bits]
+    while len(out) < count:
+        v = rng.normal() * 10.0 ** rng.integers(-4, 5)
+        out.append(fmt.encode(float(v)))
+    return out[:count]
+
+
+@pytest.mark.parametrize("fmt_name", list(FORMATS), ids=list(FORMATS))
+class TestBinaryOpsBitExact:
+    def _check(self, fmt, circuit_fn, soft_fn, seed, pred=False, n=60):
+        nl = _build_binary(fmt, circuit_fn)
+        xs = _sample_encodings(fmt, n, seed)
+        ys = _sample_encodings(fmt, n, seed + 1)
+        for x, y in zip(xs, ys):
+            got = _as_int(
+                nl.evaluate(
+                    np.array(
+                        _bits(x, fmt.width) + _bits(y, fmt.width), dtype=bool
+                    )
+                )
+            )
+            want = soft_fn(fmt, x, y)
+            want = int(want)
+            assert got == want, (
+                f"x={fmt.decode(x)} y={fmt.decode(y)}: {got:b} != {want:b}"
+            )
+
+    def test_add(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(fmt, fa.float_add, lambda f, x, y: f.add(x, y), 10)
+
+    def test_sub(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(fmt, fa.float_sub, lambda f, x, y: f.sub(x, y), 20)
+
+    def test_mul(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(fmt, fa.float_mul, lambda f, x, y: f.mul(x, y), 30)
+
+    def test_div(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(fmt, fa.float_div, lambda f, x, y: f.div(x, y), 40)
+
+    def test_less_than(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(
+            fmt,
+            fa.float_less_than,
+            lambda f, x, y: f.less_than(x, y),
+            50,
+            pred=True,
+        )
+
+    def test_max(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(
+            fmt,
+            fa.float_max,
+            lambda f, x, y: y if f.less_than(x, y) else x,
+            60,
+        )
+
+    def test_min(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(
+            fmt,
+            fa.float_min,
+            lambda f, x, y: x if f.less_than(x, y) else y,
+            70,
+        )
+
+
+@pytest.mark.parametrize("fmt_name", list(FORMATS), ids=list(FORMATS))
+class TestUnaryOpsBitExact:
+    def _check(self, fmt, circuit_fn, soft_fn, seed, n=60):
+        nl = _build_unary(fmt, circuit_fn)
+        for x in _sample_encodings(fmt, n, seed):
+            got = _as_int(
+                nl.evaluate(np.array(_bits(x, fmt.width), dtype=bool))
+            )
+            assert got == int(soft_fn(fmt, x))
+
+    def test_neg(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(fmt, fa.float_neg, lambda f, x: f.neg(x), 80)
+
+    def test_relu(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(fmt, fa.float_relu, lambda f, x: f.relu(x), 90)
+
+    def test_abs(self, fmt_name):
+        fmt = FORMATS[fmt_name]
+        self._check(
+            fmt,
+            fa.float_abs,
+            lambda f, x: x & ~(1 << (f.width - 1)),
+            95,
+        )
+
+
+class TestEdgeCases:
+    def test_add_opposite_equal_magnitudes_is_zero(self):
+        fmt = FORMATS["bf16"]
+        nl = _build_binary(fmt, fa.float_add)
+        x = fmt.encode(3.25)
+        y = fmt.neg(x)
+        got = _as_int(
+            nl.evaluate(
+                np.array(
+                    _bits(x, fmt.width) + _bits(y, fmt.width), dtype=bool
+                )
+            )
+        )
+        assert got == 0
+
+    def test_unpack_rejects_wrong_width(self):
+        bd = CircuitBuilder()
+        with pytest.raises(ValueError):
+            fa.unpack(FORMATS["bf16"], bd.inputs(5))
+
+    def test_mul_gate_count_scales_with_mantissa(self):
+        small = _build_binary(FORMATS["f54"], fa.float_mul).num_gates
+        large = _build_binary(FORMATS["fp16"], fa.float_mul).num_gates
+        assert large > 2 * small
+
+    @given(st.integers(min_value=0, max_value=2 ** 32))
+    @settings(max_examples=30, deadline=None)
+    def test_add_subnormal_free_random_pairs(self, seed):
+        """Fuzz: circuit add == softfloat add on random valid encodings."""
+        fmt = FORMATS["f54"]
+        nl = _build_binary(fmt, fa.float_add)
+        rng = np.random.default_rng(seed)
+        x = fmt.encode(float(rng.normal() * 4))
+        y = fmt.encode(float(rng.normal() * 4))
+        got = _as_int(
+            nl.evaluate(
+                np.array(
+                    _bits(x, fmt.width) + _bits(y, fmt.width), dtype=bool
+                )
+            )
+        )
+        assert got == fmt.add(x, y)

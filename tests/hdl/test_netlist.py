@@ -1,0 +1,147 @@
+"""Netlist IR tests: validation, evaluation, levels, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatetypes import Gate, evaluate_plain
+from repro.hdl.builder import CircuitBuilder
+from repro.hdl.netlist import NO_INPUT, Netlist
+
+
+def _half_adder_netlist():
+    bd = CircuitBuilder(name="half_adder")
+    a, b = bd.inputs(2)
+    bd.output(bd.xor_(a, b), "sum")
+    bd.output(bd.and_(a, b), "carry")
+    return bd.build()
+
+
+class TestValidation:
+    def test_rejects_forward_reference(self):
+        with pytest.raises(ValueError):
+            Netlist(1, [int(Gate.AND)], [0], [5], [1])
+
+    def test_rejects_self_reference(self):
+        with pytest.raises(ValueError):
+            Netlist(1, [int(Gate.AND)], [1], [0], [1])
+
+    def test_rejects_bad_output(self):
+        with pytest.raises(ValueError):
+            Netlist(1, [], [], [], [3])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Netlist(1, [int(Gate.AND)], [0], [], [0])
+
+    def test_names_length_checked(self):
+        with pytest.raises(ValueError):
+            Netlist(2, [], [], [], [0], input_names=["only_one"])
+
+
+class TestEvaluation:
+    def test_half_adder_truth_table(self):
+        nl = _half_adder_netlist()
+        for a in (0, 1):
+            for b in (0, 1):
+                s, c = nl.evaluate(np.array([a, b], dtype=bool))
+                assert s == (a ^ b)
+                assert c == (a & b)
+
+    def test_batch_evaluation(self):
+        nl = _half_adder_netlist()
+        inputs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=bool)
+        out = nl.evaluate(inputs)
+        assert out.shape == (4, 2)
+        assert np.array_equal(out[:, 0], [0, 1, 1, 0])
+        assert np.array_equal(out[:, 1], [0, 0, 0, 1])
+
+    def test_wrong_input_count_rejected(self):
+        nl = _half_adder_netlist()
+        with pytest.raises(ValueError):
+            nl.evaluate(np.array([True]))
+
+    def test_mask_evaluation_matches_boolean(self, rng):
+        bd = CircuitBuilder()
+        ins = bd.inputs(6)
+        x = bd.xor_(bd.and_(ins[0], ins[1]), bd.or_(ins[2], ins[3]))
+        y = bd.nand_(x, bd.xnor_(ins[4], ins[5]))
+        bd.output(y)
+        nl = bd.build()
+        batch = rng.integers(0, 2, (100, 6)).astype(bool)
+        got = nl.evaluate(batch)
+        singles = np.array([nl.evaluate(row) for row in batch])
+        assert np.array_equal(got, singles)
+
+    @given(st.lists(st.sampled_from(list(Gate)), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_every_gate_type_evaluates(self, gates):
+        """Random single-chain netlists agree with evaluate_plain."""
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=False, absorb_inverters=False
+        )
+        a, b = bd.inputs(2)
+        nodes = [a, b]
+        for gate in gates:
+            if gate.arity == 0:
+                nodes.append(bd.gate(gate))
+            elif gate.arity == 1:
+                nodes.append(bd.gate(gate, nodes[-1]))
+            else:
+                nodes.append(bd.gate(gate, nodes[-1], nodes[-2]))
+        bd.output(nodes[-1])
+        nl = bd.build()
+        for va in (0, 1):
+            for vb in (0, 1):
+                values = [va, vb]
+                for gate in gates:
+                    if gate.arity == 0:
+                        values.append(evaluate_plain(gate))
+                    elif gate.arity == 1:
+                        values.append(evaluate_plain(gate, values[-1]))
+                    else:
+                        values.append(
+                            evaluate_plain(gate, values[-1], values[-2])
+                        )
+                got = nl.evaluate(np.array([va, vb], dtype=bool))[0]
+                assert got == bool(values[-1])
+
+
+class TestLevelsAndStats:
+    def test_half_adder_stats(self):
+        stats = _half_adder_netlist().stats()
+        assert stats.num_gates == 2
+        assert stats.num_bootstrapped_gates == 2
+        assert stats.bootstrap_depth == 1
+        assert stats.max_level_width == 2
+        assert stats.gate_histogram == {"XOR": 1, "AND": 1}
+
+    def test_free_gates_add_no_depth(self):
+        bd = CircuitBuilder(fold_constants=False, absorb_inverters=False)
+        a, b = bd.inputs(2)
+        x = bd.and_(a, b)
+        y = bd.not_(x)  # free
+        z = bd.not_(y)  # free (folding disabled)
+        w = bd.or_(z, a)
+        bd.output(w)
+        nl = bd.build()
+        assert nl.stats().bootstrap_depth == 2
+
+    def test_chain_depth(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        x = a
+        for _ in range(7):
+            x = bd.xor_(bd.and_(x, b), b)
+        bd.output(x)
+        assert bd.build().stats().bootstrap_depth == 14
+
+    def test_levels_are_monotonic(self):
+        nl = _half_adder_netlist()
+        levels = nl.bootstrap_levels()
+        assert levels[0] == 0 and levels[1] == 0
+        assert levels[2] == 1 and levels[3] == 1
+
+    def test_repr(self):
+        assert "half_adder" in repr(_half_adder_netlist())

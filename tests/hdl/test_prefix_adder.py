@@ -1,0 +1,122 @@
+"""Prefix (Sklansky) adder tests: correctness + depth advantage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import arith
+from repro.hdl.builder import CircuitBuilder
+
+
+def _run_add(width, x, y, carry, style):
+    bd = CircuitBuilder(adder_style=style)
+    a = [bd.input() for _ in range(width)]
+    b = [bd.input() for _ in range(width)]
+    cin = bd.input()
+    for bit in arith.ripple_add(bd, a, b, carry_in=cin, width=width, signed=False):
+        bd.output(bit)
+    nl = bd.build()
+    bits = (
+        [(x >> i) & 1 for i in range(width)]
+        + [(y >> i) & 1 for i in range(width)]
+        + [carry]
+    )
+    out = nl.evaluate(np.array(bits, dtype=bool))
+    return sum(int(v) << i for i, v in enumerate(out)), nl
+
+
+class TestPrefixCorrectness:
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_ripple_8bit(self, x, y, c):
+        got_p, _ = _run_add(8, x, y, c, "prefix")
+        got_r, _ = _run_add(8, x, y, c, "ripple")
+        assert got_p == got_r == (x + y + c) % 256
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 16, 17])
+    def test_odd_widths(self, width):
+        rng = np.random.default_rng(width)
+        mod = 1 << width
+        for _ in range(20):
+            x = int(rng.integers(0, mod))
+            y = int(rng.integers(0, mod))
+            c = int(rng.integers(0, 2))
+            got, _ = _run_add(width, x, y, c, "prefix")
+            assert got == (x + y + c) % mod
+
+    def test_subtraction_through_prefix(self):
+        bd = CircuitBuilder(adder_style="prefix")
+        a = [bd.input() for _ in range(8)]
+        b = [bd.input() for _ in range(8)]
+        for bit in arith.ripple_sub(bd, a, b, width=8, signed=False):
+            bd.output(bit)
+        nl = bd.build()
+        for x, y in ((200, 13), (5, 9), (0, 0)):
+            bits = [(x >> i) & 1 for i in range(8)] + [
+                (y >> i) & 1 for i in range(8)
+            ]
+            out = nl.evaluate(np.array(bits, dtype=bool))
+            got = sum(int(v) << i for i, v in enumerate(out))
+            assert got == (x - y) % 256
+
+
+class TestDepthTradeoff:
+    def test_prefix_is_shallower_wide(self):
+        _, nl_p = _run_add(16, 0, 0, 0, "prefix")
+        _, nl_r = _run_add(16, 0, 0, 0, "ripple")
+        assert nl_p.stats().bootstrap_depth < nl_r.stats().bootstrap_depth / 2
+
+    def test_prefix_costs_more_gates(self):
+        _, nl_p = _run_add(16, 0, 0, 0, "prefix")
+        _, nl_r = _run_add(16, 0, 0, 0, "ripple")
+        assert nl_p.num_gates > nl_r.num_gates
+
+    def test_model_level_equivalence_and_tradeoff(self):
+        """compile_model(adder_style=...) preserves semantics.
+
+        Note the architecture subtlety the depth numbers expose:
+        *chained* ripple adders pipeline (total depth ~ n + k for k
+        adds), so for accumulation-heavy layers prefix adders do not
+        necessarily reduce end-to-end depth — they shine on isolated
+        wide additions (previous test).  We therefore assert only
+        equivalence and the gate-count cost here.
+        """
+        from repro.chiseltorch import nn
+        from repro.chiseltorch.dtypes import SInt
+        from repro.core import compile_model
+
+        rng = np.random.default_rng(0)
+        w = rng.integers(-3, 4, (4, 12)).astype(float)
+        model = nn.Sequential(
+            nn.Linear(12, 4, weight=w, bias=False), nn.ReLU(), dtype=SInt(8)
+        )
+        ripple = compile_model(model, (12,))
+        prefix = compile_model(model, (12,), adder_style="prefix")
+        assert prefix.netlist.num_gates > ripple.netlist.num_gates
+        x = rng.integers(-4, 5, 12).astype(float)
+        assert np.array_equal(
+            ripple.run_plain(x)[0], prefix.run_plain(x)[0]
+        )
+
+    def test_single_wide_add_depth_reduction_through_compile(self):
+        from repro.chiseltorch.dtypes import UInt
+        from repro.core import TensorSpec, compile_function
+
+        specs = [TensorSpec("a", (), UInt(16)), TensorSpec("b", (), UInt(16))]
+        ripple = compile_function(lambda a, b: a + b, specs)
+        prefix = compile_function(
+            lambda a, b: a + b, specs, adder_style="prefix"
+        )
+        assert (
+            prefix.netlist.stats().bootstrap_depth
+            < ripple.netlist.stats().bootstrap_depth / 2
+        )
+
+    def test_invalid_style_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBuilder(adder_style="magic")

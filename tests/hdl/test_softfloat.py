@@ -1,0 +1,177 @@
+"""SoftFloat reference model tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.softfloat import FloatFormat
+
+BF16 = FloatFormat(8, 8)  # the paper's Float(8, 8) bfloat16
+FP16 = FloatFormat(5, 11)  # the paper's Float(5, 11) half
+
+
+def finite_floats(max_mag=1e4):
+    return st.floats(
+        min_value=-max_mag,
+        max_value=max_mag,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+class TestLayout:
+    def test_width(self):
+        assert BF16.width == 17  # 1 + 8 + 8 explicit-mantissa layout
+        assert FP16.width == 17
+
+    def test_bias(self):
+        assert BF16.bias == 127
+        assert FP16.bias == 15
+
+    def test_pack_unpack_roundtrip(self):
+        bits = BF16.pack(1, 130, 55)
+        assert BF16.unpack(bits) == (1, 130, 55)
+
+    def test_rejects_tiny_formats(self):
+        with pytest.raises(ValueError):
+            FloatFormat(1, 4)
+
+
+class TestEncodeDecode:
+    def test_zero(self):
+        assert BF16.encode(0.0) == 0
+        assert BF16.decode(0) == 0.0
+
+    def test_one(self):
+        bits = BF16.encode(1.0)
+        assert BF16.decode(bits) == 1.0
+
+    def test_negative(self):
+        assert BF16.decode(BF16.encode(-2.5)) == -2.5
+
+    def test_powers_of_two_exact(self):
+        for e in range(-10, 11):
+            v = 2.0 ** e
+            assert BF16.decode(BF16.encode(v)) == v
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            BF16.encode(float("nan"))
+
+    def test_overflow_saturates(self):
+        bits = FP16.encode(1e30)
+        assert bits == FP16.max_finite_bits
+
+    def test_underflow_flushes_to_zero(self):
+        assert FP16.encode(1e-30) == 0
+
+    @given(finite_floats())
+    @settings(max_examples=100, deadline=None)
+    def test_encode_truncation_error_bound(self, v):
+        bits = BF16.encode(v)
+        if bits == 0 or bits == BF16.max_finite_bits:
+            return
+        decoded = BF16.decode(bits)
+        # Truncation: relative error < 2^-mantissa_bits.
+        assert abs(decoded - v) <= abs(v) * 2.0 ** -BF16.mantissa_bits
+
+    @given(finite_floats())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_zero_has_sign_zero(self, v):
+        bits = BF16.encode(v)
+        if BF16.is_zero(bits):
+            assert bits == 0
+
+
+class TestArithmetic:
+    @given(finite_floats(100), finite_floats(100))
+    @settings(max_examples=150, deadline=None)
+    def test_add_close_to_real(self, a, b):
+        fa, fb = BF16.encode(a), BF16.encode(b)
+        result = BF16.decode(BF16.add(fa, fb))
+        exact = BF16.decode(fa) + BF16.decode(fb)
+        tolerance = max(abs(BF16.decode(fa)), abs(BF16.decode(fb)), abs(exact))
+        assert abs(result - exact) <= tolerance * 2.0 ** -6 + 1e-38
+
+    @given(finite_floats(100), finite_floats(100))
+    @settings(max_examples=150, deadline=None)
+    def test_mul_close_to_real(self, a, b):
+        fa, fb = BF16.encode(a), BF16.encode(b)
+        result = BF16.decode(BF16.mul(fa, fb))
+        exact = BF16.decode(fa) * BF16.decode(fb)
+        assert abs(result - exact) <= abs(exact) * 2.0 ** -6 + 1e-38
+
+    @given(finite_floats(100))
+    @settings(max_examples=60, deadline=None)
+    def test_add_zero_identity(self, a):
+        fa = BF16.encode(a)
+        assert BF16.add(fa, 0) == fa
+        assert BF16.add(0, fa) == fa
+
+    @given(finite_floats(100))
+    @settings(max_examples=60, deadline=None)
+    def test_x_minus_x_is_zero(self, a):
+        fa = BF16.encode(a)
+        assert BF16.sub(fa, fa) == 0
+
+    @given(finite_floats(100), finite_floats(100))
+    @settings(max_examples=60, deadline=None)
+    def test_add_commutes(self, a, b):
+        fa, fb = BF16.encode(a), BF16.encode(b)
+        assert BF16.add(fa, fb) == BF16.add(fb, fa)
+
+    @given(finite_floats(100))
+    @settings(max_examples=60, deadline=None)
+    def test_neg_involution(self, a):
+        fa = BF16.encode(a)
+        assert BF16.neg(BF16.neg(fa)) == fa
+
+    def test_neg_zero_is_zero(self):
+        assert BF16.neg(0) == 0
+
+    @given(finite_floats(50), finite_floats(50))
+    @settings(max_examples=100, deadline=None)
+    def test_less_than_matches_decoded(self, a, b):
+        fa, fb = BF16.encode(a), BF16.encode(b)
+        assert BF16.less_than(fa, fb) == (BF16.decode(fa) < BF16.decode(fb))
+
+    @given(finite_floats(50), finite_floats(50))
+    @settings(max_examples=60, deadline=None)
+    def test_div_close_to_real(self, a, b):
+        fa, fb = BF16.encode(a), BF16.encode(b)
+        if BF16.is_zero(fb):
+            return
+        result = BF16.decode(BF16.div(fa, fb))
+        exact = BF16.decode(fa) / BF16.decode(fb)
+        if abs(exact) >= BF16.decode(BF16.max_finite_bits):
+            assert BF16.div(fa, fb) in (
+                BF16.max_finite_bits,
+                BF16.neg(BF16.max_finite_bits),
+            )
+            return
+        assert abs(result - exact) <= abs(exact) * 2.0 ** -6 + 1e-38
+
+    def test_div_by_zero_saturates(self):
+        fa = BF16.encode(3.0)
+        assert BF16.div(fa, 0) == BF16.max_finite_bits
+
+    def test_zero_div_anything_is_zero(self):
+        assert BF16.div(0, BF16.encode(5.0)) == 0
+        assert BF16.div(0, 0) == 0
+
+    @given(finite_floats(100))
+    @settings(max_examples=60, deadline=None)
+    def test_relu(self, a):
+        fa = BF16.encode(a)
+        out = BF16.decode(BF16.relu(fa))
+        assert out == max(BF16.decode(fa), 0.0)
+
+    def test_mul_overflow_saturates(self):
+        big = FP16.encode(60000.0)
+        assert FP16.mul(big, big) == FP16.max_finite_bits
+
+    def test_mul_underflow_flushes(self):
+        tiny = FP16.encode(2.0 ** -14)
+        assert FP16.mul(tiny, tiny) == 0

@@ -1,0 +1,73 @@
+"""Smoke tests: the shipped examples build and run their core paths."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name):
+    """Import an example as a module dict without running __main__."""
+    return runpy.run_path(str(EXAMPLES / name), run_name="example")
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = _load("quickstart.py")
+    module["main"]()
+    out = capsys.readouterr().out
+    assert "1 + 1 = sum 0, carry 1" in out
+
+
+def test_private_db_query_circuit():
+    module = _load("private_db_query.py")
+    compiled = module["build_query_circuit"]()
+    got = compiled.run_plain(np.asarray(12.0))[0]
+    assert got == 75.0
+    assert compiled.run_plain(np.asarray(5.0))[0] == 0.0
+
+
+def test_dtype_selection_models_compile():
+    module = _load("dtype_selection.py")
+    from repro.core import compile_model
+
+    for dtype in module["DTYPES"][:2]:  # the fast integer ones
+        compiled = compile_model(module["build_model"](dtype), (1, 7, 7))
+        assert compiled.netlist.num_gates > 0
+
+
+def test_vipbench_run_lists_workloads(capsys):
+    module = _load("vipbench_run.py")
+    module["list_workloads"]()
+    out = capsys.readouterr().out
+    assert "dot_product" in out and "roberts_cross" in out
+
+
+def test_attention_example_constants():
+    module = _load("attention_layer.py")
+    assert module["HIDDEN"] >= 4
+
+
+def test_compile_model_via_verilog_pipeline(rng):
+    """The Fig. 2 literal path (ChiselTorch -> Verilog -> netlist)."""
+    from repro.chiseltorch import nn
+    from repro.chiseltorch.dtypes import SInt
+    from repro.core import compile_model
+
+    model = nn.Sequential(
+        nn.Linear(4, 2, weight=np.eye(2, 4), bias=False),
+        nn.ReLU(),
+        dtype=SInt(6),
+    )
+    direct = compile_model(model, (4,))
+    via_verilog = compile_model(model, (4,), via_verilog=True)
+    x = rng.integers(-4, 5, 4).astype(float)
+    assert np.array_equal(
+        direct.run_plain(x)[0], via_verilog.run_plain(x)[0]
+    )
+    from repro.synth import check_equivalence
+
+    assert check_equivalence(direct.netlist, via_verilog.netlist)

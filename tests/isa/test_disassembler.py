@@ -1,0 +1,55 @@
+"""Textual disassembler tests."""
+
+from repro.hdl.builder import CircuitBuilder
+from repro.isa import assemble, format_program
+
+
+def _half_adder_binary():
+    bd = CircuitBuilder()
+    a, b = bd.inputs(2)
+    bd.output(bd.xor_(a, b))
+    bd.output(bd.and_(a, b))
+    return assemble(bd.build())
+
+
+def test_listing_structure():
+    text = format_program(_half_adder_binary())
+    lines = text.splitlines()
+    assert len(lines) == 7
+    assert "header" in lines[0] and "total_gates=2" in lines[0]
+    assert "input" in lines[1] and "input" in lines[2]
+    assert "XOR" in lines[3] and "in0=1 in1=2" in lines[3]
+    assert "AND" in lines[4]
+    assert "output" in lines[5] and "node=3" in lines[5]
+    assert "output" in lines[6] and "node=4" in lines[6]
+
+
+def test_indices_are_sequential_from_one():
+    text = format_program(_half_adder_binary())
+    lines = text.splitlines()
+    assert "[     1]" in lines[1]
+    assert "[     2]" in lines[2]
+    assert "[     3]" in lines[3]
+    assert "[     4]" in lines[4]
+
+
+def test_unary_gate_marks_unused_operand():
+    bd = CircuitBuilder(fold_constants=False)
+    a = bd.input()
+    bd.output(bd.not_(a))
+    text = format_program(assemble(bd.build()))
+    assert "NOT" in text
+    assert "in1=-" in text
+
+
+def test_truncation():
+    text = format_program(_half_adder_binary(), max_rows=3)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "instructions total" in lines[-1]
+
+
+def test_offsets_are_16_byte_aligned():
+    text = format_program(_half_adder_binary())
+    offsets = [int(line.split()[0], 16) for line in text.splitlines()]
+    assert offsets == [i * 16 for i in range(7)]

@@ -1,0 +1,126 @@
+"""Instruction encoding tests (paper Fig. 5/6)."""
+
+import pytest
+
+from repro.gatetypes import Gate
+from repro.isa import (
+    FIELD_ALL_ONES,
+    INSTRUCTION_BYTES,
+    MAX_NODE_INDEX,
+    decode_instruction,
+    encode_gate,
+    encode_header,
+    encode_input,
+    encode_output,
+    iter_instructions,
+)
+
+
+class TestFormatShape:
+    def test_instruction_is_128_bits(self):
+        assert INSTRUCTION_BYTES == 16
+        assert len(encode_header(5)) == 16
+        assert len(encode_input()) == 16
+        assert len(encode_gate(Gate.AND, 1, 2)) == 16
+        assert len(encode_output(3)) == 16
+
+    def test_index_space_is_62_bits(self):
+        """The paper's 2^62 gate ceiling."""
+        assert FIELD_ALL_ONES == (1 << 62) - 1
+        encode_gate(Gate.AND, MAX_NODE_INDEX, 1)  # ok
+        with pytest.raises(ValueError):
+            encode_gate(Gate.AND, MAX_NODE_INDEX + 1, 1)
+
+    def test_header_rejects_too_many_gates(self):
+        with pytest.raises(ValueError):
+            encode_header(1 << 62)
+
+
+class TestFieldLayout:
+    def test_header_layout(self):
+        word = int.from_bytes(encode_header(42), "little")
+        assert word & 0xF == 0  # type nibble
+        assert (word >> 4) & FIELD_ALL_ONES == 42  # total gates
+        assert (word >> 66) & FIELD_ALL_ONES == 0
+
+    def test_input_is_all_ones(self):
+        word = int.from_bytes(encode_input(), "little")
+        assert word & 0xF == 0xF
+        assert (word >> 4) & FIELD_ALL_ONES == FIELD_ALL_ONES
+        assert (word >> 66) & FIELD_ALL_ONES == FIELD_ALL_ONES
+
+    def test_xor_gate_nibble_matches_fig6(self):
+        """Fig. 6 pins XOR's gate type to 0b0110."""
+        word = int.from_bytes(encode_gate(Gate.XOR, 1, 2), "little")
+        assert word & 0xF == 0b0110
+
+    def test_gate_operand_fields(self):
+        word = int.from_bytes(encode_gate(Gate.AND, 7, 9), "little")
+        assert (word >> 66) & FIELD_ALL_ONES == 7
+        assert (word >> 4) & FIELD_ALL_ONES == 9
+
+    def test_output_layout(self):
+        word = int.from_bytes(encode_output(3), "little")
+        assert word & 0xF == 0x3
+        assert (word >> 66) & FIELD_ALL_ONES == FIELD_ALL_ONES
+        assert (word >> 4) & FIELD_ALL_ONES == 3
+
+    def test_reserved_nibbles_not_gate_codes(self):
+        codes = {int(g) for g in Gate}
+        assert 0x3 not in codes
+        assert 0xF not in codes
+
+
+class TestDecode:
+    def test_header_roundtrip(self):
+        inst = decode_instruction(encode_header(10), is_first=True)
+        assert inst.kind == "header"
+        assert inst.total_gates == 10
+
+    def test_input_roundtrip(self):
+        assert decode_instruction(encode_input()).kind == "input"
+
+    def test_gate_roundtrip(self):
+        inst = decode_instruction(encode_gate(Gate.NOR, 4, 6))
+        assert inst.kind == "gate"
+        assert inst.gate == Gate.NOR
+        assert inst.operands == (4, 6)
+
+    def test_unary_gate_marks_unused_operand(self):
+        inst = decode_instruction(encode_gate(Gate.NOT, 5, None))
+        assert inst.field1 == FIELD_ALL_ONES
+
+    def test_const_gate_not_confused_with_markers(self):
+        inst = decode_instruction(encode_gate(Gate.CONST1, None, None))
+        assert inst.kind == "gate"
+        assert inst.gate == Gate.CONST1
+
+    def test_output_roundtrip(self):
+        inst = decode_instruction(encode_output(12))
+        assert inst.kind == "output"
+        assert inst.output_node == 12
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction(b"\x00" * 8)
+
+    def test_bad_nibble_rejected(self):
+        raw = bytearray(encode_gate(Gate.AND, 1, 2))
+        raw[0] = (raw[0] & 0xF0) | 0xF  # input marker but real operands
+        with pytest.raises(ValueError):
+            decode_instruction(bytes(raw))
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction(encode_gate(Gate.AND, 1, 2), is_first=True)
+
+    def test_iter_requires_16_byte_multiple(self):
+        with pytest.raises(ValueError):
+            list(iter_instructions(b"\x00" * 20))
+
+    def test_typed_accessors_guarded(self):
+        inst = decode_instruction(encode_gate(Gate.AND, 1, 2))
+        with pytest.raises(TypeError):
+            inst.total_gates
+        with pytest.raises(TypeError):
+            inst.output_node

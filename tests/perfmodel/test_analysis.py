@@ -1,0 +1,99 @@
+"""Parallelism analysis tests: work/span bounds hold for the simulators."""
+
+import pytest
+
+from repro.bench import vip_workload
+from repro.hdl.builder import CircuitBuilder
+from repro.perfmodel import (
+    ClusterSimulator,
+    GpuSimulator,
+    A5000,
+    PAPER_GATE_COST,
+    TABLE_II_CLUSTER,
+    classify_workload,
+    parallelism_profile,
+)
+
+
+def _serial_chain(length=30):
+    bd = CircuitBuilder()
+    a, b = bd.inputs(2)
+    x = a
+    for _ in range(length):
+        x = bd.xor_(bd.and_(x, b), b)
+    bd.output(x)
+    return bd.build()
+
+
+class TestProfile:
+    def test_serial_chain_profile(self):
+        profile = parallelism_profile(_serial_chain())
+        assert profile.max_speedup < 2.5
+        assert classify_workload(profile) == "serial"
+
+    def test_wide_circuit_profile(self):
+        bd = CircuitBuilder()
+        ins = bd.inputs(256)
+        for i in range(0, 256, 2):
+            bd.output(bd.and_(ins[i], ins[i + 1]))
+        profile = parallelism_profile(bd.build())
+        assert profile.depth == 1
+        assert profile.max_width == 128
+        assert classify_workload(profile) == "wide"
+
+    def test_empty_program(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        bd.output(a)
+        profile = parallelism_profile(bd.build())
+        assert profile.max_speedup == 1.0
+        assert classify_workload(profile) == "trivial"
+
+    def test_work_equals_gates(self):
+        w = vip_workload("roberts_cross")
+        profile = parallelism_profile(w.schedule)
+        assert profile.gates == w.schedule.num_bootstrapped
+
+    def test_percentiles_ordered(self):
+        profile = parallelism_profile(vip_workload("kepler").schedule)
+        assert profile.width_p50 <= profile.width_p90 <= profile.max_width
+
+    def test_saturating_workers_positive(self):
+        profile = parallelism_profile(vip_workload("dot_product").schedule)
+        assert profile.saturating_workers() >= 1
+
+
+class TestBoundsRespectedBySimulators:
+    @pytest.mark.parametrize(
+        "name", ["nr_solver", "roberts_cross", "dot_product", "fibonacci"]
+    )
+    def test_cluster_speedup_below_work_span_bound(self, name):
+        w = vip_workload(name)
+        profile = parallelism_profile(w.schedule)
+        result = ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST).simulate(
+            w.schedule
+        )
+        assert result.speedup <= profile.max_speedup * 1.01
+
+    @pytest.mark.parametrize("name", ["nr_solver", "roberts_cross"])
+    def test_gpu_speedup_below_work_span_bound(self, name):
+        """GPU speedup over cuFHE (whose per-gate time ~ kernel latency)
+        is also bounded by the width the DAG exposes."""
+        w = vip_workload(name)
+        profile = parallelism_profile(w.schedule)
+        speedup = GpuSimulator(A5000, PAPER_GATE_COST).speedup_over_cufhe(
+            w.schedule
+        )
+        # cuFHE also pays copies/launches, allow that small headroom.
+        assert speedup <= profile.max_speedup * 1.1
+
+    def test_serial_class_matches_poor_scaling(self):
+        """Workloads classified 'serial' indeed scale < 5x on 72 workers."""
+        for name in ("nr_solver",):
+            w = vip_workload(name)
+            profile = parallelism_profile(w.schedule)
+            assert classify_workload(profile) == "serial"
+            result = ClusterSimulator(
+                TABLE_II_CLUSTER, PAPER_GATE_COST
+            ).simulate(w.schedule)
+            assert result.speedup < 5

@@ -1,0 +1,117 @@
+"""Cluster simulator tests: the Fig. 10 anchor points and shapes."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.builder import CircuitBuilder
+from repro.perfmodel import (
+    ClusterSimulator,
+    PAPER_GATE_COST,
+    TABLE_II_CLUSTER,
+    single_node,
+)
+
+
+def _wide_netlist(width=4096, depth=4):
+    """A deep stack of maximally wide levels."""
+    bd = CircuitBuilder(hash_cons=False)
+    ins = bd.inputs(2 * width)
+    layer = ins
+    for _ in range(depth):
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(bd.and_(layer[i], layer[i + 1]))
+            nxt.append(bd.xor_(layer[i], layer[i + 1]))
+        layer = nxt
+    for node in layer[:8]:
+        bd.output(node)
+    return bd.build()
+
+
+def _serial_netlist(length=64):
+    bd = CircuitBuilder()
+    a, b = bd.inputs(2)
+    x = a
+    for _ in range(length):
+        x = bd.xor_(bd.and_(x, b), b)
+    bd.output(x)
+    return bd.build()
+
+
+class TestTableIIConfig:
+    def test_paper_platform_shape(self):
+        assert TABLE_II_CLUSTER.nodes == 4
+        assert TABLE_II_CLUSTER.workers_per_node == 18
+        assert TABLE_II_CLUSTER.total_workers == 72
+
+    def test_with_nodes(self):
+        one = TABLE_II_CLUSTER.with_nodes(1)
+        assert one.total_workers == 18
+        assert single_node().total_workers == 18
+
+
+class TestAnchorEfficiencies:
+    """The paper's two calibration anchors (Fig. 10 text): 17.4x of
+    ideal 18 on one node, 60.5x of ideal 72 on four nodes, for
+    large-scale wide benchmarks."""
+
+    def test_single_node_anchor(self):
+        sim = ClusterSimulator(single_node(), PAPER_GATE_COST)
+        result = sim.simulate(_wide_netlist())
+        assert result.speedup == pytest.approx(17.4, rel=0.03)
+
+    def test_four_node_anchor(self):
+        sim = ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST)
+        result = sim.simulate(_wide_netlist())
+        assert result.speedup == pytest.approx(60.5, rel=0.03)
+
+    def test_efficiency_below_one(self):
+        sim = ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST)
+        assert sim.simulate(_wide_netlist()).efficiency < 1.0
+
+
+class TestScalingShape:
+    def test_more_nodes_help_wide_workloads(self):
+        nl = _wide_netlist()
+        times = [
+            ClusterSimulator(
+                TABLE_II_CLUSTER.with_nodes(n), PAPER_GATE_COST
+            ).simulate(nl).total_ms
+            for n in (1, 2, 4)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_serial_workload_does_not_scale(self):
+        """Paper Fig. 10: mostly-serial benchmarks (NRSolver) cannot
+        exploit the cluster."""
+        nl = _serial_netlist()
+        sim1 = ClusterSimulator(single_node(), PAPER_GATE_COST)
+        sim4 = ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST)
+        s1 = sim1.simulate(nl).speedup
+        s4 = sim4.simulate(nl).speedup
+        assert s1 < 1.5
+        assert abs(s4 - s1) < 0.5  # extra nodes buy nothing
+
+    def test_distribution_overhead_can_hurt_small_benchmarks(self):
+        """Tiny/serial DAGs run *slower* than a single thread (thread
+        creation, transfer, synchronization — Fig. 10 discussion)."""
+        nl = _serial_netlist(16)
+        sim = ClusterSimulator(TABLE_II_CLUSTER, PAPER_GATE_COST)
+        assert sim.simulate(nl).speedup < 1.0
+
+    def test_single_thread_time_is_gate_count_times_cost(self):
+        nl = _serial_netlist(10)
+        sim = ClusterSimulator(single_node(), PAPER_GATE_COST)
+        result = sim.simulate(nl)
+        assert result.single_thread_ms == pytest.approx(
+            result.gates_bootstrapped * PAPER_GATE_COST.gate_ms
+        )
+
+    def test_accepts_prebuilt_schedule(self):
+        from repro.runtime import build_schedule
+
+        nl = _serial_netlist(10)
+        sim = ClusterSimulator(single_node(), PAPER_GATE_COST)
+        a = sim.simulate(nl).total_ms
+        b = sim.simulate(build_schedule(nl)).total_ms
+        assert a == b

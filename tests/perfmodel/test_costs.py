@@ -1,0 +1,29 @@
+"""Gate cost model tests."""
+
+import pytest
+
+from repro.perfmodel import GateCostModel, PAPER_GATE_COST, measured_gate_cost
+
+
+def test_paper_cost_total_is_about_13ms():
+    """Fig. 7: a bootstrapped gate costs ~13 ms on the Xeon platform."""
+    assert 12.0 < PAPER_GATE_COST.gate_ms < 14.0
+
+
+def test_paper_ciphertext_is_2_46_kb():
+    assert PAPER_GATE_COST.ciphertext_bytes == pytest.approx(
+        2.46 * 1024, rel=0.01
+    )
+
+
+def test_gates_per_second():
+    model = GateCostModel("x", 1.0, 2.0, 1.0, 100)
+    assert model.gate_ms == 4.0
+    assert model.gates_per_second == 250.0
+
+
+def test_measured_cost_from_this_machine(cloud_key):
+    model = measured_gate_cost(cloud_key, repetitions=1)
+    assert model.gate_ms > 0
+    assert model.ciphertext_bytes == cloud_key.params.ciphertext_bytes
+    assert model.name.endswith(cloud_key.params.name)

@@ -1,0 +1,141 @@
+"""GPU simulator tests: Fig. 8/9 policies and Fig. 11 speedups."""
+
+import pytest
+
+from repro.hdl.builder import CircuitBuilder
+from repro.perfmodel import (
+    A5000,
+    GpuSimulator,
+    PAPER_GATE_COST,
+    RTX4090,
+    cufhe_timeline,
+    pytfhe_timeline,
+)
+
+
+def _wide_netlist(width=2048, depth=3):
+    bd = CircuitBuilder(hash_cons=False)
+    ins = bd.inputs(2 * width)
+    layer = ins
+    for _ in range(depth):
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(bd.and_(layer[i], layer[i + 1]))
+            nxt.append(bd.xor_(layer[i], layer[i + 1]))
+        layer = nxt
+    for node in layer[:4]:
+        bd.output(node)
+    return bd.build()
+
+
+def _serial_netlist(length=40):
+    bd = CircuitBuilder()
+    a, b = bd.inputs(2)
+    x = a
+    for _ in range(length):
+        x = bd.xor_(bd.and_(x, b), b)
+    bd.output(x)
+    return bd.build()
+
+
+class TestConfigs:
+    def test_table_iii_platforms(self):
+        assert A5000.name == "RTX A5000"
+        assert RTX4090.name == "RTX 4090"
+        assert RTX4090.sm_count == 2 * A5000.sm_count
+
+    def test_4090_has_higher_throughput(self):
+        assert RTX4090.gates_per_ms > 1.9 * A5000.gates_per_ms
+
+
+class TestPolicies:
+    def test_pytfhe_beats_cufhe_on_wide_dags(self):
+        """Fig. 11: up to ~62x on parallel workloads."""
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        speedup = sim.speedup_over_cufhe(_wide_netlist())
+        assert 40 < speedup < 80
+
+    def test_modest_speedup_on_serial_dags(self):
+        """Fig. 11 discussion: serial benchmarks (Parrondo, NRSolver)
+        see only modest gains — SMs cannot be filled."""
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        speedup = sim.speedup_over_cufhe(_serial_netlist())
+        assert speedup < 2.0
+
+    def test_cufhe_time_linear_in_gates(self):
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        r1 = sim.simulate_cufhe(_serial_netlist(10))
+        r2 = sim.simulate_cufhe(_serial_netlist(20))
+        assert r2.total_ms == pytest.approx(2 * r1.total_ms, rel=0.01)
+
+    def test_cufhe_breakdown_includes_copies(self):
+        """Fig. 8: every gate pays H2D + kernel + D2H."""
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        result = sim.simulate_cufhe(_serial_netlist(10))
+        assert result.copy_ms > 0
+        assert result.launch_ms > 0
+        assert result.kernel_ms > 0.9 * result.total_ms  # kernel-dominated
+
+    def test_pytfhe_copies_only_io(self):
+        """Fig. 9: interior ciphertexts never cross PCIe."""
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        nl = _wide_netlist()
+        cufhe = sim.simulate_cufhe(nl)
+        pytfhe = sim.simulate_pytfhe(nl)
+        assert pytfhe.copy_ms < cufhe.copy_ms / 2
+
+    def test_batching_respects_memory_limit(self):
+        sim = GpuSimulator(A5000, PAPER_GATE_COST, max_batch_nodes=1500)
+        result = sim.simulate_pytfhe(_wide_netlist())
+        assert result.batches > 1
+
+    def test_single_batch_when_it_fits(self):
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        result = sim.simulate_pytfhe(_serial_netlist(10))
+        assert result.batches == 1
+
+    def test_4090_faster_than_a5000(self):
+        nl = _wide_netlist()
+        t_a5000 = GpuSimulator(A5000, PAPER_GATE_COST).simulate_pytfhe(nl)
+        t_4090 = GpuSimulator(RTX4090, PAPER_GATE_COST).simulate_pytfhe(nl)
+        assert t_4090.total_ms < t_a5000.total_ms
+        ratio = t_a5000.total_ms / t_4090.total_ms
+        assert 1.7 < ratio < 2.3  # Table IV: ~2x
+
+    def test_breakdown_components_sum(self):
+        sim = GpuSimulator(A5000, PAPER_GATE_COST)
+        result = sim.simulate_cufhe(_serial_netlist(5))
+        total = sum(ms for _, ms in result.breakdown)
+        assert total == pytest.approx(result.total_ms, rel=0.01)
+
+
+class TestTimelines:
+    def test_cufhe_timeline_serializes(self):
+        """Fig. 8: copy -> kernel (CPU blocked) -> copy, per gate."""
+        events = cufhe_timeline(A5000, PAPER_GATE_COST, num_gates=4)
+        gpu_events = [e for e in events if e.lane == "gpu"]
+        cpu_events = [e for e in events if e.lane == "cpu"]
+        pcie_events = [e for e in events if e.lane == "pcie"]
+        assert len(gpu_events) == 4
+        assert len(cpu_events) == 4  # blocked during each kernel
+        assert len(pcie_events) == 8  # H2D + D2H per gate
+        # Strictly serialized: kernels never overlap.
+        for e1, e2 in zip(gpu_events, gpu_events[1:]):
+            assert e2.start_ms >= e1.end_ms
+
+    def test_pytfhe_timeline_overlaps_build_and_execute(self):
+        """Fig. 9: batch k+1 builds on the CPU while batch k runs."""
+        widths = [[64, 64], [64, 64], [64, 64]]
+        events = pytfhe_timeline(A5000, PAPER_GATE_COST, widths)
+        gpu = [e for e in events if e.lane == "gpu"]
+        cpu = [e for e in events if e.lane == "cpu"]
+        assert len(gpu) == 3 and len(cpu) == 3
+        # The second build starts before the first graph finishes.
+        assert cpu[1].start_ms < gpu[0].end_ms
+
+    def test_timeline_labels(self):
+        events = cufhe_timeline(A5000, PAPER_GATE_COST, num_gates=1)
+        labels = [e.label for e in events]
+        assert any("H2D" in label for label in labels)
+        assert any("kernel" in label for label in labels)
+        assert any("D2H" in label for label in labels)

@@ -1,0 +1,76 @@
+"""Distributed (multiprocessing) backend tests."""
+
+import numpy as np
+import pytest
+
+from repro.hdl import arith
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime import CpuBackend, DistributedCpuBackend
+from repro.tfhe import decrypt_bits, encrypt_bits
+
+
+@pytest.fixture(scope="module")
+def adder_circuit():
+    bd = CircuitBuilder()
+    a = [bd.input() for _ in range(6)]
+    b = [bd.input() for _ in range(6)]
+    for bit in arith.ripple_add(bd, a, b, width=6, signed=False):
+        bd.output(bit)
+    return bd.build()
+
+
+def _bits(a, b, width=6):
+    return np.array(
+        [(a >> i) & 1 for i in range(width)]
+        + [(b >> i) & 1 for i in range(width)],
+        dtype=bool,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool_backend(test_keys):
+    _, cloud = test_keys
+    backend = DistributedCpuBackend(cloud, num_workers=3)
+    yield backend
+    backend.shutdown()
+
+
+class TestDistributedBackend:
+    def test_matches_single_thread(
+        self, adder_circuit, test_keys, rng, pool_backend
+    ):
+        secret, cloud = test_keys
+        ct = encrypt_bits(secret, _bits(19, 44), rng)
+        out_d, rep_d = pool_backend.run(adder_circuit, ct)
+        got = decrypt_bits(secret, out_d)
+        want = np.array([(63 >> i) & 1 for i in range(6)], dtype=bool)
+        assert np.array_equal(got, want)
+
+    def test_tasks_split_across_workers(
+        self, adder_circuit, test_keys, rng, pool_backend
+    ):
+        secret, _ = test_keys
+        ct = encrypt_bits(secret, _bits(1, 2), rng)
+        _, report = pool_backend.run(adder_circuit, ct)
+        # At least one level is wide enough to split into >1 task.
+        assert report.tasks_submitted > report.levels
+        assert report.ciphertext_bytes_moved > 0
+
+    def test_backend_name_mentions_workers(self, pool_backend):
+        assert "3w" in pool_backend.name
+
+    def test_context_manager(self, test_keys, adder_circuit, rng):
+        secret, cloud = test_keys
+        with DistributedCpuBackend(cloud, num_workers=2) as backend:
+            ct = encrypt_bits(secret, _bits(5, 6), rng)
+            out, _ = backend.run(adder_circuit, ct)
+            got = decrypt_bits(secret, out)
+        want = np.array([(11 >> i) & 1 for i in range(6)], dtype=bool)
+        assert np.array_equal(got, want)
+
+    def test_size_guard(self, pool_backend):
+        class FakeNetlist:
+            num_nodes = 10 ** 9
+
+        with pytest.raises(ValueError):
+            pool_backend.run(FakeNetlist(), None)

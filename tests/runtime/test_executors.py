@@ -1,0 +1,164 @@
+"""Backend execution tests: every backend agrees with the plaintext
+reference on real FHE ciphertexts."""
+
+import numpy as np
+import pytest
+
+from repro.chiseltorch import functional as F
+from repro.chiseltorch.dtypes import SInt, UInt
+from repro.core.compiler import TensorSpec, compile_function
+from repro.gatetypes import Gate
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime import CpuBackend, MAX_FHE_NODES, PlaintextBackend
+from repro.tfhe import decrypt_bits, encrypt_bits
+
+
+@pytest.fixture(scope="module")
+def small_circuit():
+    """4-bit adder with a NOT/const sprinkle (exercises free gates)."""
+    bd = CircuitBuilder(fold_constants=False, absorb_inverters=False)
+    a = [bd.input() for _ in range(4)]
+    b = [bd.input() for _ in range(4)]
+    from repro.hdl import arith
+
+    total = arith.ripple_add(bd, a, b, width=4, signed=False)
+    bd.output(bd.not_(total[0]))
+    for bit in total[1:]:
+        bd.output(bit)
+    bd.output(bd.const(True))
+    return bd.build()
+
+
+def _encode(a, b):
+    bits = [(a >> i) & 1 for i in range(4)] + [(b >> i) & 1 for i in range(4)]
+    return np.array(bits, dtype=bool)
+
+
+def _expected(a, b):
+    total = (a + b) % 16
+    out = [(total >> i) & 1 for i in range(4)]
+    out[0] = 1 - out[0]
+    return np.array(out + [1], dtype=bool)
+
+
+class TestPlaintextBackend:
+    def test_matches_expected(self, small_circuit):
+        backend = PlaintextBackend()
+        out, report = backend.run(small_circuit, _encode(5, 9))
+        assert np.array_equal(out, _expected(5, 9))
+        assert report.backend == "plaintext"
+        assert report.gates_total == small_circuit.num_gates
+
+
+class TestCpuBackendFHE:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_matches_plaintext(self, small_circuit, test_keys, rng, batched):
+        secret, cloud = test_keys
+        backend = CpuBackend(cloud, batched=batched)
+        ct = encrypt_bits(secret, _encode(7, 12), rng)
+        out_ct, report = backend.run(small_circuit, ct)
+        got = decrypt_bits(secret, out_ct)
+        assert np.array_equal(got, _expected(7, 12))
+        assert report.gates_bootstrapped > 0
+        assert report.wall_time_s > 0
+
+    def test_batched_and_single_agree(self, small_circuit, test_keys, rng):
+        secret, cloud = test_keys
+        ct = encrypt_bits(secret, _encode(3, 3), rng)
+        out1, _ = CpuBackend(cloud, batched=False).run(small_circuit, ct)
+        out2, _ = CpuBackend(cloud, batched=True).run(small_circuit, ct)
+        got1 = decrypt_bits(secret, out1)
+        got2 = decrypt_bits(secret, out2)
+        assert np.array_equal(got1, got2)
+
+    def test_wrong_input_count_rejected(self, small_circuit, test_keys, rng):
+        secret, cloud = test_keys
+        ct = encrypt_bits(secret, [True, False], rng)
+        with pytest.raises(ValueError):
+            CpuBackend(cloud).run(small_circuit, ct)
+
+    def test_size_guard(self, test_keys):
+        _, cloud = test_keys
+        backend = CpuBackend(cloud)
+
+        class FakeNetlist:
+            num_nodes = MAX_FHE_NODES + 1
+
+        with pytest.raises(ValueError):
+            backend.run(FakeNetlist(), None)
+
+    def test_report_counts(self, small_circuit, test_keys, rng):
+        secret, cloud = test_keys
+        ct = encrypt_bits(secret, _encode(0, 0), rng)
+        _, report = CpuBackend(cloud, batched=True).run(small_circuit, ct)
+        stats = small_circuit.stats()
+        assert report.gates_bootstrapped == stats.num_bootstrapped_gates
+        assert report.levels == stats.bootstrap_depth
+        assert report.ciphertext_bytes_moved > 0
+        assert report.seconds_per_bootstrapped_gate > 0
+
+    def test_argmax_network_under_fhe(self, test_keys, rng):
+        """A tensor-level program through the full crypto pipeline."""
+        secret, cloud = test_keys
+        cc = compile_function(
+            lambda v: F.argmax(v), [TensorSpec("v", (4,), SInt(4))]
+        )
+        values = np.array([2.0, -1.0, 5.0, 0.0])
+        bits = cc.encode_inputs(values)
+        ct = encrypt_bits(secret, bits, rng)
+        out_ct, _ = CpuBackend(cloud, batched=True).run(cc.netlist, ct)
+        got = cc.decode_outputs(decrypt_bits(secret, out_ct))[0]
+        assert got == 2
+
+
+class TestFreeGateHandling:
+    def test_not_only_circuit(self, test_keys, rng):
+        secret, cloud = test_keys
+        bd = CircuitBuilder(fold_constants=False)
+        a = bd.input()
+        bd.output(bd.not_(a))
+        nl = bd.build()
+        ct = encrypt_bits(secret, [True], rng)
+        out, report = CpuBackend(cloud).run(nl, ct)
+        assert not decrypt_bits(secret, out)[0]
+        assert report.gates_bootstrapped == 0
+
+    def test_const_outputs(self, test_keys, rng):
+        secret, cloud = test_keys
+        bd = CircuitBuilder(fold_constants=False)
+        a = bd.input()
+        bd.output(bd.const(True))
+        bd.output(bd.const(False))
+        nl = bd.build()
+        ct = encrypt_bits(secret, [False], rng)
+        out, _ = CpuBackend(cloud).run(nl, ct)
+        got = decrypt_bits(secret, out)
+        assert got[0] and not got[1]
+
+    def test_passthrough_output(self, test_keys, rng):
+        secret, cloud = test_keys
+        bd = CircuitBuilder()
+        a = bd.input()
+        bd.output(a)
+        ct = encrypt_bits(secret, [True], rng)
+        out, _ = CpuBackend(cloud).run(bd.build(), ct)
+        assert decrypt_bits(secret, out)[0]
+
+
+class TestChunkedBatching:
+    def test_max_batch_matches_unchunked(self, small_circuit, test_keys, rng):
+        secret, cloud = test_keys
+        ct = encrypt_bits(secret, _encode(9, 6), rng)
+        full, _ = CpuBackend(cloud, batched=True).run(small_circuit, ct)
+        chunked, _ = CpuBackend(cloud, batched=True, max_batch=2).run(
+            small_circuit, ct
+        )
+        got_full = decrypt_bits(secret, full)
+        got_chunked = decrypt_bits(secret, chunked)
+        assert np.array_equal(got_full, got_chunked)
+        assert np.array_equal(got_full, _expected(9, 6))
+
+    def test_max_batch_validation(self, test_keys):
+        _, cloud = test_keys
+        with pytest.raises(ValueError):
+            CpuBackend(cloud, batched=True, max_batch=0)

@@ -1,0 +1,113 @@
+"""BFS scheduler tests (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatetypes import Gate, TWO_INPUT_GATES
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime import build_schedule
+
+
+def _random_netlist(seed, num_gates=50):
+    rng = np.random.default_rng(seed)
+    bd = CircuitBuilder(
+        hash_cons=False, fold_constants=False, absorb_inverters=False
+    )
+    nodes = list(bd.inputs(4))
+    pool = list(TWO_INPUT_GATES) + [Gate.NOT, Gate.BUF]
+    for _ in range(num_gates):
+        gate = pool[rng.integers(len(pool))]
+        nodes.append(
+            bd.gate(
+                gate,
+                nodes[rng.integers(len(nodes))],
+                nodes[rng.integers(len(nodes))],
+            )
+        )
+    bd.output(nodes[-1])
+    return bd.build()
+
+
+class TestScheduleStructure:
+    def test_covers_all_gates_once(self):
+        nl = _random_netlist(0)
+        schedule = build_schedule(nl)
+        seen = []
+        for level in schedule.levels:
+            seen.extend(level.bootstrapped.tolist())
+            seen.extend(level.free.tolist())
+        assert sorted(seen) == list(range(nl.num_gates))
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_dependencies_respected(self, seed):
+        """Every gate's operands are produced in an earlier level, or —
+        for free gates — by the same level's bootstrapped batch or an
+        earlier free gate (index order)."""
+        nl = _random_netlist(seed)
+        schedule = build_schedule(nl)
+        n_in = nl.num_inputs
+        done = set(range(n_in))
+        for level in schedule.levels:
+            batch = set(level.bootstrapped.tolist())
+            for gate_idx in level.bootstrapped:
+                for operand in (nl.in0[gate_idx], nl.in1[gate_idx]):
+                    if operand >= 0:
+                        assert operand in done
+            done |= {n_in + g for g in batch}
+            for gate_idx in sorted(level.free.tolist()):
+                for operand in (nl.in0[gate_idx], nl.in1[gate_idx]):
+                    if operand >= 0:
+                        assert operand in done
+                done.add(n_in + gate_idx)
+
+    def test_serial_chain_has_one_gate_per_level(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        x = a
+        for _ in range(10):
+            x = bd.and_(x, b)  # hash-consing folds duplicates...
+            b = bd.xor_(x, b)
+        bd.output(b)
+        schedule = build_schedule(bd.build())
+        assert all(level.width <= 2 for level in schedule.levels)
+
+    def test_wide_circuit_has_wide_level(self):
+        bd = CircuitBuilder()
+        ins = bd.inputs(32)
+        for i in range(0, 32, 2):
+            bd.output(bd.and_(ins[i], ins[i + 1]))
+        schedule = build_schedule(bd.build())
+        assert schedule.levels[1].width == 16
+        assert schedule.depth == 1
+
+    def test_free_gates_do_not_create_levels(self):
+        bd = CircuitBuilder(fold_constants=False, absorb_inverters=False)
+        a, b = bd.inputs(2)
+        x = bd.and_(a, b)
+        for _ in range(5):
+            x = bd.not_(x)
+        bd.output(x)
+        schedule = build_schedule(bd.build())
+        assert schedule.depth == 1
+        assert schedule.num_bootstrapped == 1
+
+    def test_num_bootstrapped_matches_stats(self):
+        nl = _random_netlist(3)
+        schedule = build_schedule(nl)
+        assert schedule.num_bootstrapped == nl.stats().num_bootstrapped_gates
+
+    def test_empty_netlist(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        bd.output(a)
+        schedule = build_schedule(bd.build())
+        assert schedule.num_bootstrapped == 0
+        assert schedule.depth == 0
+
+    def test_level_widths_skips_free_only_levels(self):
+        nl = _random_netlist(5)
+        schedule = build_schedule(nl)
+        assert all(w > 0 for w in schedule.level_widths())

@@ -1,0 +1,72 @@
+"""Execution trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.hdl import arith
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime import CpuBackend, render_trace, summarize_trace
+from repro.tfhe import encrypt_bits
+
+
+@pytest.fixture(scope="module")
+def traced_run(test_keys):
+    secret, cloud = test_keys
+    bd = CircuitBuilder(fold_constants=False, absorb_inverters=False)
+    a = [bd.input() for _ in range(4)]
+    b = [bd.input() for _ in range(4)]
+    total = arith.ripple_add(bd, a, b, width=4, signed=False)
+    bd.output(bd.not_(total[-1]))
+    for bit in total[:-1]:
+        bd.output(bit)
+    nl = bd.build()
+    rng = np.random.default_rng(0)
+    ct = encrypt_bits(secret, rng.integers(0, 2, 8).astype(bool), rng)
+    backend = CpuBackend(cloud, batched=True, trace=True)
+    _, report = backend.run(nl, ct)
+    return nl, report
+
+
+def test_trace_collected(traced_run):
+    _, report = traced_run
+    assert report.trace
+    bootstrap_events = [e for e in report.trace if e.kind == "bootstrap"]
+    assert sum(e.gates for e in bootstrap_events) == report.gates_bootstrapped
+
+
+def test_trace_is_time_ordered(traced_run):
+    _, report = traced_run
+    times = [e.start_s for e in report.trace]
+    assert times == sorted(times)
+    assert all(e.end_s >= e.start_s for e in report.trace)
+
+
+def test_trace_disabled_by_default(test_keys, rng):
+    secret, cloud = test_keys
+    bd = CircuitBuilder()
+    a, b = bd.inputs(2)
+    bd.output(bd.and_(a, b))
+    ct = encrypt_bits(secret, [True, False], rng)
+    _, report = CpuBackend(cloud, batched=True).run(bd.build(), ct)
+    assert report.trace == []
+
+
+def test_summarize(traced_run):
+    _, report = traced_run
+    summary = summarize_trace(report.trace)
+    assert summary["levels"] > 0
+    assert 0.5 < summary["bootstrap_fraction"] <= 1.0
+    assert summary["total_s"] == pytest.approx(
+        sum(e.duration_s for e in report.trace)
+    )
+
+
+def test_render(traced_run):
+    _, report = traced_run
+    text = render_trace(report.trace)
+    assert "#" in text and "ms" in text
+    assert len(text.splitlines()) == len(report.trace)
+
+
+def test_render_empty():
+    assert "empty" in render_trace([])

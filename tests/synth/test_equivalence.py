@@ -1,0 +1,142 @@
+"""Equivalence checker tests."""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import Gate
+from repro.hdl.builder import CircuitBuilder
+from repro.synth import check_equivalence, optimize
+
+
+def _xor_pair():
+    """Two structurally different XOR implementations."""
+    bd1 = CircuitBuilder()
+    a, b = bd1.inputs(2)
+    bd1.output(bd1.xor_(a, b))
+    direct = bd1.build()
+
+    bd2 = CircuitBuilder(
+        hash_cons=False, fold_constants=False, absorb_inverters=False
+    )
+    a, b = bd2.inputs(2)
+    either = bd2.or_(a, b)
+    both = bd2.and_(a, b)
+    bd2.output(bd2.and_(either, bd2.not_(both)))
+    composed = bd2.build()
+    return direct, composed
+
+
+class TestExhaustive:
+    def test_equivalent_xor_implementations(self):
+        direct, composed = _xor_pair()
+        result = check_equivalence(direct, composed)
+        assert result
+        assert result.exhaustive
+        assert result.vectors_checked == 4
+
+    def test_detects_difference(self):
+        bd1 = CircuitBuilder()
+        a, b = bd1.inputs(2)
+        bd1.output(bd1.and_(a, b))
+        bd2 = CircuitBuilder()
+        a, b = bd2.inputs(2)
+        bd2.output(bd2.or_(a, b))
+        result = check_equivalence(bd1.build(), bd2.build())
+        assert not result
+        assert result.counterexample is not None
+        # The counterexample actually distinguishes the circuits.
+        v = result.counterexample
+        assert bd1.build().evaluate(v)[0] != bd2.build().evaluate(v)[0]
+
+    def test_zero_input_circuits(self):
+        bd1 = CircuitBuilder()
+        bd1.output(bd1.const(True))
+        bd2 = CircuitBuilder()
+        bd2.output(bd2.const(True))
+        assert check_equivalence(bd1.build(), bd2.build())
+
+    def test_shape_mismatch_rejected(self):
+        bd1 = CircuitBuilder()
+        bd1.input()
+        bd1.output(0)
+        bd2 = CircuitBuilder()
+        bd2.inputs(2)
+        bd2.output(0)
+        with pytest.raises(ValueError):
+            check_equivalence(bd1.build(), bd2.build())
+
+
+class TestRandomizedMode:
+    def _wide_adder(self, width):
+        from repro.hdl import arith
+
+        bd = CircuitBuilder()
+        a = [bd.input() for _ in range(width)]
+        b = [bd.input() for _ in range(width)]
+        for bit in arith.ripple_add(bd, a, b, width=width, signed=False):
+            bd.output(bit)
+        return bd.build()
+
+    def test_large_circuit_uses_random_mode(self):
+        nl = self._wide_adder(16)
+        result = check_equivalence(nl, optimize(nl))
+        assert result
+        assert not result.exhaustive
+        assert result.vectors_checked > 256
+
+    def test_random_mode_finds_planted_bug(self):
+        nl = self._wide_adder(16)
+        # Plant a bug: swap the top output to a different node.
+        broken = CircuitBuilder()
+        a = [broken.input() for _ in range(16)]
+        b = [broken.input() for _ in range(16)]
+        from repro.hdl import arith
+
+        bits = arith.ripple_add(broken, a, b, width=16, signed=False)
+        bits[15] = broken.not_(bits[15])
+        for bit in bits:
+            broken.output(bit)
+        result = check_equivalence(nl, broken.build())
+        assert not result
+
+    def test_corner_vectors_catch_stuck_at_zero(self):
+        """A circuit differing only on the all-ones vector is caught by
+        the corner patterns even in random mode."""
+        n = 20
+        bd1 = CircuitBuilder()
+        ins = bd1.inputs(n)
+        from repro.hdl import arith
+
+        bd1.output(arith._and_tree(bd1, ins))
+        all_and = bd1.build()
+
+        bd2 = CircuitBuilder()
+        bd2.inputs(n)
+        bd2.output(bd2.const(False))
+        always_false = bd2.build()
+        result = check_equivalence(all_and, always_false, random_trials=8)
+        assert not result
+
+
+class TestPassValidation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimize_certified_equivalent(self, seed):
+        rng = np.random.default_rng(seed)
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=False, absorb_inverters=False
+        )
+        nodes = list(bd.inputs(6))
+        pool = [g for g in Gate if g.arity == 2]
+        for _ in range(40):
+            gate = pool[rng.integers(len(pool))]
+            nodes.append(
+                bd.gate(
+                    gate,
+                    nodes[rng.integers(len(nodes))],
+                    nodes[rng.integers(len(nodes))],
+                )
+            )
+        bd.output(nodes[-1])
+        nl = bd.build()
+        result = check_equivalence(nl, optimize(nl))
+        assert result and result.exhaustive

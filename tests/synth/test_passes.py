@@ -1,0 +1,187 @@
+"""Synthesis pass tests: semantics preservation on random netlists."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatetypes import Gate, TWO_INPUT_GATES
+from repro.hdl.builder import CircuitBuilder
+from repro.synth import (
+    dead_gate_elimination,
+    optimize,
+    reachable_mask,
+    restrict_gate_set,
+    structural_hash,
+)
+
+
+def _random_netlist(seed, num_inputs=5, num_gates=60, with_consts=True):
+    """An unoptimized random DAG (the raw material for the passes)."""
+    rng = np.random.default_rng(seed)
+    bd = CircuitBuilder(
+        hash_cons=False, fold_constants=False, absorb_inverters=False
+    )
+    nodes = list(bd.inputs(num_inputs))
+    if with_consts:
+        nodes.append(bd.const(True))
+        nodes.append(bd.const(False))
+    gate_pool = list(TWO_INPUT_GATES) + [Gate.NOT, Gate.BUF]
+    for _ in range(num_gates):
+        gate = gate_pool[rng.integers(len(gate_pool))]
+        a = nodes[rng.integers(len(nodes))]
+        b = nodes[rng.integers(len(nodes))]
+        nodes.append(bd.gate(gate, a, b))
+    # A few outputs, including possibly dead regions.
+    for _ in range(3):
+        bd.output(nodes[rng.integers(len(nodes))])
+    return bd.build()
+
+
+def _equivalent(nl1, nl2, num_inputs, trials=64, seed=0):
+    rng = np.random.default_rng(seed)
+    batch = rng.integers(0, 2, (trials, num_inputs)).astype(bool)
+    return np.array_equal(nl1.evaluate(batch), nl2.evaluate(batch))
+
+
+class TestOptimize:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_semantics(self, seed):
+        nl = _random_netlist(seed)
+        opt = optimize(nl)
+        assert _equivalent(nl, opt, nl.num_inputs)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_never_grows(self, seed):
+        nl = _random_netlist(seed)
+        assert optimize(nl).num_gates <= nl.num_gates
+
+    def test_removes_duplicates(self):
+        bd = CircuitBuilder(hash_cons=False)
+        a, b = bd.inputs(2)
+        g1 = bd.and_(a, b)
+        g2 = bd.and_(a, b)
+        bd.output(bd.or_(g1, g2))
+        nl = bd.build()
+        assert nl.num_gates == 3
+        opt = optimize(nl)
+        # OR(x, x) folds too, so a single AND remains.
+        assert opt.num_gates == 1
+
+    def test_folds_constants(self):
+        bd = CircuitBuilder(fold_constants=False)
+        a = bd.input()
+        t = bd.const(True)
+        bd.output(bd.and_(a, t))
+        opt = optimize(bd.build())
+        assert opt.num_gates == 0
+        assert opt.outputs[0] == 0  # wired straight to the input
+
+    def test_absorbs_inverters(self):
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=False, absorb_inverters=False
+        )
+        a, b = bd.inputs(2)
+        bd.output(bd.and_(a, bd.not_(b)))
+        opt = optimize(bd.build())
+        assert opt.num_gates == 1
+        assert Gate(int(opt.ops[0])) == Gate.ANDYN
+
+
+class TestDeadGateElimination:
+    def test_removes_unreachable(self):
+        bd = CircuitBuilder(hash_cons=False)
+        a, b = bd.inputs(2)
+        live = bd.and_(a, b)
+        bd.xor_(a, b)  # dead
+        bd.output(live)
+        nl = bd.build()
+        assert nl.num_gates == 2
+        assert dead_gate_elimination(nl).num_gates == 1
+
+    def test_keeps_everything_reachable(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        bd.output(bd.xor_(bd.and_(a, b), b))
+        nl = bd.build()
+        assert dead_gate_elimination(nl).num_gates == nl.num_gates
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_preserves_semantics(self, seed):
+        nl = _random_netlist(seed)
+        assert _equivalent(nl, dead_gate_elimination(nl), nl.num_inputs)
+
+    def test_reachable_mask_marks_outputs(self):
+        nl = _random_netlist(7)
+        mask = reachable_mask(nl)
+        assert mask[nl.outputs].all()
+
+
+class TestStructuralHash:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_preserves_semantics(self, seed):
+        nl = _random_netlist(seed)
+        assert _equivalent(nl, structural_hash(nl), nl.num_inputs)
+
+    def test_does_not_fold_constants(self):
+        bd = CircuitBuilder(fold_constants=False, hash_cons=False)
+        a = bd.input()
+        bd.output(bd.and_(a, bd.const(True)))
+        hashed = structural_hash(bd.build())
+        assert hashed.num_gates == 2  # CONST1 + AND kept
+
+
+class TestRestrictGateSet:
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_preserves_semantics(self, seed):
+        nl = _random_netlist(seed)
+        restricted = restrict_gate_set(
+            nl, allowed=(Gate.AND, Gate.OR, Gate.NOT)
+        )
+        assert _equivalent(nl, restricted, nl.num_inputs)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_only_allowed_gates_remain(self, seed):
+        nl = _random_netlist(seed)
+        restricted = restrict_gate_set(
+            nl, allowed=(Gate.AND, Gate.OR, Gate.NOT)
+        )
+        allowed_codes = {
+            int(Gate.AND),
+            int(Gate.OR),
+            int(Gate.NOT),
+            int(Gate.BUF),
+            int(Gate.CONST0),
+            int(Gate.CONST1),
+        }
+        assert set(restricted.ops.tolist()).issubset(allowed_codes)
+
+    def test_xor_kept_when_allowed(self):
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        bd.output(bd.xor_(a, b))
+        restricted = restrict_gate_set(bd.build())
+        assert Gate(int(restricted.ops[0])) == Gate.XOR
+
+    def test_inflates_gate_count(self):
+        """Decomposing composites adds gates — the Transpiler effect."""
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        bd.output(bd.nand_(a, b))
+        bd.output(bd.xnor_(a, b))
+        nl = bd.build()
+        restricted = restrict_gate_set(
+            nl, allowed=(Gate.AND, Gate.OR, Gate.NOT)
+        )
+        assert restricted.num_gates > nl.num_gates
+
+    def test_requires_core_gates(self):
+        nl = _random_netlist(1)
+        with pytest.raises(ValueError):
+            restrict_gate_set(nl, allowed=(Gate.AND, Gate.OR))

@@ -1,0 +1,73 @@
+"""CLI tests (python -m repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_compile_disasm_stats_estimate(tmp_path, capsys):
+    binary_path = tmp_path / "prog.pytfhe"
+    assert main(["compile", "hamming_distance", "-o", str(binary_path)]) == 0
+    out = capsys.readouterr().out
+    assert "bootstrapped" in out
+    assert binary_path.exists()
+
+    assert main(["disasm", str(binary_path), "--max-rows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "header" in out and "gate" in out
+
+    assert main(["stats", str(binary_path)]) == 0
+    out = capsys.readouterr().out
+    assert "inputs=64" in out
+
+    assert main(["estimate", str(binary_path)]) == 0
+    out = capsys.readouterr().out
+    assert "4 nodes" in out and "RTX 4090" in out
+
+
+def test_compile_mnist_shortcut(tmp_path, capsys):
+    path = tmp_path / "mnist.pytfhe"
+    assert main(["compile", "mnist_s", "-o", str(path)]) == 0
+    assert path.stat().st_size > 1_000_000
+
+
+def test_unknown_workload(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["compile", "nonexistent"])
+
+
+def test_keygen_roundtrip(tmp_path, capsys):
+    secret = tmp_path / "s.key"
+    cloud = tmp_path / "c.key"
+    assert (
+        main(
+            [
+                "keygen",
+                "--params",
+                "tfhe-test",
+                "--seed",
+                "3",
+                "--secret-out",
+                str(secret),
+                "--cloud-out",
+                str(cloud),
+            ]
+        )
+        == 0
+    )
+    from repro.serialization import load_cloud_key, load_secret_key
+
+    sk = load_secret_key(secret.read_bytes())
+    ck = load_cloud_key(cloud.read_bytes())
+    assert sk.params == ck.params
+
+
+def test_keygen_unknown_params(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["keygen", "--params", "bogus"])
+
+
+def test_bench_gate(capsys):
+    assert main(["bench-gate", "--params", "tfhe-test", "--repetitions", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "blind rotation" in out and "total" in out

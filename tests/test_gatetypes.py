@@ -1,0 +1,137 @@
+"""Gate vocabulary tests: truth tables and transformation-table laws.
+
+The COMPLEMENT/INVERT_A/INVERT_B/SWAP tables drive the builder's
+inverter absorption and canonicalization; a single wrong entry would
+silently corrupt every compiled circuit, so each law is checked over
+every gate and every input combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import (
+    BOOTSTRAPPED_GATES,
+    COMMUTATIVE,
+    COMPLEMENT,
+    Gate,
+    INVERT_A,
+    INVERT_B,
+    SWAP,
+    TWO_INPUT_GATES,
+    evaluate_plain,
+)
+
+
+class TestEnumProperties:
+    def test_eleven_bootstrapped_gates(self):
+        """The paper: 'PyTFHE supports eleven different gates' — the
+        ten two-input bootstrapped ones plus NOT."""
+        assert len(BOOTSTRAPPED_GATES) == 10
+        assert not Gate.NOT.needs_bootstrap
+        assert len(BOOTSTRAPPED_GATES) + 1 == 11
+
+    def test_codes_fit_in_nibble(self):
+        for gate in Gate:
+            assert 0 <= int(gate) <= 0xE
+
+    def test_reserved_markers_unused(self):
+        codes = {int(g) for g in Gate}
+        assert 0x3 not in codes and 0xF not in codes
+
+    def test_arities(self):
+        assert Gate.CONST0.arity == 0
+        assert Gate.NOT.arity == 1
+        assert Gate.BUF.arity == 1
+        for gate in TWO_INPUT_GATES:
+            assert gate.arity == 2
+
+    def test_free_gates(self):
+        free = {g for g in Gate if not g.needs_bootstrap}
+        assert free == {Gate.NOT, Gate.BUF, Gate.CONST0, Gate.CONST1}
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "gate,table",
+        [
+            (Gate.AND, [0, 0, 0, 1]),
+            (Gate.NAND, [1, 1, 1, 0]),
+            (Gate.OR, [0, 1, 1, 1]),
+            (Gate.NOR, [1, 0, 0, 0]),
+            (Gate.XOR, [0, 1, 1, 0]),
+            (Gate.XNOR, [1, 0, 0, 1]),
+            (Gate.ANDNY, [0, 1, 0, 0]),
+            (Gate.ANDYN, [0, 0, 1, 0]),
+            (Gate.ORNY, [1, 1, 0, 1]),
+            (Gate.ORYN, [1, 0, 1, 1]),
+        ],
+        ids=lambda v: v.name if isinstance(v, Gate) else "",
+    )
+    def test_two_input_tables(self, gate, table):
+        got = [
+            evaluate_plain(gate, a, b) for a in (0, 1) for b in (0, 1)
+        ]
+        assert got == table
+
+    def test_works_on_numpy_arrays(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert np.array_equal(evaluate_plain(Gate.NAND, a, b), [1, 1, 1, 0])
+
+
+class TestTransformationLaws:
+    @pytest.mark.parametrize("gate", list(COMPLEMENT), ids=lambda g: g.name)
+    def test_complement_law(self, gate):
+        """COMPLEMENT[g](a,b) == NOT g(a,b) for all inputs."""
+        for a in (0, 1):
+            for b in (0, 1):
+                assert evaluate_plain(COMPLEMENT[gate], a, b) == 1 - evaluate_plain(
+                    gate, a, b
+                )
+
+    def test_complement_is_involution(self):
+        for gate, image in COMPLEMENT.items():
+            assert COMPLEMENT[image] == gate
+
+    @pytest.mark.parametrize("gate", list(INVERT_A), ids=lambda g: g.name)
+    def test_invert_a_law(self, gate):
+        """INVERT_A[g](a,b) == g(NOT a, b)."""
+        for a in (0, 1):
+            for b in (0, 1):
+                assert evaluate_plain(INVERT_A[gate], a, b) == evaluate_plain(
+                    gate, 1 - a, b
+                )
+
+    @pytest.mark.parametrize("gate", list(INVERT_B), ids=lambda g: g.name)
+    def test_invert_b_law(self, gate):
+        """INVERT_B[g](a,b) == g(a, NOT b)."""
+        for a in (0, 1):
+            for b in (0, 1):
+                assert evaluate_plain(INVERT_B[gate], a, b) == evaluate_plain(
+                    gate, a, 1 - b
+                )
+
+    @pytest.mark.parametrize("gate", list(SWAP), ids=lambda g: g.name)
+    def test_swap_law(self, gate):
+        """SWAP[g](a,b) == g(b,a)."""
+        for a in (0, 1):
+            for b in (0, 1):
+                assert evaluate_plain(SWAP[gate], a, b) == evaluate_plain(
+                    gate, b, a
+                )
+
+    def test_commutative_set_is_exact(self):
+        """COMMUTATIVE holds exactly the symmetric two-input gates."""
+        for gate in TWO_INPUT_GATES:
+            symmetric = all(
+                evaluate_plain(gate, a, b) == evaluate_plain(gate, b, a)
+                for a in (0, 1)
+                for b in (0, 1)
+            )
+            assert (gate in COMMUTATIVE) == symmetric, gate.name
+
+    def test_invert_tables_cover_all_bootstrapped_gates(self):
+        for gate in BOOTSTRAPPED_GATES:
+            assert gate in INVERT_A
+            assert gate in INVERT_B
+            assert gate in SWAP

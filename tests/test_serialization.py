@@ -1,0 +1,70 @@
+"""Serialization roundtrip tests for keys and ciphertexts."""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import Gate
+from repro.serialization import (
+    load_ciphertext,
+    load_cloud_key,
+    load_secret_key,
+    save_ciphertext,
+    save_cloud_key,
+    save_secret_key,
+)
+from repro.tfhe import decrypt_bits, encrypt_bits, evaluate_gate
+
+
+class TestCiphertextRoundtrip:
+    def test_roundtrip_preserves_arrays(self, test_keys, rng):
+        secret, _ = test_keys
+        ct = encrypt_bits(secret, rng.integers(0, 2, 16).astype(bool), rng)
+        back = load_ciphertext(save_ciphertext(ct))
+        assert np.array_equal(back.a, ct.a)
+        assert np.array_equal(back.b, ct.b)
+
+    def test_roundtrip_still_decrypts(self, test_keys, rng):
+        secret, _ = test_keys
+        bits = rng.integers(0, 2, 32).astype(bool)
+        ct = encrypt_bits(secret, bits, rng)
+        back = load_ciphertext(save_ciphertext(ct))
+        assert np.array_equal(decrypt_bits(secret, back), bits)
+
+    def test_payload_is_bytes(self, test_keys, rng):
+        secret, _ = test_keys
+        ct = encrypt_bits(secret, [True], rng)
+        assert isinstance(save_ciphertext(ct), bytes)
+
+
+class TestKeyRoundtrips:
+    def test_secret_key_roundtrip(self, test_keys):
+        secret, _ = test_keys
+        back = load_secret_key(save_secret_key(secret))
+        assert back.params == secret.params
+        assert np.array_equal(back.lwe_key, secret.lwe_key)
+        assert np.array_equal(back.tlwe_key, secret.tlwe_key)
+
+    def test_cloud_key_roundtrip_structure(self, test_keys):
+        _, cloud = test_keys
+        back = load_cloud_key(save_cloud_key(cloud))
+        assert back.params == cloud.params
+        assert len(back.bootstrapping_key) == len(cloud.bootstrapping_key)
+        assert np.array_equal(
+            back.keyswitching_key.a, cloud.keyswitching_key.a
+        )
+
+    def test_reloaded_cloud_key_evaluates_gates(self, test_keys, rng):
+        """The acid test: a round-tripped cloud key still bootstraps."""
+        secret, cloud = test_keys
+        back = load_cloud_key(save_cloud_key(cloud))
+        ca = encrypt_bits(secret, [True], rng)
+        cb = encrypt_bits(secret, [True], rng)
+        out = evaluate_gate(back, Gate.NAND, ca, cb)
+        assert not decrypt_bits(secret, out)[0]
+
+    def test_reloaded_secret_key_decrypts(self, test_keys, rng):
+        secret, _ = test_keys
+        back = load_secret_key(save_secret_key(secret))
+        bits = rng.integers(0, 2, 8).astype(bool)
+        ct = encrypt_bits(secret, bits, rng)
+        assert np.array_equal(decrypt_bits(back, ct), bits)

@@ -1,0 +1,161 @@
+"""Bootstrapping and key-switching tests."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe import TFHE_TEST
+from repro.tfhe.bootstrap import blind_rotate, bootstrap_to_extracted
+from repro.tfhe.gates import MU_GATE
+from repro.tfhe.keyswitch import keyswitch_apply
+from repro.tfhe.lwe import lwe_encrypt, lwe_phase, lwe_trivial
+from repro.tfhe.torus import fraction_to_torus, torus_distance, wrap_int32
+
+
+class TestBootstrap:
+    def test_positive_phase_gives_plus_mu(self, test_keys, rng):
+        secret, cloud = test_keys
+        quarter = fraction_to_torus(1, 4)
+        ct = lwe_encrypt(
+            secret.lwe_key,
+            np.int32(quarter),
+            TFHE_TEST.lwe_noise_std,
+            rng,
+        )
+        out = bootstrap_to_extracted(
+            ct, cloud.bootstrapping_key, TFHE_TEST, MU_GATE
+        )
+        phase = lwe_phase(secret.extracted_key, out)
+        assert torus_distance(phase, MU_GATE)[()] < 2 ** -6
+
+    def test_negative_phase_gives_minus_mu(self, test_keys, rng):
+        secret, cloud = test_keys
+        minus_quarter = fraction_to_torus(-1, 4)
+        ct = lwe_encrypt(
+            secret.lwe_key,
+            np.int32(minus_quarter),
+            TFHE_TEST.lwe_noise_std,
+            rng,
+        )
+        out = bootstrap_to_extracted(
+            ct, cloud.bootstrapping_key, TFHE_TEST, MU_GATE
+        )
+        phase = lwe_phase(secret.extracted_key, out)
+        minus_mu = wrap_int32(-np.int64(MU_GATE))
+        assert torus_distance(phase, minus_mu)[()] < 2 ** -6
+
+    def test_bootstrap_refreshes_noise(self, test_keys, rng):
+        """Output noise is independent of (larger) input noise."""
+        secret, cloud = test_keys
+        quarter = fraction_to_torus(1, 4)
+        noisy = lwe_encrypt(
+            secret.lwe_key, np.int32(quarter), 2.0 ** -8, rng
+        )
+        out = bootstrap_to_extracted(
+            noisy, cloud.bootstrapping_key, TFHE_TEST, MU_GATE
+        )
+        phase = lwe_phase(secret.extracted_key, out)
+        assert torus_distance(phase, MU_GATE)[()] < 2 ** -6
+
+    def test_batched_bootstrap_mixed_signs(self, test_keys, rng):
+        secret, cloud = test_keys
+        signs = np.array([1, -1, 1, -1, -1, 1, 1, -1])
+        mu = np.int32(fraction_to_torus(1, 4))
+        messages = wrap_int32(signs * np.int64(mu))
+        ct = lwe_encrypt(
+            secret.lwe_key, messages, TFHE_TEST.lwe_noise_std, rng
+        )
+        out = bootstrap_to_extracted(
+            ct, cloud.bootstrapping_key, TFHE_TEST, MU_GATE
+        )
+        phases = lwe_phase(secret.extracted_key, out)
+        assert ((phases > 0) == (signs > 0)).all()
+
+    def test_trivial_input_bootstrap(self, test_keys):
+        secret, cloud = test_keys
+        ct = lwe_trivial(
+            np.int32(fraction_to_torus(1, 4)), TFHE_TEST.lwe_dimension
+        )
+        ct = ct.__class__(ct.a[None, :], ct.b[None])
+        out = bootstrap_to_extracted(
+            ct, cloud.bootstrapping_key, TFHE_TEST, MU_GATE
+        )
+        phase = lwe_phase(secret.extracted_key, out)
+        assert torus_distance(phase, MU_GATE)[()] < 2 ** -6
+
+
+class TestBlindRotate:
+    def test_trivial_rotation_is_exact(self, test_keys):
+        """With a trivial ciphertext (zero mask) no CMUX fires, so the
+        accumulator is exactly X^{-barb} * v — a staircase test vector
+        reads the rotation amount back out."""
+        secret, cloud = test_keys
+        big_n = TFHE_TEST.tlwe_degree
+        test_poly = (np.arange(big_n, dtype=np.int64) * 1000).astype(np.int32)
+        quarter = fraction_to_torus(1, 4)  # barb = N/2 exactly
+        ct = lwe_trivial(np.int32(quarter), TFHE_TEST.lwe_dimension)
+        acc = blind_rotate(test_poly, ct, cloud.bootstrapping_key, TFHE_TEST)
+        from repro.tfhe.tlwe import tlwe_phase
+
+        rotated = tlwe_phase(secret.tlwe_key, acc, TFHE_TEST)
+        assert int(rotated[0]) == 1000 * (big_n // 2)
+
+    def test_encrypted_rotation_sign_flip_at_half(self, test_keys, rng):
+        """Rotations past N wrap negacyclically: phase ~ -1/4 lands the
+        negated half of the test vector at coefficient zero."""
+        secret, cloud = test_keys
+        big_n = TFHE_TEST.tlwe_degree
+        mu = fraction_to_torus(1, 4)
+        test_poly = np.full(big_n, mu, dtype=np.int32)
+        minus_quarter = fraction_to_torus(-1, 4)
+        ct = lwe_encrypt(
+            secret.lwe_key,
+            np.int32(minus_quarter),
+            TFHE_TEST.lwe_noise_std,
+            rng,
+        )
+        acc = blind_rotate(test_poly, ct, cloud.bootstrapping_key, TFHE_TEST)
+        from repro.tfhe.tlwe import tlwe_phase
+
+        rotated = tlwe_phase(secret.tlwe_key, acc, TFHE_TEST)
+        minus_mu = wrap_int32(-np.int64(mu))[()]
+        assert torus_distance(rotated[0], minus_mu)[()] < 2 ** -6
+
+
+class TestKeySwitch:
+    def test_keyswitch_preserves_message(self, test_keys, rng):
+        secret, cloud = test_keys
+        ct = lwe_encrypt(
+            secret.extracted_key,
+            np.full(4, MU_GATE, dtype=np.int32),
+            TFHE_TEST.tlwe_noise_std,
+            rng,
+        )
+        switched = keyswitch_apply(cloud.keyswitching_key, ct)
+        assert switched.dimension == TFHE_TEST.lwe_dimension
+        phase = lwe_phase(secret.lwe_key, switched)
+        assert torus_distance(phase, MU_GATE).max() < 2 ** -5
+
+    def test_keyswitch_scalar_batch(self, test_keys, rng):
+        secret, cloud = test_keys
+        ct = lwe_encrypt(
+            secret.extracted_key,
+            np.int32(MU_GATE),
+            TFHE_TEST.tlwe_noise_std,
+            rng,
+        )
+        switched = keyswitch_apply(cloud.keyswitching_key, ct)
+        assert switched.batch_shape == ()
+        assert lwe_phase(secret.lwe_key, switched)[()] > 0
+
+    def test_keyswitch_chunking_equivalence(self, test_keys, rng):
+        secret, cloud = test_keys
+        ct = lwe_encrypt(
+            secret.extracted_key,
+            np.full(10, MU_GATE, dtype=np.int32),
+            TFHE_TEST.tlwe_noise_std,
+            rng,
+        )
+        a = keyswitch_apply(cloud.keyswitching_key, ct, chunk=3)
+        b = keyswitch_apply(cloud.keyswitching_key, ct, chunk=64)
+        assert np.array_equal(a.a, b.a)
+        assert np.array_equal(a.b, b.b)

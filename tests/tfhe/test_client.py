@@ -1,0 +1,72 @@
+"""Client-side encrypt/decrypt and key generation tests."""
+
+import numpy as np
+
+from repro.tfhe import (
+    TFHE_TEST,
+    decrypt_bits,
+    encrypt_bits,
+    generate_keys,
+    lwe_phase,
+)
+
+
+def test_encrypt_decrypt_roundtrip(test_keys, rng):
+    secret, _ = test_keys
+    bits = rng.integers(0, 2, 64).astype(bool)
+    ct = encrypt_bits(secret, bits, rng)
+    assert np.array_equal(decrypt_bits(secret, ct), bits)
+
+
+def test_encrypt_shape_follows_input(test_keys, rng):
+    secret, _ = test_keys
+    bits = rng.integers(0, 2, (3, 4)).astype(bool)
+    ct = encrypt_bits(secret, bits, rng)
+    assert ct.batch_shape == (3, 4)
+    assert np.array_equal(decrypt_bits(secret, ct), bits)
+
+
+def test_fresh_encryptions_differ(test_keys, rng):
+    secret, _ = test_keys
+    c1 = encrypt_bits(secret, [True], rng)
+    c2 = encrypt_bits(secret, [True], rng)
+    assert not np.array_equal(c1.a, c2.a)
+
+
+def test_deterministic_keygen():
+    s1, _ = generate_keys(TFHE_TEST, seed=99)
+    s2, _ = generate_keys(TFHE_TEST, seed=99)
+    assert np.array_equal(s1.lwe_key, s2.lwe_key)
+    assert np.array_equal(s1.tlwe_key, s2.tlwe_key)
+
+
+def test_different_seeds_different_keys():
+    s1, _ = generate_keys(TFHE_TEST, seed=1)
+    s2, _ = generate_keys(TFHE_TEST, seed=2)
+    assert not np.array_equal(s1.lwe_key, s2.lwe_key)
+
+
+def test_cloud_key_has_no_secret(test_keys):
+    _, cloud = test_keys
+    assert not hasattr(cloud, "lwe_key")
+    assert not hasattr(cloud, "tlwe_key")
+
+
+def test_bootstrapping_key_length(test_keys):
+    _, cloud = test_keys
+    assert len(cloud.bootstrapping_key) == TFHE_TEST.lwe_dimension
+
+
+def test_cloud_key_size_reported(test_keys):
+    _, cloud = test_keys
+    assert cloud.nbytes() > 0
+
+
+def test_decrypt_with_wrong_key_garbles(test_keys, rng):
+    secret, _ = test_keys
+    wrong, _ = generate_keys(TFHE_TEST, seed=1000)
+    bits = rng.integers(0, 2, 128).astype(bool)
+    ct = encrypt_bits(secret, bits, rng)
+    got = decrypt_bits(wrong, ct)
+    # Wrong key yields ~uniform bits: far from a perfect match.
+    assert (got == bits).mean() < 0.8

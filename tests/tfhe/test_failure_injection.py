@@ -1,0 +1,119 @@
+"""Failure-injection tests: the system degrades the way FHE theory says.
+
+These negative tests pin down *why* the design's margins exist: tamper
+with ciphertexts, inject out-of-budget noise, or cross keys, and the
+pipeline must fail in the predicted ways (and only those).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import Gate
+from repro.tfhe import (
+    TFHE_TEST,
+    decrypt_bits,
+    encrypt_bits,
+    evaluate_gate,
+    generate_keys,
+    lwe_encrypt,
+    lwe_phase,
+)
+from repro.tfhe.gates import MU_GATE, bootstrap_binary
+from repro.tfhe.lwe import LweCiphertext
+from repro.tfhe.torus import wrap_int32
+
+
+class TestCiphertextTampering:
+    def test_body_corruption_flips_decryption(self, test_keys, rng):
+        secret, _ = test_keys
+        ct = encrypt_bits(secret, [True], rng)
+        # Push the body by half the torus: the message must flip.
+        tampered = LweCiphertext(
+            ct.a, wrap_int32(ct.b.astype(np.int64) + (1 << 31))
+        )
+        assert not decrypt_bits(secret, tampered)[0]
+
+    def test_small_mask_corruption_survives_bootstrap(self, test_keys, rng):
+        """Sub-margin tampering is absorbed by the bootstrap — noise
+        robustness, the flip side of the failure cases below."""
+        secret, cloud = test_keys
+        ct = encrypt_bits(secret, [True, True], rng)
+        nudged = LweCiphertext(
+            ct.a, wrap_int32(ct.b.astype(np.int64) + (1 << 20))  # ~2^-12
+        )
+        out = evaluate_gate(cloud, Gate.AND, nudged, ct)
+        assert decrypt_bits(secret, out).all()
+
+
+class TestNoiseBudgetViolation:
+    def test_noise_beyond_margin_breaks_gates(self, test_keys):
+        """Encrypting with noise comparable to the 1/16 margin makes
+        gate outputs unreliable — the failure the noise model predicts."""
+        secret, cloud = test_keys
+        rng = np.random.default_rng(0)
+        trials = 48
+        mu = wrap_int32(np.full(trials, np.int64(MU_GATE)))
+        # sigma = 1/16: a large fraction of samples land out of slice.
+        noisy = lwe_encrypt(secret.lwe_key, mu, 1.0 / 16.0, rng)
+        out = bootstrap_binary(cloud, noisy)
+        got = decrypt_bits(secret, out)
+        assert not got.all()  # some must misdecode
+
+    def test_unbootstrapped_scaling_amplifies_noise(self, test_keys, rng):
+        """Scaling a ciphertext by a large factor without bootstrapping
+        destroys the message (motivates per-gate bootstrapping)."""
+        secret, _ = test_keys
+        ct = encrypt_bits(secret, np.ones(32, dtype=bool), rng)
+        blown_up = ct.scale(1 << 14)
+        phases = lwe_phase(secret.lwe_key, blown_up).astype(np.int64)
+        # Phases are now essentially uniform — far from +-mu*2^14 exact.
+        spread = np.abs(phases / 2.0 ** 32)
+        assert spread.mean() > 0.05
+
+
+class TestKeyConfusion:
+    def test_gate_with_foreign_cloud_key_garbles(self, test_keys, rng):
+        secret, _ = test_keys
+        _, foreign_cloud = generate_keys(TFHE_TEST, seed=777)
+        a = encrypt_bits(secret, np.ones(16, dtype=bool), rng)
+        b = encrypt_bits(secret, np.ones(16, dtype=bool), rng)
+        from repro.tfhe import evaluate_gates_batch
+
+        out = evaluate_gates_batch(
+            foreign_cloud, np.full(16, int(Gate.AND)), a, b
+        )
+        got = decrypt_bits(secret, out)
+        assert not got.all()  # AND(1,1) should be all True; it is not
+
+    def test_foreign_ciphertext_rejected_by_decrypt(self, test_keys, rng):
+        secret, _ = test_keys
+        foreign_secret, _ = generate_keys(TFHE_TEST, seed=778)
+        bits = rng.integers(0, 2, 64).astype(bool)
+        ct = encrypt_bits(foreign_secret, bits, rng)
+        got = decrypt_bits(secret, ct)
+        assert (got == bits).mean() < 0.8  # ~coin flips
+
+
+class TestBinaryCorruption:
+    def test_truncated_binary_rejected(self):
+        from repro.hdl.builder import CircuitBuilder
+        from repro.isa import assemble, disassemble
+
+        bd = CircuitBuilder()
+        a, b = bd.inputs(2)
+        bd.output(bd.and_(a, b))
+        binary = assemble(bd.build())
+        with pytest.raises(ValueError):
+            disassemble(binary[:-8])
+
+    def test_operand_out_of_range_rejected(self):
+        from repro.isa import encode_gate, encode_header, encode_input
+        from repro.isa import disassemble
+
+        binary = (
+            encode_header(1)
+            + encode_input()
+            + encode_gate(Gate.AND, 1, 9)  # node 9 does not exist
+        )
+        with pytest.raises(ValueError):
+            disassemble(binary)

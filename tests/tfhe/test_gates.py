@@ -1,0 +1,123 @@
+"""Bootstrapped gate tests: full truth tables for all eleven gates."""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import BOOTSTRAPPED_GATES, Gate, evaluate_plain
+from repro.tfhe import (
+    decrypt_bits,
+    encrypt_bits,
+    evaluate_gate,
+    evaluate_gates_batch,
+)
+
+
+@pytest.mark.parametrize("gate", BOOTSTRAPPED_GATES, ids=lambda g: g.name)
+def test_two_input_gate_truth_table(gate, test_keys, rng):
+    secret, cloud = test_keys
+    a_bits = np.array([0, 0, 1, 1], dtype=bool)
+    b_bits = np.array([0, 1, 0, 1], dtype=bool)
+    ca = encrypt_bits(secret, a_bits, rng)
+    cb = encrypt_bits(secret, b_bits, rng)
+    out = evaluate_gates_batch(cloud, np.full(4, int(gate)), ca, cb)
+    got = decrypt_bits(secret, out)
+    want = evaluate_plain(gate, a_bits.astype(int), b_bits.astype(int)).astype(
+        bool
+    )
+    assert np.array_equal(got, want), f"{gate.name}: {got} != {want}"
+
+
+def test_not_gate(test_keys, rng):
+    secret, cloud = test_keys
+    ct = encrypt_bits(secret, [True, False], rng)
+    out = evaluate_gate(cloud, Gate.NOT, ct)
+    assert np.array_equal(decrypt_bits(secret, out), [False, True])
+
+
+def test_buf_gate(test_keys, rng):
+    secret, cloud = test_keys
+    ct = encrypt_bits(secret, [True, False], rng)
+    out = evaluate_gate(cloud, Gate.BUF, ct)
+    assert np.array_equal(decrypt_bits(secret, out), [True, False])
+
+
+def test_const_gates(test_keys):
+    secret, cloud = test_keys
+    one = evaluate_gate(cloud, Gate.CONST1)
+    zero = evaluate_gate(cloud, Gate.CONST0)
+    assert bool(decrypt_bits(secret, one)[()])
+    assert not bool(decrypt_bits(secret, zero)[()])
+
+
+def test_gate_requires_inputs(test_keys):
+    _, cloud = test_keys
+    with pytest.raises(ValueError):
+        evaluate_gate(cloud, Gate.AND)
+
+
+def test_two_input_gate_requires_second_input(test_keys, rng):
+    secret, cloud = test_keys
+    ct = encrypt_bits(secret, [True], rng)
+    with pytest.raises(ValueError):
+        evaluate_gate(cloud, Gate.AND, ct)
+
+
+def test_batch_rejects_free_gates(test_keys, rng):
+    secret, cloud = test_keys
+    ct = encrypt_bits(secret, [True, False], rng)
+    with pytest.raises(ValueError):
+        evaluate_gates_batch(cloud, np.array([int(Gate.NOT), int(Gate.AND)]), ct, ct)
+
+
+def test_mixed_gate_batch(test_keys, rng):
+    secret, cloud = test_keys
+    gates = np.array([int(g) for g in BOOTSTRAPPED_GATES])
+    a_bits = rng.integers(0, 2, len(gates)).astype(bool)
+    b_bits = rng.integers(0, 2, len(gates)).astype(bool)
+    ca = encrypt_bits(secret, a_bits, rng)
+    cb = encrypt_bits(secret, b_bits, rng)
+    out = evaluate_gates_batch(cloud, gates, ca, cb)
+    got = decrypt_bits(secret, out)
+    want = np.array(
+        [
+            evaluate_plain(Gate(g), int(a), int(b))
+            for g, a, b in zip(gates, a_bits, b_bits)
+        ],
+        dtype=bool,
+    )
+    assert np.array_equal(got, want)
+
+
+def test_gate_chain_is_stable_across_depth(test_keys, rng):
+    """Repeated bootstrapping does not accumulate noise (the core TFHE
+    property enabling unbounded depth)."""
+    secret, cloud = test_keys
+    ct = encrypt_bits(secret, [True], rng)
+    other = encrypt_bits(secret, [True], rng)
+    for _ in range(12):
+        ct = evaluate_gate(cloud, Gate.AND, ct, other)
+    assert bool(decrypt_bits(secret, ct)[0])
+
+
+def test_output_can_feed_next_gate(test_keys, rng):
+    """Composability: a bootstrapped output works as an input (the key
+    switch really returned to the small key)."""
+    secret, cloud = test_keys
+    ca = encrypt_bits(secret, [True], rng)
+    cb = encrypt_bits(secret, [False], rng)
+    nand = evaluate_gate(cloud, Gate.NAND, ca, cb)  # True
+    out = evaluate_gate(cloud, Gate.XOR, nand, ca)  # True ^ True = False
+    assert not bool(decrypt_bits(secret, out)[0])
+
+
+def test_gate_repeated_trials(test_keys, rng):
+    """Noise margins hold over repeated randomized encryptions."""
+    secret, cloud = test_keys
+    trials = 16
+    a_bits = rng.integers(0, 2, trials).astype(bool)
+    b_bits = rng.integers(0, 2, trials).astype(bool)
+    ca = encrypt_bits(secret, a_bits, rng)
+    cb = encrypt_bits(secret, b_bits, rng)
+    out = evaluate_gates_batch(cloud, np.full(trials, int(Gate.XOR)), ca, cb)
+    got = decrypt_bits(secret, out)
+    assert np.array_equal(got, a_bits ^ b_bits)

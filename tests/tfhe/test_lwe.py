@@ -1,0 +1,128 @@
+"""LWE sample tests: encryption, phase, homomorphic linear ops."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe import TFHE_TEST
+from repro.tfhe.lwe import (
+    LweCiphertext,
+    lwe_decrypt_bit,
+    lwe_encrypt,
+    lwe_phase,
+    lwe_trivial,
+)
+from repro.tfhe.torus import fraction_to_torus, torus_distance
+
+
+@pytest.fixture()
+def key(rng):
+    return rng.integers(0, 2, TFHE_TEST.lwe_dimension).astype(np.int32)
+
+
+MU = fraction_to_torus(1, 8)
+
+
+class TestEncryptDecrypt:
+    def test_phase_close_to_message(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        assert torus_distance(lwe_phase(key, ct), MU)[()] < 2 ** -8
+
+    def test_decrypt_bit_true(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        assert lwe_decrypt_bit(key, ct)
+
+    def test_decrypt_bit_false(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(-MU), TFHE_TEST.lwe_noise_std, rng)
+        assert not lwe_decrypt_bit(key, ct)
+
+    def test_batch_encrypt_shapes(self, key, rng):
+        mu = np.full((3, 5), MU, dtype=np.int32)
+        ct = lwe_encrypt(key, mu, TFHE_TEST.lwe_noise_std, rng)
+        assert ct.a.shape == (3, 5, TFHE_TEST.lwe_dimension)
+        assert ct.b.shape == (3, 5)
+
+    def test_randomized_masks(self, key, rng):
+        mu = np.full(4, MU, dtype=np.int32)
+        ct = lwe_encrypt(key, mu, TFHE_TEST.lwe_noise_std, rng)
+        assert not np.array_equal(ct.a[0], ct.a[1])
+
+    def test_trivial_phase_is_exact(self, key):
+        ct = lwe_trivial(np.int32(MU), TFHE_TEST.lwe_dimension)
+        assert lwe_phase(key, ct)[()] == MU
+
+
+class TestHomomorphicLinearOps:
+    def test_add_messages(self, key, rng):
+        c1 = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        c2 = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        total = c1 + c2
+        quarter = fraction_to_torus(1, 4)
+        assert torus_distance(lwe_phase(key, total), quarter)[()] < 2 ** -7
+
+    def test_sub_messages(self, key, rng):
+        c1 = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        c2 = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        assert torus_distance(lwe_phase(key, c1 - c2), 0)[()] < 2 ** -7
+
+    def test_neg_flips_bit(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        assert not lwe_decrypt_bit(key, -ct)
+
+    def test_scale(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        half = fraction_to_torus(1, 4)
+        assert torus_distance(lwe_phase(key, ct.scale(2)), half)[()] < 2 ** -7
+
+    def test_add_constant(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        shifted = ct.add_constant(MU)
+        quarter = fraction_to_torus(1, 4)
+        assert torus_distance(lwe_phase(key, shifted), quarter)[()] < 2 ** -7
+
+
+class TestCiphertextContainer:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LweCiphertext(np.zeros((2, 4), np.int32), np.zeros(3, np.int32))
+
+    def test_indexing(self, key, rng):
+        mu = np.full(4, MU, dtype=np.int32)
+        ct = lwe_encrypt(key, mu, TFHE_TEST.lwe_noise_std, rng)
+        sub = ct[1]
+        assert sub.a.shape == (TFHE_TEST.lwe_dimension,)
+        assert np.array_equal(sub.a, ct.a[1])
+
+    def test_len(self, key, rng):
+        mu = np.full(4, MU, dtype=np.int32)
+        ct = lwe_encrypt(key, mu, TFHE_TEST.lwe_noise_std, rng)
+        assert len(ct) == 4
+
+    def test_len_of_scalar_raises(self):
+        ct = lwe_trivial(np.int32(0), 8)
+        with pytest.raises(TypeError):
+            len(ct)
+
+    def test_stack(self, key, rng):
+        parts = [
+            lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+            for _ in range(3)
+        ]
+        stacked = LweCiphertext.stack(parts)
+        assert stacked.b.shape == (3,)
+
+    def test_copy_is_independent(self, key, rng):
+        ct = lwe_encrypt(key, np.int32(MU), TFHE_TEST.lwe_noise_std, rng)
+        dup = ct.copy()
+        dup.a[...] = 0
+        assert not np.array_equal(ct.a, dup.a)
+
+    def test_nbytes(self):
+        ct = lwe_trivial(np.zeros(5, np.int32), 16)
+        assert ct.nbytes() == 5 * 16 * 4 + 5 * 4
+
+    def test_ciphertext_size_matches_paper(self):
+        """Default-parameter ciphertexts are ~2.46 KB (paper Fig. 7)."""
+        from repro.tfhe import TFHE_DEFAULT_128
+
+        assert TFHE_DEFAULT_128.ciphertext_bytes == (630 + 1) * 4
+        assert 2.4 < TFHE_DEFAULT_128.ciphertext_bytes / 1024 < 2.5

@@ -1,0 +1,64 @@
+"""Native homomorphic MUX tests (the TFHE library's bootsMUX)."""
+
+import numpy as np
+import pytest
+
+from repro.gatetypes import Gate
+from repro.tfhe import (
+    decrypt_bits,
+    encrypt_bits,
+    evaluate_gate,
+    evaluate_mux,
+)
+
+
+@pytest.mark.parametrize("sel", [0, 1])
+@pytest.mark.parametrize("a", [0, 1])
+@pytest.mark.parametrize("b", [0, 1])
+def test_mux_truth_table(test_keys, rng, sel, a, b):
+    secret, cloud = test_keys
+    cs = encrypt_bits(secret, [sel], rng)
+    ca = encrypt_bits(secret, [a], rng)
+    cb = encrypt_bits(secret, [b], rng)
+    out = evaluate_mux(cloud, cs, ca, cb)
+    assert bool(decrypt_bits(secret, out)[0]) == bool(a if sel else b)
+
+
+def test_mux_output_feeds_gates(test_keys, rng):
+    """MUX output is on the canonical ±1/8 levels: usable downstream."""
+    secret, cloud = test_keys
+    cs = encrypt_bits(secret, [1], rng)
+    ca = encrypt_bits(secret, [1], rng)
+    cb = encrypt_bits(secret, [0], rng)
+    mux = evaluate_mux(cloud, cs, ca, cb)  # -> a = 1
+    out = evaluate_gate(cloud, Gate.NAND, mux, ca)  # NAND(1, 1) = 0
+    assert not bool(decrypt_bits(secret, out)[0])
+
+
+def test_mux_batched(test_keys, rng):
+    secret, cloud = test_keys
+    sels = rng.integers(0, 2, 8).astype(bool)
+    a_bits = rng.integers(0, 2, 8).astype(bool)
+    b_bits = rng.integers(0, 2, 8).astype(bool)
+    cs = encrypt_bits(secret, sels, rng)
+    ca = encrypt_bits(secret, a_bits, rng)
+    cb = encrypt_bits(secret, b_bits, rng)
+    out = evaluate_mux(cloud, cs, ca, cb)
+    want = np.where(sels, a_bits, b_bits)
+    assert np.array_equal(decrypt_bits(secret, out), want)
+
+
+def test_mux_chain(test_keys, rng):
+    """A 4:1 mux tree built from native MUXes stays correct."""
+    secret, cloud = test_keys
+    values = [0, 1, 1, 0]
+    cts = [encrypt_bits(secret, [v], rng) for v in values]
+    for s1 in (0, 1):
+        for s0 in (0, 1):
+            cs0 = encrypt_bits(secret, [s0], rng)
+            cs1 = encrypt_bits(secret, [s1], rng)
+            low = evaluate_mux(cloud, cs0, cts[1], cts[0])
+            high = evaluate_mux(cloud, cs0, cts[3], cts[2])
+            out = evaluate_mux(cloud, cs1, high, low)
+            want = values[(s1 << 1) | s0]
+            assert bool(decrypt_bits(secret, out)[0]) == bool(want)

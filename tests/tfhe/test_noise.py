@@ -1,0 +1,86 @@
+"""Noise-model tests: analytic predictions vs empirical measurement."""
+
+import math
+
+import pytest
+
+from repro.tfhe import (
+    TFHE_DEFAULT_128,
+    TFHE_TEST,
+    bootstrap_output_variance,
+    gate_failure_probability,
+    measure_bootstrap_noise_std,
+)
+from repro.tfhe.noise import (
+    GateNoiseBudget,
+    blind_rotate_output_variance,
+    external_product_added_variance,
+    fresh_lwe_variance,
+    keyswitch_added_variance,
+    modswitch_variance,
+)
+
+
+class TestAnalyticFormulas:
+    def test_fresh_variance(self):
+        assert fresh_lwe_variance(TFHE_TEST) == TFHE_TEST.lwe_noise_std ** 2
+
+    def test_all_components_positive(self):
+        for params in (TFHE_TEST, TFHE_DEFAULT_128):
+            assert external_product_added_variance(params) > 0
+            assert blind_rotate_output_variance(params) > 0
+            assert keyswitch_added_variance(params) > 0
+            assert modswitch_variance(params) > 0
+
+    def test_blind_rotate_scales_with_n(self):
+        assert blind_rotate_output_variance(
+            TFHE_TEST
+        ) == TFHE_TEST.lwe_dimension * external_product_added_variance(
+            TFHE_TEST
+        )
+
+    def test_bootstrap_noise_below_decision_margin(self):
+        """3 sigma of the output noise fits inside the 1/16 slice for
+        both parameter sets — the correctness precondition."""
+        for params in (TFHE_TEST, TFHE_DEFAULT_128):
+            sigma = math.sqrt(bootstrap_output_variance(params))
+            assert 3 * sigma < 1 / 16, params.name
+
+
+class TestFailureProbability:
+    def test_negligible_for_shipped_parameters(self):
+        assert gate_failure_probability(TFHE_TEST) < 1e-9
+        assert gate_failure_probability(TFHE_DEFAULT_128) < 1e-9
+
+    def test_budget_worst_case_is_xor(self):
+        budget = GateNoiseBudget(TFHE_TEST, input_variance=1e-8)
+        assert budget.pre_bootstrap_variance == pytest.approx(8e-8)
+
+    def test_probability_grows_with_noise(self):
+        quiet = GateNoiseBudget(TFHE_TEST, input_variance=1e-8)
+        loud = GateNoiseBudget(TFHE_TEST, input_variance=1e-4)
+        assert loud.failure_probability() > quiet.failure_probability()
+
+    def test_zero_noise_never_fails(self):
+        budget = GateNoiseBudget(TFHE_TEST, input_variance=0.0)
+        # Only the mod-switch rounding remains; still far below margin.
+        assert budget.failure_probability() < 1e-9
+
+
+class TestEmpiricalAgreement:
+    def test_measured_noise_matches_prediction(self, test_keys):
+        """The analytic bootstrap-output std agrees with measurement
+        within a small factor (formulas are upper-estimate-flavored)."""
+        secret, cloud = test_keys
+        measured = measure_bootstrap_noise_std(secret, cloud, trials=96)
+        predicted = math.sqrt(bootstrap_output_variance(TFHE_TEST))
+        assert predicted / 4 < measured < predicted * 4, (
+            measured,
+            predicted,
+        )
+
+    def test_measured_noise_is_reproducible(self, test_keys):
+        secret, cloud = test_keys
+        a = measure_bootstrap_noise_std(secret, cloud, trials=32, seed=1)
+        b = measure_bootstrap_noise_std(secret, cloud, trials=32, seed=1)
+        assert a == b

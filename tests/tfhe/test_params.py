@@ -1,0 +1,70 @@
+"""Parameter set validation tests."""
+
+import pytest
+
+from repro.tfhe import PARAMETER_SETS, TFHE_DEFAULT_128, TFHE_TEST
+from repro.tfhe.params import TFHEParameters
+
+
+def test_default_matches_paper_section_2d():
+    """The paper uses the TFHE paper's defaults at lambda = 128."""
+    p = TFHE_DEFAULT_128
+    assert p.security_bits == 128
+    assert p.lwe_dimension == 630
+    assert p.tlwe_degree == 1024
+    assert p.tlwe_k == 1
+
+
+def test_test_params_are_marked_insecure():
+    assert TFHE_TEST.security_bits == 0
+
+
+def test_registry_contains_both():
+    assert set(PARAMETER_SETS) == {"tfhe-default-128", "tfhe-test"}
+
+
+def test_extracted_dimension():
+    assert (
+        TFHE_DEFAULT_128.extracted_lwe_dimension
+        == TFHE_DEFAULT_128.tlwe_k * TFHE_DEFAULT_128.tlwe_degree
+    )
+
+
+def test_bases_are_powers_of_two():
+    for p in PARAMETER_SETS.values():
+        assert p.bs_base == 1 << p.bs_decomp_log2_base
+        assert p.ks_base == 1 << p.ks_decomp_log2_base
+
+
+def test_rejects_non_power_of_two_degree():
+    with pytest.raises(ValueError):
+        TFHEParameters(
+            name="bad",
+            lwe_dimension=10,
+            lwe_noise_std=1e-5,
+            tlwe_degree=100,
+            tlwe_k=1,
+            tlwe_noise_std=1e-8,
+            bs_decomp_length=2,
+            bs_decomp_log2_base=8,
+            ks_decomp_length=8,
+            ks_decomp_log2_base=2,
+            security_bits=0,
+        )
+
+
+def test_rejects_overwide_decomposition():
+    with pytest.raises(ValueError):
+        TFHEParameters(
+            name="bad",
+            lwe_dimension=10,
+            lwe_noise_std=1e-5,
+            tlwe_degree=64,
+            tlwe_k=1,
+            tlwe_noise_std=1e-8,
+            bs_decomp_length=5,
+            bs_decomp_log2_base=8,
+            ks_decomp_length=8,
+            ks_decomp_log2_base=2,
+            security_bits=0,
+        )

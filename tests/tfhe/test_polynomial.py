@@ -1,0 +1,129 @@
+"""Negacyclic polynomial arithmetic tests (FFT vs schoolbook)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfhe.polynomial import (
+    NegacyclicRing,
+    get_ring,
+    negacyclic_multiply_naive,
+    negacyclic_shift,
+)
+
+
+class TestRingConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NegacyclicRing(100)
+
+    def test_cache_returns_same_object(self):
+        assert get_ring(64) is get_ring(64)
+
+    def test_cache_distinct_degrees(self):
+        assert get_ring(64) is not get_ring(128)
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("degree", [4, 16, 64, 256])
+    def test_fft_matches_naive_small_coeffs(self, degree, rng):
+        ring = get_ring(degree)
+        a = rng.integers(-128, 128, degree)
+        b = rng.integers(-(2 ** 20), 2 ** 20, degree).astype(np.int32)
+        assert np.array_equal(
+            ring.multiply(a, b), negacyclic_multiply_naive(a, b)
+        )
+
+    def test_fft_error_below_noise_floor_large_coeffs(self, rng):
+        # Torus-magnitude coefficients: FFT rounding must stay tiny
+        # relative to the 2^32 scale (it is absorbed by TFHE noise).
+        ring = get_ring(1024)
+        a = rng.integers(-64, 64, 1024)  # gadget-digit magnitudes
+        b = rng.integers(-(2 ** 31), 2 ** 31, 1024).astype(np.int32)
+        got = ring.multiply(a, b).astype(np.int64)
+        want = negacyclic_multiply_naive(a, b).astype(np.int64)
+        diff = np.abs((got - want + (1 << 31)) % (1 << 32) - (1 << 31))
+        assert diff.max() < 2 ** 10  # < 2^-22 in torus units
+
+    def test_multiply_by_one(self, rng):
+        ring = get_ring(32)
+        one = np.zeros(32, dtype=np.int64)
+        one[0] = 1
+        b = rng.integers(-(2 ** 30), 2 ** 30, 32).astype(np.int32)
+        assert np.array_equal(ring.multiply(one, b), b)
+
+    def test_multiply_by_x_is_shift(self, rng):
+        ring = get_ring(32)
+        x = np.zeros(32, dtype=np.int64)
+        x[1] = 1
+        b = rng.integers(-(2 ** 24), 2 ** 24, 32).astype(np.int32)
+        assert np.array_equal(ring.multiply(x, b), negacyclic_shift(b, 1))
+
+    def test_batched_multiply(self, rng):
+        ring = get_ring(16)
+        a = rng.integers(-8, 8, (5, 16))
+        b = rng.integers(-(2 ** 20), 2 ** 20, (5, 16)).astype(np.int32)
+        got = ring.multiply(a, b)
+        for i in range(5):
+            assert np.array_equal(got[i], negacyclic_multiply_naive(a[i], b[i]))
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=25)
+    def test_negacyclic_wraparound_sign(self, seed):
+        # X^N = -1: in X^7 * b, the X^1 term of b lands on X^8 = -1,
+        # so coefficient 0 of the product is -b[1].
+        ring = get_ring(8)
+        rng = np.random.default_rng(seed)
+        b = rng.integers(-(2 ** 20), 2 ** 20, 8).astype(np.int32)
+        x = np.zeros(8, dtype=np.int64)
+        x[7] = 1
+        result = ring.multiply(x, b)
+        assert result[0] == -b[1]
+
+
+class TestShift:
+    def test_shift_zero_identity(self, rng):
+        p = rng.integers(-100, 100, 16).astype(np.int32)
+        assert np.array_equal(negacyclic_shift(p, 0), p)
+
+    def test_shift_by_n_negates(self, rng):
+        p = rng.integers(-100, 100, 16).astype(np.int32)
+        assert np.array_equal(negacyclic_shift(p, 16), -p)
+
+    def test_shift_by_2n_identity(self, rng):
+        p = rng.integers(-100, 100, 16).astype(np.int32)
+        assert np.array_equal(negacyclic_shift(p, 32), p)
+
+    def test_shift_composes(self, rng):
+        p = rng.integers(-100, 100, 16).astype(np.int32)
+        once = negacyclic_shift(negacyclic_shift(p, 5), 9)
+        assert np.array_equal(once, negacyclic_shift(p, 14))
+
+    def test_per_batch_shift_amounts(self, rng):
+        p = rng.integers(-100, 100, (4, 16)).astype(np.int32)
+        k = np.array([0, 1, 16, 31])
+        got = negacyclic_shift(p, k)
+        for i in range(4):
+            assert np.array_equal(got[i], negacyclic_shift(p[i], int(k[i])))
+
+    def test_shift_matches_polynomial_multiply(self, rng):
+        ring = get_ring(16)
+        p = rng.integers(-(2 ** 20), 2 ** 20, 16).astype(np.int32)
+        for k in (1, 3, 15):
+            xk = np.zeros(16, dtype=np.int64)
+            xk[k] = 1
+            assert np.array_equal(
+                negacyclic_shift(p, k), ring.multiply(xk, p)
+            )
+
+    def test_shift_batch_with_component_axis(self, rng):
+        # The blind-rotation use case: shift (B, k+1, N) by per-B amounts.
+        p = rng.integers(-100, 100, (3, 2, 8)).astype(np.int32)
+        k = np.array([[1], [9], [0]])
+        got = negacyclic_shift(p, k)
+        for b in range(3):
+            for c in range(2):
+                assert np.array_equal(
+                    got[b, c], negacyclic_shift(p[b, c], int(k[b, 0]))
+                )

@@ -1,0 +1,150 @@
+"""TGSW tests: gadget decomposition, external product, CMUX."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe import TFHE_TEST
+from repro.tfhe.tgsw import (
+    TgswFFT,
+    cmux,
+    external_product,
+    gadget_values,
+    tgsw_decompose,
+    tgsw_encrypt_int,
+)
+from repro.tfhe.tlwe import (
+    tlwe_encrypt_zero,
+    tlwe_key_gen,
+    tlwe_phase,
+    tlwe_trivial,
+)
+from repro.tfhe.torus import fraction_to_torus, torus_distance, wrap_int32
+
+
+@pytest.fixture()
+def key(rng):
+    return tlwe_key_gen(TFHE_TEST, rng)
+
+
+def _message_sample(key, mu_value, rng):
+    mu_poly = np.zeros(TFHE_TEST.tlwe_degree, dtype=np.int32)
+    mu_poly[0] = mu_value
+    return wrap_int32(
+        tlwe_encrypt_zero(key, TFHE_TEST, rng).astype(np.int64)
+        + tlwe_trivial(mu_poly, TFHE_TEST).astype(np.int64)
+    )
+
+
+class TestDecomposition:
+    def test_gadget_values_decreasing(self):
+        g = gadget_values(TFHE_TEST)
+        assert (np.diff(g) < 0).all()
+        assert g[0] == 1 << (32 - TFHE_TEST.bs_decomp_log2_base)
+
+    def test_digit_range(self, rng):
+        sample = rng.integers(
+            -(2 ** 31), 2 ** 31, (TFHE_TEST.tlwe_k + 1, TFHE_TEST.tlwe_degree)
+        ).astype(np.int32)
+        digits = tgsw_decompose(sample, TFHE_TEST)
+        half = TFHE_TEST.bs_base // 2
+        assert digits.min() >= -half
+        assert digits.max() < half
+
+    def test_recomposition_error_bounded(self, rng):
+        sample = rng.integers(
+            -(2 ** 31), 2 ** 31, (TFHE_TEST.tlwe_k + 1, TFHE_TEST.tlwe_degree)
+        ).astype(np.int32)
+        digits = tgsw_decompose(sample, TFHE_TEST)
+        factors = gadget_values(TFHE_TEST)
+        ell = TFHE_TEST.bs_decomp_length
+        recomposed = np.zeros_like(sample, dtype=np.int64)
+        for i in range(TFHE_TEST.tlwe_k + 1):
+            for j in range(ell):
+                recomposed[i] += digits[i * ell + j] * factors[j]
+        err = torus_distance(wrap_int32(recomposed), sample)
+        # Dropped precision: 2^(32 - l*beta) => error <= 2^-(l*beta+1)+slack
+        bound = 2.0 ** -(ell * TFHE_TEST.bs_decomp_log2_base)
+        assert err.max() <= bound
+
+    def test_decompose_batched_shape(self, rng):
+        sample = rng.integers(
+            -(2 ** 31),
+            2 ** 31,
+            (5, TFHE_TEST.tlwe_k + 1, TFHE_TEST.tlwe_degree),
+        ).astype(np.int32)
+        digits = tgsw_decompose(sample, TFHE_TEST)
+        rows = (TFHE_TEST.tlwe_k + 1) * TFHE_TEST.bs_decomp_length
+        assert digits.shape == (5, rows, TFHE_TEST.tlwe_degree)
+
+
+class TestExternalProduct:
+    def test_product_with_one_preserves_message(self, key, rng):
+        mu = fraction_to_torus(1, 8)
+        tgsw_one = TgswFFT.from_sample(
+            tgsw_encrypt_int(key, 1, TFHE_TEST, rng), TFHE_TEST
+        )
+        tlwe = _message_sample(key, mu, rng)
+        result = external_product(tgsw_one, tlwe, TFHE_TEST)
+        phase = tlwe_phase(key, result, TFHE_TEST)
+        assert torus_distance(phase[0], mu)[()] < 2 ** -6
+
+    def test_product_with_zero_erases_message(self, key, rng):
+        mu = fraction_to_torus(1, 8)
+        tgsw_zero = TgswFFT.from_sample(
+            tgsw_encrypt_int(key, 0, TFHE_TEST, rng), TFHE_TEST
+        )
+        tlwe = _message_sample(key, mu, rng)
+        result = external_product(tgsw_zero, tlwe, TFHE_TEST)
+        phase = tlwe_phase(key, result, TFHE_TEST)
+        assert torus_distance(phase, 0).max() < 2 ** -6
+
+    def test_product_batched(self, key, rng):
+        mu = fraction_to_torus(1, 8)
+        tgsw_one = TgswFFT.from_sample(
+            tgsw_encrypt_int(key, 1, TFHE_TEST, rng), TFHE_TEST
+        )
+        tlwe = np.stack(
+            [_message_sample(key, mu, rng) for _ in range(3)]
+        )
+        result = external_product(tgsw_one, tlwe, TFHE_TEST)
+        assert result.shape == tlwe.shape
+        phases = tlwe_phase(key, result, TFHE_TEST)
+        assert torus_distance(phases[:, 0], mu).max() < 2 ** -6
+
+
+class TestCmux:
+    def test_selects_true_branch(self, key, rng):
+        mu1 = fraction_to_torus(1, 8)
+        mu0 = fraction_to_torus(-1, 8)
+        sel = TgswFFT.from_sample(
+            tgsw_encrypt_int(key, 1, TFHE_TEST, rng), TFHE_TEST
+        )
+        c1 = _message_sample(key, mu1, rng)
+        c0 = _message_sample(key, mu0, rng)
+        out = cmux(sel, c1, c0, TFHE_TEST)
+        phase = tlwe_phase(key, out, TFHE_TEST)
+        assert torus_distance(phase[0], mu1)[()] < 2 ** -6
+
+    def test_selects_false_branch(self, key, rng):
+        mu1 = fraction_to_torus(1, 8)
+        mu0 = fraction_to_torus(-1, 8)
+        sel = TgswFFT.from_sample(
+            tgsw_encrypt_int(key, 0, TFHE_TEST, rng), TFHE_TEST
+        )
+        c1 = _message_sample(key, mu1, rng)
+        c0 = _message_sample(key, mu0, rng)
+        out = cmux(sel, c1, c0, TFHE_TEST)
+        phase = tlwe_phase(key, out, TFHE_TEST)
+        assert torus_distance(phase[0], mu0)[()] < 2 ** -6
+
+    def test_cmux_chain_noise_growth_is_bounded(self, key, rng):
+        """Noise after a chain of n CMUXes stays within bootstrap margins."""
+        mu = fraction_to_torus(1, 8)
+        acc = _message_sample(key, mu, rng)
+        selector = TgswFFT.from_sample(
+            tgsw_encrypt_int(key, 0, TFHE_TEST, rng), TFHE_TEST
+        )
+        for _ in range(TFHE_TEST.lwe_dimension):
+            acc = cmux(selector, acc, acc, TFHE_TEST)
+        phase = tlwe_phase(key, acc, TFHE_TEST)
+        assert torus_distance(phase[0], mu)[()] < 1.0 / 16

@@ -1,0 +1,115 @@
+"""TLWE (ring) sample tests: phase, extraction."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe import TFHE_TEST
+from repro.tfhe.lwe import lwe_phase
+from repro.tfhe.tlwe import (
+    tlwe_encrypt_zero,
+    tlwe_extract_key,
+    tlwe_extract_lwe,
+    tlwe_key_gen,
+    tlwe_phase,
+    tlwe_trivial,
+    tlwe_zero,
+)
+from repro.tfhe.torus import fraction_to_torus, torus_distance, wrap_int32
+
+
+@pytest.fixture()
+def key(rng):
+    return tlwe_key_gen(TFHE_TEST, rng)
+
+
+class TestTlweBasics:
+    def test_key_shape_and_binary(self, key):
+        assert key.shape == (TFHE_TEST.tlwe_k, TFHE_TEST.tlwe_degree)
+        assert set(np.unique(key)).issubset({0, 1})
+
+    def test_zero_sample_shape(self):
+        s = tlwe_zero(TFHE_TEST, (3,))
+        assert s.shape == (3, TFHE_TEST.tlwe_k + 1, TFHE_TEST.tlwe_degree)
+
+    def test_trivial_phase_is_message(self, key, rng):
+        mu = rng.integers(-(2 ** 20), 2 ** 20, TFHE_TEST.tlwe_degree).astype(
+            np.int32
+        )
+        sample = tlwe_trivial(mu, TFHE_TEST)
+        assert np.array_equal(tlwe_phase(key, sample, TFHE_TEST), mu)
+
+    def test_zero_encryption_phase_is_noise(self, key, rng):
+        sample = tlwe_encrypt_zero(key, TFHE_TEST, rng)
+        phase = tlwe_phase(key, sample, TFHE_TEST)
+        assert torus_distance(phase, 0).max() < 2 ** -12
+
+    def test_zero_encryption_mask_nontrivial(self, key, rng):
+        sample = tlwe_encrypt_zero(key, TFHE_TEST, rng)
+        assert np.abs(sample[:-1].astype(np.int64)).max() > 2 ** 20
+
+    def test_batched_zero_encryptions(self, key, rng):
+        sample = tlwe_encrypt_zero(key, TFHE_TEST, rng, batch_shape=(5,))
+        assert sample.shape == (
+            5,
+            TFHE_TEST.tlwe_k + 1,
+            TFHE_TEST.tlwe_degree,
+        )
+        phase = tlwe_phase(key, sample, TFHE_TEST)
+        assert torus_distance(phase, 0).max() < 2 ** -12
+
+    def test_additive_homomorphism(self, key, rng):
+        mu = fraction_to_torus(1, 8)
+        mu_poly = np.zeros(TFHE_TEST.tlwe_degree, dtype=np.int32)
+        mu_poly[0] = mu
+        c1 = wrap_int32(
+            tlwe_encrypt_zero(key, TFHE_TEST, rng).astype(np.int64)
+            + tlwe_trivial(mu_poly, TFHE_TEST).astype(np.int64)
+        )
+        c2 = tlwe_encrypt_zero(key, TFHE_TEST, rng)
+        total = wrap_int32(c1.astype(np.int64) + c2.astype(np.int64))
+        phase = tlwe_phase(key, total, TFHE_TEST)
+        assert torus_distance(phase[0], mu)[()] < 2 ** -10
+
+
+class TestExtraction:
+    def test_extracted_dimension(self, key, rng):
+        sample = tlwe_encrypt_zero(key, TFHE_TEST, rng)
+        lwe = tlwe_extract_lwe(sample, TFHE_TEST)
+        assert lwe.dimension == TFHE_TEST.extracted_lwe_dimension
+
+    def test_extract_preserves_constant_coefficient(self, key, rng):
+        mu = fraction_to_torus(1, 8)
+        mu_poly = np.zeros(TFHE_TEST.tlwe_degree, dtype=np.int32)
+        mu_poly[0] = mu
+        sample = wrap_int32(
+            tlwe_encrypt_zero(key, TFHE_TEST, rng).astype(np.int64)
+            + tlwe_trivial(mu_poly, TFHE_TEST).astype(np.int64)
+        )
+        lwe = tlwe_extract_lwe(sample, TFHE_TEST)
+        phase = lwe_phase(tlwe_extract_key(key), lwe)
+        assert torus_distance(phase, mu)[()] < 2 ** -10
+
+    def test_extract_ignores_other_coefficients(self, key, rng):
+        mu_poly = rng.integers(
+            -(2 ** 28), 2 ** 28, TFHE_TEST.tlwe_degree
+        ).astype(np.int32)
+        mu_poly[0] = fraction_to_torus(1, 4)
+        sample = wrap_int32(
+            tlwe_encrypt_zero(key, TFHE_TEST, rng).astype(np.int64)
+            + tlwe_trivial(mu_poly, TFHE_TEST).astype(np.int64)
+        )
+        lwe = tlwe_extract_lwe(sample, TFHE_TEST)
+        phase = lwe_phase(tlwe_extract_key(key), lwe)
+        assert torus_distance(phase, fraction_to_torus(1, 4))[()] < 2 ** -10
+
+    def test_extract_batched(self, key, rng):
+        sample = tlwe_encrypt_zero(key, TFHE_TEST, rng, batch_shape=(4,))
+        lwe = tlwe_extract_lwe(sample, TFHE_TEST)
+        assert lwe.batch_shape == (4,)
+        phase = lwe_phase(tlwe_extract_key(key), lwe)
+        assert torus_distance(phase, 0).max() < 2 ** -12
+
+    def test_extracted_key_flattening(self, key):
+        flat = tlwe_extract_key(key)
+        assert flat.shape == (TFHE_TEST.extracted_lwe_dimension,)
+        assert np.array_equal(flat, key.reshape(-1))

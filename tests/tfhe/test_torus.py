@@ -1,0 +1,119 @@
+"""Torus arithmetic unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfhe.torus import (
+    double_to_torus,
+    fraction_to_torus,
+    gaussian_torus,
+    torus_distance,
+    torus_to_double,
+    uniform_torus,
+    wrap_int32,
+)
+
+
+class TestWrapInt32:
+    def test_zero(self):
+        assert wrap_int32(np.array(0))[()] == 0
+
+    def test_wraps_at_2_32(self):
+        assert wrap_int32(np.array(1 << 32))[()] == 0
+
+    def test_wraps_negative(self):
+        assert wrap_int32(np.array(-1))[()] == -1
+
+    def test_high_bit_becomes_negative(self):
+        assert wrap_int32(np.array(1 << 31))[()] == -(1 << 31)
+
+    def test_array_shape_preserved(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert wrap_int32(arr).shape == (3, 4)
+
+    def test_dtype_is_int32(self):
+        assert wrap_int32(np.array([1, 2])).dtype == np.int32
+
+    @given(st.integers(min_value=-(2 ** 62), max_value=2 ** 62))
+    def test_mod_2_32_semantics(self, value):
+        got = int(wrap_int32(np.array(value))[()])
+        assert (got - value) % (1 << 32) == 0
+        assert -(1 << 31) <= got < (1 << 31)
+
+
+class TestConversions:
+    def test_half_is_min_int(self):
+        assert double_to_torus(0.5)[()] == -(1 << 31)
+
+    def test_quarter(self):
+        assert double_to_torus(0.25)[()] == 1 << 30
+
+    def test_wrap_near_one(self):
+        # 1 - epsilon rounds to 2**32 which must wrap to 0.
+        assert double_to_torus(1.0 - 1e-12)[()] == 0
+
+    def test_roundtrip(self):
+        values = np.array([0.0, 0.125, 0.25, -0.125, 0.49])
+        back = torus_to_double(double_to_torus(values))
+        assert np.allclose(np.mod(back - values + 0.5, 1.0) - 0.5, 0, atol=1e-9)
+
+    def test_fraction_exact_eighth(self):
+        assert int(fraction_to_torus(1, 8)) == 1 << 29
+
+    def test_fraction_negative(self):
+        assert int(fraction_to_torus(-1, 8)) == -(1 << 29)
+
+    def test_fraction_quarter(self):
+        assert int(fraction_to_torus(1, 4)) == 1 << 30
+
+    def test_fraction_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            fraction_to_torus(1, 0)
+
+    @given(
+        st.integers(min_value=-16, max_value=16),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_fraction_matches_double(self, num, den):
+        exact = int(fraction_to_torus(num, den))
+        approx = int(double_to_torus(num / den)[()])
+        assert abs((exact - approx + (1 << 31)) % (1 << 32) - (1 << 31)) <= 1
+
+
+class TestSampling:
+    def test_gaussian_shape(self, rng):
+        assert gaussian_torus(2 ** -15, (5, 7), rng).shape == (5, 7)
+
+    def test_gaussian_is_small(self, rng):
+        noise = torus_to_double(gaussian_torus(2 ** -15, 10_000, rng))
+        assert np.abs(noise).max() < 2 ** -10
+
+    def test_gaussian_std(self, rng):
+        noise = torus_to_double(gaussian_torus(2 ** -10, 50_000, rng))
+        assert abs(noise.std() / 2 ** -10 - 1.0) < 0.05
+
+    def test_uniform_covers_range(self, rng):
+        samples = uniform_torus(10_000, rng).astype(np.int64)
+        assert samples.min() < -(1 << 29)
+        assert samples.max() > (1 << 29)
+
+    def test_uniform_mean_near_zero(self, rng):
+        samples = torus_to_double(uniform_torus(100_000, rng))
+        assert abs(samples.mean()) < 0.01
+
+
+class TestDistance:
+    def test_zero_distance(self):
+        assert torus_distance(5, 5)[()] == 0
+
+    def test_wraparound_distance(self):
+        a = double_to_torus(0.95)
+        b = double_to_torus(0.05)
+        assert abs(torus_distance(a, b)[()] - 0.1) < 1e-6
+
+    def test_max_distance_is_half(self):
+        a = double_to_torus(0.0)
+        b = double_to_torus(0.5)
+        assert abs(torus_distance(a, b)[()] - 0.5) < 1e-6

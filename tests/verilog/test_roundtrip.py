@@ -1,0 +1,151 @@
+"""Verilog emit/parse tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatetypes import Gate, TWO_INPUT_GATES
+from repro.hdl.builder import CircuitBuilder
+from repro.verilog import VerilogParseError, emit_verilog, parse_verilog
+
+
+def _half_adder():
+    bd = CircuitBuilder(name="half_adder")
+    a, b = bd.inputs(2)
+    bd.output(bd.xor_(a, b), "sum")
+    bd.output(bd.and_(a, b), "carry")
+    return bd.build()
+
+
+class TestEmit:
+    def test_module_structure(self):
+        text = emit_verilog(_half_adder(), module_name="half_adder")
+        assert text.startswith("module half_adder(")
+        assert text.rstrip().endswith("endmodule")
+        assert "input in_0;" in text
+        assert "output out_0;" in text
+
+    def test_gate_expressions(self):
+        text = emit_verilog(_half_adder())
+        assert "assign g_0 = in_0 ^ in_1;" in text
+        assert "assign g_1 = in_0 & in_1;" in text
+
+    def test_every_gate_type_emits(self):
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=False, absorb_inverters=False
+        )
+        a, b = bd.inputs(2)
+        for gate in Gate:
+            if gate.arity == 2:
+                bd.output(bd.gate(gate, a, b))
+            elif gate.arity == 1:
+                bd.output(bd.gate(gate, a))
+            else:
+                bd.output(bd.gate(gate))
+        text = emit_verilog(bd.build())
+        assert "1'b0" in text and "1'b1" in text
+        assert "~(" in text
+
+    def test_module_name_sanitized(self):
+        text = emit_verilog(_half_adder(), module_name="my design!")
+        assert "module my_design_(" in text
+
+
+class TestParse:
+    def test_half_adder_roundtrip(self):
+        nl = _half_adder()
+        back = parse_verilog(emit_verilog(nl))
+        batch = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=bool)
+        assert np.array_equal(nl.evaluate(batch), back.evaluate(batch))
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        bd = CircuitBuilder(
+            hash_cons=False, fold_constants=False, absorb_inverters=False
+        )
+        nodes = list(bd.inputs(4))
+        pool = list(TWO_INPUT_GATES) + [
+            Gate.NOT,
+            Gate.BUF,
+            Gate.CONST0,
+            Gate.CONST1,
+        ]
+        for _ in range(30):
+            gate = pool[rng.integers(len(pool))]
+            nodes.append(
+                bd.gate(
+                    gate,
+                    nodes[rng.integers(len(nodes))],
+                    nodes[rng.integers(len(nodes))],
+                )
+            )
+        bd.output(nodes[-1])
+        nl = bd.build()
+        back = parse_verilog(emit_verilog(nl))
+        batch = rng.integers(0, 2, (32, 4)).astype(bool)
+        assert np.array_equal(nl.evaluate(batch), back.evaluate(batch))
+
+    def test_passthrough_output(self):
+        bd = CircuitBuilder()
+        a = bd.input()
+        bd.output(a)
+        back = parse_verilog(emit_verilog(bd.build()))
+        assert back.evaluate(np.array([True]))[0]
+
+    def test_parse_handwritten_module(self):
+        text = """
+        module adder(x, y, s);
+          input x;
+          input y;
+          output s;
+          wire t;
+          assign t = x ^ y;
+          assign s = t;
+        endmodule
+        """
+        nl = parse_verilog(text)
+        assert nl.num_inputs == 2
+        assert nl.evaluate(np.array([True, False]))[0]
+        assert not nl.evaluate(np.array([True, True]))[0]
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("assign a = b;")
+
+    def test_undeclared_signal_rejected(self):
+        text = """
+        module m(a, o);
+          input a;
+          output o;
+          assign o = a & ghost;
+        endmodule
+        """
+        with pytest.raises(VerilogParseError):
+            parse_verilog(text)
+
+    def test_unassigned_output_rejected(self):
+        text = """
+        module m(a, o);
+          input a;
+          output o;
+        endmodule
+        """
+        with pytest.raises(VerilogParseError):
+            parse_verilog(text)
+
+    def test_unsupported_expression_rejected(self):
+        text = """
+        module m(a, b, o);
+          input a;
+          input b;
+          output o;
+          wire t;
+          assign t = a ? b : a;
+          assign o = t;
+        endmodule
+        """
+        with pytest.raises(VerilogParseError):
+            parse_verilog(text)
