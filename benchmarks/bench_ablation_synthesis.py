@@ -12,7 +12,6 @@ import pytest
 from conftest import print_table
 from repro.core.compiler import compile_model
 from repro.frameworks.pytfhe import spec_to_sequential
-from repro.hdl.builder import CircuitBuilder
 from repro.synth import optimize
 
 
@@ -84,9 +83,6 @@ def test_ablation_synthesis_features(benchmark, raw_netlist, framework_spec):
 def test_ablation_dtype_width(benchmark, framework_spec):
     """Paper Section IV-B: 'choosing a cheaper data type may result in
     a reduction in the number of gates by orders of magnitude.'"""
-    from repro.chiseltorch.dtypes import SInt
-    from repro.frameworks.base import CnnSpec
-
     def gates_for_width(width):
         import dataclasses
 

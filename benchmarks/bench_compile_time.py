@@ -6,7 +6,6 @@ elaboration rate (gates/second), the assembler's serialization rate,
 and the binary sizes of the MNIST networks.
 """
 
-import time
 
 import pytest
 

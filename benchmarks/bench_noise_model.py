@@ -9,7 +9,6 @@ like for both parameter sets.
 
 import math
 
-import pytest
 
 from conftest import print_table
 from repro.tfhe import (

@@ -12,7 +12,6 @@ in minutes; set ``REPRO_FULL_SCALE=1`` for the paper's geometries
 
 import os
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-from repro.bench.attention import attention_reference, attention_workload
+from repro.bench.attention import attention_workload
 from repro.perfmodel import (
     A5000,
     ClusterSimulator,

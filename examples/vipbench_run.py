@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from repro.bench import vip_workload, vip_workloads
 from repro.core import Client
 from repro.perfmodel import (
     A5000,
@@ -21,7 +22,6 @@ from repro.perfmodel import (
     PAPER_GATE_COST,
     TABLE_II_CLUSTER,
 )
-from repro.bench import vip_workload, vip_workloads
 from repro.runtime import CpuBackend
 from repro.tfhe import TFHE_TEST
 

@@ -15,7 +15,7 @@ is what Figs. 10/11 depend on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ netlist and (b) feed the same DAG to every backend/simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 

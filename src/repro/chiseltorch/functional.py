@@ -8,7 +8,7 @@ assemble custom layers (e.g. the self-attention of Section V-A).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

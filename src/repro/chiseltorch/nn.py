@@ -13,13 +13,13 @@ matching single-query FHE inference.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..hdl import arith
 from . import functional as F
-from .dtypes import Fixed, Float, SInt, UInt
+from ..hdl import arith
+from .dtypes import Fixed, Float, SInt
 from .tensor import HTensor
 
 

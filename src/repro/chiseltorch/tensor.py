@@ -9,7 +9,7 @@ optimization (Section V-C), it is pure re-indexing.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -6,6 +6,8 @@ A small operator toolbox around the library:
 * ``disasm``   — textual listing of a PyTFHE binary;
 * ``stats``    — gate statistics of a binary;
 * ``estimate`` — backend runtime estimates for a binary (paper model);
+* ``run``      — execute a workload under real FHE on a chosen
+  backend/transport, reusing one worker pool across ``--runs``;
 * ``keygen``   — generate and save a (secret, cloud) key pair;
 * ``bench-gate`` — measure this machine's bootstrapped-gate cost.
 """
@@ -114,6 +116,61 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    import numpy as np
+
+    from .runtime import CpuBackend, DistributedCpuBackend, build_schedule
+    from .tfhe import (
+        PARAMETER_SETS,
+        decrypt_bits,
+        encrypt_bits,
+        generate_keys,
+    )
+
+    workload = _workload_by_name(args.workload)
+    params = PARAMETER_SETS.get(args.params)
+    if params is None:
+        raise SystemExit(
+            f"unknown parameter set {args.params!r}; "
+            f"choose from {sorted(PARAMETER_SETS)}"
+        )
+    netlist = workload.netlist
+    print(f"generating keys for {params.name} ...")
+    secret, cloud = generate_keys(params, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    bits = workload.compiled.encode_inputs(*workload.sample_inputs())
+    ciphertext = encrypt_bits(secret, bits, rng)
+    want = netlist.evaluate(bits)
+    schedule = build_schedule(netlist)
+
+    if args.backend == "distributed":
+        backend = DistributedCpuBackend(
+            cloud, num_workers=args.workers, transport=args.transport
+        )
+    else:
+        backend = CpuBackend(cloud, batched=args.backend == "batched")
+    status = 0
+    try:
+        for index in range(args.runs):
+            out, report = backend.run(netlist, ciphertext, schedule)
+            got = decrypt_bits(secret, out)
+            ok = bool(np.array_equal(got, want))
+            print(
+                f"run {index}: {report.backend}  "
+                f"{report.wall_time_s * 1e3:9.1f} ms  "
+                f"ct_moved={report.ciphertext_bytes_moved}  "
+                f"key_moved={report.key_bytes_moved}  "
+                f"pool_reused={report.pool_reused}  ok={ok}"
+            )
+            if not ok:
+                status = 1
+                break
+    finally:
+        if hasattr(backend, "shutdown"):
+            backend.shutdown()
+    return status
+
+
 def cmd_keygen(args) -> int:
     from .serialization import save_cloud_key, save_secret_key
     from .tfhe import PARAMETER_SETS, generate_keys
@@ -170,6 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("estimate", help="backend runtime estimates")
     p.add_argument("binary")
     p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("run", help="execute a workload under real FHE")
+    p.add_argument("workload")
+    p.add_argument(
+        "--backend",
+        choices=("single", "batched", "distributed"),
+        default="distributed",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("pickle", "shm"),
+        default="shm",
+        help="distributed ciphertext transport: pipe pickling or the "
+        "zero-copy shared-memory plane",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="repeat execution, reusing the same worker pool",
+    )
+    p.add_argument("--params", default="tfhe-test")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("keygen", help="generate a key pair")
     p.add_argument("--params", default="tfhe-default-128")

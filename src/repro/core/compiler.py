@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..chiseltorch.dtypes import DType
-from ..chiseltorch.nn import Module, Sequential
+from ..chiseltorch.nn import Module
 from ..chiseltorch.tensor import HTensor
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import Netlist

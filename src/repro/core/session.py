@@ -8,7 +8,6 @@ without ever seeing a plaintext.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -20,7 +19,6 @@ from ..runtime.executors import CpuBackend, ExecutionReport
 from ..tfhe import (
     CloudKey,
     LweCiphertext,
-    SecretKey,
     TFHEParameters,
     TFHE_DEFAULT_128,
     decrypt_bits,
@@ -67,13 +65,21 @@ class Client:
 
 
 class Server:
-    """Cloud evaluator: runs PyTFHE binaries over ciphertexts."""
+    """Cloud evaluator: runs PyTFHE binaries over ciphertexts.
+
+    A ``distributed`` server keeps its worker pool warm across
+    ``execute()`` calls: the cloud key is broadcast once when the pool
+    starts, and later runs report ``key_bytes_moved == 0``.
+    ``transport`` picks how ciphertexts reach the workers
+    (``"shm"`` zero-copy plane, or the ``"pickle"`` pipe baseline).
+    """
 
     def __init__(
         self,
         cloud_key: CloudKey,
         backend: str = "batched",
         num_workers: Optional[int] = None,
+        transport: Optional[str] = None,
     ):
         self.cloud_key = cloud_key
         if backend == "single":
@@ -81,7 +87,9 @@ class Server:
         elif backend == "batched":
             self._backend = CpuBackend(cloud_key, batched=True)
         elif backend == "distributed":
-            self._backend = DistributedCpuBackend(cloud_key, num_workers)
+            self._backend = DistributedCpuBackend(
+                cloud_key, num_workers, transport=transport
+            )
         else:
             raise ValueError(f"unknown backend {backend!r}")
         self.backend_name = backend

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import Netlist

@@ -133,10 +133,14 @@ def ripple_sub(
     width = width or max(len(a), len(b))
     bx = extend(bd, b, width, signed)
     inverted = [bd.not_(bit) for bit in bx]
-    return ripple_add(bd, a, inverted, carry_in=bd.const(True), width=width, signed=signed)
+    return ripple_add(
+        bd, a, inverted, carry_in=bd.const(True), width=width, signed=signed
+    )
 
 
-def negate(bd: CircuitBuilder, bits: Sequence[int], width: Optional[int] = None) -> Bits:
+def negate(
+    bd: CircuitBuilder, bits: Sequence[int], width: Optional[int] = None
+) -> Bits:
     width = width or len(bits)
     return ripple_sub(bd, [bd.const(False)], bits, width=width, signed=True)
 
@@ -154,7 +158,11 @@ def adder_tree(
     while len(layer) > 1:
         nxt: List[Bits] = []
         for i in range(0, len(layer) - 1, 2):
-            nxt.append(ripple_add(bd, layer[i], layer[i + 1], width=width, signed=signed))
+            nxt.append(
+                ripple_add(
+                    bd, layer[i], layer[i + 1], width=width, signed=signed
+                )
+            )
         if len(layer) % 2:
             nxt.append(layer[-1])
         layer = nxt

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from ..gatetypes import Gate
 from . import arith
+from ..gatetypes import Gate
 from .builder import CircuitBuilder
 from .softfloat import ADD_GUARD_BITS, FloatFormat
 

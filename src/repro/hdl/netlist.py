@@ -12,7 +12,7 @@ keeps multi-million-gate MNIST netlists cheap to hold and traverse.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -28,7 +28,7 @@ input (nibble ``0xF``) or output (nibble ``0x3``) instruction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from ..gatetypes import Gate
 

@@ -20,7 +20,7 @@ then follows from each benchmark's DAG width profile.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Union
 
 from ..hdl.netlist import Netlist
 from ..runtime.scheduler import Schedule, build_schedule

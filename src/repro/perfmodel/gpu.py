@@ -22,8 +22,8 @@ anchor ratios; every per-benchmark number then follows from the DAG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Tuple, Union
 
 from ..hdl.netlist import Netlist
 from ..runtime.scheduler import Schedule, build_schedule

@@ -1,6 +1,14 @@
 """Execution backends for PyTFHE programs."""
 
-from .distributed import DistributedCpuBackend, RayActorPool
+from .distributed import (
+    DEFAULT_TRANSPORT,
+    DistributedCpuBackend,
+    PickleActorPool,
+    RayActorPool,
+    make_pool,
+    shared_pool,
+    shutdown_shared_pools,
+)
 from .executors import (
     CpuBackend,
     ExecutionReport,
@@ -8,7 +16,8 @@ from .executors import (
     PlaintextBackend,
 )
 from .profiler import GateProfile, profile_gate
-from .scheduler import Level, Schedule, build_schedule
+from .scheduler import Level, Schedule, build_schedule, shard_level
+from .shm import SharedCiphertextPlane, ShmActorPool, default_mp_context
 from .trace import TraceEvent, render as render_trace, summarize as summarize_trace
 
 __all__ = [
@@ -16,14 +25,23 @@ __all__ = [
     "render_trace",
     "summarize_trace",
     "CpuBackend",
+    "DEFAULT_TRANSPORT",
     "DistributedCpuBackend",
     "ExecutionReport",
     "GateProfile",
     "Level",
     "MAX_FHE_NODES",
+    "PickleActorPool",
     "PlaintextBackend",
     "RayActorPool",
     "Schedule",
+    "SharedCiphertextPlane",
+    "ShmActorPool",
     "build_schedule",
+    "default_mp_context",
+    "make_pool",
     "profile_gate",
+    "shard_level",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]

@@ -2,24 +2,33 @@
 
 The paper wraps the TFHE library with pybind11 and drives it with Ray
 actors, broadcasting the cloud key once and then submitting gate
-evaluations as tasks (Section IV-D).  Here the actor pool is a
-fork-based process pool: the cloud key is "broadcast" by fork
-inheritance, each BFS level is split into per-worker gate batches, and
-the input/output ciphertexts of every task are shipped between
-processes exactly as Ray would ship them between nodes.
+evaluations as tasks (Section IV-D).  Two transports reproduce that
+here, behind the same :class:`DistributedCpuBackend` API:
+
+* ``pickle`` — the historical baseline: each BFS level's input and
+  output ciphertext batches are pickled through ``multiprocessing``
+  pipes, exactly as Ray would ship them between nodes.
+* ``shm`` — a zero-copy shared-memory ciphertext plane
+  (:mod:`repro.runtime.shm`): workers attach to the per-run LWE value
+  array once and read inputs / write outputs in place, so only chunk
+  indices cross the pipe.
+
+Both transports run on persistent worker pools that receive the
+serialized cloud key exactly once per pool lifetime; reuse a pool
+across runs (``DistributedCpuBackend.pool()`` or :func:`shared_pool`)
+and subsequent runs report ``key_bytes_moved == 0``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import atexit
+import contextlib
 import os
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..gatetypes import Gate
-from ..hdl.netlist import Netlist
 from ..tfhe.gates import evaluate_gates_batch
 from ..tfhe.keys import CloudKey
 from ..tfhe.lwe import LweCiphertext
@@ -29,18 +38,31 @@ from .executors import (
     ExecutionReport,
     _NodeStore,
 )
-from .scheduler import Schedule, build_schedule
+from .scheduler import Schedule, build_schedule, shard_level
+from .shm import ShmActorPool, default_mp_context
+from .trace import TraceEvent
 
-# The "broadcast" cloud key: set in the driver immediately before the
-# pool forks, inherited by every worker.
-_BROADCAST_KEY: Optional[CloudKey] = None
+#: Transport used when a backend creates its own pool.
+DEFAULT_TRANSPORT = "shm"
+
+# Worker-side cloud key, installed by the pool initializer.  Passing
+# the serialized key through the initializer (instead of relying on
+# fork inheritance) keeps the pickle transport spawn-safe.
+_WORKER_KEY: Optional[CloudKey] = None
+
+
+def _pickle_pool_init(key_blob: bytes) -> None:
+    global _WORKER_KEY
+    from ..serialization import load_cloud_key
+
+    _WORKER_KEY = load_cloud_key(key_blob)
 
 
 def _evaluate_chunk(payload) -> Tuple[np.ndarray, np.ndarray]:
     """Worker-side task: evaluate one batch of bootstrapped gates."""
     codes, ca_a, ca_b, cb_a, cb_b = payload
     out = evaluate_gates_batch(
-        _BROADCAST_KEY,
+        _WORKER_KEY,
         codes,
         LweCiphertext(ca_a, ca_b),
         LweCiphertext(cb_a, cb_b),
@@ -48,43 +70,166 @@ def _evaluate_chunk(payload) -> Tuple[np.ndarray, np.ndarray]:
     return out.a, out.b
 
 
-class RayActorPool:
-    """A pool of persistent worker processes holding the cloud key."""
+class PickleActorPool:
+    """A pool of persistent worker processes holding the cloud key.
 
-    def __init__(self, cloud_key: CloudKey, num_workers: Optional[int] = None):
-        global _BROADCAST_KEY
+    The key is broadcast once, serialized, through the pool
+    initializer — never re-sent on later runs.
+    """
+
+    transport = "pickle"
+
+    def __init__(
+        self,
+        cloud_key: CloudKey,
+        num_workers: Optional[int] = None,
+        context=None,
+    ):
+        from ..serialization import save_cloud_key
+
         self.num_workers = num_workers or max(1, (os.cpu_count() or 2) - 1)
-        _BROADCAST_KEY = cloud_key
-        context = multiprocessing.get_context("fork")
-        self._pool = context.Pool(processes=self.num_workers)
+        self.fingerprint = cloud_key.fingerprint()
+        context = context or default_mp_context()
+        self.start_method = context.get_start_method()
+        key_blob = save_cloud_key(cloud_key)
+        self.key_bytes_pending = len(key_blob) * self.num_workers
+        self.run_count = 0
+        self.closed = False
+        self._pool = context.Pool(
+            processes=self.num_workers,
+            initializer=_pickle_pool_init,
+            initargs=(key_blob,),
+        )
+
+    def consume_key_bytes(self) -> int:
+        """Key bytes broadcast since last asked (non-zero once only)."""
+        pending = self.key_bytes_pending
+        self.key_bytes_pending = 0
+        return pending
 
     def map(self, payloads: List) -> List:
         return self._pool.map(_evaluate_chunk, payloads)
 
     def shutdown(self) -> None:
+        if self.closed:
+            return
         self._pool.close()
         self._pool.join()
+        self.closed = True
 
-    def __enter__(self) -> "RayActorPool":
+    def __enter__(self) -> "PickleActorPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
 
+#: Backwards-compatible name from the fork-only implementation.
+RayActorPool = PickleActorPool
+
+
+def make_pool(
+    transport: str,
+    cloud_key: CloudKey,
+    num_workers: Optional[int] = None,
+    context=None,
+):
+    """Build a worker pool for the given transport."""
+    if transport == "pickle":
+        return PickleActorPool(cloud_key, num_workers, context=context)
+    if transport == "shm":
+        return ShmActorPool(cloud_key, num_workers, context=context)
+    raise ValueError(
+        f"unknown transport {transport!r}; choose 'pickle' or 'shm'"
+    )
+
+
+# A process-wide pool per (cloud key, transport, workers), created
+# lazily and reused across backends — the "broadcast the key once per
+# deployment" amortization the paper's Ray actors provide.
+_SHARED_POOLS: Dict[Tuple[str, str, Optional[int]], object] = {}
+
+
+def shared_pool(
+    cloud_key: CloudKey,
+    num_workers: Optional[int] = None,
+    transport: str = DEFAULT_TRANSPORT,
+):
+    """Lazily create (or reuse) a process-wide pool for this key."""
+    key = (cloud_key.fingerprint(), transport, num_workers)
+    pool = _SHARED_POOLS.get(key)
+    if pool is None or pool.closed:
+        pool = make_pool(transport, cloud_key, num_workers)
+        _SHARED_POOLS[key] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every pool created by :func:`shared_pool`."""
+    for pool in list(_SHARED_POOLS.values()):
+        pool.shutdown()
+    _SHARED_POOLS.clear()
+
+
+atexit.register(shutdown_shared_pools)
+
+
 class DistributedCpuBackend:
-    """Executes each BFS level across a process pool (Algorithm 1)."""
+    """Executes each BFS level across a process pool (Algorithm 1).
+
+    ``transport`` selects how ciphertexts reach the workers:
+    ``"pickle"`` ships batches through pipes, ``"shm"`` shares one
+    ciphertext plane (see module docstring).  Pass an existing pool to
+    share it between backends; ``DistributedCpuBackend.pool()`` builds
+    one with a context-managed lifetime.
+    """
 
     def __init__(
         self,
         cloud_key: CloudKey,
         num_workers: Optional[int] = None,
-        pool: Optional[RayActorPool] = None,
+        pool=None,
+        transport: Optional[str] = None,
+        trace: bool = False,
     ):
         self.cloud_key = cloud_key
+        self.trace_enabled = trace
         self._own_pool = pool is None
-        self.pool = pool or RayActorPool(cloud_key, num_workers)
-        self.name = f"cpu-distributed-{self.pool.num_workers}w"
+        if pool is None:
+            pool = make_pool(
+                transport or DEFAULT_TRANSPORT, cloud_key, num_workers
+            )
+        elif transport is not None and transport != pool.transport:
+            raise ValueError(
+                f"pool transport {pool.transport!r} != requested "
+                f"{transport!r}"
+            )
+        self.pool = pool
+        self.transport = pool.transport
+        self.name = (
+            f"cpu-distributed-{self.pool.num_workers}w-{self.transport}"
+        )
+
+    @classmethod
+    @contextlib.contextmanager
+    def pool(
+        cls,
+        cloud_key: CloudKey,
+        num_workers: Optional[int] = None,
+        transport: str = DEFAULT_TRANSPORT,
+    ):
+        """A persistent pool to share across backends and runs.
+
+        The cloud key is broadcast when the pool starts and never
+        again; every backend constructed with ``pool=...`` reuses the
+        warm workers, so multi-inference sessions stop paying key
+        transfer and process startup per run.
+        """
+        pool = make_pool(transport, cloud_key, num_workers)
+        try:
+            yield pool
+        finally:
+            pool.shutdown()
 
     def shutdown(self) -> None:
         if self._own_pool:
@@ -98,7 +243,7 @@ class DistributedCpuBackend:
 
     def run(
         self,
-        netlist: Netlist,
+        netlist,
         inputs: LweCiphertext,
         schedule: Optional[Schedule] = None,
     ) -> Tuple[LweCiphertext, ExecutionReport]:
@@ -107,7 +252,19 @@ class DistributedCpuBackend:
                 "netlist too large for real FHE; use the cluster simulator"
             )
         schedule = schedule or build_schedule(netlist)
+        if self.transport == "shm":
+            return self._run_shm(netlist, inputs, schedule)
+        return self._run_pickle(netlist, inputs, schedule)
+
+    # -- pickle transport (baseline) -----------------------------------
+    def _run_pickle(
+        self,
+        netlist,
+        inputs: LweCiphertext,
+        schedule: Schedule,
+    ) -> Tuple[LweCiphertext, ExecutionReport]:
         params = self.cloud_key.params
+        pool_reused = self.pool.run_count > 0
         start = time.perf_counter()
         store = _NodeStore(netlist.num_nodes, params.lwe_dimension)
         store.put(np.arange(netlist.num_inputs), inputs)
@@ -116,16 +273,15 @@ class DistributedCpuBackend:
         n_in = netlist.num_inputs
         moved = 0
         tasks = 0
+        trace_events: List[TraceEvent] = []
         for level in schedule.levels:
             if level.width:
-                chunks = np.array_split(
-                    level.bootstrapped,
-                    min(self.pool.num_workers, level.width),
+                t0 = time.perf_counter()
+                chunks = shard_level(
+                    level.bootstrapped, self.pool.num_workers
                 )
                 payloads = []
                 for chunk in chunks:
-                    if not len(chunk):
-                        continue
                     codes = netlist.ops[chunk].astype(np.int64)
                     ca = store.get(netlist.in0[chunk])
                     cb = store.get(netlist.in1[chunk])
@@ -133,17 +289,25 @@ class DistributedCpuBackend:
                     moved += ca.nbytes() + cb.nbytes()
                 results = self.pool.map(payloads)
                 tasks += len(payloads)
-                offset = 0
-                for chunk, (out_a, out_b) in zip(
-                    (c for c in chunks if len(c)), results
-                ):
+                for chunk, (out_a, out_b) in zip(chunks, results):
                     store.a[chunk + n_in] = out_a
                     store.b[chunk + n_in] = out_b
                     moved += out_a.nbytes + out_b.nbytes
+                if self.trace_enabled:
+                    trace_events.append(
+                        TraceEvent(
+                            level=level.index,
+                            kind="bootstrap",
+                            gates=level.width,
+                            start_s=t0 - start,
+                            end_s=time.perf_counter() - start,
+                        )
+                    )
             for gate_idx in level.free:
                 helper._run_free(netlist, store, int(gate_idx), n_in)
         outputs = store.get(netlist.outputs)
         elapsed = time.perf_counter() - start
+        self.pool.run_count += 1
         report = ExecutionReport(
             backend=self.name,
             gates_total=netlist.num_gates,
@@ -152,5 +316,95 @@ class DistributedCpuBackend:
             wall_time_s=elapsed,
             ciphertext_bytes_moved=moved,
             tasks_submitted=tasks,
+            key_bytes_moved=self.pool.consume_key_bytes(),
+            pool_reused=pool_reused,
+            transport="pickle",
+            trace=trace_events,
+        )
+        return outputs, report
+
+    # -- shared-memory transport ---------------------------------------
+    def _run_shm(
+        self,
+        netlist,
+        inputs: LweCiphertext,
+        schedule: Schedule,
+    ) -> Tuple[LweCiphertext, ExecutionReport]:
+        params = self.cloud_key.params
+        pool = self.pool
+        pool_reused = pool.run_count > 0
+        start = time.perf_counter()
+        plane = pool.begin_run(netlist, schedule)
+        store = None
+        trace_events: List[TraceEvent] = []
+        tasks = 0
+        try:
+            store = _NodeStore(
+                netlist.num_nodes,
+                params.lwe_dimension,
+                buffers=(plane.a, plane.b),
+            )
+            store.put(np.arange(netlist.num_inputs), inputs)
+            helper = CpuBackend(self.cloud_key)
+            n_in = netlist.num_inputs
+            for level in schedule.levels:
+                if level.width:
+                    t0 = time.perf_counter()
+                    done = pool.run_level(level.index)
+                    t1 = time.perf_counter()
+                    tasks += len(done)
+                    if self.trace_enabled:
+                        trace_events.append(
+                            TraceEvent(
+                                level=level.index,
+                                kind="bootstrap",
+                                gates=level.width,
+                                start_s=t0 - start,
+                                end_s=t1 - start,
+                            )
+                        )
+                        for worker_id, gates, duration in done:
+                            trace_events.append(
+                                TraceEvent(
+                                    level=level.index,
+                                    kind="chunk",
+                                    gates=gates,
+                                    start_s=max(
+                                        t0 - start, t1 - start - duration
+                                    ),
+                                    end_s=t1 - start,
+                                    worker=worker_id,
+                                )
+                            )
+                for gate_idx in level.free:
+                    helper._run_free(netlist, store, int(gate_idx), n_in)
+            # Fancy indexing copies the outputs out of the shared
+            # plane, so they survive the unlink in end_run().
+            outputs = LweCiphertext(
+                plane.a[netlist.outputs], plane.b[netlist.outputs]
+            )
+        finally:
+            store = None  # drop plane views before the segment goes away
+            control_bytes = pool.control_bytes
+            plan_bytes = pool.plan_bytes
+            pool.end_run()
+        elapsed = time.perf_counter() - start
+        pool.run_count += 1
+        report = ExecutionReport(
+            backend=self.name,
+            gates_total=netlist.num_gates,
+            gates_bootstrapped=schedule.num_bootstrapped,
+            levels=schedule.depth,
+            wall_time_s=elapsed,
+            ciphertext_bytes_moved=0,
+            tasks_submitted=tasks,
+            key_bytes_moved=pool.consume_key_bytes(),
+            pool_reused=pool_reused,
+            transport="shm",
+            extra={
+                "control_bytes_moved": control_bytes,
+                "plan_bytes_moved": plan_bytes,
+            },
+            trace=trace_events,
         )
         return outputs, report

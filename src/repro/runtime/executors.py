@@ -21,12 +21,7 @@ import numpy as np
 
 from ..gatetypes import Gate
 from ..hdl.netlist import Netlist
-from ..tfhe.gates import (
-    MU_GATE,
-    evaluate_gate,
-    evaluate_gates_batch,
-    trivial_bit,
-)
+from ..tfhe.gates import evaluate_gate, evaluate_gates_batch, trivial_bit
 from ..tfhe.keys import CloudKey
 from ..tfhe.lwe import LweCiphertext
 from ..tfhe.torus import wrap_int32
@@ -44,6 +39,15 @@ class ExecutionReport:
     wall_time_s: float
     ciphertext_bytes_moved: int = 0
     tasks_submitted: int = 0
+    #: Serialized cloud-key bytes shipped to workers during this run.
+    #: A persistent pool broadcasts the key once at start, so only the
+    #: first run() after pool creation reports a non-zero value.
+    key_bytes_moved: int = 0
+    #: True when the run reused a worker pool warmed by an earlier run.
+    pool_reused: bool = False
+    #: Which transport moved ciphertexts ("pickle" | "shm"); empty for
+    #: non-distributed backends.
+    transport: str = ""
     extra: Dict[str, float] = field(default_factory=dict)
     trace: List = field(default_factory=list)
 
@@ -77,11 +81,24 @@ class PlaintextBackend:
 
 
 class _NodeStore:
-    """Per-node LWE sample storage for an in-flight execution."""
+    """Per-node LWE sample storage for an in-flight execution.
 
-    def __init__(self, num_nodes: int, dimension: int):
-        self.a = np.zeros((num_nodes, dimension), dtype=np.int32)
-        self.b = np.zeros(num_nodes, dtype=np.int32)
+    ``buffers`` lets a caller supply pre-allocated ``(a, b)`` arrays —
+    the shared-memory transport passes views of its ciphertext plane so
+    free gates and input loads write straight into shared memory.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        dimension: int,
+        buffers: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ):
+        if buffers is None:
+            self.a = np.zeros((num_nodes, dimension), dtype=np.int32)
+            self.b = np.zeros(num_nodes, dtype=np.int32)
+        else:
+            self.a, self.b = buffers
 
     def put(self, nodes: np.ndarray, ct: LweCiphertext) -> None:
         self.a[nodes] = ct.a

@@ -11,8 +11,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..gatetypes import Gate
 from ..tfhe.bootstrap import bootstrap_to_extracted
 from ..tfhe.gates import MU_GATE, gate_linear_input, trivial_bit

@@ -56,6 +56,27 @@ class Schedule:
         return [level.width for level in self.levels if level.width]
 
 
+def shard_level(
+    gate_indices: np.ndarray, num_shards: int
+) -> List[np.ndarray]:
+    """Split one level's gates into at most ``num_shards`` contiguous chunks.
+
+    Both distributed transports use this helper, so the driver and the
+    shared-memory workers agree on chunk boundaries without shipping
+    them per level: chunk ``i`` of every level belongs to worker ``i``.
+    Empty chunks are dropped.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    gate_indices = np.asarray(gate_indices)
+    if not len(gate_indices):
+        return []
+    parts = np.array_split(
+        gate_indices, min(num_shards, len(gate_indices))
+    )
+    return [part for part in parts if len(part)]
+
+
 def build_schedule(netlist: Netlist) -> Schedule:
     """Compute the BFS schedule of Algorithm 1.
 

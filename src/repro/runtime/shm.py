@@ -1,0 +1,460 @@
+"""Zero-copy shared-memory transport for the distributed CPU backend.
+
+The pickle transport ships every ciphertext batch through a
+``multiprocessing`` pipe twice (driver -> worker inputs, worker ->
+driver outputs).  This module keeps the entire per-run LWE value array
+— ``num_nodes x (n+1)`` int32, exactly the paper's per-node ciphertext
+table — in a :class:`multiprocessing.shared_memory.SharedMemory`
+segment instead.  Workers attach once per run, gather their chunk's
+inputs and scatter their outputs *in place*, so the only per-level
+traffic is a ``("level", index)`` command and a small completion
+record.
+
+Workers are persistent processes (a miniature Ray actor each): the
+serialized cloud key is broadcast exactly once when the pool starts,
+and the pool is reused across ``run()`` calls.  All state crosses
+process boundaries as picklable bytes/arrays, so the pool works under
+both the ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _wait_ready
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tfhe.gates import evaluate_gates_batch
+from ..tfhe.keys import CloudKey
+from ..tfhe.lwe import LweCiphertext
+from .scheduler import Schedule, shard_level
+
+#: Environment override for the multiprocessing start method
+#: (``fork`` | ``spawn`` | ``forkserver``).  CI forces ``spawn`` to
+#: prove the pool carries no fork-inherited state.
+MP_START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def default_mp_context():
+    """Pick a multiprocessing context that exists on this platform.
+
+    ``fork`` is preferred where available (cheap process start);
+    macOS/Windows fall back to ``spawn``.  ``REPRO_MP_START_METHOD``
+    overrides the choice.
+    """
+    method = os.environ.get(MP_START_METHOD_ENV)
+    if not method:
+        available = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in available else "spawn"
+    return multiprocessing.get_context(method)
+
+
+class SharedCiphertextPlane:
+    """The per-run LWE value array, resident in shared memory.
+
+    Layout: ``a`` (``num_nodes x dimension`` int32 masks) followed by
+    ``b`` (``num_nodes`` int32 bodies).  The driver creates the
+    segment; workers attach by name and operate on numpy views, so
+    ciphertexts never cross a pipe.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        dimension: int,
+        _shm: Optional[shared_memory.SharedMemory] = None,
+    ):
+        self.num_nodes = num_nodes
+        self.dimension = dimension
+        nbytes = num_nodes * (dimension + 1) * 4
+        if _shm is None:
+            _shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._shm = _shm
+        self.a = np.ndarray(
+            (num_nodes, dimension), dtype=np.int32, buffer=self._shm.buf
+        )
+        self.b = np.ndarray(
+            (num_nodes,),
+            dtype=np.int32,
+            buffer=self._shm.buf,
+            offset=num_nodes * dimension * 4,
+        )
+
+    @property
+    def meta(self) -> Tuple[str, int, int]:
+        """Picklable handle: ``(segment name, num_nodes, dimension)``."""
+        return (self._shm.name, self.num_nodes, self.dimension)
+
+    @classmethod
+    def attach(cls, meta: Tuple[str, int, int]) -> "SharedCiphertextPlane":
+        name, num_nodes, dimension = meta
+        return cls(
+            num_nodes,
+            dimension,
+            _shm=shared_memory.SharedMemory(name=name),
+        )
+
+    def nbytes(self) -> int:
+        return self.a.nbytes + self.b.nbytes
+
+    def close(self) -> None:
+        """Drop the numpy views and unmap the segment (keeps it alive)."""
+        self.a = None
+        self.b = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator side).  Idempotent."""
+        if self._shm is None:
+            return
+        shm = self._shm
+        self.a = None
+        self.b = None
+        self._shm = None
+        try:
+            shm.unlink()
+        finally:
+            try:
+                shm.close()
+            except BufferError:
+                # A view outlived the run; the mapping is reclaimed
+                # when it is garbage collected — the name is gone.
+                pass
+
+
+def _send(conn, message) -> int:
+    """Pickle + send one control message; returns bytes on the wire."""
+    blob = pickle.dumps(message)
+    conn.send_bytes(blob)
+    return len(blob)
+
+
+def _recv(conn):
+    """Receive one control message; returns ``(message, nbytes)``."""
+    blob = conn.recv_bytes()
+    return pickle.loads(blob), len(blob)
+
+
+def _evaluate_chunk_in_plane(
+    key: CloudKey, plan: dict, plane: SharedCiphertextPlane, ids: np.ndarray
+) -> None:
+    """Evaluate one gate chunk: gather from / scatter to the plane."""
+    in0 = plan["in0"][ids]
+    in1 = plan["in1"][ids]
+    codes = plan["ops"][ids].astype(np.int64)
+    ca = LweCiphertext(plane.a[in0], plane.b[in0])
+    cb = LweCiphertext(plane.a[in1], plane.b[in1])
+    out = evaluate_gates_batch(key, codes, ca, cb)
+    nodes = ids + plan["num_inputs"]
+    plane.a[nodes] = out.a
+    plane.b[nodes] = out.b
+
+
+def _shm_worker_main(conn, worker_id: int, key_blob: bytes) -> None:
+    """Worker process loop: hold the key, evaluate chunks on command.
+
+    Top-level function with picklable arguments only, so it starts
+    cleanly under ``spawn``.  The cloud key arrives serialized exactly
+    once, at pool start.
+    """
+    from ..serialization import load_cloud_key, load_netlist_plan
+
+    key = load_cloud_key(key_blob)
+    plane: Optional[SharedCiphertextPlane] = None
+    plan: Optional[dict] = None
+    chunks: Dict[int, np.ndarray] = {}
+    while True:
+        try:
+            message, _ = _recv(conn)
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        try:
+            if command == "plan":
+                _, plan_blob, chunks, plane_meta, fingerprint = message
+                if fingerprint != key.fingerprint():
+                    raise RuntimeError(
+                        "plan was built for a different cloud key"
+                    )
+                if plane is not None:
+                    plane.close()
+                plan = load_netlist_plan(plan_blob)
+                plane = SharedCiphertextPlane.attach(plane_meta)
+                _send(conn, ("ready", worker_id))
+            elif command == "level":
+                level_index = message[1]
+                ids = chunks[level_index]
+                t0 = time.perf_counter()
+                _evaluate_chunk_in_plane(key, plan, plane, ids)
+                duration = time.perf_counter() - t0
+                _send(conn, ("done", worker_id, level_index, len(ids), duration))
+            elif command == "end_run":
+                if plane is not None:
+                    plane.close()
+                    plane = None
+                plan = None
+                chunks = {}
+                _send(conn, ("ended", worker_id))
+            elif command == "stop":
+                break
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown command {command!r}")
+        except Exception as exc:  # pragma: no cover - crash path
+            try:
+                _send(
+                    conn,
+                    ("error", worker_id, f"{type(exc).__name__}: {exc}"),
+                )
+            except (OSError, BrokenPipeError):
+                break
+    if plane is not None:
+        plane.close()
+    conn.close()
+
+
+class ShmActorPool:
+    """Persistent workers sharing a ciphertext plane with the driver.
+
+    The pool broadcasts the serialized cloud key once, at start; each
+    ``run()`` of the owning backend then costs one plan broadcast plus
+    a few dozen bytes of level commands.  ``run_count`` and
+    ``key_bytes_pending`` feed the :class:`ExecutionReport`
+    observability fields.
+    """
+
+    transport = "shm"
+
+    def __init__(
+        self,
+        cloud_key: CloudKey,
+        num_workers: Optional[int] = None,
+        context=None,
+    ):
+        from ..serialization import save_cloud_key
+
+        self.num_workers = num_workers or max(1, (os.cpu_count() or 2) - 1)
+        self.fingerprint = cloud_key.fingerprint()
+        self.lwe_dimension = cloud_key.params.lwe_dimension
+        context = context or default_mp_context()
+        self.start_method = context.get_start_method()
+        # Start the shared-memory resource tracker *before* forking
+        # workers: every process then reports segment registrations to
+        # the same tracker, so the driver's unlink() leaves nothing for
+        # per-worker trackers to warn about at exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except (ImportError, AttributeError, OSError):  # pragma: no cover
+            pass
+        key_blob = save_cloud_key(cloud_key)
+        self.key_bytes_pending = len(key_blob) * self.num_workers
+        self.run_count = 0
+        self.closed = False
+        self.control_bytes = 0
+        self.plan_bytes = 0
+        self._plane: Optional[SharedCiphertextPlane] = None
+        self._workers_by_level: Dict[int, List[int]] = {}
+        self._procs = []
+        self._conns = []
+        for worker_id in range(self.num_workers):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_shm_worker_main,
+                args=(child_conn, worker_id, key_blob),
+                daemon=True,
+                name=f"repro-shm-worker-{worker_id}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    # -- lifecycle -----------------------------------------------------
+    def consume_key_bytes(self) -> int:
+        """Key bytes broadcast since last asked (non-zero once only)."""
+        pending = self.key_bytes_pending
+        self.key_bytes_pending = 0
+        return pending
+
+    def begin_run(
+        self, netlist, schedule: Schedule
+    ) -> SharedCiphertextPlane:
+        """Allocate the plane and broadcast the execution plan."""
+        from ..serialization import save_netlist_plan
+
+        if self.closed:
+            raise RuntimeError("pool is shut down")
+        if self._plane is not None:
+            raise RuntimeError("a run is already in flight on this pool")
+        self.control_bytes = 0
+        plane = SharedCiphertextPlane(netlist.num_nodes, self.lwe_dimension)
+        try:
+            plan_blob = save_netlist_plan(netlist)
+            chunks_by_worker: Dict[int, Dict[int, np.ndarray]] = {
+                w: {} for w in range(self.num_workers)
+            }
+            self._workers_by_level = {}
+            for level in schedule.levels:
+                if not level.width:
+                    continue
+                shards = shard_level(level.bootstrapped, self.num_workers)
+                self._workers_by_level[level.index] = list(range(len(shards)))
+                for worker_id, shard in enumerate(shards):
+                    chunks_by_worker[worker_id][level.index] = shard
+            self.plan_bytes = 0
+            for worker_id in range(self.num_workers):
+                self.plan_bytes += self._send_or_abort(
+                    worker_id,
+                    (
+                        "plan",
+                        plan_blob,
+                        chunks_by_worker[worker_id],
+                        plane.meta,
+                        self.fingerprint,
+                    ),
+                )
+            self._collect("ready", set(range(self.num_workers)))
+        except Exception:
+            plane.unlink()
+            raise
+        self._plane = plane
+        return plane
+
+    def _send_or_abort(self, worker_id: int, message) -> int:
+        """Send a command; a dead worker aborts the whole pool."""
+        try:
+            return _send(self._conns[worker_id], message)
+        except (BrokenPipeError, OSError):
+            self._abort()
+            raise RuntimeError(
+                f"distributed worker {worker_id} died "
+                f"(transport=shm); pool aborted"
+            ) from None
+
+    def run_level(self, level_index: int) -> List[Tuple[int, int, float]]:
+        """Execute one BFS level; returns ``(worker, gates, seconds)``
+        per chunk.  Only the level index crosses the pipe."""
+        if self.closed:
+            raise RuntimeError("pool is shut down")
+        workers = self._workers_by_level.get(level_index, [])
+        for worker_id in workers:
+            self.control_bytes += self._send_or_abort(
+                worker_id, ("level", level_index)
+            )
+        replies = self._collect("done", set(workers))
+        return [
+            (worker_id, message[3], message[4])
+            for worker_id, message in replies
+        ]
+
+    def end_run(self) -> None:
+        """Detach workers from the plane and destroy the segment."""
+        plane, self._plane = self._plane, None
+        self._workers_by_level = {}
+        if plane is None:
+            return
+        try:
+            if not self.closed:
+                for worker_id in range(self.num_workers):
+                    self.control_bytes += self._send_or_abort(
+                        worker_id, ("end_run",)
+                    )
+                self._collect("ended", set(range(self.num_workers)))
+        finally:
+            plane.unlink()
+
+    def _collect(self, expected: str, pending: set):
+        """Gather one ``expected`` reply per pending worker.
+
+        A worker that died (EOF on its pipe) or answered with an error
+        aborts the whole pool: remaining workers are terminated and the
+        shared segment is unlinked, so a crash mid-level never leaks
+        shared memory.
+        """
+        replies = []
+        conn_to_worker = {
+            self._conns[worker_id]: worker_id for worker_id in pending
+        }
+        while pending:
+            ready = _wait_ready(
+                [self._conns[worker_id] for worker_id in pending]
+            )
+            for conn in ready:
+                worker_id = conn_to_worker[conn]
+                try:
+                    message, nbytes = _recv(conn)
+                except (EOFError, OSError):
+                    self._abort()
+                    raise RuntimeError(
+                        f"distributed worker {worker_id} died "
+                        f"(transport=shm); pool aborted"
+                    ) from None
+                self.control_bytes += nbytes
+                if message[0] == "error":
+                    self._abort()
+                    raise RuntimeError(
+                        f"worker {worker_id} failed: {message[2]}"
+                    )
+                if message[0] != expected:  # pragma: no cover
+                    self._abort()
+                    raise RuntimeError(
+                        f"protocol error: expected {expected!r}, "
+                        f"got {message[0]!r}"
+                    )
+                pending.discard(worker_id)
+                replies.append((worker_id, message))
+        return replies
+
+    def _abort(self) -> None:
+        """Tear everything down after a worker crash or protocol error."""
+        plane, self._plane = self._plane, None
+        self._workers_by_level = {}
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+        self.closed = True
+        if plane is not None:
+            plane.unlink()
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        for conn in self._conns:
+            try:
+                _send(conn, ("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        plane, self._plane = self._plane, None
+        if plane is not None:
+            plane.unlink()
+        self.closed = True
+
+    def __enter__(self) -> "ShmActorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -13,13 +13,21 @@ from typing import List
 
 @dataclass
 class TraceEvent:
-    """One timed step of an execution."""
+    """One timed step of an execution.
+
+    ``kind`` is ``"bootstrap"`` (a whole level batch), ``"free"``
+    (the trailing free gates of a level), or ``"chunk"`` (one worker's
+    shard of a level in the distributed backend).  Chunk events carry
+    the worker id that executed them; they overlap their enclosing
+    bootstrap event in time, so aggregates keep them separate.
+    """
 
     level: int
-    kind: str  # "bootstrap" | "free"
+    kind: str  # "bootstrap" | "free" | "chunk"
     gates: int
     start_s: float
     end_s: float
+    worker: int = -1
 
     @property
     def duration_s(self) -> float:
@@ -30,14 +38,21 @@ def summarize(events: List[TraceEvent]) -> dict:
     """Aggregate statistics of a trace."""
     bootstrap = [e for e in events if e.kind == "bootstrap"]
     free = [e for e in events if e.kind == "free"]
+    chunks = [e for e in events if e.kind == "chunk"]
     total = sum(e.duration_s for e in events)
     bootstrap_s = sum(e.duration_s for e in bootstrap)
+    free_s = sum(e.duration_s for e in free)
+    # Chunk events run concurrently inside their level, so the
+    # bootstrap fraction is taken over level time only.
+    level_s = bootstrap_s + free_s
     return {
         "levels": len(bootstrap),
         "total_s": total,
         "bootstrap_s": bootstrap_s,
-        "free_s": sum(e.duration_s for e in free),
-        "bootstrap_fraction": bootstrap_s / total if total else 0.0,
+        "free_s": free_s,
+        "chunk_events": len(chunks),
+        "chunk_s": sum(e.duration_s for e in chunks),
+        "bootstrap_fraction": bootstrap_s / level_s if level_s else 0.0,
         "widest_level": max((e.gates for e in bootstrap), default=0),
     }
 
@@ -49,13 +64,19 @@ def render(events: List[TraceEvent], width: int = 60) -> str:
     t0 = min(e.start_s for e in events)
     t1 = max(e.end_s for e in events)
     span = max(t1 - t0, 1e-9)
+    glyphs = {"bootstrap": "#", "chunk": "="}
     lines = []
     for event in events:
         begin = int((event.start_s - t0) / span * width)
         length = max(1, int(event.duration_s / span * width))
-        bar = " " * begin + ("#" if event.kind == "bootstrap" else ".") * length
+        bar = " " * begin + glyphs.get(event.kind, ".") * length
+        tag = (
+            f"{event.kind}/w{event.worker}"
+            if event.kind == "chunk"
+            else event.kind
+        )
         lines.append(
-            f"L{event.level:<4d} {event.kind:9s} {event.gates:6d}g "
+            f"L{event.level:<4d} {tag:9s} {event.gates:6d}g "
             f"|{bar:<{width}}| {event.duration_s * 1e3:8.1f} ms"
         )
     return "\n".join(lines)

@@ -12,7 +12,6 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
-from typing import Tuple
 
 import numpy as np
 
@@ -51,6 +50,39 @@ def save_ciphertext(ct: LweCiphertext) -> bytes:
 def load_ciphertext(data: bytes) -> LweCiphertext:
     loaded = _unpack(data)
     return LweCiphertext(loaded["a"], loaded["b"])
+
+
+# ----------------------------------------------------------------------
+# Netlist execution plans
+# ----------------------------------------------------------------------
+def save_netlist_plan(netlist) -> bytes:
+    """Serialize the arrays a distributed worker needs to evaluate gates.
+
+    The shared-memory transport broadcasts this once per ``run()`` —
+    workers resolve their chunk's gate opcodes and input/output node
+    ids locally, so only chunk *indices* cross the pipe per level.
+    """
+    return _pack(
+        ops=netlist.ops,
+        in0=netlist.in0,
+        in1=netlist.in1,
+        meta=np.array(
+            [netlist.num_inputs, netlist.num_nodes], dtype=np.int64
+        ),
+    )
+
+
+def load_netlist_plan(data: bytes) -> dict:
+    """Inverse of :func:`save_netlist_plan` (plain dict of arrays)."""
+    loaded = _unpack(data)
+    meta = loaded["meta"]
+    return {
+        "ops": loaded["ops"],
+        "in0": loaded["in0"],
+        "in1": loaded["in1"],
+        "num_inputs": int(meta[0]),
+        "num_nodes": int(meta[1]),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -10,11 +10,11 @@ elimination.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import FrozenSet, Iterable, List
 
 import numpy as np
 
-from ..gatetypes import COMPLEMENT, Gate
+from ..gatetypes import Gate
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import NO_INPUT, Netlist
 

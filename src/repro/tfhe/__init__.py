@@ -7,21 +7,6 @@ bootstrapped boolean gates, with batched (SIMD-style) evaluation.
 """
 
 from .client import decrypt_bits, encrypt_bits
-from .lut import (
-    IntegerEncoding,
-    apply_lut,
-    decrypt_int,
-    encrypt_int,
-    multiply_table,
-    relu_table,
-    square_table,
-)
-from .noise import (
-    GateNoiseBudget,
-    bootstrap_output_variance,
-    gate_failure_probability,
-    measure_bootstrap_noise_std,
-)
 from .gates import (
     MU_GATE,
     bootstrap_binary,
@@ -31,7 +16,22 @@ from .gates import (
     trivial_bit,
 )
 from .keys import CloudKey, SecretKey, generate_keys
+from .lut import (
+    IntegerEncoding,
+    apply_lut,
+    decrypt_int,
+    encrypt_int,
+    multiply_table,
+    relu_table,
+    square_table,
+)
 from .lwe import LweCiphertext, lwe_decrypt_bit, lwe_encrypt, lwe_phase, lwe_trivial
+from .noise import (
+    GateNoiseBudget,
+    bootstrap_output_variance,
+    gate_failure_probability,
+    measure_bootstrap_noise_std,
+)
 from .params import (
     PARAMETER_SETS,
     TFHE_DEFAULT_128,

@@ -43,6 +43,34 @@ class CloudKey:
         bk = sum(t.spectrum.nbytes for t in self.bootstrapping_key)
         return bk + self.keyswitching_key.nbytes()
 
+    def fingerprint(self) -> str:
+        """Content hash identifying this key across processes.
+
+        Worker pools are keyed by fingerprint so a pool warmed with one
+        cloud key is never reused with another.  The hash covers the
+        parameter set and all key material; it is computed once and
+        cached on the instance.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            import dataclasses
+            import hashlib
+            import json
+
+            digest = hashlib.sha256()
+            digest.update(
+                json.dumps(
+                    dataclasses.asdict(self.params), sort_keys=True
+                ).encode()
+            )
+            for sample in self.bootstrapping_key:
+                digest.update(sample.spectrum.tobytes())
+            digest.update(self.keyswitching_key.a.tobytes())
+            digest.update(self.keyswitching_key.b.tobytes())
+            cached = digest.hexdigest()[:16]
+            self._fingerprint = cached
+        return cached
+
 
 def generate_keys(
     params: TFHEParameters = TFHE_DEFAULT_128,

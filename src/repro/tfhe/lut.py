@@ -25,7 +25,6 @@ from .bootstrap import blind_rotate
 from .keys import CloudKey, SecretKey
 from .keyswitch import keyswitch_apply
 from .lwe import LweCiphertext, lwe_encrypt, lwe_phase
-from .params import TFHEParameters
 from .tlwe import tlwe_extract_lwe
 from .torus import wrap_int32
 

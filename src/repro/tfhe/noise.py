@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .gates import MU_GATE, bootstrap_binary, gate_linear_input
+from .gates import MU_GATE, bootstrap_binary
 from .keys import CloudKey, SecretKey
 from .lwe import lwe_encrypt, lwe_phase
 from .params import TFHEParameters

@@ -6,6 +6,10 @@ import pytest
 from repro.bench import mnist_spec, mnist_workload, mnist_workloads, synthetic_digit
 from repro.bench.mnist import mnist_float_model
 
+# Building the MNIST netlists dominates suite runtime; CI deselects
+# with -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 class TestSpecs:
     def test_variant_kernel_counts(self):

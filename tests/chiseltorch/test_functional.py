@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.chiseltorch import functional as F
-from repro.chiseltorch.dtypes import Fixed, SInt, UInt
+from repro.chiseltorch.dtypes import Fixed, SInt
 from repro.core.compiler import TensorSpec, compile_function
 
 S8 = SInt(8)

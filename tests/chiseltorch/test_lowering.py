@@ -76,7 +76,10 @@ class TestUIntLowering:
         ins = [bd.input() for _ in range(8)]
         assert ops.relu(ins) == ins
 
-    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=255))
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=255),
+    )
     @settings(max_examples=20, deadline=None)
     def test_div(self, a, b):
         assert _apply(UInt(8), "div", (a, b)) == a // b

@@ -6,7 +6,6 @@ the equivalent numpy computation under wrap-around SInt8 semantics.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -81,8 +81,6 @@ class TestCompileFunction:
         assert cc.output_specs[0].shape == (3, 2)
 
     def test_mixed_dtypes_across_inputs(self):
-        from repro.chiseltorch import functional as F
-
         cc = compile_function(
             lambda x, flags: x.where(flags, -x),
             [

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.chiseltorch.dtypes import SInt
 from repro.core import Client, Server, compile_function, compile_to_binary
 from repro.core.compiler import TensorSpec
 from repro.core.session import _resolve_netlist
-from repro.chiseltorch.dtypes import SInt
 from repro.tfhe import TFHE_TEST
 
 

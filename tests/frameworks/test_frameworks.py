@@ -4,15 +4,7 @@ correctly, with the paper's gate-count ordering (Fig. 14)."""
 import numpy as np
 import pytest
 
-from repro.frameworks import (
-    ALL_FRONTENDS,
-    CingulataFrontend,
-    E3Frontend,
-    PyTFHEFrontend,
-    TranspilerFrontend,
-    make_cnn_spec,
-    reference_cnn,
-)
+from repro.frameworks import ALL_FRONTENDS, E3Frontend, make_cnn_spec, reference_cnn
 from repro.gatetypes import Gate
 from repro.hdl.builder import CircuitBuilder
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.gatetypes import Gate, evaluate_plain
 from repro.hdl.builder import CircuitBuilder
-from repro.hdl.netlist import NO_INPUT, Netlist
+from repro.hdl.netlist import Netlist
 
 
 def _half_adder_netlist():

@@ -1,6 +1,5 @@
 """SoftFloat reference model tests."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench import vip_workload
 from repro.chiseltorch import nn
-from repro.chiseltorch.dtypes import Fixed, SInt
+from repro.chiseltorch.dtypes import SInt
 from repro.core import (
     Client,
     Server,
@@ -18,8 +18,12 @@ from repro.core.compiler import TensorSpec
 from repro.isa import disassemble
 from repro.runtime import CpuBackend, build_schedule
 from repro.synth import optimize
-from repro.tfhe import TFHE_TEST, decrypt_bits, encrypt_bits
+from repro.tfhe import TFHE_TEST
 from repro.verilog import emit_verilog, parse_verilog
+
+# Real-FHE end-to-end runs: the heavyweight tier CI deselects
+# with -m "not slow".
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

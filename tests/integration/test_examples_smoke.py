@@ -1,11 +1,9 @@
 """Smoke tests: the shipped examples build and run their core paths."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 

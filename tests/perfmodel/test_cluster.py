@@ -1,6 +1,5 @@
 """Cluster simulator tests: the Fig. 10 anchor points and shapes."""
 
-import numpy as np
 import pytest
 
 from repro.hdl.builder import CircuitBuilder

@@ -5,7 +5,7 @@ import pytest
 
 from repro.hdl import arith
 from repro.hdl.builder import CircuitBuilder
-from repro.runtime import CpuBackend, DistributedCpuBackend
+from repro.runtime import DistributedCpuBackend
 from repro.tfhe import decrypt_bits, encrypt_bits
 
 
@@ -27,10 +27,12 @@ def _bits(a, b, width=6):
     )
 
 
-@pytest.fixture(scope="module")
-def pool_backend(test_keys):
+@pytest.fixture(scope="module", params=["pickle", "shm"])
+def pool_backend(test_keys, request):
     _, cloud = test_keys
-    backend = DistributedCpuBackend(cloud, num_workers=3)
+    backend = DistributedCpuBackend(
+        cloud, num_workers=3, transport=request.param
+    )
     yield backend
     backend.shutdown()
 
@@ -54,10 +56,27 @@ class TestDistributedBackend:
         _, report = pool_backend.run(adder_circuit, ct)
         # At least one level is wide enough to split into >1 task.
         assert report.tasks_submitted > report.levels
-        assert report.ciphertext_bytes_moved > 0
+        if report.transport == "pickle":
+            assert report.ciphertext_bytes_moved > 0
+        else:
+            # Ciphertexts live in the shared plane: none cross a pipe.
+            assert report.ciphertext_bytes_moved == 0
+            assert report.extra["control_bytes_moved"] > 0
+
+    def test_pool_reuse_is_reported(
+        self, adder_circuit, test_keys, rng, pool_backend
+    ):
+        secret, _ = test_keys
+        ct = encrypt_bits(secret, _bits(3, 4), rng)
+        _, first = pool_backend.run(adder_circuit, ct)
+        _, second = pool_backend.run(adder_circuit, ct)
+        # The pool broadcast the key at start, never again.
+        assert second.key_bytes_moved == 0
+        assert second.pool_reused
 
     def test_backend_name_mentions_workers(self, pool_backend):
         assert "3w" in pool_backend.name
+        assert pool_backend.transport in pool_backend.name
 
     def test_context_manager(self, test_keys, adder_circuit, rng):
         secret, cloud = test_keys

@@ -5,9 +5,8 @@ import numpy as np
 import pytest
 
 from repro.chiseltorch import functional as F
-from repro.chiseltorch.dtypes import SInt, UInt
+from repro.chiseltorch.dtypes import SInt
 from repro.core.compiler import TensorSpec, compile_function
-from repro.gatetypes import Gate
 from repro.hdl.builder import CircuitBuilder
 from repro.runtime import CpuBackend, MAX_FHE_NODES, PlaintextBackend
 from repro.tfhe import decrypt_bits, encrypt_bits

@@ -1,9 +1,8 @@
 """Gate profiler tests (Fig. 7 machinery)."""
 
-import pytest
 
 from repro.runtime import profile_gate
-from repro.tfhe import TFHE_DEFAULT_128, TFHE_TEST, generate_keys
+from repro.tfhe import TFHE_TEST
 
 
 def test_profile_phases_positive(cloud_key):

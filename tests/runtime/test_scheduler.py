@@ -1,7 +1,6 @@
 """BFS scheduler tests (Algorithm 1)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,280 @@
+"""Shared-memory transport tests: plane, pool lifecycle, crash safety."""
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.hdl import arith
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime import (
+    CpuBackend,
+    DistributedCpuBackend,
+    SharedCiphertextPlane,
+    build_schedule,
+    make_pool,
+    shard_level,
+    shared_pool,
+    shutdown_shared_pools,
+)
+
+
+@pytest.fixture(scope="module")
+def adder_circuit():
+    bd = CircuitBuilder()
+    a = [bd.input() for _ in range(4)]
+    b = [bd.input() for _ in range(4)]
+    for bit in arith.ripple_add(bd, a, b, width=4, signed=False):
+        bd.output(bit)
+    return bd.build()
+
+
+@pytest.fixture()
+def adder_ct(test_keys, rng):
+    from repro.tfhe import encrypt_bits
+
+    secret, _ = test_keys
+    bits = np.array(
+        [(5 >> i) & 1 for i in range(4)] + [(9 >> i) & 1 for i in range(4)],
+        dtype=bool,
+    )
+    return encrypt_bits(secret, bits, rng)
+
+
+ADDER_WANT = np.array([(14 >> i) & 1 for i in range(4)], dtype=bool)
+
+
+class TestSharedCiphertextPlane:
+    def test_round_trip_through_attach(self):
+        plane = SharedCiphertextPlane(8, 5)
+        plane.a[:] = np.arange(40, dtype=np.int32).reshape(8, 5)
+        plane.b[:] = np.arange(8, dtype=np.int32)
+        other = SharedCiphertextPlane.attach(plane.meta)
+        assert np.array_equal(
+            other.a, np.arange(40, dtype=np.int32).reshape(8, 5)
+        )
+        other.b[3] = 99
+        assert plane.b[3] == 99  # same memory, zero copies
+        other.close()
+        plane.unlink()
+
+    def test_unlink_removes_segment(self):
+        plane = SharedCiphertextPlane(4, 3)
+        name = plane.meta[0]
+        plane.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        plane.unlink()  # idempotent
+
+    def test_sizes(self):
+        plane = SharedCiphertextPlane(10, 7)
+        assert plane.a.shape == (10, 7)
+        assert plane.b.shape == (10,)
+        assert plane.nbytes() == 10 * 8 * 4
+        plane.unlink()
+
+
+class TestShardLevel:
+    def test_concatenation_preserves_order(self):
+        ids = np.arange(17)
+        shards = shard_level(ids, 5)
+        assert len(shards) == 5
+        assert np.array_equal(np.concatenate(shards), ids)
+
+    def test_never_more_shards_than_gates(self):
+        assert len(shard_level(np.arange(3), 8)) == 3
+
+    def test_empty_level(self):
+        assert shard_level(np.array([], dtype=np.int64), 4) == []
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_level(np.arange(3), 0)
+
+
+class TestTransportEquivalence:
+    def test_bit_identical_across_transports(
+        self, adder_circuit, test_keys, adder_ct
+    ):
+        """pickle, shm, and single-process runs agree ciphertext-for-
+        ciphertext (bootstrapping is deterministic given the key)."""
+        _, cloud = test_keys
+        ref, _ = CpuBackend(cloud, batched=True).run(adder_circuit, adder_ct)
+        for transport in ("pickle", "shm"):
+            with DistributedCpuBackend(
+                cloud, num_workers=2, transport=transport
+            ) as backend:
+                out, report = backend.run(adder_circuit, adder_ct)
+            assert report.transport == transport
+            assert np.array_equal(out.a, ref.a), transport
+            assert np.array_equal(out.b, ref.b), transport
+
+    def test_decrypts_correctly(self, adder_circuit, test_keys, adder_ct):
+        from repro.tfhe import decrypt_bits
+
+        secret, cloud = test_keys
+        with DistributedCpuBackend(
+            cloud, num_workers=2, transport="shm"
+        ) as backend:
+            out, _ = backend.run(adder_circuit, adder_ct)
+        assert np.array_equal(decrypt_bits(secret, out), ADDER_WANT)
+
+
+class TestPersistentPool:
+    def test_key_broadcast_exactly_once(
+        self, adder_circuit, test_keys, adder_ct
+    ):
+        _, cloud = test_keys
+        with DistributedCpuBackend.pool(
+            cloud, num_workers=2, transport="shm"
+        ) as pool:
+            first_backend = DistributedCpuBackend(cloud, pool=pool)
+            _, r1 = first_backend.run(adder_circuit, adder_ct)
+            # A *different* backend on the same pool still pays nothing.
+            second_backend = DistributedCpuBackend(cloud, pool=pool)
+            _, r2 = second_backend.run(adder_circuit, adder_ct)
+        assert r1.key_bytes_moved > 0
+        assert not r1.pool_reused
+        assert r2.key_bytes_moved == 0
+        assert r2.pool_reused
+
+    def test_pool_transport_mismatch_rejected(self, test_keys):
+        _, cloud = test_keys
+        with DistributedCpuBackend.pool(
+            cloud, num_workers=2, transport="shm"
+        ) as pool:
+            with pytest.raises(ValueError):
+                DistributedCpuBackend(cloud, pool=pool, transport="pickle")
+
+    def test_shared_pool_singleton(self, test_keys):
+        _, cloud = test_keys
+        try:
+            first = shared_pool(cloud, num_workers=2, transport="shm")
+            assert shared_pool(cloud, num_workers=2, transport="shm") is first
+        finally:
+            shutdown_shared_pools()
+        # After shutdown a fresh pool is built lazily.
+        try:
+            rebuilt = shared_pool(cloud, num_workers=2, transport="shm")
+            assert rebuilt is not first
+        finally:
+            shutdown_shared_pools()
+
+
+class TestKeyFingerprint:
+    def test_stable_and_distinct(self, test_keys):
+        from repro.tfhe import TFHE_TEST, generate_keys
+
+        _, cloud = test_keys
+        assert cloud.fingerprint() == cloud.fingerprint()
+        _, other = generate_keys(TFHE_TEST, seed=7)
+        assert cloud.fingerprint() != other.fingerprint()
+
+
+class TestCrashSafety:
+    def test_worker_crash_mid_level_unlinks_segment(
+        self, adder_circuit, test_keys
+    ):
+        _, cloud = test_keys
+        pool = make_pool("shm", cloud, num_workers=2)
+        schedule = build_schedule(adder_circuit)
+        plane = pool.begin_run(adder_circuit, schedule)
+        segment = plane.meta[0]
+        pool._procs[0].kill()
+        pool._procs[0].join()
+        first_level = next(
+            level.index for level in schedule.levels if level.width
+        )
+        with pytest.raises(RuntimeError, match="died"):
+            pool.run_level(first_level)
+        assert pool.closed
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+        pool.shutdown()  # idempotent after abort
+
+    def test_backend_survives_into_clean_error(
+        self, adder_circuit, test_keys, adder_ct
+    ):
+        """A crash during run() raises; the plane never leaks."""
+        _, cloud = test_keys
+        backend = DistributedCpuBackend(cloud, num_workers=2, transport="shm")
+        try:
+            for proc in backend.pool._procs:
+                proc.kill()
+                proc.join()
+            with pytest.raises(RuntimeError):
+                backend.run(adder_circuit, adder_ct)
+            assert backend.pool._plane is None
+        finally:
+            backend.shutdown()
+
+
+class TestSpawnContext:
+    """The pool must not rely on fork inheritance (macOS/Windows CI)."""
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_spawn_start_method(
+        self, adder_circuit, test_keys, adder_ct, transport
+    ):
+        secret, cloud = test_keys
+        from repro.tfhe import decrypt_bits
+
+        context = multiprocessing.get_context("spawn")
+        pool = make_pool(transport, cloud, num_workers=2, context=context)
+        try:
+            assert pool.start_method == "spawn"
+            backend = DistributedCpuBackend(cloud, pool=pool)
+            out, _ = backend.run(adder_circuit, adder_ct)
+            assert np.array_equal(decrypt_bits(secret, out), ADDER_WANT)
+        finally:
+            pool.shutdown()
+
+    def test_env_var_selects_start_method(self, monkeypatch):
+        from repro.runtime import default_mp_context
+
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        assert default_mp_context().get_start_method() == "spawn"
+        monkeypatch.delenv("REPRO_MP_START_METHOD")
+        assert default_mp_context().get_start_method() in (
+            "fork",
+            "spawn",
+        )
+
+
+class TestChunkTracing:
+    def test_trace_records_per_chunk_timings(
+        self, adder_circuit, test_keys, adder_ct
+    ):
+        _, cloud = test_keys
+        with DistributedCpuBackend(
+            cloud, num_workers=2, transport="shm", trace=True
+        ) as backend:
+            _, report = backend.run(adder_circuit, adder_ct)
+        chunks = [e for e in report.trace if e.kind == "chunk"]
+        assert chunks
+        assert all(e.worker >= 0 for e in chunks)
+        assert all(e.end_s >= e.start_s for e in chunks)
+        # Chunk gates per level sum to the level width.
+        bootstraps = {
+            e.level: e.gates for e in report.trace if e.kind == "bootstrap"
+        }
+        for level, width in bootstraps.items():
+            assert (
+                sum(e.gates for e in chunks if e.level == level) == width
+            )
+
+    def test_summary_separates_chunks(
+        self, adder_circuit, test_keys, adder_ct
+    ):
+        from repro.runtime import summarize_trace
+
+        _, cloud = test_keys
+        with DistributedCpuBackend(
+            cloud, num_workers=2, transport="shm", trace=True
+        ) as backend:
+            _, report = backend.run(adder_circuit, adder_ct)
+        summary = summarize_trace(report.trace)
+        assert summary["chunk_events"] > 0
+        assert summary["levels"] == report.levels
+

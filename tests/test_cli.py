@@ -71,3 +71,32 @@ def test_bench_gate(capsys):
     assert main(["bench-gate", "--params", "tfhe-test", "--repetitions", "1"]) == 0
     out = capsys.readouterr().out
     assert "blind rotation" in out and "total" in out
+
+
+def test_run_distributed_shm(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "hamming_distance",
+                "--backend",
+                "distributed",
+                "--transport",
+                "shm",
+                "--workers",
+                "2",
+                "--runs",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ct_moved=0" in out
+    assert "pool_reused=True" in out
+    assert out.count("ok=True") == 2
+
+
+def test_run_single_backend(capsys):
+    assert main(["run", "hamming_distance", "--backend", "batched"]) == 0
+    assert "ok=True" in capsys.readouterr().out

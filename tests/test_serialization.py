@@ -1,18 +1,38 @@
 """Serialization roundtrip tests for keys and ciphertexts."""
 
 import numpy as np
-import pytest
 
 from repro.gatetypes import Gate
 from repro.serialization import (
     load_ciphertext,
     load_cloud_key,
+    load_netlist_plan,
     load_secret_key,
     save_ciphertext,
     save_cloud_key,
+    save_netlist_plan,
     save_secret_key,
 )
 from repro.tfhe import decrypt_bits, encrypt_bits, evaluate_gate
+
+
+class TestNetlistPlanRoundtrip:
+    def test_roundtrip_preserves_plan(self):
+        from repro.hdl import arith
+        from repro.hdl.builder import CircuitBuilder
+
+        bd = CircuitBuilder()
+        a = [bd.input() for _ in range(4)]
+        b = [bd.input() for _ in range(4)]
+        for bit in arith.ripple_add(bd, a, b, width=4, signed=False):
+            bd.output(bit)
+        netlist = bd.build()
+        plan = load_netlist_plan(save_netlist_plan(netlist))
+        assert plan["num_inputs"] == netlist.num_inputs
+        assert plan["num_nodes"] == netlist.num_nodes
+        assert np.array_equal(plan["ops"], netlist.ops)
+        assert np.array_equal(plan["in0"], netlist.in0)
+        assert np.array_equal(plan["in1"], netlist.in1)
 
 
 class TestCiphertextRoundtrip:

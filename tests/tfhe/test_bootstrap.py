@@ -1,7 +1,6 @@
 """Bootstrapping and key-switching tests."""
 
 import numpy as np
-import pytest
 
 from repro.tfhe import TFHE_TEST
 from repro.tfhe.bootstrap import blind_rotate, bootstrap_to_extracted

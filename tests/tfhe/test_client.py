@@ -2,13 +2,7 @@
 
 import numpy as np
 
-from repro.tfhe import (
-    TFHE_TEST,
-    decrypt_bits,
-    encrypt_bits,
-    generate_keys,
-    lwe_phase,
-)
+from repro.tfhe import TFHE_TEST, decrypt_bits, encrypt_bits, generate_keys
 
 
 def test_encrypt_decrypt_roundtrip(test_keys, rng):

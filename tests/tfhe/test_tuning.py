@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.gatetypes import Gate, evaluate_plain
+from repro.gatetypes import Gate
 from repro.tfhe import (
     TFHE_DEFAULT_128,
     TFHE_TEST,
