@@ -8,6 +8,11 @@ A small operator toolbox around the library:
 * ``estimate`` — backend runtime estimates for a binary (paper model);
 * ``run``      — execute a workload under real FHE on a chosen
   backend/transport, reusing one worker pool across ``--runs``;
+  ``--trace-out`` / ``--metrics-out`` / ``--noise`` capture the run
+  through the observability layer;
+* ``profile``  — compile + run one workload fully instrumented and
+  print a combined Fig.-7/Fig.-8-style report (gate phases, compile
+  passes, execution Gantt, metrics, noise margins);
 * ``keygen``   — generate and save a (secret, cloud) key pair;
 * ``bench-gate`` — measure this machine's bootstrapped-gate cost.
 """
@@ -16,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from .isa import assemble, disassemble, format_program
@@ -116,59 +122,221 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def _resolve_params(name: str):
+    from .tfhe import PARAMETER_SETS
+
+    params = PARAMETER_SETS.get(name)
+    if params is None:
+        raise SystemExit(
+            f"unknown parameter set {name!r}; "
+            f"choose from {sorted(PARAMETER_SETS)}"
+        )
+    return params
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace_event JSON (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="FILE",
+        help="write the raw span/instant stream as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--noise",
+        action="store_true",
+        help="record predicted per-level noise margins",
+    )
+
+
+def _wants_observability(args) -> bool:
+    return bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "trace_jsonl", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "noise", False)
+    )
+
+
+def _finish_observability(ob, args) -> None:
+    """Write the export artifacts an observed CLI command asked for."""
+    from .obs import write_chrome_trace, write_jsonl
+
+    if getattr(args, "trace_out", None):
+        write_chrome_trace(ob.tracer, args.trace_out, ob.metrics)
+        print(
+            f"wrote Chrome trace to {args.trace_out} "
+            f"(open in Perfetto / chrome://tracing)"
+        )
+    if getattr(args, "trace_jsonl", None):
+        write_jsonl(ob.tracer, args.trace_jsonl)
+        print(f"wrote JSONL event stream to {args.trace_jsonl}")
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as handle:
+            handle.write(ob.metrics.to_json() + "\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    if ob.noise is not None and ob.noise.records:
+        print("\nnoise-budget telemetry (predicted, per level):")
+        print(ob.noise.render_text())
+        worst = ob.noise.worst
+        print(
+            f"worst margin: {worst.margin_sigmas:.1f} sigma at "
+            f"L{worst.level}"
+            + ("  ** LOW MARGIN **" if ob.noise.any_flagged() else "")
+        )
+
+
 def cmd_run(args) -> int:
     import numpy as np
 
+    from . import obs as obslib
     from .runtime import CpuBackend, DistributedCpuBackend, build_schedule
-    from .tfhe import (
-        PARAMETER_SETS,
-        decrypt_bits,
-        encrypt_bits,
-        generate_keys,
+    from .tfhe import decrypt_bits, encrypt_bits, generate_keys
+
+    params = _resolve_params(args.params)
+    observed = _wants_observability(args)
+    ctx = (
+        obslib.observe(noise_params=params if args.noise else None)
+        if observed
+        else nullcontext(obslib.DISABLED)
+    )
+    with ctx as ob:
+        workload = _workload_by_name(args.workload)
+        netlist = workload.netlist
+        print(f"generating keys for {params.name} ...")
+        secret, cloud = generate_keys(params, seed=args.seed)
+        rng = np.random.default_rng(args.seed)
+        bits = workload.compiled.encode_inputs(*workload.sample_inputs())
+        ciphertext = encrypt_bits(secret, bits, rng)
+        want = netlist.evaluate(bits)
+        schedule = build_schedule(netlist)
+
+        if args.backend == "distributed":
+            backend = DistributedCpuBackend(
+                cloud, num_workers=args.workers, transport=args.transport
+            )
+        else:
+            backend = CpuBackend(cloud, batched=args.backend == "batched")
+        status = 0
+        try:
+            for index in range(args.runs):
+                out, report = backend.run(netlist, ciphertext, schedule)
+                got = decrypt_bits(secret, out)
+                ok = bool(np.array_equal(got, want))
+                print(
+                    f"run {index}: {report.backend}  "
+                    f"{report.wall_time_s * 1e3:9.1f} ms  "
+                    f"ct_moved={report.ciphertext_bytes_moved}  "
+                    f"key_moved={report.key_bytes_moved}  "
+                    f"pool_reused={report.pool_reused}  ok={ok}"
+                )
+                if not ok:
+                    status = 1
+                    break
+        finally:
+            if hasattr(backend, "shutdown"):
+                backend.shutdown()
+    if observed:
+        _finish_observability(ob, args)
+    return status
+
+
+def cmd_profile(args) -> int:
+    import numpy as np
+
+    from . import obs as obslib
+    from .runtime import (
+        CpuBackend,
+        DistributedCpuBackend,
+        build_schedule,
+        profile_gate,
+        render_trace,
+        summarize_trace,
+    )
+    from .tfhe import decrypt_bits, encrypt_bits, generate_keys
+
+    params = _resolve_params(args.params)
+    with obslib.observe(
+        noise_params=params if args.noise else None
+    ) as ob:
+        # Touch the netlist inside the observed block so elaboration
+        # and synthesis pass spans land in the trace.
+        workload = _workload_by_name(args.workload)
+        netlist = workload.netlist
+        schedule = build_schedule(netlist)
+        with ob.tracer.span(
+            "session:keygen", cat="session", params=params.name
+        ):
+            print(f"generating keys for {params.name} ...")
+            secret, cloud = generate_keys(params, seed=args.seed)
+
+        print(f"\n== gate phase breakdown (Fig. 7, {params.name}) ==")
+        profile = profile_gate(
+            cloud, repetitions=args.repetitions, warmup=args.warmup
+        )
+        for phase, ms, fraction in profile.rows():
+            print(f"  {phase:20s} {ms:8.2f} ms  ({fraction * 100:5.1f}%)")
+        print(f"  {'total':20s} {profile.total_ms:8.2f} ms")
+
+        rng = np.random.default_rng(args.seed)
+        bits = workload.compiled.encode_inputs(*workload.sample_inputs())
+        ciphertext = encrypt_bits(secret, bits, rng)
+        want = netlist.evaluate(bits)
+
+        if args.backend == "distributed":
+            backend = DistributedCpuBackend(
+                cloud, num_workers=args.workers, transport=args.transport
+            )
+        else:
+            backend = CpuBackend(cloud, batched=args.backend == "batched")
+        try:
+            out, report = backend.run(netlist, ciphertext, schedule)
+        finally:
+            if hasattr(backend, "shutdown"):
+                backend.shutdown()
+        ok = bool(np.array_equal(decrypt_bits(secret, out), want))
+
+    print("\n== compile phases ==")
+    compile_spans = list(ob.tracer.iter_spans(cat="compile"))
+    if compile_spans:
+        for span in compile_spans:
+            gates = span.args.get("gates", span.args.get("gates_out", ""))
+            print(
+                f"  {span.name:28s} {span.duration_s * 1e3:9.2f} ms"
+                + (f"  gates={gates}" if gates != "" else "")
+            )
+    else:
+        print("  (workload was pre-compiled; no compile spans)")
+
+    print(
+        f"\n== execution timeline ({report.backend}, "
+        f"{report.wall_time_s * 1e3:.1f} ms, ok={ok}) =="
+    )
+    print(render_trace(report.trace))
+    summary = summarize_trace(report.trace)
+    print(
+        f"levels={summary['levels']}  "
+        f"bootstrap={summary['bootstrap_s'] * 1e3:.1f} ms  "
+        f"free={summary['free_s'] * 1e3:.1f} ms  "
+        f"bootstrap_fraction={summary['bootstrap_fraction'] * 100:.1f}%  "
+        f"widest_level={summary['widest_level']}"
     )
 
-    workload = _workload_by_name(args.workload)
-    params = PARAMETER_SETS.get(args.params)
-    if params is None:
-        raise SystemExit(
-            f"unknown parameter set {args.params!r}; "
-            f"choose from {sorted(PARAMETER_SETS)}"
-        )
-    netlist = workload.netlist
-    print(f"generating keys for {params.name} ...")
-    secret, cloud = generate_keys(params, seed=args.seed)
-    rng = np.random.default_rng(args.seed)
-    bits = workload.compiled.encode_inputs(*workload.sample_inputs())
-    ciphertext = encrypt_bits(secret, bits, rng)
-    want = netlist.evaluate(bits)
-    schedule = build_schedule(netlist)
-
-    if args.backend == "distributed":
-        backend = DistributedCpuBackend(
-            cloud, num_workers=args.workers, transport=args.transport
-        )
-    else:
-        backend = CpuBackend(cloud, batched=args.backend == "batched")
-    status = 0
-    try:
-        for index in range(args.runs):
-            out, report = backend.run(netlist, ciphertext, schedule)
-            got = decrypt_bits(secret, out)
-            ok = bool(np.array_equal(got, want))
-            print(
-                f"run {index}: {report.backend}  "
-                f"{report.wall_time_s * 1e3:9.1f} ms  "
-                f"ct_moved={report.ciphertext_bytes_moved}  "
-                f"key_moved={report.key_bytes_moved}  "
-                f"pool_reused={report.pool_reused}  ok={ok}"
-            )
-            if not ok:
-                status = 1
-                break
-    finally:
-        if hasattr(backend, "shutdown"):
-            backend.shutdown()
-    return status
+    print("\n== metrics ==")
+    print(ob.metrics.render_text())
+    _finish_observability(ob, args)
+    return 0 if ok else 1
 
 
 def cmd_keygen(args) -> int:
@@ -197,7 +365,9 @@ def cmd_bench_gate(args) -> int:
     params = PARAMETER_SETS[args.params]
     print(f"generating keys for {params.name} ...")
     _, cloud = generate_keys(params, seed=0)
-    profile = profile_gate(cloud, repetitions=args.repetitions)
+    profile = profile_gate(
+        cloud, repetitions=args.repetitions, warmup=args.warmup
+    )
     for phase, ms, fraction in profile.rows():
         print(f"  {phase:20s} {ms:8.2f} ms  ({fraction * 100:5.1f}%)")
     print(f"  {'total':20s} {profile.total_ms:8.2f} ms")
@@ -251,7 +421,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--params", default="tfhe-test")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="compile + run one workload and print a combined "
+        "Fig.-7/Fig.-8-style observability report",
+    )
+    p.add_argument("workload")
+    p.add_argument(
+        "--backend",
+        choices=("single", "batched", "distributed"),
+        default="batched",
+    )
+    p.add_argument(
+        "--transport", choices=("pickle", "shm"), default="shm"
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--params", default="tfhe-test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="timed iterations for the gate-phase breakdown",
+    )
+    p.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed gate iterations before the phase breakdown",
+    )
+    _add_obs_arguments(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("keygen", help="generate a key pair")
     p.add_argument("--params", default="tfhe-default-128")
@@ -263,6 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench-gate", help="measure local gate cost")
     p.add_argument("--params", default="tfhe-test")
     p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed iterations before measurement (FFT planning, "
+        "numpy buffer warm-up)",
+    )
     p.set_defaults(func=cmd_bench_gate)
 
     return parser

@@ -19,6 +19,7 @@ from ..chiseltorch.nn import Module
 from ..chiseltorch.tensor import HTensor
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import Netlist
+from ..obs import get as _get_obs
 
 
 @dataclass(frozen=True)
@@ -143,11 +144,15 @@ def compile_model(
     if via_verilog:
         from ..verilog import emit_verilog, parse_verilog
 
-        compiled = CompiledCircuit(
-            netlist=parse_verilog(emit_verilog(compiled.netlist, name)),
-            input_specs=compiled.input_specs,
-            output_specs=compiled.output_specs,
-        )
+        with _get_obs().tracer.span(
+            "compile:verilog-roundtrip", cat="compile", circuit=name,
+            gates=compiled.netlist.num_gates,
+        ):
+            compiled = CompiledCircuit(
+                netlist=parse_verilog(emit_verilog(compiled.netlist, name)),
+                input_specs=compiled.input_specs,
+                output_specs=compiled.output_specs,
+            )
     return compiled
 
 
@@ -163,24 +168,36 @@ def compile_function(
     Sklansky structure: more gates, far fewer bootstrap levels — the
     latency-oriented choice for wide (GPU/distributed) execution.
     """
+    ob = _get_obs()
     builder = CircuitBuilder(name=name, adder_style=adder_style)
-    tensors = [
-        HTensor.input(builder, spec.shape, spec.dtype, name=spec.name)
-        for spec in input_specs
-    ]
-    result = fn(*tensors)
-    if isinstance(result, HTensor):
-        results: Tuple[HTensor, ...] = (result,)
-    else:
-        results = tuple(result)
-    output_specs: List[TensorSpec] = []
-    for i, tensor in enumerate(results):
-        spec = TensorSpec(f"y{i}", tensor.shape, tensor.dtype)
-        output_specs.append(spec)
-        for j, node in enumerate(tensor.all_bits()):
-            builder.output(node, f"y{i}.{j}")
+    with ob.tracer.span(
+        "compile:elaborate", cat="compile", circuit=name,
+        adder_style=adder_style,
+    ) as sp:
+        tensors = [
+            HTensor.input(builder, spec.shape, spec.dtype, name=spec.name)
+            for spec in input_specs
+        ]
+        result = fn(*tensors)
+        if isinstance(result, HTensor):
+            results: Tuple[HTensor, ...] = (result,)
+        else:
+            results = tuple(result)
+        output_specs: List[TensorSpec] = []
+        for i, tensor in enumerate(results):
+            spec = TensorSpec(f"y{i}", tensor.shape, tensor.dtype)
+            output_specs.append(spec)
+            for j, node in enumerate(tensor.all_bits()):
+                builder.output(node, f"y{i}.{j}")
+        netlist = builder.build()
+        sp.args["gates"] = netlist.num_gates
+        sp.args["cse_hits"] = builder.cse_hits
+    if ob.active:
+        ob.metrics.inc("circuits_compiled")
+        ob.metrics.inc("elaboration_cse_hits", builder.cse_hits)
+        ob.metrics.observe("compiled_gates", netlist.num_gates)
     return CompiledCircuit(
-        netlist=builder.build(),
+        netlist=netlist,
         input_specs=list(input_specs),
         output_specs=output_specs,
     )

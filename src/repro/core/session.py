@@ -14,6 +14,7 @@ import numpy as np
 
 from ..hdl.netlist import Netlist
 from ..isa import assemble, disassemble
+from ..obs import get as _get_obs
 from ..runtime.distributed import DistributedCpuBackend
 from ..runtime.executors import CpuBackend, ExecutionReport
 from ..tfhe import (
@@ -37,7 +38,10 @@ class Client:
         seed: Optional[int] = None,
     ):
         self.params = params
-        self._secret, self._cloud = generate_keys(params, seed=seed)
+        with _get_obs().tracer.span(
+            "session:keygen", cat="session", params=params.name
+        ):
+            self._secret, self._cloud = generate_keys(params, seed=seed)
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -49,19 +53,23 @@ class Client:
         self, compiled: CompiledCircuit, *arrays: np.ndarray
     ) -> LweCiphertext:
         bits = compiled.encode_inputs(*arrays)
-        return encrypt_bits(self._secret, bits, self._rng)
+        return self.encrypt_bits(bits)
 
     def decrypt(
         self, compiled: CompiledCircuit, ciphertext: LweCiphertext
     ) -> List[np.ndarray]:
-        bits = decrypt_bits(self._secret, ciphertext)
+        bits = self.decrypt_bits(ciphertext)
         return compiled.decode_outputs(bits)
 
     def encrypt_bits(self, bits) -> LweCiphertext:
-        return encrypt_bits(self._secret, bits, self._rng)
+        with _get_obs().tracer.span(
+            "session:encrypt", cat="session", bits=len(bits)
+        ):
+            return encrypt_bits(self._secret, bits, self._rng)
 
     def decrypt_bits(self, ciphertext: LweCiphertext) -> np.ndarray:
-        return decrypt_bits(self._secret, ciphertext)
+        with _get_obs().tracer.span("session:decrypt", cat="session"):
+            return decrypt_bits(self._secret, ciphertext)
 
 
 class Server:
@@ -100,7 +108,11 @@ class Server:
         inputs: LweCiphertext,
     ) -> Tuple[LweCiphertext, ExecutionReport]:
         netlist = _resolve_netlist(program)
-        return self._backend.run(netlist, inputs)
+        with _get_obs().tracer.span(
+            "session:execute", cat="session",
+            backend=self.backend_name, gates=netlist.num_gates,
+        ):
+            return self._backend.run(netlist, inputs)
 
     def shutdown(self) -> None:
         if isinstance(self._backend, DistributedCpuBackend):

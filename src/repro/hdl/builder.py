@@ -60,6 +60,10 @@ class CircuitBuilder:
         self._output_names: List[str] = []
         self._cache: Dict[Tuple[int, int, int], int] = {}
         self._const_nodes: Dict[bool, int] = {}
+        #: Structural-sharing cache hits (one per gate request answered
+        #: by an existing node) — the observability layer reports this
+        #: per synthesis pass.
+        self.cse_hits = 0
 
     # ------------------------------------------------------------------
     # Node creation
@@ -120,6 +124,7 @@ class CircuitBuilder:
         if self.hash_cons:
             cached = self._cache.get(key)
             if cached is not None:
+                self.cse_hits += 1
                 return cached
         self._ops.append(int(gate))
         self._in0.append(a)

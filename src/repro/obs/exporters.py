@@ -1,0 +1,199 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL streams.
+
+The Chrome export loads directly in Perfetto / ``chrome://tracing``:
+spans become complete (``ph: "X"``) events in microseconds, and spans
+carrying a logical ``track`` (per-worker chunks of the distributed
+backend) are mapped onto their own synthetic thread rows with
+``thread_name`` metadata, so the worker timeline reads like the
+paper's Fig. 10 execution diagram.
+
+:func:`validate_chrome_trace` is the schema check CI runs against the
+emitted artifact — it accepts exactly what the exporter produces (and
+any structurally equivalent ``trace_event`` document).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+#: Synthetic tid space for logical tracks; real thread ids are
+#: renumbered from 1 so the two can never collide.
+_TRACK_TID_BASE = 10_000
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """Flatten a tracer into a Chrome ``trace_event`` array."""
+    events: List[dict] = []
+    tid_map: Dict[Tuple[int, int], int] = {}
+    track_map: Dict[Tuple[int, str], int] = {}
+
+    def real_tid(pid: int, tid: int) -> int:
+        key = (pid, tid)
+        if key not in tid_map:
+            tid_map[key] = len(tid_map) + 1
+        return tid_map[key]
+
+    def track_tid(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in track_map:
+            track_map[key] = _TRACK_TID_BASE + len(track_map)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": track_map[key],
+                    "args": {"name": track},
+                }
+            )
+        return track_map[key]
+
+    for span in tracer.iter_spans():
+        tid = (
+            track_tid(span.pid, span.track)
+            if span.track is not None
+            else real_tid(span.pid, span.tid)
+        )
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": span.pid,
+                "tid": tid,
+                "args": span.args,
+            }
+        )
+    for marker in list(tracer.instants):
+        events.append(
+            {
+                "name": marker.name,
+                "cat": marker.cat,
+                "ph": "i",
+                "ts": marker.ts_s * 1e6,
+                "pid": marker.pid,
+                "tid": real_tid(marker.pid, marker.tid),
+                "s": "t",
+                "args": marker.args,
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+) -> dict:
+    """The full Chrome trace document (``traceEvents`` object form)."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics.as_dict()}
+    return doc
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer, metrics), handle)
+
+
+def jsonl_lines(tracer: Tracer) -> List[str]:
+    """One JSON object per span/instant, in record order."""
+    lines = []
+    for span in tracer.iter_spans():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "cat": span.cat,
+                    "start_s": span.start_s,
+                    "end_s": span.end_s,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "track": span.track,
+                    "args": span.args,
+                }
+            )
+        )
+    for marker in list(tracer.instants):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "instant",
+                    "name": marker.name,
+                    "cat": marker.cat,
+                    "ts_s": marker.ts_s,
+                    "pid": marker.pid,
+                    "tid": marker.tid,
+                    "args": marker.args,
+                }
+            )
+        )
+    return lines
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as handle:
+        for line in jsonl_lines(tracer):
+            handle.write(line + "\n")
+
+
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(doc) -> int:
+    """Validate a Chrome ``trace_event`` document; returns event count.
+
+    Accepts both the bare-array and the ``{"traceEvents": [...]}``
+    object form.  Raises :class:`ValueError` describing the first
+    violation — this is the schema gate the CI benchmark-smoke job
+    runs on the uploaded artifact.
+    """
+    if isinstance(doc, dict):
+        if "traceEvents" not in doc:
+            raise ValueError("object form must contain 'traceEvents'")
+        events = doc["traceEvents"]
+    else:
+        events = doc
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"{where} missing {field!r}")
+        if not isinstance(event["name"], str):
+            raise ValueError(f"{where} name must be a string")
+        phase = event["ph"]
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"{where} has unsupported phase {phase!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event[field], int):
+                raise ValueError(f"{where} {field} must be an int")
+        if phase in ("X", "i"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where} needs a non-negative ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where} needs a non-negative dur")
+        if phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                raise ValueError(f"{where} metadata needs args.name")
+    return len(events)

@@ -1,0 +1,165 @@
+"""Metrics registry: counters, gauges, and summary histograms.
+
+A deliberately small Prometheus-flavoured registry: metrics are named,
+optionally labelled (``inc("gates_executed", 3, gate="NAND")``), and
+render to both a text exposition format and a JSON-serializable dict.
+Counters accumulate, gauges overwrite, histograms keep streaming
+summary statistics (count/sum/min/max) rather than buckets — enough
+for per-pass node deltas, bootstraps/sec, and byte counters without a
+dependency.
+
+All mutation is lock-guarded; the disabled path is the shared
+:data:`NULL_METRICS` whose methods are no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> LabelKey:
+    return (
+        name,
+        tuple(sorted((k, str(v)) for k, v in labels.items())),
+    )
+
+
+def _format_key(key: LabelKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _HistogramStat:
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.total / self.count if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters / gauges / histograms."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[LabelKey, float] = {}
+        self._gauges: Dict[LabelKey, float] = {}
+        self._histograms: Dict[LabelKey, _HistogramStat] = {}
+
+    # -- writes --------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            stat = self._histograms.get(key)
+            if stat is None:
+                stat = self._histograms[key] = _HistogramStat()
+            stat.observe(value)
+
+    # -- reads ---------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(_key(name, labels))
+
+    def counters_named(self, name: str) -> Dict[str, float]:
+        """All counter series of one metric name, keyed by label text."""
+        with self._lock:
+            return {
+                _format_key(key): value
+                for key, value in self._counters.items()
+                if key[0] == name
+            }
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every metric."""
+        with self._lock:
+            return {
+                "counters": {
+                    _format_key(k): v
+                    for k, v in sorted(self._counters.items())
+                },
+                "gauges": {
+                    _format_key(k): v
+                    for k, v in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    _format_key(k): stat.as_dict()
+                    for k, stat in sorted(self._histograms.items())
+                },
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable exposition, one metric per line."""
+        snapshot = self.as_dict()
+        lines = []
+        for key, value in snapshot["counters"].items():
+            lines.append(f"counter   {key} = {value:g}")
+        for key, value in snapshot["gauges"].items():
+            lines.append(f"gauge     {key} = {value:g}")
+        for key, stat in snapshot["histograms"].items():
+            lines.append(
+                f"histogram {key} count={stat['count']} "
+                f"sum={stat['sum']:g} min={stat['min']:g} "
+                f"max={stat['max']:g} mean={stat['mean']:g}"
+            )
+        return "\n".join(lines) if lines else "(no metrics)"
+
+
+class NullMetrics(MetricsRegistry):
+    """Disabled registry: writes are no-ops, reads see nothing."""
+
+    enabled = False
+
+    def inc(self, *a, **kw) -> None:
+        pass
+
+    def set_gauge(self, *a, **kw) -> None:
+        pass
+
+    def observe(self, *a, **kw) -> None:
+        pass
+
+
+#: Shared disabled registry.
+NULL_METRICS = NullMetrics()

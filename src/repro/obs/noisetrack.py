@@ -1,0 +1,107 @@
+"""Noise-budget telemetry: predicted per-level noise margins.
+
+Decryption fails silently when accumulated LWE noise crosses the
+decision margin, so a production deployment wants the *predicted*
+margin surfaced next to the timing data, per executed level.  The
+:class:`NoiseTracker` evaluates the analytic model in
+:mod:`repro.tfhe.noise` once per distinct level kind (fresh-input
+first level vs. bootstrapped-input later levels — the variances are
+schedule-independent) and records one :class:`LevelNoiseRecord` per
+executed BFS level, flagging any level whose margin shrinks below the
+configured sigma threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..tfhe.noise import level_noise_budget
+from ..tfhe.params import TFHEParameters
+
+
+@dataclass
+class LevelNoiseRecord:
+    """Predicted noise accounting for one executed BFS level."""
+
+    level: int
+    gates: int
+    #: Std (torus units) of the worst-case bootstrap-input phase.
+    decision_std: float
+    #: Torus distance from the worst-case phase to the sign boundary.
+    margin: float
+    #: How many sigmas fit inside the margin — the failure headroom.
+    margin_sigmas: float
+    #: Per-gate Gaussian tail estimate of a wrong decryption.
+    failure_probability: float
+    #: False when ``margin_sigmas`` dropped below the warn threshold.
+    ok: bool
+
+
+class NoiseTracker:
+    """Records predicted noise margins for each executed level.
+
+    ``warn_sigmas`` sets the margin-to-failure flag: a level whose
+    decision margin is fewer than this many noise sigmas is marked
+    ``ok=False`` (4 sigma ~ 6e-5 per-gate failure).
+    """
+
+    def __init__(self, params: TFHEParameters, warn_sigmas: float = 4.0):
+        self.params = params
+        self.warn_sigmas = warn_sigmas
+        self.records: List[LevelNoiseRecord] = []
+        self._budgets = {
+            True: level_noise_budget(params, fresh_inputs=True),
+            False: level_noise_budget(params, fresh_inputs=False),
+        }
+
+    def record_level(
+        self, level: int, gates: int, fresh_inputs: bool
+    ) -> LevelNoiseRecord:
+        budget = self._budgets[bool(fresh_inputs)]
+        sigma = math.sqrt(budget.decision_variance)
+        margin = budget.decision_margin
+        record = LevelNoiseRecord(
+            level=level,
+            gates=gates,
+            decision_std=sigma,
+            margin=margin,
+            margin_sigmas=margin / sigma if sigma else math.inf,
+            failure_probability=budget.failure_probability(),
+            ok=(margin / sigma if sigma else math.inf) >= self.warn_sigmas,
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def worst(self) -> Optional[LevelNoiseRecord]:
+        """The record with the least margin headroom, if any."""
+        if not self.records:
+            return None
+        return min(self.records, key=lambda r: r.margin_sigmas)
+
+    def any_flagged(self) -> bool:
+        return any(not r.ok for r in self.records)
+
+    def as_dict(self) -> dict:
+        return {
+            "params": self.params.name,
+            "warn_sigmas": self.warn_sigmas,
+            "levels": [vars(r).copy() for r in self.records],
+            "any_flagged": self.any_flagged(),
+        }
+
+    def render_text(self) -> str:
+        if not self.records:
+            return "(no noise records)"
+        lines = [
+            "level  gates  decision_std   margin/sigma  P(gate fails)  ok"
+        ]
+        for r in self.records:
+            lines.append(
+                f"L{r.level:<5d} {r.gates:6d}  {r.decision_std:12.3e}  "
+                f"{r.margin_sigmas:12.1f}  {r.failure_probability:13.3e}"
+                f"  {'yes' if r.ok else 'LOW MARGIN'}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Structured span/event tracing for compile and execute pipelines.
+
+One :class:`Tracer` collects :class:`Span` records (named, categorized
+time intervals on a shared monotonic clock) from every layer of the
+framework: synthesis passes, netlist elaboration, key generation,
+encryption, per-level backend execution, and per-worker chunks of the
+distributed transports.  Spans carry the emitting process/thread ids
+plus an optional logical *track* (e.g. ``worker-3``), which the Chrome
+trace exporter maps to its own timeline row.
+
+All mutation happens under a lock, so backends running free gates on
+the main thread while worker results arrive are safe, and the tracer
+can be shared across threads.  The disabled path is a module-level
+:data:`NULL_TRACER` whose methods are no-ops — hot loops guard on
+``tracer.enabled`` (or :attr:`Observability.active`) so tracing off
+costs one attribute check per level.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One named time interval, relative to its tracer's epoch."""
+
+    name: str
+    cat: str
+    start_s: float
+    end_s: float
+    pid: int
+    tid: int
+    #: Logical timeline row (e.g. ``"worker-3"``); ``None`` means the
+    #: emitting thread's own row.
+    track: Optional[str] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Instant:
+    """A zero-duration marker (Chrome ``ph: "i"`` event)."""
+
+    name: str
+    cat: str
+    ts_s: float
+    pid: int
+    tid: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Context manager yielded by :meth:`Tracer.span`.
+
+    The handle's :attr:`args` dict becomes the span's args, so callers
+    can attach results computed inside the block::
+
+        with tracer.span("synth:optimize", cat="compile") as sp:
+            out = optimize(netlist)
+            sp.args["gates_out"] = out.num_gates
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "track", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 track: Optional[str], args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.args = args
+
+    def __enter__(self) -> "_SpanHandle":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.add(
+            self.name,
+            cat=self.cat,
+            start_s=self._t0,
+            end_s=time.perf_counter(),
+            track=self.track,
+            **self.args,
+        )
+
+
+class Tracer:
+    """Thread-safe span collector on a monotonic clock.
+
+    All public timestamps are ``time.perf_counter()`` values; spans are
+    stored relative to the tracer's creation epoch so exports start
+    near zero.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.epoch = time.perf_counter()
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+
+    def now(self) -> float:
+        """Current time on the span clock (absolute perf_counter)."""
+        return time.perf_counter()
+
+    def span(self, name: str, cat: str = "default",
+             track: Optional[str] = None, **args) -> _SpanHandle:
+        """Context manager timing the enclosed block as one span."""
+        return _SpanHandle(self, name, cat, track, args)
+
+    def add(self, name: str, cat: str = "default", *,
+            start_s: float, end_s: float,
+            track: Optional[str] = None, **args) -> None:
+        """Record an externally timed span (perf_counter endpoints)."""
+        span = Span(
+            name=name,
+            cat=cat,
+            start_s=start_s - self.epoch,
+            end_s=end_s - self.epoch,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            track=track,
+            args=args,
+        )
+        with self._lock:
+            self.spans.append(span)
+
+    def instant(self, name: str, cat: str = "default", **args) -> None:
+        marker = Instant(
+            name=name,
+            cat=cat,
+            ts_s=time.perf_counter() - self.epoch,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            args=args,
+        )
+        with self._lock:
+            self.instants.append(marker)
+
+    def iter_spans(self, cat: Optional[str] = None) -> Iterator[Span]:
+        with self._lock:
+            snapshot = list(self.spans)
+        for span in snapshot:
+            if cat is None or span.cat == cat:
+                yield span
+
+
+class _NullHandle:
+    """No-op stand-in for :class:`_SpanHandle` when tracing is off.
+
+    Still exposes a real ``args`` dict so instrumented code can attach
+    results unconditionally; the dict is simply discarded.
+    """
+
+    __slots__ = ("args",)
+
+    def __enter__(self) -> "_NullHandle":
+        self.args: Dict[str, Any] = {}
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def span(self, name: str, cat: str = "default",
+             track: Optional[str] = None, **args) -> _NullHandle:
+        return _NullHandle()
+
+    def add(self, *a, **kw) -> None:
+        pass
+
+    def instant(self, *a, **kw) -> None:
+        pass
+
+
+#: Shared disabled tracer (safe: it holds no state).
+NULL_TRACER = NullTracer()

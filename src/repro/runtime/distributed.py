@@ -29,6 +29,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import Observability
+from ..obs import get as _get_obs
 from ..tfhe.gates import evaluate_gates_batch
 from ..tfhe.keys import CloudKey
 from ..tfhe.lwe import LweCiphertext
@@ -37,6 +39,7 @@ from .executors import (
     CpuBackend,
     ExecutionReport,
     _NodeStore,
+    emit_execution_observability,
 )
 from .scheduler import Schedule, build_schedule, shard_level
 from .shm import ShmActorPool, default_mp_context
@@ -191,9 +194,13 @@ class DistributedCpuBackend:
         pool=None,
         transport: Optional[str] = None,
         trace: bool = False,
+        obs: Optional[Observability] = None,
     ):
         self.cloud_key = cloud_key
         self.trace_enabled = trace
+        #: Explicit observability bundle; ``None`` means the ambient
+        #: one (see :func:`repro.obs.observe`) is consulted per run.
+        self.obs = obs
         self._own_pool = pool is None
         if pool is None:
             pool = make_pool(
@@ -264,6 +271,8 @@ class DistributedCpuBackend:
         schedule: Schedule,
     ) -> Tuple[LweCiphertext, ExecutionReport]:
         params = self.cloud_key.params
+        obs = self.obs or _get_obs()
+        collect = self.trace_enabled or obs.active
         pool_reused = self.pool.run_count > 0
         start = time.perf_counter()
         store = _NodeStore(netlist.num_nodes, params.lwe_dimension)
@@ -293,7 +302,7 @@ class DistributedCpuBackend:
                     store.a[chunk + n_in] = out_a
                     store.b[chunk + n_in] = out_b
                     moved += out_a.nbytes + out_b.nbytes
-                if self.trace_enabled:
+                if collect:
                     trace_events.append(
                         TraceEvent(
                             level=level.index,
@@ -303,11 +312,35 @@ class DistributedCpuBackend:
                             end_s=time.perf_counter() - start,
                         )
                     )
-            for gate_idx in level.free:
-                helper._run_free(netlist, store, int(gate_idx), n_in)
+            if len(level.free):
+                t0 = time.perf_counter()
+                for gate_idx in level.free:
+                    helper._run_free(netlist, store, int(gate_idx), n_in)
+                if collect:
+                    trace_events.append(
+                        TraceEvent(
+                            level=level.index,
+                            kind="free",
+                            gates=len(level.free),
+                            start_s=t0 - start,
+                            end_s=time.perf_counter() - start,
+                        )
+                    )
         outputs = store.get(netlist.outputs)
         elapsed = time.perf_counter() - start
         self.pool.run_count += 1
+        key_bytes = self.pool.consume_key_bytes()
+        if obs.active:
+            emit_execution_observability(
+                obs, self.name, netlist, schedule, trace_events,
+                run_start=start, elapsed=elapsed,
+                ciphertext_bytes_moved=moved,
+            )
+            obs.metrics.inc("tasks_submitted", tasks, transport="pickle")
+            if key_bytes:
+                obs.metrics.inc(
+                    "key_bytes_moved", key_bytes, transport="pickle"
+                )
         report = ExecutionReport(
             backend=self.name,
             gates_total=netlist.num_gates,
@@ -316,7 +349,7 @@ class DistributedCpuBackend:
             wall_time_s=elapsed,
             ciphertext_bytes_moved=moved,
             tasks_submitted=tasks,
-            key_bytes_moved=self.pool.consume_key_bytes(),
+            key_bytes_moved=key_bytes,
             pool_reused=pool_reused,
             transport="pickle",
             trace=trace_events,
@@ -331,6 +364,8 @@ class DistributedCpuBackend:
         schedule: Schedule,
     ) -> Tuple[LweCiphertext, ExecutionReport]:
         params = self.cloud_key.params
+        obs = self.obs or _get_obs()
+        collect = self.trace_enabled or obs.active
         pool = self.pool
         pool_reused = pool.run_count > 0
         start = time.perf_counter()
@@ -353,7 +388,7 @@ class DistributedCpuBackend:
                     done = pool.run_level(level.index)
                     t1 = time.perf_counter()
                     tasks += len(done)
-                    if self.trace_enabled:
+                    if collect:
                         trace_events.append(
                             TraceEvent(
                                 level=level.index,
@@ -376,8 +411,20 @@ class DistributedCpuBackend:
                                     worker=worker_id,
                                 )
                             )
-                for gate_idx in level.free:
-                    helper._run_free(netlist, store, int(gate_idx), n_in)
+                if len(level.free):
+                    t0 = time.perf_counter()
+                    for gate_idx in level.free:
+                        helper._run_free(netlist, store, int(gate_idx), n_in)
+                    if collect:
+                        trace_events.append(
+                            TraceEvent(
+                                level=level.index,
+                                kind="free",
+                                gates=len(level.free),
+                                start_s=t0 - start,
+                                end_s=time.perf_counter() - start,
+                            )
+                        )
             # Fancy indexing copies the outputs out of the shared
             # plane, so they survive the unlink in end_run().
             outputs = LweCiphertext(
@@ -390,6 +437,23 @@ class DistributedCpuBackend:
             pool.end_run()
         elapsed = time.perf_counter() - start
         pool.run_count += 1
+        key_bytes = pool.consume_key_bytes()
+        if obs.active:
+            emit_execution_observability(
+                obs, self.name, netlist, schedule, trace_events,
+                run_start=start, elapsed=elapsed,
+            )
+            obs.metrics.inc("tasks_submitted", tasks, transport="shm")
+            obs.metrics.inc(
+                "control_bytes_moved", control_bytes, transport="shm"
+            )
+            obs.metrics.inc(
+                "plan_bytes_moved", plan_bytes, transport="shm"
+            )
+            if key_bytes:
+                obs.metrics.inc(
+                    "key_bytes_moved", key_bytes, transport="shm"
+                )
         report = ExecutionReport(
             backend=self.name,
             gates_total=netlist.num_gates,
@@ -398,7 +462,7 @@ class DistributedCpuBackend:
             wall_time_s=elapsed,
             ciphertext_bytes_moved=0,
             tasks_submitted=tasks,
-            key_bytes_moved=pool.consume_key_bytes(),
+            key_bytes_moved=key_bytes,
             pool_reused=pool_reused,
             transport="shm",
             extra={

@@ -21,11 +21,95 @@ import numpy as np
 
 from ..gatetypes import Gate
 from ..hdl.netlist import Netlist
+from ..obs import Observability
+from ..obs import get as _get_obs
 from ..tfhe.gates import evaluate_gate, evaluate_gates_batch, trivial_bit
 from ..tfhe.keys import CloudKey
 from ..tfhe.lwe import LweCiphertext
 from ..tfhe.torus import wrap_int32
 from .scheduler import Schedule, build_schedule
+from .trace import TraceEvent
+
+
+def emit_execution_observability(
+    obs: Observability,
+    backend_name: str,
+    netlist: Netlist,
+    schedule: Schedule,
+    events: List[TraceEvent],
+    run_start: float,
+    elapsed: float,
+    ciphertext_bytes_moved: int = 0,
+    instances: int = 1,
+) -> None:
+    """Publish one run's trace events into an observability bundle.
+
+    Shared by every real backend: per-level :class:`TraceEvent` records
+    become tracer spans (chunk events land on per-worker tracks), gate
+    executions feed per-type counters, level durations feed histograms,
+    and — when the bundle carries a noise tracker — each bootstrapped
+    level records its predicted noise margin.
+    """
+    tracer = obs.tracer
+    tracer.add(
+        f"run:{backend_name}", cat="execute",
+        start_s=run_start, end_s=run_start + elapsed,
+        backend=backend_name, gates=netlist.num_gates * instances,
+        bootstrapped=schedule.num_bootstrapped * instances,
+        levels=schedule.depth,
+    )
+    for event in events:
+        extra = {"worker": event.worker} if event.kind == "chunk" else {}
+        tracer.add(
+            f"L{event.level} {event.kind}", cat="execute",
+            start_s=run_start + event.start_s,
+            end_s=run_start + event.end_s,
+            track=(
+                f"worker-{event.worker}" if event.kind == "chunk" else None
+            ),
+            level=event.level, kind=event.kind, gates=event.gates,
+            **extra,
+        )
+        if event.kind == "bootstrap":
+            obs.metrics.observe(
+                "level_bootstrap_ms", event.duration_s * 1e3
+            )
+
+    metrics = obs.metrics
+    codes, counts = np.unique(netlist.ops, return_counts=True)
+    for code, count in zip(codes, counts):
+        metrics.inc(
+            "gates_executed",
+            int(count) * instances,
+            gate=Gate(int(code)).name,
+        )
+    metrics.inc("runs", 1, backend=backend_name)
+    metrics.inc(
+        "bootstrapped_gates", schedule.num_bootstrapped * instances
+    )
+    metrics.inc("levels_executed", schedule.depth)
+    if ciphertext_bytes_moved:
+        metrics.inc("ciphertext_bytes_moved", ciphertext_bytes_moved)
+    if elapsed > 0:
+        metrics.set_gauge(
+            "bootstraps_per_sec",
+            schedule.num_bootstrapped * instances / elapsed,
+            backend=backend_name,
+        )
+
+    if obs.noise is not None:
+        bootstrap_levels = sorted(
+            {e.level for e in events if e.kind == "bootstrap"}
+        )
+        first = bootstrap_levels[0] if bootstrap_levels else None
+        for event in events:
+            if event.kind != "bootstrap":
+                continue
+            obs.noise.record_level(
+                event.level,
+                event.gates * instances,
+                fresh_inputs=event.level == first,
+            )
 
 
 @dataclass
@@ -126,6 +210,7 @@ class CpuBackend:
         batched: bool = False,
         max_batch: Optional[int] = None,
         trace: bool = False,
+        obs: Optional[Observability] = None,
     ):
         if max_batch is not None and max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -133,6 +218,9 @@ class CpuBackend:
         self.batched = batched
         self.max_batch = max_batch
         self.trace_enabled = trace
+        #: Explicit observability bundle; ``None`` means the ambient
+        #: one (see :func:`repro.obs.observe`) is consulted per run.
+        self.obs = obs
         self.name = "cpu-batched" if batched else "cpu-single"
 
     def run(
@@ -153,22 +241,22 @@ class CpuBackend:
             )
         schedule = schedule or build_schedule(netlist)
         params = self.cloud_key.params
+        obs = self.obs or _get_obs()
+        collect = self.trace_enabled or obs.active
         start = time.perf_counter()
         store = _NodeStore(netlist.num_nodes, params.lwe_dimension)
         store.put(np.arange(netlist.num_inputs), inputs)
 
         n_in = netlist.num_inputs
         moved = 0
-        trace_events: List = []
+        trace_events: List[TraceEvent] = []
         for level in schedule.levels:
             if level.width:
                 t0 = time.perf_counter()
                 moved += self._run_bootstrapped(
                     netlist, store, level.bootstrapped, n_in
                 )
-                if self.trace_enabled:
-                    from .trace import TraceEvent
-
+                if collect:
                     trace_events.append(
                         TraceEvent(
                             level=level.index,
@@ -182,9 +270,7 @@ class CpuBackend:
                 t0 = time.perf_counter()
                 for gate_idx in level.free:
                     self._run_free(netlist, store, int(gate_idx), n_in)
-                if self.trace_enabled:
-                    from .trace import TraceEvent
-
+                if collect:
                     trace_events.append(
                         TraceEvent(
                             level=level.index,
@@ -196,6 +282,12 @@ class CpuBackend:
                     )
         outputs = store.get(netlist.outputs)
         elapsed = time.perf_counter() - start
+        if obs.active:
+            emit_execution_observability(
+                obs, self.name, netlist, schedule, trace_events,
+                run_start=start, elapsed=elapsed,
+                ciphertext_bytes_moved=moved,
+            )
         stats_bs = schedule.num_bootstrapped
         report = ExecutionReport(
             backend=self.name,
@@ -234,6 +326,9 @@ class CpuBackend:
             raise ValueError("instances * nodes exceeds the real-FHE limit")
         schedule = schedule or build_schedule(netlist)
         params = self.cloud_key.params
+        obs = self.obs or _get_obs()
+        collect = self.trace_enabled or obs.active
+        trace_events: List[TraceEvent] = []
         start = time.perf_counter()
 
         dim = params.lwe_dimension
@@ -246,6 +341,7 @@ class CpuBackend:
 
         n_in = netlist.num_inputs
         for level in schedule.levels:
+            t_level = time.perf_counter()
             if level.width:
                 ids = level.bootstrapped
                 codes = np.broadcast_to(
@@ -261,6 +357,17 @@ class CpuBackend:
                 out = evaluate_gates_batch(self.cloud_key, codes, ca, cb)
                 store_a[ids + n_in] = out.a
                 store_b[ids + n_in] = out.b
+                if collect:
+                    trace_events.append(
+                        TraceEvent(
+                            level=level.index,
+                            kind="bootstrap",
+                            gates=level.width,
+                            start_s=t_level - start,
+                            end_s=time.perf_counter() - start,
+                        )
+                    )
+            t_free = time.perf_counter()
             for gate_idx in level.free:
                 gate = Gate(int(netlist.ops[gate_idx]))
                 node = n_in + gate_idx
@@ -282,11 +389,27 @@ class CpuBackend:
                     )
                 else:  # pragma: no cover
                     raise AssertionError(f"{gate.name} is not free")
+            if collect and len(level.free):
+                trace_events.append(
+                    TraceEvent(
+                        level=level.index,
+                        kind="free",
+                        gates=len(level.free),
+                        start_s=t_free - start,
+                        end_s=time.perf_counter() - start,
+                    )
+                )
         outputs = LweCiphertext(
             np.swapaxes(store_a[netlist.outputs], 0, 1),
             np.swapaxes(store_b[netlist.outputs], 0, 1),
         )
         elapsed = time.perf_counter() - start
+        if obs.active:
+            emit_execution_observability(
+                obs, f"{self.name}-x{instances}", netlist, schedule,
+                trace_events, run_start=start, elapsed=elapsed,
+                instances=instances,
+            )
         report = ExecutionReport(
             backend=f"{self.name}-x{instances}",
             gates_total=netlist.num_gates * instances,
@@ -294,6 +417,7 @@ class CpuBackend:
             levels=schedule.depth,
             wall_time_s=elapsed,
             tasks_submitted=schedule.depth,
+            trace=trace_events,
         )
         return outputs, report
 

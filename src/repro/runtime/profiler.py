@@ -53,18 +53,34 @@ class GateProfile:
 
 
 def profile_gate(
-    cloud_key: CloudKey, gate: Gate = Gate.NAND, repetitions: int = 5
+    cloud_key: CloudKey,
+    gate: Gate = Gate.NAND,
+    repetitions: int = 5,
+    warmup: int = 1,
 ) -> GateProfile:
     """Time the phases of one bootstrapped gate evaluation.
 
     Uses trivial (noiseless) samples so no secret key is needed — the
-    evaluator-side work is identical.
+    evaluator-side work is identical.  ``warmup`` untimed iterations
+    run first so one-time FFT planning / numpy buffer allocation does
+    not skew the Fig. 7 phase breakdown.
     """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
     params = cloud_key.params
     ca = trivial_bit(True, params)
     cb = trivial_bit(False, params)
     ca = ca.__class__(ca.a[None, :], ca.b[None])
     cb = cb.__class__(cb.a[None, :], cb.b[None])
+
+    for _ in range(max(0, warmup)):
+        warm = gate_linear_input(gate, ca, cb)
+        keyswitch_apply(
+            cloud_key.keyswitching_key,
+            bootstrap_to_extracted(
+                warm, cloud_key.bootstrapping_key, params, MU_GATE
+            ),
+        )
 
     linear_s = 0.0
     rotate_s = 0.0

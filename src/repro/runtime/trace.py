@@ -3,6 +3,13 @@
 The GPU/cluster simulators produce *modeled* timelines (Figs. 8/9);
 this records *actual* ones from the local backends, for profiling
 where a program's wall time goes level by level.
+
+This is the legacy per-run view: backends still populate
+``ExecutionReport.trace`` with :class:`TraceEvent` records as a
+compatibility shim, but the same timings now also flow into the
+unified observability layer (:mod:`repro.obs`) as tracer spans, where
+they gain process/thread ids, per-worker tracks, and Chrome-trace /
+JSONL export.
 """
 
 from __future__ import annotations
@@ -43,11 +50,14 @@ def summarize(events: List[TraceEvent]) -> dict:
     bootstrap_s = sum(e.duration_s for e in bootstrap)
     free_s = sum(e.duration_s for e in free)
     # Chunk events run concurrently inside their level, so the
-    # bootstrap fraction is taken over level time only.
+    # bootstrap fraction is taken over level time only; ``total_s``
+    # still sums every event (chunks double-count their level), while
+    # ``level_s`` is the non-overlapping driver-side wall estimate.
     level_s = bootstrap_s + free_s
     return {
         "levels": len(bootstrap),
         "total_s": total,
+        "level_s": level_s,
         "bootstrap_s": bootstrap_s,
         "free_s": free_s,
         "chunk_events": len(chunks),
@@ -58,13 +68,19 @@ def summarize(events: List[TraceEvent]) -> dict:
 
 
 def render(events: List[TraceEvent], width: int = 60) -> str:
-    """ASCII Gantt chart of a trace (one row per level)."""
+    """ASCII Gantt chart of a trace (one row per event).
+
+    Events render in start-time order regardless of how the backend
+    appended them, so concurrently-recorded chunk rows interleave
+    correctly with their enclosing bootstrap row.
+    """
     if not events:
         return "(empty trace)"
+    events = sorted(events, key=lambda e: (e.start_s, e.end_s))
     t0 = min(e.start_s for e in events)
     t1 = max(e.end_s for e in events)
     span = max(t1 - t0, 1e-9)
-    glyphs = {"bootstrap": "#", "chunk": "="}
+    glyphs = {"bootstrap": "#", "chunk": "=", "free": "-"}
     lines = []
     for event in events:
         begin = int((event.start_s - t0) / span * width)

@@ -17,6 +17,25 @@ import numpy as np
 from ..gatetypes import Gate
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import NO_INPUT, Netlist
+from ..obs import get as _get_obs
+
+
+def _record_pass(
+    name: str,
+    source: Netlist,
+    result: Netlist,
+    cse_hits: int = 0,
+) -> None:
+    """Report one pass's gate delta to the ambient metrics registry."""
+    ob = _get_obs()
+    if not ob.active:
+        return
+    removed = source.num_gates - result.num_gates
+    ob.metrics.inc("synth_pass_runs", 1, **{"pass": name})
+    ob.metrics.inc("synth_gates_removed", removed, **{"pass": name})
+    if cse_hits:
+        ob.metrics.inc("synth_cse_hits", cse_hits, **{"pass": name})
+    ob.metrics.observe("synth_gates_out", result.num_gates, **{"pass": name})
 
 
 def reachable_mask(netlist: Netlist) -> np.ndarray:
@@ -70,7 +89,14 @@ def dead_gate_elimination(netlist: Netlist) -> Netlist:
         absorb_inverters=False,
         name=netlist.name,
     )
-    return _replay(netlist, builder, only_reachable=True)
+    with _get_obs().tracer.span(
+        "synth:dead_gate_elimination", cat="compile",
+        gates_in=netlist.num_gates,
+    ) as sp:
+        result = _replay(netlist, builder, only_reachable=True)
+        sp.args["gates_out"] = result.num_gates
+    _record_pass("dead_gate_elimination", netlist, result)
+    return result
 
 
 def optimize(
@@ -86,10 +112,19 @@ def optimize(
         absorb_inverters=absorb_inverters,
         name=netlist.name,
     )
-    rewritten = _replay(netlist, builder, only_reachable=True)
-    # Folding/absorption can orphan gates (e.g. a NOT whose only user
-    # was absorbed into a composite); sweep them.
-    return dead_gate_elimination(rewritten)
+    with _get_obs().tracer.span(
+        "synth:optimize", cat="compile", gates_in=netlist.num_gates,
+        fold_constants=fold_constants, share_structure=share_structure,
+        absorb_inverters=absorb_inverters,
+    ) as sp:
+        rewritten = _replay(netlist, builder, only_reachable=True)
+        # Folding/absorption can orphan gates (e.g. a NOT whose only
+        # user was absorbed into a composite); sweep them.
+        result = dead_gate_elimination(rewritten)
+        sp.args["gates_out"] = result.num_gates
+        sp.args["cse_hits"] = builder.cse_hits
+    _record_pass("optimize", netlist, result, cse_hits=builder.cse_hits)
+    return result
 
 
 def structural_hash(netlist: Netlist) -> Netlist:
@@ -160,29 +195,36 @@ def restrict_gate_set(
             return builder.gate(Gate.NOT, emit(base, a, b))
         return builder.gate(base, a, b)
 
-    mapping: List[int] = [0] * netlist.num_nodes
-    for i in range(netlist.num_inputs):
-        mapping[i] = builder.input(netlist.input_names[i])
-    n_in = netlist.num_inputs
-    for idx in range(netlist.num_gates):
-        gate = Gate(int(netlist.ops[idx]))
-        a = int(netlist.in0[idx])
-        b = int(netlist.in1[idx])
-        if gate.arity == 0:
-            if gate not in allowed_set and gate not in (
-                Gate.CONST0,
-                Gate.CONST1,
-            ):
-                raise ValueError(f"cannot decompose {gate.name}")
-            mapping[n_in + idx] = builder.gate(gate)
-        elif gate.arity == 1:
-            target = mapping[a]
-            if gate is Gate.BUF:
-                mapping[n_in + idx] = builder.gate(Gate.BUF, target)
+    with _get_obs().tracer.span(
+        "synth:restrict_gate_set", cat="compile",
+        gates_in=netlist.num_gates,
+    ) as sp:
+        mapping: List[int] = [0] * netlist.num_nodes
+        for i in range(netlist.num_inputs):
+            mapping[i] = builder.input(netlist.input_names[i])
+        n_in = netlist.num_inputs
+        for idx in range(netlist.num_gates):
+            gate = Gate(int(netlist.ops[idx]))
+            a = int(netlist.in0[idx])
+            b = int(netlist.in1[idx])
+            if gate.arity == 0:
+                if gate not in allowed_set and gate not in (
+                    Gate.CONST0,
+                    Gate.CONST1,
+                ):
+                    raise ValueError(f"cannot decompose {gate.name}")
+                mapping[n_in + idx] = builder.gate(gate)
+            elif gate.arity == 1:
+                target = mapping[a]
+                if gate is Gate.BUF:
+                    mapping[n_in + idx] = builder.gate(Gate.BUF, target)
+                else:
+                    mapping[n_in + idx] = builder.gate(Gate.NOT, target)
             else:
-                mapping[n_in + idx] = builder.gate(Gate.NOT, target)
-        else:
-            mapping[n_in + idx] = emit(gate, mapping[a], mapping[b])
-    for out, name in zip(netlist.outputs, netlist.output_names):
-        builder.output(mapping[int(out)], name)
-    return builder.build()
+                mapping[n_in + idx] = emit(gate, mapping[a], mapping[b])
+        for out, name in zip(netlist.outputs, netlist.output_names):
+            builder.output(mapping[int(out)], name)
+        result = builder.build()
+        sp.args["gates_out"] = result.num_gates
+    _record_pass("restrict_gate_set", netlist, result)
+    return result

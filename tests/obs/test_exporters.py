@@ -1,0 +1,145 @@
+"""Chrome-trace / JSONL exporter tests, including the CI schema gate."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    jsonl_lines,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture()
+def tracer():
+    tracer = Tracer()
+    now = tracer.now()
+    tracer.add("L1 bootstrap", cat="execute",
+               start_s=now, end_s=now + 0.05, level=1)
+    tracer.add("L1 chunk", cat="execute",
+               start_s=now, end_s=now + 0.04,
+               track="worker-0", worker=0)
+    tracer.add("L1 chunk", cat="execute",
+               start_s=now, end_s=now + 0.045,
+               track="worker-1", worker=1)
+    tracer.instant("checkpoint", cat="execute")
+    return tracer
+
+
+class TestChromeExport:
+    def test_span_becomes_complete_event(self, tracer):
+        events = chrome_trace_events(tracer)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        boot = next(e for e in spans if e["name"] == "L1 bootstrap")
+        assert boot["ts"] >= 0
+        assert boot["dur"] == pytest.approx(0.05e6, rel=1e-3)
+        assert boot["args"] == {"level": 1}
+
+    def test_tracked_spans_get_synthetic_tids(self, tracer):
+        events = chrome_trace_events(tracer)
+        chunk_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and e["name"] == "L1 chunk"
+        }
+        assert all(tid >= 10_000 for tid in chunk_tids)
+        assert len(chunk_tids) == 2
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {
+            "worker-0", "worker-1"
+        }
+        # One metadata row per track, tid matching its chunk span.
+        assert {e["tid"] for e in meta} == chunk_tids
+
+    def test_untracked_spans_use_small_tids(self, tracer):
+        events = chrome_trace_events(tracer)
+        boot = next(e for e in events if e["name"] == "L1 bootstrap")
+        assert boot["tid"] < 10_000
+
+    def test_instant_event(self, tracer):
+        events = chrome_trace_events(tracer)
+        markers = [e for e in events if e["ph"] == "i"]
+        assert len(markers) == 1
+        assert markers[0]["name"] == "checkpoint"
+
+    def test_document_form_and_metrics(self, tracer):
+        metrics = MetricsRegistry()
+        metrics.inc("runs")
+        doc = to_chrome_trace(tracer, metrics)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["metrics"]["counters"]["runs"] == 1
+
+    def test_write_round_trip(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+
+
+class TestJsonl:
+    def test_one_record_per_event(self, tracer):
+        lines = jsonl_lines(tracer)
+        records = [json.loads(line) for line in lines]
+        assert sum(r["type"] == "span" for r in records) == 3
+        assert sum(r["type"] == "instant" for r in records) == 1
+        chunk = next(
+            r for r in records if r.get("track") == "worker-0"
+        )
+        assert chunk["args"]["worker"] == 0
+
+    def test_write_jsonl(self, tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+
+
+class TestValidateChromeTrace:
+    def test_accepts_exporter_output(self, tracer):
+        assert validate_chrome_trace(to_chrome_trace(tracer)) == 6
+
+    def test_accepts_bare_array(self, tracer):
+        assert validate_chrome_trace(chrome_trace_events(tracer)) == 6
+
+    @pytest.mark.parametrize(
+        "bad, message",
+        [
+            ({"noTraceEvents": []}, "traceEvents"),
+            ({"traceEvents": "nope"}, "list"),
+            ([{"ph": "X", "pid": 1, "tid": 1}], "name"),
+            (
+                [{"name": "x", "ph": "Q", "pid": 1, "tid": 1}],
+                "phase",
+            ),
+            (
+                [{"name": "x", "ph": "X", "pid": 1, "tid": "main"}],
+                "int",
+            ),
+            (
+                [{"name": "x", "ph": "X", "pid": 1, "tid": 1,
+                  "ts": -5.0, "dur": 1.0}],
+                "ts",
+            ),
+            (
+                [{"name": "x", "ph": "X", "pid": 1, "tid": 1,
+                  "ts": 0.0}],
+                "dur",
+            ),
+            (
+                [{"name": "thread_name", "ph": "M", "pid": 1,
+                  "tid": 1, "args": {}}],
+                "args.name",
+            ),
+        ],
+    )
+    def test_rejects_malformed(self, bad, message):
+        with pytest.raises(ValueError, match=message):
+            validate_chrome_trace(bad)

@@ -1,0 +1,86 @@
+"""Metrics registry unit tests."""
+
+import json
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("runs")
+        reg.inc("runs", 2)
+        assert reg.counter_value("runs") == 3
+
+    def test_labels_are_separate_series(self):
+        reg = MetricsRegistry()
+        reg.inc("gates", 5, gate="NAND")
+        reg.inc("gates", 2, gate="XOR")
+        assert reg.counter_value("gates", gate="NAND") == 5
+        assert reg.counter_value("gates", gate="XOR") == 2
+        assert reg.counter_value("gates") == 0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("m", 1, a="x", b="y")
+        reg.inc("m", 1, b="y", a="x")
+        assert reg.counter_value("m", a="x", b="y") == 2
+
+    def test_counters_named(self):
+        reg = MetricsRegistry()
+        reg.inc("gates", 1, gate="AND")
+        reg.inc("other", 9)
+        named = reg.counters_named("gates")
+        assert named == {"gates{gate=AND}": 1}
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("rate", 10.0, backend="cpu")
+        reg.set_gauge("rate", 20.0, backend="cpu")
+        assert reg.gauge_value("rate", backend="cpu") == 20.0
+        assert reg.gauge_value("missing") is None
+
+    def test_histogram_summary_stats(self):
+        reg = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            reg.observe("latency_ms", value)
+        stats = reg.as_dict()["histograms"]["latency_ms"]
+        assert stats["count"] == 3
+        assert stats["sum"] == 6.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["mean"] == 2.0
+
+
+class TestRendering:
+    def test_as_dict_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.inc("gates", 3, gate="NAND")
+        reg.set_gauge("rate", 1.5)
+        reg.observe("h", 2.0)
+        doc = json.loads(reg.to_json())
+        assert doc["counters"]["gates{gate=NAND}"] == 3
+        assert doc["gauges"]["rate"] == 1.5
+        assert doc["histograms"]["h"]["count"] == 1
+
+    def test_render_text(self):
+        reg = MetricsRegistry()
+        reg.inc("gates", 3, gate="NAND")
+        text = reg.render_text()
+        assert "counter   gates{gate=NAND} = 3" in text
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == "(no metrics)"
+
+
+class TestNullMetrics:
+    def test_writes_are_discarded(self):
+        NULL_METRICS.inc("runs")
+        NULL_METRICS.set_gauge("g", 1.0)
+        NULL_METRICS.observe("h", 1.0)
+        assert NULL_METRICS.counter_value("runs") == 0
+        assert NULL_METRICS.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

@@ -1,0 +1,62 @@
+"""Noise-budget telemetry tests."""
+
+import json
+
+from repro.obs import NoiseTracker
+from repro.tfhe import TFHE_TEST
+from repro.tfhe.noise import level_noise_budget
+
+
+class TestNoiseTracker:
+    def test_record_matches_analytic_budget(self):
+        tracker = NoiseTracker(TFHE_TEST)
+        record = tracker.record_level(1, gates=8, fresh_inputs=True)
+        budget = level_noise_budget(TFHE_TEST, fresh_inputs=True)
+        assert record.decision_std**2 == budget.decision_variance
+        assert record.margin == budget.decision_margin
+        assert record.margin_sigmas == (
+            budget.decision_margin / record.decision_std
+        )
+
+    def test_fresh_level_has_more_margin(self):
+        tracker = NoiseTracker(TFHE_TEST)
+        fresh = tracker.record_level(1, gates=8, fresh_inputs=True)
+        later = tracker.record_level(2, gates=8, fresh_inputs=False)
+        assert fresh.margin_sigmas > later.margin_sigmas
+
+    def test_worst_picks_min_margin(self):
+        tracker = NoiseTracker(TFHE_TEST)
+        tracker.record_level(1, gates=8, fresh_inputs=True)
+        later = tracker.record_level(2, gates=8, fresh_inputs=False)
+        assert tracker.worst is later
+
+    def test_worst_empty_is_none(self):
+        assert NoiseTracker(TFHE_TEST).worst is None
+
+    def test_flagging_threshold(self):
+        # TFHE_TEST has comfortable margins, so nothing flags at the
+        # default threshold ...
+        relaxed = NoiseTracker(TFHE_TEST)
+        relaxed.record_level(1, gates=8, fresh_inputs=False)
+        assert not relaxed.any_flagged()
+        assert relaxed.records[0].ok
+        # ... but an absurdly strict threshold trips the flag.
+        strict = NoiseTracker(TFHE_TEST, warn_sigmas=1e9)
+        record = strict.record_level(1, gates=8, fresh_inputs=False)
+        assert not record.ok
+        assert strict.any_flagged()
+
+    def test_as_dict_is_json_serializable(self):
+        tracker = NoiseTracker(TFHE_TEST)
+        tracker.record_level(1, gates=8, fresh_inputs=True)
+        doc = json.loads(json.dumps(tracker.as_dict()))
+        assert doc["params"] == TFHE_TEST.name
+        assert doc["levels"][0]["level"] == 1
+        assert doc["any_flagged"] is False
+
+    def test_render_text(self):
+        tracker = NoiseTracker(TFHE_TEST)
+        assert "no noise records" in tracker.render_text()
+        tracker.record_level(1, gates=8, fresh_inputs=True)
+        text = tracker.render_text()
+        assert "L1" in text and "yes" in text
