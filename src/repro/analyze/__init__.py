@@ -1,0 +1,78 @@
+"""Compile-time circuit verification for PyTFHE programs.
+
+A rule-based, multi-pass static analyzer over netlists and packed
+binaries, with three analysis families:
+
+* **structural lint** (``SL``) — combinational loops, dangling or
+  stray operands, dead/duplicate gates, constant-foldable residues;
+* **schedule & hazard checking** (``HZ``/``IS``) — BFS-level legality
+  and read-before-write / write-after-write / intra-level races over
+  the result plane, plus packed instruction-stream discipline;
+* **static noise certification** (``NB``) — per-level decision-margin
+  prediction that fails compilation below a sigma threshold.
+
+Typical use::
+
+    from repro.analyze import AnalyzerConfig, analyze_netlist
+    from repro.tfhe import TFHE_DEFAULT_128
+
+    analysis = analyze_netlist(
+        netlist, AnalyzerConfig(params=TFHE_DEFAULT_128)
+    )
+    analysis.report.raise_on_errors()
+
+or from the shell: ``python -m repro.cli check program.pytfhe``.
+"""
+
+from .analyzer import (
+    Analysis,
+    AnalyzerConfig,
+    DEFAULT_CONFIG,
+    analyze_binary,
+    analyze_netlist,
+)
+from .findings import (
+    AnalysisError,
+    Collector,
+    Finding,
+    Report,
+    Severity,
+)
+from .hazards import check_program, check_schedule
+from .noisecert import LevelCertificate, NoiseCertificate, certify_noise
+from .passcheck import (
+    DEFAULT_PASSES,
+    PassCheckRecord,
+    PassCheckResult,
+    run_checked_passes,
+)
+from .rules import RULES, Rule, catalog_by_family, rule
+from .structural import CircuitFacts, check_structure
+
+__all__ = [
+    "Analysis",
+    "AnalysisError",
+    "AnalyzerConfig",
+    "CircuitFacts",
+    "Collector",
+    "DEFAULT_CONFIG",
+    "DEFAULT_PASSES",
+    "Finding",
+    "LevelCertificate",
+    "NoiseCertificate",
+    "PassCheckRecord",
+    "PassCheckResult",
+    "Report",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze_binary",
+    "analyze_netlist",
+    "catalog_by_family",
+    "certify_noise",
+    "check_program",
+    "check_schedule",
+    "check_structure",
+    "rule",
+    "run_checked_passes",
+]

@@ -1,0 +1,309 @@
+"""Schedule legality and data-hazard detection (``HZ``/``IS`` families).
+
+Two subjects are checked:
+
+* A :class:`~repro.runtime.scheduler.Schedule` against its netlist.
+  The checker replays the schedule over a model of the shared-memory
+  result plane (one slot per node, inputs pre-written): every slot
+  must be written exactly once, every read must land on a slot written
+  *before* the reading instruction can execute, and a bootstrapped
+  gate must never read a slot its own level's parallel batch writes —
+  that read races the write across workers.
+
+* A packed 128-bit instruction stream (:mod:`repro.isa.encoding`),
+  walked leniently so a corrupt binary yields findings with byte
+  offsets instead of a parse exception.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..gatetypes import Gate
+from ..hdl.netlist import Netlist
+from ..isa.encoding import (
+    FIELD_ALL_ONES,
+    INPUT_MARKER,
+    INSTRUCTION_BYTES,
+    OUTPUT_MARKER,
+    TYPE_MASK,
+)
+from ..runtime.scheduler import Schedule
+from .findings import Collector
+from .rules import RULES
+
+_NEVER = -1  # slot not written yet
+_INPUT_LEVEL = -2  # slot pre-written with a circuit input
+
+
+def check_schedule(
+    netlist: Netlist,
+    schedule: Schedule,
+    collector: Optional[Collector] = None,
+) -> Collector:
+    """Race/coverage-check ``schedule`` against ``netlist``."""
+    col = collector if collector is not None else Collector()
+    n_in = netlist.num_inputs
+    num_nodes = netlist.num_nodes
+    ops = netlist.ops
+    in0 = netlist.in0
+    in1 = netlist.in1
+
+    # written_at[node] = level index whose execution wrote the slot.
+    written_at = [_NEVER] * num_nodes
+    for i in range(n_in):
+        written_at[i] = _INPUT_LEVEL
+    write_count = [0] * num_nodes
+
+    def operands_of(gate_idx: int) -> List[int]:
+        gate = Gate(int(ops[gate_idx]))
+        if gate.arity == 0:
+            return []
+        if gate.arity == 1:
+            return [int(in0[gate_idx])]
+        return [int(in0[gate_idx]), int(in1[gate_idx])]
+
+    def record_write(gate_idx: int, level_index: int) -> None:
+        node = n_in + gate_idx
+        write_count[node] += 1
+        if write_count[node] > 1:
+            col.add(
+                RULES["HZ002"],
+                f"result-plane slot {node} is written {write_count[node]} "
+                f"times (gate {node} scheduled again at level "
+                f"{level_index})",
+                node=node,
+                level=level_index,
+                fix_hint="each gate must appear in exactly one level, once",
+            )
+        else:
+            written_at[node] = level_index
+
+    for level in schedule.levels:
+        batch_nodes = {n_in + int(g) for g in level.bootstrapped}
+        for gate_idx in level.bootstrapped:
+            gate_idx = int(gate_idx)
+            node = n_in + gate_idx
+            gate = Gate(int(ops[gate_idx]))
+            if not gate.needs_bootstrap:
+                col.add(
+                    RULES["HZ006"],
+                    f"free gate {node} ({gate.name}) is listed in level "
+                    f"{level.index}'s bootstrapped batch",
+                    node=node,
+                    level=level.index,
+                )
+            for operand in operands_of(gate_idx):
+                if not (0 <= operand < num_nodes):
+                    continue  # structural lint owns malformed edges
+                if written_at[operand] == _NEVER:
+                    if operand in batch_nodes:
+                        col.add(
+                            RULES["HZ004"],
+                            f"bootstrapped gate {node} ({gate.name}) reads "
+                            f"slot {operand}, which is written by the same "
+                            f"level-{level.index} batch — parallel "
+                            "read/write race",
+                            node=node,
+                            level=level.index,
+                            fix_hint="the producer must land in an earlier "
+                            "level",
+                        )
+                    else:
+                        col.add(
+                            RULES["HZ003"],
+                            f"gate {node} ({gate.name}) reads slot "
+                            f"{operand}, which is never written before "
+                            f"level {level.index}",
+                            node=node,
+                            level=level.index,
+                            fix_hint="schedule the producer in an earlier "
+                            "level",
+                        )
+        # The bootstrapped batch commits in parallel, then free gates
+        # run in listed order (executors' contract).
+        for gate_idx in level.bootstrapped:
+            record_write(int(gate_idx), level.index)
+        for gate_idx in level.free:
+            gate_idx = int(gate_idx)
+            node = n_in + gate_idx
+            gate = Gate(int(ops[gate_idx]))
+            if gate.needs_bootstrap:
+                col.add(
+                    RULES["HZ006"],
+                    f"bootstrapped gate {node} ({gate.name}) is listed in "
+                    f"level {level.index}'s free batch",
+                    node=node,
+                    level=level.index,
+                )
+            for operand in operands_of(gate_idx):
+                if not (0 <= operand < num_nodes):
+                    continue
+                if written_at[operand] == _NEVER:
+                    col.add(
+                        RULES["HZ003"],
+                        f"free gate {node} ({gate.name}) reads slot "
+                        f"{operand}, which is not yet written at its "
+                        f"position in level {level.index}",
+                        node=node,
+                        level=level.index,
+                        fix_hint="free gates execute in listed order; the "
+                        "producer must come first",
+                    )
+            record_write(gate_idx, level.index)
+
+    for gate_idx in range(netlist.num_gates):
+        node = n_in + gate_idx
+        if write_count[node] == 0:
+            col.add(
+                RULES["HZ001"],
+                f"gate {node} ({Gate(int(ops[gate_idx])).name}) appears in "
+                "no schedule level; its slot is never written",
+                node=node,
+                fix_hint="rebuild the schedule with "
+                "runtime.build_schedule",
+            )
+
+    for pos, out in enumerate(netlist.outputs):
+        out = int(out)
+        if 0 <= out < num_nodes and written_at[out] == _NEVER:
+            col.add(
+                RULES["HZ005"],
+                f"output {pos} ({netlist.output_names[pos]!r}) reads slot "
+                f"{out}, which no scheduled instruction writes",
+                node=out,
+            )
+    return col
+
+
+# ----------------------------------------------------------------------
+# Packed 128-bit instruction stream
+# ----------------------------------------------------------------------
+def check_program(
+    data: bytes, collector: Optional[Collector] = None
+) -> Collector:
+    """Hazard-check a packed PyTFHE binary without constructing a netlist.
+
+    Node indices are the serialized 1-based kind of paper Fig. 6; a
+    gate may only read indices defined strictly earlier in the stream,
+    which is exactly the read-before-write discipline of the result
+    plane.
+    """
+    col = collector if collector is not None else Collector()
+    if len(data) % INSTRUCTION_BYTES:
+        col.add(
+            RULES["IS001"],
+            f"binary length {len(data)} is not a multiple of "
+            f"{INSTRUCTION_BYTES} bytes",
+            fix_hint="the stream is truncated or padded",
+        )
+        return col
+    if not data:
+        col.add(RULES["IS001"], "binary is empty (no header instruction)")
+        return col
+
+    words = [
+        int.from_bytes(data[i : i + INSTRUCTION_BYTES], "little")
+        for i in range(0, len(data), INSTRUCTION_BYTES)
+    ]
+
+    header_word = words[0]
+    header_nibble = header_word & TYPE_MASK
+    header_f0 = (header_word >> 66) & FIELD_ALL_ONES
+    claimed_gates = (header_word >> 4) & FIELD_ALL_ONES
+    if header_nibble != 0 or header_f0 != 0:
+        col.add(
+            RULES["IS001"],
+            "first instruction is not a well-formed header "
+            f"(nibble={header_nibble:#x}, field0={header_f0})",
+            offset=0,
+        )
+
+    state = "inputs"
+    next_index = 0  # last defined 1-based node index
+    gate_count = 0
+    for position, word in enumerate(words[1:], start=1):
+        offset = position * INSTRUCTION_BYTES
+        nibble = word & TYPE_MASK
+        field1 = (word >> 4) & FIELD_ALL_ONES
+        field0 = (word >> 66) & FIELD_ALL_ONES
+        if field0 == FIELD_ALL_ONES and nibble == INPUT_MARKER:
+            if state != "inputs":
+                col.add(
+                    RULES["IS003"],
+                    f"input instruction after {state} began",
+                    offset=offset,
+                )
+            next_index += 1
+            continue
+        if field0 == FIELD_ALL_ONES and nibble == OUTPUT_MARKER:
+            state = "outputs"
+            if not (1 <= field1 <= next_index):
+                col.add(
+                    RULES["IS006"],
+                    f"output references node {field1}; the stream defines "
+                    f"nodes 1..{next_index}",
+                    offset=offset,
+                )
+            continue
+        # Gate instruction (or garbage nibble).
+        try:
+            gate = Gate(nibble)
+        except ValueError:
+            col.add(
+                RULES["IS001"],
+                f"unknown instruction nibble {nibble:#x}",
+                offset=offset,
+            )
+            next_index += 1  # the slot is still consumed by position
+            gate_count += 1
+            continue
+        if state == "outputs":
+            col.add(
+                RULES["IS003"],
+                f"gate instruction ({gate.name}) after outputs began",
+                offset=offset,
+            )
+        state = "gates"
+        next_index += 1
+        gate_count += 1
+        node = next_index
+        for slot, value in (("field0", field0), ("field1", field1)):
+            required = gate.arity >= (1 if slot == "field0" else 2)
+            if value == FIELD_ALL_ONES:
+                if required:
+                    col.add(
+                        RULES["IS005"],
+                        f"gate {node} ({gate.name}, arity {gate.arity}) "
+                        f"carries the unused-operand marker in {slot}",
+                        node=node,
+                        offset=offset,
+                    )
+                continue
+            if not required:
+                col.add(
+                    RULES["IS005"],
+                    f"gate {node} ({gate.name}, arity {gate.arity}) "
+                    f"carries operand {value} in unused {slot}",
+                    node=node,
+                    offset=offset,
+                )
+                continue
+            if not (1 <= value < node):
+                col.add(
+                    RULES["IS004"],
+                    f"gate {node} ({gate.name}) reads node {value}, which "
+                    f"is not defined before it (defined: 1..{node - 1})",
+                    node=node,
+                    offset=offset,
+                    fix_hint="operands must reference strictly earlier "
+                    "instructions",
+                )
+    if gate_count != claimed_gates:
+        col.add(
+            RULES["IS002"],
+            f"header claims {claimed_gates} gates, stream holds "
+            f"{gate_count}",
+            offset=0,
+        )
+    return col

@@ -1,0 +1,194 @@
+"""``--check-passes``: localize a broken synthesis pass (``PC`` family).
+
+Runs a pipeline of named netlist->netlist passes and, between every
+pair of passes, (a) re-runs the static analyzer on the intermediate
+netlist and (b) spot-checks combinational equivalence against the
+pass's input.  The first pass whose output fails either check is named
+in the result — turning "the compiled circuit decrypts to garbage"
+into "``absorb_inverters`` broke node 1042".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..hdl.netlist import Netlist
+from ..synth.equivalence import EquivalenceResult, check_equivalence
+from ..synth.passes import dead_gate_elimination, optimize, structural_hash
+from .analyzer import AnalyzerConfig, DEFAULT_CONFIG, analyze_netlist
+from .findings import Collector, Report
+from .rules import RULES
+
+NetlistPass = Callable[[Netlist], Netlist]
+
+#: The stock synthesis pipeline, as (name, pass) pairs.
+DEFAULT_PASSES: Tuple[Tuple[str, NetlistPass], ...] = (
+    ("structural_hash", structural_hash),
+    ("optimize", optimize),
+    ("dead_gate_elimination", dead_gate_elimination),
+)
+
+
+@dataclass
+class PassCheckRecord:
+    """Everything observed about one executed pass."""
+
+    pass_name: str
+    gates_before: int
+    gates_after: Optional[int]
+    report: Optional[Report]
+    equivalence: Optional[EquivalenceResult]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None:
+            return False
+        if self.report is not None and self.report.has_errors:
+            return False
+        if self.equivalence is not None and not self.equivalence.equivalent:
+            return False
+        return True
+
+
+@dataclass
+class PassCheckResult:
+    """The outcome of one checked pipeline run."""
+
+    records: List[PassCheckRecord]
+    report: Report
+    final: Optional[Netlist]
+
+    @property
+    def ok(self) -> bool:
+        return all(record.ok for record in self.records)
+
+    @property
+    def first_failure(self) -> Optional[PassCheckRecord]:
+        for record in self.records:
+            if not record.ok:
+                return record
+        return None
+
+    @property
+    def failing_pass(self) -> Optional[str]:
+        failure = self.first_failure
+        return failure.pass_name if failure else None
+
+    def render_text(self) -> str:
+        lines = ["== pass check =="]
+        for record in self.records:
+            status = "ok" if record.ok else "FAILED"
+            gates = (
+                f"{record.gates_before} -> {record.gates_after}"
+                if record.gates_after is not None
+                else f"{record.gates_before} -> (crashed)"
+            )
+            detail = ""
+            if record.error is not None:
+                detail = f"  ({record.error})"
+            elif record.equivalence is not None and not record.equivalence:
+                detail = (
+                    "  (not equivalent after "
+                    f"{record.equivalence.vectors_checked} vectors)"
+                )
+            elif record.report is not None and record.report.has_errors:
+                first = record.report.errors()[0]
+                detail = f"  ({first.rule}: {first.message})"
+            lines.append(
+                f"  {record.pass_name:24s} gates {gates:>16s}  "
+                f"{status}{detail}"
+            )
+        failing = self.failing_pass
+        if failing:
+            lines.append(f"first failing pass: {failing}")
+        else:
+            lines.append("all passes clean")
+        return "\n".join(lines)
+
+
+def run_checked_passes(
+    netlist: Netlist,
+    passes: Sequence[Tuple[str, NetlistPass]] = DEFAULT_PASSES,
+    config: AnalyzerConfig = DEFAULT_CONFIG,
+    random_trials: int = 256,
+    seed: int = 0,
+    stop_on_failure: bool = True,
+) -> PassCheckResult:
+    """Run ``passes`` over ``netlist`` with analyzer + equivalence gates.
+
+    ``stop_on_failure`` (default) halts at the first offending pass so
+    later passes are not blamed for inherited corruption; the combined
+    report still carries one ``PC00x`` finding per detected failure.
+    """
+    col = Collector(max_per_rule=config.max_findings_per_rule)
+    records: List[PassCheckRecord] = []
+    current = netlist
+    for pass_name, pass_fn in passes:
+        before = current.num_gates
+        try:
+            result = pass_fn(current)
+        except Exception as exc:  # noqa: BLE001 - reported as a finding
+            col.add(
+                RULES["PC003"],
+                f"pass {pass_name!r} raised "
+                f"{type(exc).__name__}: {exc}",
+                fix_hint="run the pass standalone under a debugger",
+            )
+            records.append(
+                PassCheckRecord(
+                    pass_name=pass_name,
+                    gates_before=before,
+                    gates_after=None,
+                    report=None,
+                    equivalence=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            if stop_on_failure:
+                break
+            continue
+        analysis = analyze_netlist(result, config)
+        if analysis.report.has_errors:
+            first = analysis.report.errors()[0]
+            col.add(
+                RULES["PC002"],
+                f"pass {pass_name!r} produced a netlist with "
+                f"{len(analysis.report.errors())} error finding(s); "
+                f"first: {first.rule}: {first.message}",
+            )
+        equivalence = check_equivalence(
+            current, result, random_trials=random_trials, seed=seed
+        )
+        if not equivalence.equivalent:
+            counterexample = (
+                equivalence.counterexample.astype(int).tolist()
+                if equivalence.counterexample is not None
+                else None
+            )
+            col.add(
+                RULES["PC001"],
+                f"pass {pass_name!r} changed circuit semantics "
+                f"(counterexample input: {counterexample})",
+                fix_hint="the rewrite is unsound; bisect the pass",
+            )
+        record = PassCheckRecord(
+            pass_name=pass_name,
+            gates_before=before,
+            gates_after=result.num_gates,
+            report=analysis.report,
+            equivalence=equivalence,
+        )
+        records.append(record)
+        if not record.ok and stop_on_failure:
+            break
+        current = result
+    # Non-PC findings of intermediate netlists live in the per-record
+    # reports; the top-level report is the pass verdicts only.
+    report = col.into_report(netlist.name, ["passcheck"])
+    return PassCheckResult(
+        records=records,
+        report=report,
+        final=current if records and records[-1].ok else None,
+    )

@@ -9,7 +9,7 @@ variant for fast unit testing.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -49,7 +49,10 @@ def attention_reference(layer: SelfAttention, x: np.ndarray) -> np.ndarray:
 
 
 def attention_workload(
-    hidden: int, seq_len: int = _SEQ_LEN, name: str = None, atol: float = 0.25
+    hidden: int,
+    seq_len: int = _SEQ_LEN,
+    name: Optional[str] = None,
+    atol: float = 0.25,
 ) -> Workload:
     name = name or f"attention_h{hidden}"
     layer = SelfAttention(hidden=hidden, seq_len=seq_len, seed=hidden)

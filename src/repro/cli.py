@@ -3,6 +3,10 @@
 A small operator toolbox around the library:
 
 * ``compile``  — compile a built-in workload to a PyTFHE binary file;
+* ``check``    — static analysis of a binary or workload: structural
+  lint, schedule/hazard race detection, and noise-budget certification
+  (text or ``--json`` report, non-zero exit on gating findings;
+  ``--check-passes`` re-checks between synthesis passes);
 * ``disasm``   — textual listing of a PyTFHE binary;
 * ``stats``    — gate statistics of a binary;
 * ``estimate`` — backend runtime estimates for a binary (paper model);
@@ -56,6 +60,116 @@ def cmd_compile(args) -> int:
         f"bootstrapped, depth {stats.bootstrap_depth})"
     )
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from . import obs as obslib
+    from .analyze import (
+        AnalyzerConfig,
+        Severity,
+        analyze_binary,
+        analyze_netlist,
+        run_checked_passes,
+    )
+
+    params = None
+    if args.params.lower() != "none":
+        params = _resolve_params(args.params)
+    config = AnalyzerConfig(
+        params=params,
+        noise=not args.no_noise,
+        error_sigmas=args.sigma_error,
+        warn_sigmas=args.sigma_warn,
+        max_findings_per_rule=args.max_findings,
+    )
+    fail_at = (
+        None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    )
+
+    observed = _wants_observability(args)
+    ctx = (
+        obslib.observe() if observed else nullcontext(obslib.DISABLED)
+    )
+    with ctx as ob:
+        if os.path.exists(args.target):
+            with open(args.target, "rb") as handle:
+                data = handle.read()
+            analysis = analyze_binary(
+                data, config, name=os.path.basename(args.target)
+            )
+        else:
+            workload = _workload_by_name(args.target)
+            analysis = analyze_netlist(workload.netlist, config)
+
+        passcheck = None
+        if args.check_passes:
+            if analysis.netlist is None:
+                print(
+                    "cannot --check-passes: the instruction stream has "
+                    "error findings, no netlist was recovered"
+                )
+            else:
+                passcheck = run_checked_passes(
+                    analysis.netlist, config=config
+                )
+                analysis.report.merge(passcheck.report)
+
+    report = analysis.report
+    if args.json:
+        doc = report.as_dict()
+        if analysis.noise is not None:
+            doc["noise"] = {
+                "params": analysis.noise.params_name,
+                "error_sigmas": analysis.noise.error_sigmas,
+                "warn_sigmas": analysis.noise.warn_sigmas,
+                "expected_failures": analysis.noise.expected_failures,
+                "levels": [vars(c).copy() for c in analysis.noise.levels],
+            }
+        if passcheck is not None:
+            doc["passcheck"] = {
+                "ok": passcheck.ok,
+                "failing_pass": passcheck.failing_pass,
+                "passes": [
+                    {
+                        "name": r.pass_name,
+                        "ok": r.ok,
+                        "gates_before": r.gates_before,
+                        "gates_after": r.gates_after,
+                    }
+                    for r in passcheck.records
+                ],
+            }
+        serialized = json.dumps(doc, indent=2)
+        if args.json == "-":
+            print(serialized)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(serialized + "\n")
+            print(f"wrote JSON report to {args.json}")
+    if args.json != "-":
+        print(report.render_text())
+        if analysis.noise is not None and analysis.noise.levels:
+            worst = analysis.noise.worst
+            print(
+                f"noise certificate ({analysis.noise.params_name}): "
+                f"{len(analysis.noise.levels)} level(s), worst margin "
+                f"{worst.margin_sigmas:.1f} sigma at L{worst.level}, "
+                f"expected failures {analysis.noise.expected_failures:.2e}"
+            )
+        if passcheck is not None:
+            print(passcheck.render_text())
+    if observed:
+        _finish_observability(ob, args)
+
+    status = 0
+    if fail_at is not None and report.at_least(fail_at):
+        status = 1
+    if passcheck is not None and not passcheck.ok:
+        status = 1
+    return status
 
 
 def cmd_disasm(args) -> int:
@@ -384,6 +498,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("-o", "--output", default="program.pytfhe")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis: structural lint, hazard/race detection, "
+        "noise-budget certification",
+    )
+    p.add_argument(
+        "target",
+        help="path to a .pytfhe binary, or a built-in workload name",
+    )
+    p.add_argument(
+        "--params",
+        default="tfhe-default-128",
+        help="parameter set for noise certification, or 'none' to skip",
+    )
+    p.add_argument(
+        "--sigma-error",
+        type=float,
+        default=4.0,
+        help="fail any level whose decision margin is below this many "
+        "sigmas",
+    )
+    p.add_argument(
+        "--sigma-warn",
+        type=float,
+        default=6.0,
+        help="warn below this many sigmas of decision margin",
+    )
+    p.add_argument(
+        "--no-noise",
+        action="store_true",
+        help="skip the noise-certification family",
+    )
+    p.add_argument(
+        "--max-findings",
+        type=int,
+        default=25,
+        help="findings stored per rule (overflow is counted, not listed)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the report as JSON ('-' for stdout)",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit non-zero when findings at/above this severity exist",
+    )
+    p.add_argument(
+        "--check-passes",
+        action="store_true",
+        help="re-run the analyzer + equivalence spot checks between "
+        "every synthesis pass to localize pass bugs",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace_event JSON of the analysis",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry (finding counters) as JSON",
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("disasm", help="list a binary's instructions")
     p.add_argument("binary")

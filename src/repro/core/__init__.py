@@ -5,6 +5,7 @@ from .compiler import (
     TensorSpec,
     compile_function,
     compile_model,
+    verify_compiled,
 )
 from .session import Client, Server, compile_to_binary
 
@@ -16,4 +17,5 @@ __all__ = [
     "compile_function",
     "compile_model",
     "compile_to_binary",
+    "verify_compiled",
 ]

@@ -10,7 +10,7 @@ lives in :mod:`repro.isa`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +20,10 @@ from ..chiseltorch.tensor import HTensor
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import Netlist
 from ..obs import get as _get_obs
+
+#: ``check=`` argument type: False (off), True (default config), or an
+#: explicit :class:`repro.analyze.AnalyzerConfig`.
+CheckArg = Union[bool, "AnalyzerConfig"]  # noqa: F821 - forward ref
 
 
 @dataclass(frozen=True)
@@ -109,6 +113,26 @@ class CompiledCircuit:
         return self.decode_outputs(result)
 
 
+def verify_compiled(netlist: Netlist, check: CheckArg) -> None:
+    """Statically verify a compiled netlist; raise on error findings.
+
+    ``check`` is False (skip), True (default
+    :class:`~repro.analyze.AnalyzerConfig` — structural + hazard
+    families, no noise certification because no parameter set is
+    implied), or an explicit config (pass ``params`` there to certify
+    the noise budget too).  Raises
+    :class:`repro.analyze.AnalysisError` when any ERROR-severity
+    finding exists, so a ``Session``-level compile never hands an
+    unsound circuit to the encrypted run.
+    """
+    if not check:
+        return
+    from ..analyze import AnalyzerConfig, analyze_netlist
+
+    config = check if isinstance(check, AnalyzerConfig) else AnalyzerConfig()
+    analyze_netlist(netlist, config).report.raise_on_errors()
+
+
 def compile_model(
     model: Module,
     input_shape: Sequence[int],
@@ -116,6 +140,7 @@ def compile_model(
     name: str = "model",
     via_verilog: bool = False,
     adder_style: str = "ripple",
+    check: CheckArg = False,
 ) -> CompiledCircuit:
     """Elaborate a ChiselTorch module into a :class:`CompiledCircuit`.
 
@@ -126,6 +151,9 @@ def compile_model(
     Verilog text and back before returning — the paper's literal Fig. 2
     pipeline (ChiselTorch -> Verilog -> synthesis).  Functionally a
     no-op (round-trip is exact); useful for validating the interchange.
+
+    ``check`` opts the compile into hard static-analysis gating (see
+    :func:`verify_compiled`).
     """
     if dtype is None:
         dtype = getattr(model, "dtype", None)
@@ -140,6 +168,7 @@ def compile_model(
         [TensorSpec("x", tuple(input_shape), dtype)],
         name=name,
         adder_style=adder_style,
+        check=check,
     )
     if via_verilog:
         from ..verilog import emit_verilog, parse_verilog
@@ -161,12 +190,16 @@ def compile_function(
     input_specs: Sequence[TensorSpec],
     name: str = "function",
     adder_style: str = "ripple",
+    check: CheckArg = False,
 ) -> CompiledCircuit:
     """Elaborate an arbitrary tensor function built from the primitives.
 
     ``adder_style="prefix"`` swaps every adder for the log-depth
     Sklansky structure: more gates, far fewer bootstrap levels — the
     latency-oriented choice for wide (GPU/distributed) execution.
+
+    ``check`` opts the compile into hard static-analysis gating (see
+    :func:`verify_compiled`).
     """
     ob = _get_obs()
     builder = CircuitBuilder(name=name, adder_style=adder_style)
@@ -196,6 +229,7 @@ def compile_function(
         ob.metrics.inc("circuits_compiled")
         ob.metrics.inc("elaboration_cse_hits", builder.cse_hits)
         ob.metrics.observe("compiled_gates", netlist.num_gates)
+    verify_compiled(netlist, check)
     return CompiledCircuit(
         netlist=netlist,
         input_specs=list(input_specs),

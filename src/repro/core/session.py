@@ -80,6 +80,12 @@ class Server:
     starts, and later runs report ``key_bytes_moved == 0``.
     ``transport`` picks how ciphertexts reach the workers
     (``"shm"`` zero-copy plane, or the ``"pickle"`` pipe baseline).
+
+    ``check_programs=True`` runs the static analyzer (structural lint,
+    hazard detection, and — with the server key's parameter set —
+    noise certification) over every program before it touches a
+    ciphertext, raising :class:`repro.analyze.AnalysisError` instead of
+    executing an unsound circuit.
     """
 
     def __init__(
@@ -88,8 +94,16 @@ class Server:
         backend: str = "batched",
         num_workers: Optional[int] = None,
         transport: Optional[str] = None,
+        check_programs: bool = False,
     ):
         self.cloud_key = cloud_key
+        self._check_config = None
+        if check_programs:
+            from ..analyze import AnalyzerConfig
+
+            self._check_config = AnalyzerConfig(
+                params=cloud_key.params
+            )
         if backend == "single":
             self._backend = CpuBackend(cloud_key, batched=False)
         elif backend == "batched":
@@ -108,6 +122,12 @@ class Server:
         inputs: LweCiphertext,
     ) -> Tuple[LweCiphertext, ExecutionReport]:
         netlist = _resolve_netlist(program)
+        if self._check_config is not None:
+            from ..analyze import analyze_netlist
+
+            analyze_netlist(
+                netlist, self._check_config
+            ).report.raise_on_errors()
         with _get_obs().tracer.span(
             "session:execute", cat="session",
             backend=self.backend_name, gates=netlist.num_gates,

@@ -110,21 +110,45 @@ class Netlist:
     def _validate(self) -> None:
         n_in = self.num_inputs
         for idx in range(self.num_gates):
-            gate = Gate(int(self.ops[idx]))
+            code = int(self.ops[idx])
             node = n_in + idx
+            try:
+                gate = Gate(code)
+            except ValueError:
+                raise ValueError(
+                    f"gate index {idx} (node {node}): unknown op code "
+                    f"{code:#x}; valid codes are "
+                    f"{sorted(hex(int(g)) for g in Gate)}"
+                ) from None
             arity = gate.arity
             a, b = int(self.in0[idx]), int(self.in1[idx])
-            if arity >= 1 and not (0 <= a < node):
-                raise ValueError(
-                    f"gate {node} ({gate.name}) input0 {a} not topological"
-                )
-            if arity == 2 and not (0 <= b < node):
-                raise ValueError(
-                    f"gate {node} ({gate.name}) input1 {b} not topological"
-                )
-        for out in self.outputs:
+            for slot, value, required in (
+                ("input0", a, arity >= 1),
+                ("input1", b, arity == 2),
+            ):
+                if required and not (0 <= value < node):
+                    detail = (
+                        "reads itself"
+                        if value == node
+                        else f"reads later node {value}"
+                        if value >= node
+                        else f"is {value}"
+                    )
+                    raise ValueError(
+                        f"gate index {idx} (node {node}, {gate.name}, "
+                        f"arity {arity}) {slot} {detail}; operands must "
+                        f"name an existing earlier node in [0, {node}) "
+                        "— inputs occupy "
+                        f"[0, {n_in}), gates start at {n_in}"
+                    )
+        for pos, out in enumerate(self.outputs):
             if not (0 <= out < self.num_nodes):
-                raise ValueError(f"output node {out} out of range")
+                raise ValueError(
+                    f"output {pos} ({self.output_names[pos]!r}) references "
+                    f"node {int(out)}, but this netlist only has nodes "
+                    f"[0, {self.num_nodes}) ({self.num_inputs} inputs + "
+                    f"{self.num_gates} gates)"
+                )
 
     # ------------------------------------------------------------------
     # Levels / statistics

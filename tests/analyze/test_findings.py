@@ -1,0 +1,108 @@
+"""Findings model: severities, collection caps, report rendering."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    AnalysisError,
+    Collector,
+    Finding,
+    Report,
+    Severity,
+)
+from repro.analyze.rules import RULES, catalog_by_family
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse(" WARNING ") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestRuleCatalog:
+    def test_ids_are_unique_and_stable_format(self):
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            assert len(rule_id) == 5 and rule_id[:2].isalpha()
+            assert rule.title and rule.description
+
+    def test_families_cover_the_three_analysis_axes(self):
+        families = catalog_by_family()
+        assert {"SL", "HZ", "IS", "NB", "PC"} <= set(families)
+
+
+class TestCollector:
+    def test_severity_defaults_from_rule(self):
+        col = Collector()
+        col.add(RULES["SL001"], "loop")
+        col.add(RULES["SL101"], "dead")
+        assert col.findings[0].severity is Severity.ERROR
+        assert col.findings[1].severity is Severity.WARNING
+
+    def test_per_rule_cap_counts_overflow(self):
+        col = Collector(max_per_rule=3)
+        for i in range(10):
+            col.add(RULES["SL101"], f"dead {i}", node=i)
+        col.add(RULES["SL001"], "loop")
+        report = col.into_report("x", ["structural"])
+        assert len(report.findings) == 4
+        assert report.suppressed == {"SL101": 7}
+        assert len(report) == 11
+
+
+class TestReport:
+    def _report(self):
+        col = Collector()
+        col.add(RULES["SL001"], "loop at 5", node=5)
+        col.add(RULES["SL101"], "dead gate", node=7)
+        col.add(RULES["SL104"], "unused input", node=0)
+        return col.into_report("demo", ["structural"])
+
+    def test_counts_and_queries(self):
+        report = self._report()
+        assert report.has_errors and not report.ok
+        assert [f.rule for f in report.errors()] == ["SL001"]
+        assert report.severity_counts() == {
+            "ERROR": 1,
+            "WARNING": 1,
+            "INFO": 1,
+        }
+        assert report.rule_ids() == ["SL001", "SL101", "SL104"]
+        assert len(report.by_rule("SL101")) == 1
+
+    def test_render_orders_by_severity(self):
+        text = self._report().render_text()
+        assert text.index("SL001") < text.index("SL101") < text.index("SL104")
+        assert "** FAILED **" in text
+
+    def test_json_roundtrip(self):
+        doc = json.loads(self._report().to_json())
+        assert doc["subject"] == "demo"
+        assert doc["ok"] is False
+        assert doc["counts"]["ERROR"] == 1
+        assert doc["findings"][0]["rule"] == "SL001"
+
+    def test_raise_on_errors(self):
+        report = self._report()
+        with pytest.raises(AnalysisError, match="SL001"):
+            report.raise_on_errors()
+        clean = Report(subject="clean")
+        assert clean.raise_on_errors() is clean
+
+    def test_finding_where_and_render(self):
+        finding = Finding(
+            rule="HZ002",
+            severity=Severity.ERROR,
+            message="double write",
+            node=9,
+            level=2,
+            fix_hint="fix it",
+        )
+        assert "node 9" in finding.where and "level 2" in finding.where
+        assert "hint: fix it" in finding.render()

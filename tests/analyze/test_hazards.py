@@ -1,0 +1,214 @@
+"""Schedule races (HZ family) and instruction-stream hazards (IS family)."""
+
+import numpy as np
+
+from repro.analyze import check_program, check_schedule
+from repro.bench import vip_workloads
+from repro.gatetypes import Gate
+from repro.hdl.builder import CircuitBuilder
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    FIELD_ALL_ONES,
+    INPUT_MARKER,
+    INSTRUCTION_BYTES,
+    OUTPUT_MARKER,
+)
+from repro.runtime.scheduler import Level, Schedule, build_schedule
+
+
+def full_adder():
+    b = CircuitBuilder(name="fa")
+    a, c, cin = b.inputs(3)
+    s1 = b.xor_(a, c)
+    b.output(b.xor_(s1, cin), "sum")
+    c1 = b.and_(a, c)
+    c2 = b.and_(s1, cin)
+    b.output(b.or_(c1, c2), "cout")
+    return b.build()
+
+
+def rule_ids(col):
+    return sorted({f.rule for f in col.findings})
+
+
+def clone_levels(schedule):
+    return [
+        Level(
+            index=level.index,
+            bootstrapped=level.bootstrapped.copy(),
+            free=level.free.copy(),
+        )
+        for level in schedule.levels
+    ]
+
+
+class TestCheckSchedule:
+    def test_legal_schedule_is_clean(self):
+        netlist = full_adder()
+        col = check_schedule(netlist, build_schedule(netlist))
+        assert col.findings == []
+
+    def test_benchmark_schedules_are_clean(self):
+        netlist = vip_workloads()["hamming_distance"].build().netlist
+        col = check_schedule(netlist, build_schedule(netlist))
+        assert not [f for f in col.findings if f.severity.name == "ERROR"]
+
+    def test_hz002_injected_waw_hazard(self):
+        """A gate scheduled twice double-writes its result-plane slot."""
+        netlist = full_adder()
+        schedule = build_schedule(netlist)
+        levels = clone_levels(schedule)
+        dup = int(
+            next(lv for lv in levels if len(lv.bootstrapped)).bootstrapped[0]
+        )
+        levels[-1] = Level(
+            index=levels[-1].index,
+            bootstrapped=np.append(levels[-1].bootstrapped, dup),
+            free=levels[-1].free,
+        )
+        col = check_schedule(netlist, Schedule(netlist, levels))
+        waw = [f for f in col.findings if f.rule == "HZ002"]
+        assert len(waw) == 1
+        assert waw[0].severity.name == "ERROR"
+        assert waw[0].node == netlist.num_inputs + dup
+
+    def test_hz001_and_hz005_unscheduled_gate(self):
+        netlist = full_adder()
+        schedule = build_schedule(netlist)
+        levels = clone_levels(schedule)
+        # Drop the last level entirely: its gates are never computed and
+        # the outputs they feed read never-written slots.
+        dropped = levels.pop()
+        col = check_schedule(netlist, Schedule(netlist, levels))
+        ids = rule_ids(col)
+        assert "HZ001" in ids and "HZ005" in ids
+        never = {f.node for f in col.findings if f.rule == "HZ001"}
+        assert netlist.num_inputs + int(dropped.bootstrapped[0]) in never
+
+    def test_hz003_read_before_write(self):
+        netlist = full_adder()
+        schedule = build_schedule(netlist)
+        levels = list(reversed(clone_levels(schedule)))
+        col = check_schedule(netlist, Schedule(netlist, levels))
+        assert "HZ003" in rule_ids(col)
+
+    def test_hz004_same_batch_race(self):
+        netlist = full_adder()
+        schedule = build_schedule(netlist)
+        merged = Level(
+            index=0,
+            bootstrapped=np.concatenate(
+                [level.bootstrapped for level in schedule.levels]
+            ),
+            free=np.concatenate([level.free for level in schedule.levels]),
+        )
+        col = check_schedule(netlist, Schedule(netlist, [merged]))
+        races = [f for f in col.findings if f.rule == "HZ004"]
+        assert races and all(f.severity.name == "ERROR" for f in races)
+
+    def test_hz006_misclassified_gate(self):
+        b = CircuitBuilder(name="mis")
+        a, c = b.inputs(2)
+        b.output(b.not_(b.and_(a, c)), "o")
+        netlist = b.build()
+        schedule = build_schedule(netlist)
+        levels = [
+            Level(
+                index=level.index,
+                bootstrapped=level.free,  # swap the two batches
+                free=level.bootstrapped,
+            )
+            for level in schedule.levels
+        ]
+        col = check_schedule(netlist, Schedule(netlist, levels))
+        assert "HZ006" in rule_ids(col)
+
+
+def words_of(data):
+    return [
+        int.from_bytes(data[i : i + INSTRUCTION_BYTES], "little")
+        for i in range(0, len(data), INSTRUCTION_BYTES)
+    ]
+
+
+def pack(words):
+    return b"".join(w.to_bytes(INSTRUCTION_BYTES, "little") for w in words)
+
+
+def gate_word(nibble, field1, field0):
+    return (field0 << 66) | (field1 << 4) | nibble
+
+
+class TestCheckProgram:
+    def test_assembled_program_is_clean(self):
+        data = assemble(full_adder())
+        assert check_program(data).findings == []
+
+    def test_is001_truncated_binary(self):
+        data = assemble(full_adder())[:-5]
+        col = check_program(data)
+        [finding] = col.findings
+        assert finding.rule == "IS001" and "multiple" in finding.message
+
+    def test_is001_empty_binary(self):
+        assert rule_ids(check_program(b"")) == ["IS001"]
+
+    def test_is001_bad_header(self):
+        words = words_of(assemble(full_adder()))
+        words[0] |= 0x9  # corrupt the header nibble
+        col = check_program(pack(words))
+        bad = [f for f in col.findings if f.rule == "IS001"]
+        assert bad and bad[0].offset == 0
+
+    def test_is004_undriven_operand_forward_reference(self):
+        """A gate reading a node the stream never defined before it."""
+        words = words_of(assemble(full_adder()))
+        # First gate instruction follows the header + 3 inputs.
+        gate_pos = 4
+        word = words[gate_pos]
+        nibble = word & 0xF
+        words[gate_pos] = gate_word(nibble, 500, 501)
+        col = check_program(pack(words))
+        undriven = [f for f in col.findings if f.rule == "IS004"]
+        assert len(undriven) == 2
+        assert all(f.severity.name == "ERROR" for f in undriven)
+        assert undriven[0].offset == gate_pos * INSTRUCTION_BYTES
+
+    def test_is002_header_count_mismatch(self):
+        words = words_of(assemble(full_adder()))
+        words[0] = gate_word(0, (words[0] >> 4) + 3, 0)
+        col = check_program(pack(words))
+        assert "IS002" in rule_ids(col)
+
+    def test_is003_section_order(self):
+        words = words_of(assemble(full_adder()))
+        input_word = (FIELD_ALL_ONES << 66) | INPUT_MARKER
+        words.append(input_word)  # an input after the outputs
+        col = check_program(pack(words))
+        assert "IS003" in rule_ids(col)
+
+    def test_is006_output_of_undefined_node(self):
+        words = words_of(assemble(full_adder()))
+        out_word = (FIELD_ALL_ONES << 66) | (400 << 4) | OUTPUT_MARKER
+        words.append(out_word)
+        col = check_program(pack(words))
+        assert "IS006" in rule_ids(col)
+
+    def test_is005_marker_in_required_operand(self):
+        words = words_of(assemble(full_adder()))
+        gate_pos = 4
+        nibble = words[gate_pos] & 0xF
+        words[gate_pos] = gate_word(nibble, 1, FIELD_ALL_ONES)
+        col = check_program(pack(words))
+        assert "IS005" in rule_ids(col)
+
+    def test_unknown_nibble_is_reported_not_raised(self):
+        words = words_of(assemble(full_adder()))
+        gate_pos = 4
+        # Nibble 0x3 is only an output marker when field0 is all-ones;
+        # with a real operand in field0 it decodes as an unknown gate.
+        bad_nibble = OUTPUT_MARKER
+        assert bad_nibble not in {int(g) for g in Gate}
+        words[gate_pos] = gate_word(bad_nibble, 1, 2)
+        col = check_program(pack(words))
+        assert "IS001" in rule_ids(col)

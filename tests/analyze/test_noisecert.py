@@ -1,0 +1,82 @@
+"""Static noise-budget certification (NB family)."""
+
+import dataclasses
+
+from repro.analyze import Collector, certify_noise
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime.scheduler import build_schedule
+from repro.tfhe.params import TFHE_DEFAULT_128, TFHE_TEST
+
+
+def two_level_circuit():
+    b = CircuitBuilder(name="2lvl")
+    a, c, d = b.inputs(3)
+    b.output(b.and_(b.xor_(a, c), d), "o")
+    return b.build()
+
+
+def noisy_params(base=TFHE_TEST, tlwe_noise_std=2**-10):
+    return dataclasses.replace(
+        base, name="noisy", tlwe_noise_std=tlwe_noise_std
+    )
+
+
+def test_default_params_certify_clean():
+    schedule = build_schedule(two_level_circuit())
+    for params in (TFHE_TEST, TFHE_DEFAULT_128):
+        col = Collector()
+        cert = certify_noise(schedule, params, collector=col)
+        assert col.findings == []
+        assert len(cert.levels) == 2
+        assert cert.levels[0].fresh_inputs
+        assert not cert.levels[1].fresh_inputs
+        assert cert.worst.margin_sigmas > 6.0
+        assert cert.expected_failures < 1e-6
+
+
+def test_nb001_sub_threshold_margin_is_an_error():
+    schedule = build_schedule(two_level_circuit())
+    col = Collector()
+    cert = certify_noise(schedule, noisy_params(), collector=col)
+    nb001 = [f for f in col.findings if f.rule == "NB001"]
+    assert nb001, [f.render() for f in col.findings]
+    assert all(f.severity.name == "ERROR" for f in nb001)
+    assert cert.worst.margin_sigmas < 4.0
+
+
+def test_nb002_warning_band_via_raised_threshold():
+    # TFHE_DEFAULT_128's margin is ~9.7 sigma: raising the warn
+    # threshold above it lands the level in the warning band without
+    # touching the error band.
+    schedule = build_schedule(two_level_circuit())
+    col = Collector()
+    certify_noise(
+        schedule,
+        TFHE_DEFAULT_128,
+        error_sigmas=4.0,
+        warn_sigmas=50.0,
+        collector=col,
+    )
+    assert {f.rule for f in col.findings} == {"NB002"}
+    assert all(f.severity.name == "WARNING" for f in col.findings)
+
+
+def test_nb003_expected_failures_budget():
+    schedule = build_schedule(two_level_circuit())
+    col = Collector()
+    cert = certify_noise(
+        schedule,
+        TFHE_DEFAULT_128,
+        max_expected_failures=0.0,
+        collector=col,
+    )
+    nb003 = [f for f in col.findings if f.rule == "NB003"]
+    assert len(nb003) == 1
+    assert cert.expected_failures > 0.0
+
+
+def test_certificate_levels_report_widths():
+    schedule = build_schedule(two_level_circuit())
+    cert = certify_noise(schedule, TFHE_TEST, collector=Collector())
+    assert [c.gates for c in cert.levels] == [1, 1]
+    assert cert.params_name == TFHE_TEST.name

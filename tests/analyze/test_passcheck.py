@@ -1,0 +1,121 @@
+"""--check-passes: localizing a broken synthesis pass (PC family)."""
+
+import dataclasses
+
+from repro.analyze import (
+    AnalyzerConfig,
+    DEFAULT_PASSES,
+    run_checked_passes,
+)
+from repro.gatetypes import Gate
+from repro.hdl.builder import CircuitBuilder
+from repro.hdl.netlist import Netlist
+from repro.tfhe.params import TFHE_TEST
+
+
+def full_adder():
+    b = CircuitBuilder(name="fa")
+    a, c, cin = b.inputs(3)
+    s1 = b.xor_(a, c)
+    b.output(b.xor_(s1, cin), "sum")
+    b.output(b.or_(b.and_(a, c), b.and_(s1, cin)), "cout")
+    return b.build()
+
+
+def identity(netlist):
+    return netlist
+
+
+def break_first_xor(netlist):
+    """An unsound rewrite: silently turns the first XOR into an AND."""
+    ops = netlist.ops.copy()
+    idx = next(i for i, op in enumerate(ops) if op == int(Gate.XOR))
+    ops[idx] = int(Gate.AND)
+    return Netlist(
+        netlist.num_inputs,
+        ops,
+        netlist.in0,
+        netlist.in1,
+        netlist.outputs,
+        list(netlist.input_names),
+        list(netlist.output_names),
+        name=netlist.name,
+    )
+
+
+def crash(netlist):
+    raise RuntimeError("pass exploded")
+
+
+def test_stock_pipeline_is_clean():
+    result = run_checked_passes(full_adder())
+    assert result.ok
+    assert result.failing_pass is None
+    assert result.final is not None
+    assert len(result.records) == len(DEFAULT_PASSES)
+    assert result.report.findings == []
+    assert "all passes clean" in result.render_text()
+
+
+def test_broken_pass_is_localized_by_exact_name():
+    """Acceptance: the checker names the offending pass, not a symptom."""
+    passes = (
+        ("structural_hash", DEFAULT_PASSES[0][1]),
+        ("break_first_xor", break_first_xor),
+        ("dead_gate_elimination", DEFAULT_PASSES[2][1]),
+    )
+    result = run_checked_passes(full_adder(), passes=passes)
+    assert not result.ok
+    assert result.failing_pass == "break_first_xor"
+    [pc001] = result.report.by_rule("PC001")
+    assert pc001.severity.name == "ERROR"
+    assert "counterexample" in pc001.message
+    # stop_on_failure: the pipeline halts at the offender, so later
+    # passes are never blamed for inherited corruption.
+    assert [r.pass_name for r in result.records] == [
+        "structural_hash",
+        "break_first_xor",
+    ]
+    assert result.final is None
+    assert "first failing pass: break_first_xor" in result.render_text()
+
+
+def test_crashing_pass_yields_pc003():
+    result = run_checked_passes(
+        full_adder(), passes=(("crash", crash),)
+    )
+    assert result.failing_pass == "crash"
+    [record] = result.records
+    assert record.gates_after is None
+    assert "pass exploded" in record.error
+    [pc003] = result.report.by_rule("PC003")
+    assert "RuntimeError" in pc003.message
+    assert "(crashed)" in result.render_text()
+
+
+def test_pc002_analyzer_errors_on_intermediate_netlist():
+    noisy = dataclasses.replace(
+        TFHE_TEST, name="noisy", tlwe_noise_std=2**-10
+    )
+    config = AnalyzerConfig(params=noisy)
+    result = run_checked_passes(
+        full_adder(), passes=(("identity", identity),), config=config
+    )
+    assert result.failing_pass == "identity"
+    [pc002] = result.report.by_rule("PC002")
+    assert "NB001" in pc002.message
+
+
+def test_stop_on_failure_false_runs_every_pass():
+    passes = (
+        ("break_first_xor", break_first_xor),
+        ("identity", identity),
+    )
+    result = run_checked_passes(
+        full_adder(), passes=passes, stop_on_failure=False
+    )
+    assert [r.pass_name for r in result.records] == [
+        "break_first_xor",
+        "identity",
+    ]
+    assert result.failing_pass == "break_first_xor"

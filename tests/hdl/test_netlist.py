@@ -40,6 +40,55 @@ class TestValidation:
             Netlist(2, [], [], [], [0], input_names=["only_one"])
 
 
+class TestValidationMessages:
+    """The errors name the offending node, gate type, and valid range."""
+
+    def test_forward_reference_names_gate_and_operand(self):
+        with pytest.raises(ValueError) as exc_info:
+            Netlist(1, [int(Gate.AND)], [0], [5], [1])
+        message = str(exc_info.value)
+        assert "gate index 0" in message
+        assert "node 1" in message
+        assert "AND" in message
+        assert "reads later node 5" in message
+        assert "[0, 1)" in message
+
+    def test_self_reference_says_so(self):
+        with pytest.raises(ValueError, match="reads itself"):
+            Netlist(1, [int(Gate.AND)], [1], [0], [1])
+
+    def test_negative_operand_reported_with_value(self):
+        with pytest.raises(ValueError) as exc_info:
+            Netlist(1, [int(Gate.NOT)], [-7], [-1], [1])
+        message = str(exc_info.value)
+        assert "input0 is -7" in message
+        assert "NOT" in message and "arity 1" in message
+
+    def test_unknown_op_code_lists_valid_codes(self):
+        with pytest.raises(ValueError) as exc_info:
+            Netlist(1, [0xEE], [0], [-1], [1])
+        message = str(exc_info.value)
+        assert "unknown op code 0xee" in message
+        assert "gate index 0 (node 1)" in message
+        assert "valid codes" in message
+
+    def test_bad_output_names_position_and_range(self):
+        with pytest.raises(ValueError) as exc_info:
+            Netlist(
+                1,
+                [int(Gate.NOT)],
+                [0],
+                [-1],
+                [7],
+                output_names=["carry"],
+            )
+        message = str(exc_info.value)
+        assert "output 0 ('carry')" in message
+        assert "node 7" in message
+        assert "[0, 2)" in message
+        assert "1 inputs + 1 gates" in message
+
+
 class TestEvaluation:
     def test_half_adder_truth_table(self):
         nl = _half_adder_netlist()

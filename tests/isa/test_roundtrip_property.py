@@ -1,0 +1,97 @@
+"""Property test: random netlists survive assemble→disassemble hazard-free.
+
+Satellite of the static-analyzer PR: for any valid netlist, the packed
+128-bit program must (a) lint clean at the stream level, (b) disassemble
+back to a netlist whose schedule replays without a single hazard
+finding, and (c) preserve reference semantics.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import analyze_binary, check_program
+from repro.gatetypes import TWO_INPUT_GATES, Gate
+from repro.hdl.netlist import NO_INPUT, Netlist
+from repro.isa.assembler import assemble, disassemble
+from repro.tfhe.params import TFHE_TEST
+
+
+@st.composite
+def netlists(draw):
+    """A random valid netlist: topological, arity-correct, output-bearing."""
+    num_inputs = draw(st.integers(min_value=1, max_value=6))
+    num_gates = draw(st.integers(min_value=1, max_value=24))
+    ops, in0, in1 = [], [], []
+    for idx in range(num_gates):
+        node = num_inputs + idx
+        kind = draw(st.sampled_from(["binary", "unary", "const"]))
+        if kind == "binary":
+            gate = draw(st.sampled_from(TWO_INPUT_GATES))
+            ops.append(int(gate))
+            in0.append(draw(st.integers(min_value=0, max_value=node - 1)))
+            in1.append(draw(st.integers(min_value=0, max_value=node - 1)))
+        elif kind == "unary":
+            gate = draw(st.sampled_from([Gate.NOT, Gate.BUF]))
+            ops.append(int(gate))
+            in0.append(draw(st.integers(min_value=0, max_value=node - 1)))
+            in1.append(NO_INPUT)
+        else:
+            gate = draw(st.sampled_from([Gate.CONST0, Gate.CONST1]))
+            ops.append(int(gate))
+            in0.append(NO_INPUT)
+            in1.append(NO_INPUT)
+    num_nodes = num_inputs + num_gates
+    outputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_nodes - 1),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return Netlist(num_inputs, ops, in0, in1, outputs, name="prop")
+
+
+@given(netlists())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_produces_zero_hazards(netlist):
+    data = assemble(netlist)
+
+    # Stream lint: a freshly assembled binary must be spotless.
+    assert check_program(data).findings == []
+
+    # Full analysis (structural warnings aside — random circuits are
+    # full of dead/duplicate gates): no hazard or stream finding at all.
+    analysis = analyze_binary(data, name="prop")
+    hz_or_is = [
+        f
+        for f in analysis.report.findings
+        if f.rule.startswith(("HZ", "IS"))
+    ]
+    assert hz_or_is == []
+    assert analysis.netlist is not None
+
+    # And the recovered netlist still computes the same function.
+    recovered = analysis.netlist
+    rng = np.random.default_rng(0)
+    vectors = rng.integers(0, 2, size=(16, netlist.num_inputs)).astype(bool)
+    assert np.array_equal(
+        netlist.evaluate(vectors), recovered.evaluate(vectors)
+    )
+
+
+@given(netlists())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_noise_certification_is_total(netlist):
+    """Noise certification never crashes on any schedulable netlist."""
+    from repro.analyze import AnalyzerConfig, analyze_netlist
+
+    roundtripped = disassemble(assemble(netlist), name="prop")
+    analysis = analyze_netlist(
+        roundtripped, AnalyzerConfig(params=TFHE_TEST)
+    )
+    assert not [
+        f for f in analysis.report.errors() if f.rule.startswith("HZ")
+    ]
+    if analysis.noise is not None and analysis.noise.levels:
+        assert analysis.noise.worst.margin_sigmas > 0

@@ -100,3 +100,183 @@ def test_run_distributed_shm(capsys):
 def test_run_single_backend(capsys):
     assert main(["run", "hamming_distance", "--backend", "batched"]) == 0
     assert "ok=True" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# repro check — the static analyzer CLI
+# ----------------------------------------------------------------------
+def _corrupt_operand(data: bytes, gate_position: int, operand: int) -> bytes:
+    """Point one gate instruction's operands at a never-defined node."""
+    from repro.isa.encoding import INSTRUCTION_BYTES
+
+    words = [
+        int.from_bytes(data[i : i + INSTRUCTION_BYTES], "little")
+        for i in range(0, len(data), INSTRUCTION_BYTES)
+    ]
+    nibble = words[gate_position] & 0xF
+    words[gate_position] = (operand << 66) | (operand << 4) | nibble
+    return b"".join(
+        w.to_bytes(INSTRUCTION_BYTES, "little") for w in words
+    )
+
+
+def test_check_clean_workload_exits_zero(capsys):
+    assert main(["check", "hamming_distance", "--params", "tfhe-test"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+    assert "noise certificate (tfhe-test)" in out
+
+
+def test_check_undriven_node_in_binary_fails(tmp_path, capsys):
+    """Acceptance: an injected undriven operand is an ERROR + exit 1."""
+    binary_path = tmp_path / "prog.pytfhe"
+    assert main(["compile", "hamming_distance", "-o", str(binary_path)]) == 0
+    capsys.readouterr()
+    # Word 0 is the header and words 1..64 declare inputs; word 70 is a
+    # gate instruction.  Point its operands at node 5000.
+    corrupted = _corrupt_operand(binary_path.read_bytes(), 70, 5000)
+    bad_path = tmp_path / "bad.pytfhe"
+    bad_path.write_bytes(corrupted)
+    assert main(["check", str(bad_path), "--params", "none"]) == 1
+    out = capsys.readouterr().out
+    assert "ERROR" in out and "IS004" in out
+
+
+def test_check_sub_threshold_noise_fails(capsys):
+    """Acceptance: a sub-threshold noise margin is NB001 + exit 1."""
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "tfhe-test",
+                "--sigma-error",
+                "50",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "NB001" in out and "ERROR" in out
+
+
+def test_check_json_report(tmp_path, capsys):
+    json_path = tmp_path / "report.json"
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "tfhe-test",
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    import json
+
+    doc = json.loads(json_path.read_text())
+    assert doc["ok"] is True
+    assert doc["counts"]["ERROR"] == 0
+    assert doc["families"] == ["structural", "hazards", "noise"]
+    assert doc["noise"]["params"] == "tfhe-test"
+    assert doc["noise"]["levels"]
+    out = capsys.readouterr().out
+    assert "wrote JSON report" in out
+
+
+def test_check_json_to_stdout_is_pure_json(capsys):
+    assert (
+        main(
+            ["check", "hamming_distance", "--params", "none", "--json", "-"]
+        )
+        == 0
+    )
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["subject"] == "hamming_distance"
+
+
+def test_check_fail_on_threshold(capsys):
+    # hamming_distance carries one WARNING (a dead CONST0 residue), so
+    # tightening --fail-on flips the exit code without new findings.
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "none",
+                "--fail-on",
+                "warning",
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "none",
+                "--fail-on",
+                "never",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+
+def test_check_passes_mode(capsys):
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "tfhe-test",
+                "--check-passes",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "== pass check ==" in out
+    assert "all passes clean" in out
+    assert "structural_hash" in out and "dead_gate_elimination" in out
+
+
+def test_check_passes_json_schema(tmp_path, capsys):
+    json_path = tmp_path / "report.json"
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "none",
+                "--check-passes",
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    import json
+
+    doc = json.loads(json_path.read_text())
+    assert doc["passcheck"]["ok"] is True
+    assert doc["passcheck"]["failing_pass"] is None
+    assert [p["name"] for p in doc["passcheck"]["passes"]] == [
+        "structural_hash",
+        "optimize",
+        "dead_gate_elimination",
+    ]
+    capsys.readouterr()
