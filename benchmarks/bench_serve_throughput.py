@@ -1,0 +1,176 @@
+"""Serving throughput vs batch size — req/s and latency percentiles.
+
+Cross-request SIMD batching is the serving layer's whole reason to
+exist: a TFHE bootstrap over ``(instances, ...)`` costs barely more
+than over one instance (vectorized FFTs), so folding concurrent
+requests into one :meth:`~repro.core.Server.execute_many` dispatch
+multiplies request throughput at modest latency cost.  This harness
+measures that trade directly: for each max-batch setting it drives the
+server with that many concurrent clients and reports requests/second
+plus p50/p99 end-to-end latency.
+
+Expected shape: req/s grows with batch size (sub-linearly — the
+batched kernel still pays per-instance FFT work), p50 latency grows
+slowly, and the batch-16 configuration clears several times the
+throughput of batch-1.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
+        --json serve_throughput.json
+"""
+
+import argparse
+import concurrent.futures
+import json
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.chiseltorch.dtypes import SInt
+from repro.core.compiler import TensorSpec, compile_function
+from repro.serve import FheServiceClient, ServeConfig, serving
+from repro.tfhe import TFHE_TEST, decrypt_bits, encrypt_bits, generate_keys
+
+BATCH_SIZES = (1, 4, 16)
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive(port, secret, compiled, program_id, concurrency, rounds):
+    """``concurrency`` clients each fire ``rounds`` sequential calls."""
+    latencies = []
+    batch_sizes = []
+    errors = []
+
+    def worker(worker_index):
+        rng = np.random.default_rng(10_000 + worker_index)
+        with FheServiceClient(
+            "127.0.0.1", port, "bench", timeout_s=300
+        ) as client:
+            for round_index in range(rounds):
+                x = np.array([worker_index % 4 - 2, round_index % 3])
+                y = np.array([1, -2])
+                bits = compiled.encode_inputs(x, y)
+                ct = encrypt_bits(secret, bits, rng)
+                t0 = time.perf_counter()
+                out, _, info = client.call(program_id, ct)
+                latency = time.perf_counter() - t0
+                want = compiled.netlist.evaluate(bits)
+                if not np.array_equal(decrypt_bits(secret, out), want):
+                    errors.append((worker_index, round_index))
+                latencies.append(latency)
+                batch_sizes.append(info["batch_size"])
+
+    t_start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(concurrency) as pool:
+        futures = [pool.submit(worker, i) for i in range(concurrency)]
+        for future in futures:
+            future.result()
+    wall_s = time.perf_counter() - t_start
+    total = concurrency * rounds
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "wall_s": wall_s,
+        "req_per_s": total / wall_s,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "mean_batch": statistics.mean(batch_sizes),
+        "max_batch": max(batch_sizes),
+        "errors": len(errors),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None)
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="sequential calls per client (per batch-size setting)",
+    )
+    args = parser.parse_args(argv)
+
+    compiled = compile_function(
+        lambda x, y: x + y,
+        [TensorSpec("x", (2,), SInt(4)), TensorSpec("y", (2,), SInt(4))],
+        name="add",
+    )
+    print("generating keys (tfhe-test) ...")
+    secret, cloud = generate_keys(TFHE_TEST, seed=42)
+
+    rows = []
+    for batch in BATCH_SIZES:
+        config = ServeConfig(
+            port=0,
+            backend="batched",
+            max_batch=batch,
+            # A short linger lets concurrent clients actually meet in
+            # one dispatch; batch=1 keeps zero linger as the baseline.
+            linger_s=0.05 if batch > 1 else 0.0,
+            max_pending=4 * batch,
+        )
+        with serving(config) as handle:
+            with FheServiceClient(
+                "127.0.0.1", handle.port, "bench"
+            ) as client:
+                client.register_key(cloud)
+                program_id = client.register_program(compiled)
+                # Warm the FFT plans before timing.
+                bits = compiled.encode_inputs(
+                    np.array([1, 1]), np.array([1, 1])
+                )
+                client.call(
+                    program_id,
+                    encrypt_bits(secret, bits, np.random.default_rng(1)),
+                )
+            row = _drive(
+                handle.port,
+                secret,
+                compiled,
+                program_id,
+                concurrency=batch,
+                rounds=args.rounds,
+            )
+        row["max_batch_setting"] = batch
+        rows.append(row)
+        print(
+            f"batch<={batch:3d}  {row['req_per_s']:7.2f} req/s  "
+            f"p50 {row['p50_ms']:8.1f} ms  p99 {row['p99_ms']:8.1f} ms  "
+            f"mean batch {row['mean_batch']:.1f}  "
+            f"errors {row['errors']}"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {"params": TFHE_TEST.name, "rows": rows},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+
+    if any(row["errors"] for row in rows):
+        print("FAIL: decrypted mismatches", file=sys.stderr)
+        return 1
+    # The qualitative claim: batching buys throughput.
+    if rows[-1]["req_per_s"] <= rows[0]["req_per_s"]:
+        print(
+            "FAIL: batch-16 throughput did not beat batch-1 "
+            f"({rows[-1]['req_per_s']:.2f} <= {rows[0]['req_per_s']:.2f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

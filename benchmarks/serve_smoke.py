@@ -1,0 +1,169 @@
+"""CI smoke test for the serving layer.
+
+Boots an in-process :class:`repro.serve.FheServer`, registers one
+tenant and one program, then fires 8 concurrent encrypted requests —
+one of them deliberately oversized so admission control must answer
+BUSY while the other seven succeed and coalesce into SIMD batches.
+The run is wrapped in :func:`repro.obs.observe`; the resulting Chrome
+trace (with the dedicated ``serve`` track) and metrics snapshot are
+written as artifacts and validated against the exporter schema.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py --json serve_smoke.json
+"""
+
+import argparse
+import concurrent.futures
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.chiseltorch.dtypes import SInt
+from repro.core.compiler import TensorSpec, compile_function
+from repro.obs import validate_chrome_trace, write_chrome_trace
+from repro.serve import (
+    BusyError,
+    FheServiceClient,
+    MessageKind,
+    ServeConfig,
+    serving,
+)
+from repro.tfhe import TFHE_TEST, decrypt_bits, encrypt_bits, generate_keys
+
+CONCURRENCY = 8
+OVERSIZED_INDEX = 3  # which of the 8 requests sends the huge frame
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default="serve_smoke.json")
+    parser.add_argument("--trace-out", default="serve_trace.json")
+    parser.add_argument("--metrics-out", default="serve_metrics.json")
+    args = parser.parse_args(argv)
+
+    compiled = compile_function(
+        lambda x, y: x + y,
+        [TensorSpec("x", (2,), SInt(4)), TensorSpec("y", (2,), SInt(4))],
+        name="add",
+    )
+    secret, cloud = generate_keys(TFHE_TEST, seed=42)
+
+    config = ServeConfig(
+        port=0,
+        backend="batched",
+        linger_s=0.2,
+        max_batch=CONCURRENCY,
+        max_frame_bytes=MAX_FRAME_BYTES,
+    )
+    t_start = time.perf_counter()
+    with obs.observe() as ob, serving(config) as handle:
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "smoke"
+        ) as client:
+            client.register_key(cloud)
+            program_id = client.register_program(compiled)
+
+        def fire(index):
+            with FheServiceClient(
+                "127.0.0.1", handle.port, "smoke", retries=0
+            ) as c:
+                if index == OVERSIZED_INDEX:
+                    try:
+                        c.request(
+                            MessageKind.CALL,
+                            {"program_id": program_id},
+                            payload=b"\0" * (MAX_FRAME_BYTES + 1024),
+                        )
+                    except BusyError:
+                        return {"index": index, "busy": True}
+                    return {"index": index, "busy": False}
+                x = np.array([index - 3, 2])
+                y = np.array([1, index - 4])
+                bits = compiled.encode_inputs(x, y)
+                ct = encrypt_bits(
+                    secret, bits, np.random.default_rng(100 + index)
+                )
+                t0 = time.perf_counter()
+                out, report, info = c.call(program_id, ct)
+                latency = time.perf_counter() - t0
+                want = compiled.netlist.evaluate(bits)
+                return {
+                    "index": index,
+                    "busy": False,
+                    "ok": bool(
+                        np.array_equal(decrypt_bits(secret, out), want)
+                    ),
+                    "latency_s": latency,
+                    "batch_size": info["batch_size"],
+                }
+
+        with concurrent.futures.ThreadPoolExecutor(CONCURRENCY) as pool:
+            results = list(pool.map(fire, range(CONCURRENCY)))
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "smoke"
+        ) as client:
+            stats = client.metrics()["stats"]
+    wall_s = time.perf_counter() - t_start
+
+    oversized = next(r for r in results if r["index"] == OVERSIZED_INDEX)
+    served = [r for r in results if r["index"] != OVERSIZED_INDEX]
+    failures = []
+    if not oversized["busy"]:
+        failures.append("oversized frame was not refused with BUSY")
+    for r in served:
+        if not r["ok"]:
+            failures.append(f"request {r['index']} decrypted wrong bits")
+    if max(r["batch_size"] for r in served) < 2:
+        failures.append("no cross-request batching happened")
+    if stats["busy_rejections"] < 1:
+        failures.append("server stats show no BUSY rejection")
+
+    write_chrome_trace(ob.tracer, args.trace_out, ob.metrics)
+    with open(args.metrics_out, "w") as fh:
+        fh.write(ob.metrics.to_json())
+    doc = json.load(open(args.trace_out))
+    events = validate_chrome_trace(doc)
+    serve_tracks = [
+        e
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e["args"]["name"] == "serve"
+    ]
+    if events == 0:
+        failures.append("chrome trace is empty")
+    if not serve_tracks:
+        failures.append("no 'serve' track in the chrome trace")
+    hist = ob.metrics.as_dict()["histograms"].get("serve_batch_size")
+    if not hist or hist["max"] < 2:
+        failures.append("serve_batch_size histogram shows no batching")
+
+    summary = {
+        "concurrency": CONCURRENCY,
+        "wall_s": wall_s,
+        "served": len(served),
+        "busy_refused": oversized["busy"],
+        "max_batch_size": max(r["batch_size"] for r in served),
+        "trace_events": events,
+        "scheduler_stats": stats,
+        "failures": failures,
+    }
+    with open(args.json, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+
+    print(
+        f"served {len(served)}/{CONCURRENCY - 1} requests in "
+        f"{wall_s:.1f}s, max batch {summary['max_batch_size']}, "
+        f"oversized->BUSY={oversized['busy']}, "
+        f"{events} trace events"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,12 @@ A small operator toolbox around the library:
 * ``profile``  — compile + run one workload fully instrumented and
   print a combined Fig.-7/Fig.-8-style report (gate phases, compile
   passes, execution Gantt, metrics, noise margins);
+* ``serve``    — run the multi-tenant FHE inference service
+  (:mod:`repro.serve`): tenants register cloud keys and programs over
+  the wire, concurrent same-program requests coalesce into SIMD
+  batches, full queues answer BUSY;
+* ``call``     — drive a workload through a running service: register
+  key + program, send encrypted inputs, verify the decrypted reply;
 * ``keygen``   — generate and save a (secret, cloud) key pair;
 * ``bench-gate`` — measure this machine's bootstrapped-gate cost.
 """
@@ -453,6 +459,107 @@ def cmd_profile(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from . import obs as obslib
+    from .serve import FheServer, ServeConfig
+
+    observed = _wants_observability(args)
+    ctx = (
+        obslib.observe() if observed else nullcontext(obslib.DISABLED)
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        num_workers=args.workers,
+        transport=args.transport,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1e3,
+        max_frame_bytes=args.max_frame_bytes,
+        check=not args.no_check,
+    )
+
+    async def _main(server: FheServer) -> None:
+        await server.start()
+        print(
+            f"serving FHE inference on {config.host}:{server.port}  "
+            f"(backend={config.backend}, max_batch={config.max_batch}, "
+            f"max_pending={config.max_pending})"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    with ctx as ob:
+        server = FheServer(config)
+        try:
+            asyncio.run(_main(server))
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    if observed:
+        _finish_observability(ob, args)
+    return 0
+
+
+def cmd_call(args) -> int:
+    import time as _time
+
+    import numpy as np
+
+    from .core.session import compile_to_binary
+    from .serve import FheServiceClient
+    from .tfhe import generate_keys
+    from .tfhe.client import decrypt_bits, encrypt_bits
+
+    params = _resolve_params(args.params)
+    workload = _workload_by_name(args.workload)
+    compiled = workload.compiled
+    print(f"generating keys for {params.name} ...")
+    secret, cloud = generate_keys(params, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    bits = compiled.encode_inputs(*workload.sample_inputs())
+    want = compiled.netlist.evaluate(bits)
+
+    with FheServiceClient(
+        args.host, args.port, args.tenant, timeout_s=args.timeout
+    ) as svc:
+        info = svc.register_key(cloud)
+        print(
+            f"key {info['fingerprint']} "
+            f"({'new' if info['created'] else 'already registered'}, "
+            f"server backend {info['backend']})"
+        )
+        program_id = svc.register_program(compile_to_binary(compiled))
+        print(f"program {program_id}")
+        status = 0
+        for index in range(args.requests):
+            ciphertext = encrypt_bits(secret, bits, rng)
+            t0 = _time.perf_counter()
+            out, report, meta = svc.call(
+                program_id,
+                ciphertext,
+                deadline_ms=args.deadline_ms,
+            )
+            latency_ms = (_time.perf_counter() - t0) * 1e3
+            ok = bool(np.array_equal(decrypt_bits(secret, out), want))
+            print(
+                f"call {index}: {latency_ms:9.1f} ms end-to-end  "
+                f"server={report.wall_time_s * 1e3:.1f} ms  "
+                f"batch={meta['batch_size']}  "
+                f"queued={meta['queue_ms']:.1f} ms  ok={ok}"
+            )
+            if not ok:
+                status = 1
+                break
+    return status
+
+
 def cmd_keygen(args) -> int:
     from .serialization import save_cloud_key, save_secret_key
     from .tfhe import PARAMETER_SETS, generate_keys
@@ -639,6 +746,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant FHE inference service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7478)
+    p.add_argument(
+        "--backend",
+        choices=("single", "batched", "distributed"),
+        default="batched",
+        help="per-tenant executor; 'batched' enables cross-request "
+        "SIMD coalescing",
+    )
+    p.add_argument(
+        "--transport", choices=("pickle", "shm"), default=None
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission-control queue bound (BUSY beyond this)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="cross-request SIMD batch cap per dispatch",
+    )
+    p.add_argument(
+        "--linger-ms",
+        type=float,
+        default=2.0,
+        help="hold a batch open this long for stragglers to coalesce",
+    )
+    p.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        help="per-frame ceiling; oversized requests get BUSY",
+    )
+    p.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the static-analyzer gate on program registration",
+    )
+    _add_obs_arguments(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "call",
+        help="drive one workload through a running FHE service",
+    )
+    p.add_argument("workload")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7478)
+    p.add_argument("--tenant", default="cli")
+    p.add_argument("--params", default="tfhe-test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=1,
+        help="number of sequential encrypted calls",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (DEADLINE reply when missed)",
+    )
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.set_defaults(func=cmd_call)
 
     p = sub.add_parser("keygen", help="generate a key pair")
     p.add_argument("--params", default="tfhe-default-128")

@@ -121,6 +121,93 @@ class Server:
         program: Union[Netlist, bytes, CompiledCircuit],
         inputs: LweCiphertext,
     ) -> Tuple[LweCiphertext, ExecutionReport]:
+        netlist = self._checked_netlist(program)
+        with _get_obs().tracer.span(
+            "session:execute", cat="session",
+            backend=self.backend_name, gates=netlist.num_gates,
+        ):
+            return self._backend.run(netlist, inputs)
+
+    def execute_many(
+        self,
+        program: Union[Netlist, bytes, CompiledCircuit],
+        inputs: LweCiphertext,
+        schedule=None,
+    ) -> Tuple[LweCiphertext, ExecutionReport]:
+        """Evaluate one program over many encrypted input sets.
+
+        ``inputs`` has batch shape ``(instances, num_inputs)`` and the
+        result ``(instances, num_outputs)``.  Backends with SIMD
+        batching (``backend="batched"``) fold the whole batch into a
+        single :meth:`CpuBackend.run_many` call — the amortization the
+        serving layer's cross-request batcher relies on; other
+        backends fall back to one ``run`` per instance and return an
+        aggregated report.
+        """
+        netlist = self._checked_netlist(program)
+        if getattr(self._backend, "supports_run_many", False):
+            with _get_obs().tracer.span(
+                "session:execute_many", cat="session",
+                backend=self.backend_name, gates=netlist.num_gates,
+                instances=inputs.batch_shape[0] if inputs.a.ndim == 3
+                else -1,
+            ):
+                return self._backend.run_many(
+                    netlist, inputs, schedule=schedule
+                )
+        if inputs.a.ndim != 3:
+            raise ValueError(
+                f"inputs must have batch shape (instances, num_inputs);"
+                f" got batch shape {inputs.batch_shape}"
+            )
+        if inputs.batch_shape[1] != netlist.num_inputs:
+            raise ValueError(
+                f"heterogeneous input width: this netlist takes "
+                f"{netlist.num_inputs} input bits per instance, got "
+                f"{inputs.batch_shape[1]}"
+            )
+        instances = inputs.batch_shape[0]
+        if instances == 0:
+            raise ValueError(
+                "execute_many needs at least one instance (empty batch)"
+            )
+        from ..runtime.scheduler import build_schedule
+
+        schedule = schedule or build_schedule(netlist)
+        with _get_obs().tracer.span(
+            "session:execute_many", cat="session",
+            backend=self.backend_name, gates=netlist.num_gates,
+            instances=instances,
+        ):
+            outs = []
+            reports = []
+            for i in range(instances):
+                out, rep = self._backend.run(
+                    netlist, inputs[i], schedule
+                )
+                outs.append(out)
+                reports.append(rep)
+        merged = ExecutionReport(
+            backend=f"{reports[0].backend}-seq-x{instances}",
+            gates_total=sum(r.gates_total for r in reports),
+            gates_bootstrapped=sum(
+                r.gates_bootstrapped for r in reports
+            ),
+            levels=reports[0].levels,
+            wall_time_s=sum(r.wall_time_s for r in reports),
+            ciphertext_bytes_moved=sum(
+                r.ciphertext_bytes_moved for r in reports
+            ),
+            tasks_submitted=sum(r.tasks_submitted for r in reports),
+            key_bytes_moved=sum(r.key_bytes_moved for r in reports),
+            pool_reused=reports[-1].pool_reused,
+            transport=reports[0].transport,
+        )
+        return LweCiphertext.stack(outs), merged
+
+    def _checked_netlist(
+        self, program: Union[Netlist, bytes, CompiledCircuit]
+    ) -> Netlist:
         netlist = _resolve_netlist(program)
         if self._check_config is not None:
             from ..analyze import analyze_netlist
@@ -128,11 +215,7 @@ class Server:
             analyze_netlist(
                 netlist, self._check_config
             ).report.raise_on_errors()
-        with _get_obs().tracer.span(
-            "session:execute", cat="session",
-            backend=self.backend_name, gates=netlist.num_gates,
-        ):
-            return self._backend.run(netlist, inputs)
+        return netlist
 
     def shutdown(self) -> None:
         if isinstance(self._backend, DistributedCpuBackend):

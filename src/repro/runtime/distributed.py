@@ -187,6 +187,12 @@ class DistributedCpuBackend:
     one with a context-managed lifetime.
     """
 
+    #: Cross-request SIMD batching (``run_many``) stays on the
+    #: in-process batched backend; the distributed pool already
+    #: parallelizes across workers, so callers (e.g. the serving
+    #: layer's batcher) fall back to per-instance ``run`` here.
+    supports_run_many = False
+
     def __init__(
         self,
         cloud_key: CloudKey,

@@ -13,6 +13,8 @@ wall time, and communication volume, which the benchmark harness uses.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -141,11 +143,39 @@ class ExecutionReport:
             return 0.0
         return self.wall_time_s / self.gates_bootstrapped
 
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        doc = dataclasses.asdict(self)
+        doc["trace"] = [
+            dataclasses.asdict(e) if dataclasses.is_dataclass(e) else e
+            for e in self.trace
+        ]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ExecutionReport":
+        doc = dict(doc)
+        doc["trace"] = [
+            TraceEvent(**e) if isinstance(e, dict) else e
+            for e in doc.get("trace", [])
+        ]
+        doc["extra"] = dict(doc.get("extra", {}))
+        return cls(**doc)
+
+    def to_json(self) -> str:
+        """Lossless JSON text (``from_json`` round-trips exactly)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionReport":
+        return cls.from_dict(json.loads(text))
+
 
 class PlaintextBackend:
     """Reference executor over plaintext bits."""
 
     name = "plaintext"
+    supports_run_many = False
 
     def run(
         self, netlist: Netlist, inputs: np.ndarray
@@ -222,6 +252,11 @@ class CpuBackend:
         #: one (see :func:`repro.obs.observe`) is consulted per run.
         self.obs = obs
         self.name = "cpu-batched" if batched else "cpu-single"
+
+    @property
+    def supports_run_many(self) -> bool:
+        """Whether :meth:`run_many` is available (batched mode only)."""
+        return self.batched
 
     def run(
         self,
@@ -317,11 +352,22 @@ class CpuBackend:
         """
         if not self.batched:
             raise ValueError("run_many requires the batched backend")
-        if inputs.a.ndim != 3 or inputs.batch_shape[1] != netlist.num_inputs:
+        if inputs.a.ndim != 3:
             raise ValueError(
-                "inputs must have batch shape (instances, num_inputs)"
+                f"inputs must have batch shape (instances, num_inputs); "
+                f"got batch shape {inputs.batch_shape}"
+            )
+        if inputs.batch_shape[1] != netlist.num_inputs:
+            raise ValueError(
+                f"heterogeneous input width: this netlist takes "
+                f"{netlist.num_inputs} input bits per instance, got "
+                f"{inputs.batch_shape[1]}"
             )
         instances = inputs.batch_shape[0]
+        if instances == 0:
+            raise ValueError(
+                "run_many needs at least one instance (empty batch)"
+            )
         if netlist.num_nodes * instances > MAX_FHE_NODES:
             raise ValueError("instances * nodes exceeds the real-FHE limit")
         schedule = schedule or build_schedule(netlist)

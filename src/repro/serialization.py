@@ -5,6 +5,11 @@ ciphertexts back and forth (paper Fig. 1); netlists already have their
 own wire format (:mod:`repro.isa`).  Everything here round-trips
 through ``numpy.savez_compressed`` payloads, with the parameter set
 embedded so a receiver can validate compatibility.
+
+Every payload starts with a 6-byte envelope — the :data:`MAGIC` tag
+plus a big-endian format version — so a truncated, foreign, or
+future-version blob fails fast with a :class:`SerializationError`
+instead of a cryptic failure deep inside ``np.load``.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
+import struct
+import zipfile
 
 import numpy as np
 
@@ -20,6 +27,17 @@ from .tfhe.keyswitch import KeySwitchingKey
 from .tfhe.lwe import LweCiphertext
 from .tfhe.params import TFHEParameters
 from .tfhe.tgsw import TgswFFT
+
+#: Envelope tag prepended to every ``save_*`` payload.
+MAGIC = b"RPRZ"
+#: Current payload format version (bump on incompatible layout change).
+FORMAT_VERSION = 1
+
+_ENVELOPE = struct.Struct(">4sH")
+
+
+class SerializationError(ValueError):
+    """A payload is not a (compatible) repro serialization blob."""
 
 
 def _params_to_json(params: TFHEParameters) -> str:
@@ -32,12 +50,47 @@ def _params_from_json(text: str) -> TFHEParameters:
 
 def _pack(**arrays) -> bytes:
     buffer = io.BytesIO()
+    buffer.write(_ENVELOPE.pack(MAGIC, FORMAT_VERSION))
     np.savez_compressed(buffer, **arrays)
     return buffer.getvalue()
 
 
 def _unpack(data: bytes):
-    return np.load(io.BytesIO(data), allow_pickle=False)
+    if len(data) < _ENVELOPE.size:
+        raise SerializationError(
+            f"truncated payload ({len(data)} bytes, envelope needs "
+            f"{_ENVELOPE.size}): not a repro serialization blob"
+        )
+    magic, version = _ENVELOPE.unpack_from(data)
+    if magic != MAGIC:
+        raise SerializationError(
+            f"bad magic {magic!r} (expected {MAGIC!r}): payload is not "
+            f"a repro serialization blob"
+        )
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"payload format version {version} is newer than this "
+            f"library supports (max {FORMAT_VERSION})"
+        )
+    try:
+        return np.load(
+            io.BytesIO(data[_ENVELOPE.size:]), allow_pickle=False
+        )
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"corrupt payload body: {exc}"
+        ) from exc
+
+
+def _field(loaded, name: str) -> np.ndarray:
+    """Array access that turns a missing field into a typed error."""
+    try:
+        return loaded[name]
+    except KeyError as exc:
+        raise SerializationError(
+            f"payload is missing field {name!r}: wrong blob type for "
+            f"this loader"
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -49,7 +102,7 @@ def save_ciphertext(ct: LweCiphertext) -> bytes:
 
 def load_ciphertext(data: bytes) -> LweCiphertext:
     loaded = _unpack(data)
-    return LweCiphertext(loaded["a"], loaded["b"])
+    return LweCiphertext(_field(loaded, "a"), _field(loaded, "b"))
 
 
 # ----------------------------------------------------------------------
@@ -75,11 +128,11 @@ def save_netlist_plan(netlist) -> bytes:
 def load_netlist_plan(data: bytes) -> dict:
     """Inverse of :func:`save_netlist_plan` (plain dict of arrays)."""
     loaded = _unpack(data)
-    meta = loaded["meta"]
+    meta = _field(loaded, "meta")
     return {
-        "ops": loaded["ops"],
-        "in0": loaded["in0"],
-        "in1": loaded["in1"],
+        "ops": _field(loaded, "ops"),
+        "in0": _field(loaded, "in0"),
+        "in1": _field(loaded, "in1"),
         "num_inputs": int(meta[0]),
         "num_nodes": int(meta[1]),
     }
@@ -100,11 +153,11 @@ def save_secret_key(secret: SecretKey) -> bytes:
 
 def load_secret_key(data: bytes) -> SecretKey:
     loaded = _unpack(data)
-    params = _params_from_json(bytes(loaded["params"]).decode())
+    params = _params_from_json(bytes(_field(loaded, "params")).decode())
     return SecretKey(
         params=params,
-        lwe_key=loaded["lwe_key"],
-        tlwe_key=loaded["tlwe_key"],
+        lwe_key=_field(loaded, "lwe_key"),
+        tlwe_key=_field(loaded, "tlwe_key"),
     )
 
 
@@ -125,11 +178,11 @@ def save_cloud_key(cloud: CloudKey) -> bytes:
 
 def load_cloud_key(data: bytes) -> CloudKey:
     loaded = _unpack(data)
-    params = _params_from_json(bytes(loaded["params"]).decode())
-    spectra = loaded["bootstrapping_key"]
+    params = _params_from_json(bytes(_field(loaded, "params")).decode())
+    spectra = _field(loaded, "bootstrapping_key")
     bootstrapping_key = [TgswFFT(spectra[i]) for i in range(spectra.shape[0])]
     ksk = KeySwitchingKey(
-        a=loaded["ks_a"], b=loaded["ks_b"], params=params
+        a=_field(loaded, "ks_a"), b=_field(loaded, "ks_b"), params=params
     )
     return CloudKey(
         params=params,

@@ -1,0 +1,85 @@
+"""Multi-tenant FHE inference service (the paper's Fig. 1, networked).
+
+The in-process :class:`repro.Client` / :class:`repro.Server` pair
+becomes a real client/cloud deployment: a TCP server
+(:class:`FheServer`) that holds each tenant's cloud key once, caches
+analyzer-verified programs by content hash, and coalesces concurrent
+same-program requests into SIMD-batched bootstraps — with bounded
+queues, BUSY backpressure, and per-request deadlines.
+
+Server side::
+
+    from repro.serve import FheServer, ServeConfig
+
+    server = FheServer(ServeConfig(port=7478, max_batch=16))
+    # asyncio:  await server.start(); await server.serve_forever()
+    # threaded: with server.run_in_thread() as handle: ...
+
+Client side::
+
+    from repro.serve import FheServiceClient
+
+    with FheServiceClient("127.0.0.1", 7478, "tenant-a") as svc:
+        svc.register_key(client.cloud_key)
+        program_id = svc.register_program(compiled)
+        ct_out, report, info = svc.call(program_id, ct_in)
+"""
+
+from .batching import BatchResult, RequestScheduler, ServeRequest
+from .client import (
+    BusyError,
+    DeadlineError,
+    FheServiceClient,
+    ServeClientError,
+)
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    FrameTooLarge,
+    MAGIC,
+    MessageKind,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Status,
+    decode_frame,
+    encode_frame,
+)
+from .registry import (
+    ProgramRegistry,
+    RegisteredProgram,
+    ServeError,
+    TenantKeystore,
+    TenantRuntime,
+    program_id_of,
+)
+from .server import FheServer, ServeConfig, ServerHandle, serving
+
+__all__ = [
+    "BatchResult",
+    "BusyError",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DeadlineError",
+    "FheServer",
+    "FheServiceClient",
+    "Frame",
+    "FrameTooLarge",
+    "MAGIC",
+    "MessageKind",
+    "PROTOCOL_VERSION",
+    "ProgramRegistry",
+    "ProtocolError",
+    "RegisteredProgram",
+    "RequestScheduler",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeError",
+    "ServeRequest",
+    "ServerHandle",
+    "Status",
+    "TenantKeystore",
+    "TenantRuntime",
+    "decode_frame",
+    "encode_frame",
+    "program_id_of",
+    "serving",
+]

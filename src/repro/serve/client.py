@@ -1,0 +1,256 @@
+"""Client SDK for the FHE inference service.
+
+A synchronous, retrying client over one TCP connection.  The client
+owns nothing cryptographic — callers encrypt/decrypt with their own
+:class:`repro.Client` — it just moves blobs: register the cloud key
+once, upload compiled programs, then fire CALLs.
+
+Transient failures are absorbed here so application code stays
+linear: BUSY (admission backpressure) retries with capped exponential
+backoff + jitter, connection drops reconnect, and everything else
+surfaces as a typed exception carrying the server's wire status::
+
+    client = FheServiceClient("127.0.0.1", port, tenant="acme")
+    client.register_key(cloud_key_blob)
+    program_id = client.register_program(binary)
+    out_ct, report, info = client.call(program_id, input_ct)
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..core.compiler import CompiledCircuit
+from ..core.session import compile_to_binary
+from ..runtime.executors import ExecutionReport
+from ..serialization import (
+    load_ciphertext,
+    save_ciphertext,
+    save_cloud_key,
+)
+from ..tfhe.keys import CloudKey
+from ..tfhe.lwe import LweCiphertext
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    MessageKind,
+    ProtocolError,
+    Status,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+
+class ServeClientError(Exception):
+    """A request failed with a non-OK wire status."""
+
+    def __init__(self, status: str, message: str):
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class BusyError(ServeClientError):
+    """Admission control refused the request (retryable)."""
+
+
+class DeadlineError(ServeClientError):
+    """The server cancelled the request past its deadline."""
+
+
+def _error_for(frame: Frame) -> ServeClientError:
+    message = str(frame.header.get("message", "request failed"))
+    if frame.status == Status.BUSY:
+        return BusyError(frame.status, message)
+    if frame.status == Status.DEADLINE:
+        return DeadlineError(frame.status, message)
+    return ServeClientError(frame.status, message)
+
+
+class FheServiceClient:
+    """One tenant's connection to an :class:`FheServer`.
+
+    ``retries``/``backoff_s`` govern BUSY and connection-level
+    retries: attempt *n* sleeps ``backoff_s * 2**n`` (plus up to 25 %
+    jitter so synchronized clients don't re-stampede), capped at
+    ``max_backoff_s``.  ``timeout_s`` bounds each socket operation.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        timeout_s: float = 60.0,
+        retries: int = 4,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        connect_retries: int = 10,
+    ):
+        if not tenant:
+            raise ValueError("tenant id must be non-empty")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.max_frame_bytes = max_frame_bytes
+        self.connect_retries = connect_retries
+        self._sock: Optional[socket.socket] = None
+        self._rng = random.Random()
+
+    # -- connection management -----------------------------------------
+    def connect(self) -> None:
+        """(Re)establish the TCP connection, with startup retries."""
+        self.close()
+        last: Optional[Exception] = None
+        for attempt in range(self.connect_retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                self._sock = sock
+                return
+            except OSError as exc:
+                last = exc
+                self._sleep(attempt)
+        raise ConnectionError(
+            f"cannot reach {self.host}:{self.port} after "
+            f"{self.connect_retries + 1} attempts: {last}"
+        )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "FheServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _sleep(self, attempt: int) -> None:
+        delay = min(
+            self.backoff_s * (2**attempt), self.max_backoff_s
+        )
+        time.sleep(delay * (1.0 + 0.25 * self._rng.random()))
+
+    # -- request machinery ---------------------------------------------
+    def _roundtrip_once(
+        self, kind: int, header: Dict[str, Any], payload: bytes
+    ) -> Frame:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        write_frame_sync(self._sock, kind, header, payload)
+        return read_frame_sync(self._sock, self.max_frame_bytes)
+
+    def request(
+        self,
+        kind: int,
+        header: Optional[Dict[str, Any]] = None,
+        payload: bytes = b"",
+    ) -> Frame:
+        """Send one frame, retrying BUSY replies and dead sockets."""
+        header = dict(header or {})
+        header.setdefault("tenant", self.tenant)
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                reply = self._roundtrip_once(kind, header, payload)
+            except (OSError, ProtocolError) as exc:
+                # Dead or desynchronized connection: reconnect and
+                # retry (requests here are idempotent: registration
+                # is content/fingerprint addressed, calls are pure).
+                last_error = exc
+                self.close()
+                self._sleep(attempt)
+                continue
+            if reply.status == Status.BUSY:
+                last_error = _error_for(reply)
+                # The server may have dropped an over-limit stream;
+                # start clean either way.
+                self.close()
+                self._sleep(attempt)
+                continue
+            if not reply.ok:
+                raise _error_for(reply)
+            return reply
+        if isinstance(last_error, ServeClientError):
+            raise last_error
+        raise ConnectionError(
+            f"request failed after {self.retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+    # -- high-level API ------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request(MessageKind.PING).header
+
+    def metrics(self) -> Dict[str, Any]:
+        """Server-side metrics snapshot + scheduler statistics."""
+        return self.request(MessageKind.METRICS).header
+
+    def register_key(
+        self, cloud_key: Union[CloudKey, bytes]
+    ) -> Dict[str, Any]:
+        """Upload this tenant's cloud key (idempotent per key)."""
+        blob = (
+            save_cloud_key(cloud_key)
+            if isinstance(cloud_key, CloudKey)
+            else bytes(cloud_key)
+        )
+        return self.request(
+            MessageKind.REGISTER_KEY, payload=blob
+        ).header
+
+    def register_program(
+        self, program: Union[bytes, CompiledCircuit]
+    ) -> str:
+        """Upload a PyTFHE binary; returns its content-hash id."""
+        if isinstance(program, CompiledCircuit):
+            binary = compile_to_binary(program)
+        else:
+            binary = bytes(program)
+        reply = self.request(
+            MessageKind.REGISTER_PROGRAM, payload=binary
+        )
+        return str(reply.header["program_id"])
+
+    def call(
+        self,
+        program_id: str,
+        ciphertext: LweCiphertext,
+        deadline_ms: Optional[float] = None,
+    ) -> Tuple[LweCiphertext, ExecutionReport, Dict[str, Any]]:
+        """One encrypted inference; returns (output, report, info).
+
+        ``info`` carries serving metadata: ``batch_size`` (how many
+        requests shared the SIMD dispatch) and ``queue_ms``.
+        """
+        header: Dict[str, Any] = {"program_id": program_id}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        reply = self.request(
+            MessageKind.CALL,
+            header,
+            payload=save_ciphertext(ciphertext),
+        )
+        report = ExecutionReport.from_dict(reply.header["report"])
+        info = {
+            "batch_size": reply.header.get("batch_size", 1),
+            "queue_ms": reply.header.get("queue_ms", 0.0),
+        }
+        return load_ciphertext(reply.payload), report, info

@@ -1,0 +1,421 @@
+"""The network-facing multi-tenant FHE inference server.
+
+One :class:`FheServer` listens on a TCP socket, speaks the
+length-prefixed protocol of :mod:`repro.serve.protocol`, and routes
+frames to the program registry, tenant keystore, and batching
+scheduler.  The asyncio loop only ever parses frames and moves
+requests; all FHE compute runs on the scheduler's executor thread, so
+admission, deadline bookkeeping, and backpressure stay responsive
+while bootstraps grind.
+
+In-process embedding (tests, benchmarks, notebooks)::
+
+    server = FheServer(ServeConfig(port=0))
+    with server.run_in_thread() as handle:
+        client = FheServiceClient("127.0.0.1", handle.port, "tenant-a")
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .. import __version__
+from ..core.compiler import CheckArg
+from ..obs import get as _get_obs
+from ..serialization import (
+    SerializationError,
+    load_ciphertext,
+    save_ciphertext,
+)
+from .batching import RequestScheduler, ServeRequest
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    FrameTooLarge,
+    MessageKind,
+    ProtocolError,
+    Status,
+    encode_frame,
+    read_frame,
+)
+from .registry import ProgramRegistry, ServeError, TenantKeystore
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (read back from server.port)
+    #: Executor backend per tenant: single | batched | distributed.
+    backend: str = "batched"
+    num_workers: Optional[int] = None
+    transport: Optional[str] = None
+    #: Bounded-queue admission limit (BUSY beyond this).
+    max_pending: int = 64
+    #: Cross-request SIMD batch cap per dispatch.
+    max_batch: int = 16
+    #: Seconds to hold a batch open for stragglers (0 = dispatch now).
+    linger_s: float = 0.0
+    #: Per-frame byte ceiling; oversized frames get a BUSY reply.
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Static-analysis gate for program registration.
+    check: CheckArg = True
+    #: Deadline applied when a CALL carries none (None = unbounded).
+    default_deadline_s: Optional[float] = None
+
+
+class FheServer:
+    """Asyncio TCP server wiring protocol -> registry -> scheduler."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.registry = ProgramRegistry(check=self.config.check)
+        self.keystore = TenantKeystore(
+            backend=self.config.backend,
+            num_workers=self.config.num_workers,
+            transport=self.config.transport,
+        )
+        self.scheduler = RequestScheduler(
+            max_pending=self.config.max_pending,
+            max_batch=self.config.max_batch,
+            linger_s=self.config.linger_s,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self.started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+        await self.scheduler.stop()
+        self.keystore.shutdown()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run_in_thread(self) -> "ServerHandle":
+        """Start the server on a dedicated event-loop thread."""
+        return ServerHandle(self)
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, self.config.max_frame_bytes
+                    )
+                except FrameTooLarge as exc:
+                    # Backpressure: the reader drained the oversized
+                    # body, so the stream is still synchronized —
+                    # reply BUSY and keep serving.
+                    obs = _get_obs()
+                    if obs.active:
+                        obs.metrics.inc(
+                            "serve_requests", status=Status.BUSY
+                        )
+                    self.scheduler.stats["busy_rejections"] += 1
+                    await self._reply(
+                        writer,
+                        Status.BUSY,
+                        f"request too large: {exc} — shrink or "
+                        f"split the request",
+                    )
+                    continue
+                except ProtocolError as exc:
+                    await self._reply(
+                        writer, Status.BAD_REQUEST, str(exc)
+                    )
+                    break
+                if frame is None:
+                    break  # clean EOF
+                done = await self._handle_frame(writer, frame)
+                if done:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_frame(
+        self, writer: asyncio.StreamWriter, frame: Frame
+    ) -> bool:
+        """Dispatch one request frame; returns True to end the stream."""
+        obs = _get_obs()
+        try:
+            if frame.kind == MessageKind.PING:
+                await self._reply(
+                    writer,
+                    Status.OK,
+                    "pong",
+                    server_version=__version__,
+                    tenants=len(self.keystore),
+                    programs=len(self.registry),
+                    queue_depth=self.scheduler.depth,
+                )
+            elif frame.kind == MessageKind.METRICS:
+                await self._reply(
+                    writer,
+                    Status.OK,
+                    "metrics snapshot",
+                    metrics=(
+                        obs.metrics.as_dict() if obs.active else None
+                    ),
+                    stats=dict(self.scheduler.stats),
+                )
+            elif frame.kind == MessageKind.REGISTER_KEY:
+                await self._handle_register_key(writer, frame)
+            elif frame.kind == MessageKind.REGISTER_PROGRAM:
+                await self._handle_register_program(writer, frame)
+            elif frame.kind == MessageKind.CALL:
+                await self._handle_call(writer, frame)
+            else:
+                await self._reply(
+                    writer,
+                    Status.BAD_REQUEST,
+                    f"unsupported message kind {frame.kind}",
+                )
+        except ServeError as exc:
+            if obs.active and exc.status not in (
+                Status.OK,
+                Status.BUSY,
+                Status.DEADLINE,
+            ):
+                obs.metrics.inc("serve_requests", status=exc.status)
+            await self._reply(writer, exc.status, exc.message)
+        except Exception as exc:  # never kill the connection silently
+            await self._reply(
+                writer, Status.ERROR, f"internal error: {exc}"
+            )
+        return False
+
+    def _require(self, frame: Frame, field_name: str) -> str:
+        value = frame.header.get(field_name)
+        if not isinstance(value, str) or not value:
+            raise ServeError(
+                Status.BAD_REQUEST,
+                f"{frame.kind_name} needs a {field_name!r} header field",
+            )
+        return value
+
+    async def _handle_register_key(
+        self, writer: asyncio.StreamWriter, frame: Frame
+    ) -> None:
+        tenant = self._require(frame, "tenant")
+        loop = asyncio.get_running_loop()
+        # Key loading + pool spin-up can take seconds; keep the loop
+        # free for other connections.
+        runtime, created = await loop.run_in_executor(
+            None, self.keystore.register_blob, tenant, frame.payload
+        )
+        await self._reply(
+            writer,
+            Status.OK,
+            "key registered" if created else "key already registered",
+            fingerprint=runtime.key_fingerprint,
+            created=created,
+            backend=self.config.backend,
+        )
+
+    async def _handle_register_program(
+        self, writer: asyncio.StreamWriter, frame: Frame
+    ) -> None:
+        tenant = self._require(frame, "tenant")
+        self.keystore.get(tenant)  # must hold a key first
+        loop = asyncio.get_running_loop()
+        program, cached = await loop.run_in_executor(
+            None, self.registry.register, frame.payload
+        )
+        header = program.describe()
+        header["cached"] = cached
+        await self._reply(
+            writer,
+            Status.OK,
+            "program cached" if cached else "program registered",
+            **header,
+        )
+
+    async def _handle_call(
+        self, writer: asyncio.StreamWriter, frame: Frame
+    ) -> None:
+        tenant = self._require(frame, "tenant")
+        program_id = self._require(frame, "program_id")
+        runtime = self.keystore.get(tenant)
+        program = self.registry.get(program_id)
+        try:
+            ciphertext = load_ciphertext(frame.payload)
+        except SerializationError as exc:
+            raise ServeError(
+                Status.BAD_REQUEST, f"bad ciphertext payload: {exc}"
+            ) from exc
+        if ciphertext.batch_shape != (program.num_inputs,):
+            raise ServeError(
+                Status.BAD_REQUEST,
+                f"program {program_id[:12]} takes "
+                f"{program.num_inputs} input ciphertexts, got batch "
+                f"shape {tuple(ciphertext.batch_shape)}",
+            )
+        deadline_s = self._resolve_deadline(frame)
+        result = await self.scheduler.submit(
+            ServeRequest(
+                tenant=tenant,
+                program=program,
+                runtime=runtime,
+                ciphertext=ciphertext,
+                deadline_s=deadline_s,
+            )
+        )
+        await self._reply(
+            writer,
+            Status.OK,
+            "executed",
+            payload=save_ciphertext(result.ciphertext),
+            report=result.report.as_dict(),
+            batch_size=result.batch_size,
+            queue_ms=result.queue_s * 1e3,
+        )
+
+    def _resolve_deadline(self, frame: Frame) -> Optional[float]:
+        deadline_ms = frame.header.get("deadline_ms")
+        if deadline_ms is None:
+            if self.config.default_deadline_s is None:
+                return None
+            return time.monotonic() + self.config.default_deadline_s
+        if not isinstance(deadline_ms, (int, float)):
+            raise ServeError(
+                Status.BAD_REQUEST,
+                f"deadline_ms must be a number, got "
+                f"{type(deadline_ms).__name__}",
+            )
+        return time.monotonic() + float(deadline_ms) / 1e3
+
+    async def _reply(
+        self,
+        writer: asyncio.StreamWriter,
+        status: str,
+        message: str,
+        payload: bytes = b"",
+        **header_fields,
+    ) -> None:
+        header = {"status": status, "message": message}
+        header.update(header_fields)
+        try:
+            writer.write(
+                encode_frame(MessageKind.REPLY, header, payload)
+            )
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+
+class ServerHandle:
+    """A server running on its own thread + event loop.
+
+    Context-managed: entering starts the loop and blocks until the
+    socket is bound; exiting stops the server and joins the thread.
+    """
+
+    def __init__(self, server: FheServer):
+        self.server = server
+        self.port: int = -1
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServerHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="fhe-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+            self.port = self.server.port
+        except BaseException as err:
+            self._startup_error = err
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+
+@contextlib.contextmanager
+def serving(
+    config: Optional[ServeConfig] = None,
+) -> Iterator[ServerHandle]:
+    """``with serving() as handle:`` — an in-process server."""
+    server = FheServer(config)
+    with server.run_in_thread() as handle:
+        yield handle

@@ -161,3 +161,35 @@ class TestChunkedBatching:
         _, cloud = test_keys
         with pytest.raises(ValueError):
             CpuBackend(cloud, batched=True, max_batch=0)
+
+class TestExecutionReportJson:
+    def test_json_roundtrip_with_trace(self, small_circuit, test_keys, rng):
+        import json
+
+        secret, cloud = test_keys
+        ct = encrypt_bits(
+            secret, rng.integers(0, 2, small_circuit.num_inputs).astype(bool), rng
+        )
+        _, report = CpuBackend(cloud, batched=True, trace=True).run(
+            small_circuit, ct
+        )
+        text = report.to_json()
+        json.loads(text)  # valid JSON document
+        back = type(report).from_json(text)
+        assert back == report
+        assert back.trace == report.trace
+        assert back.trace and back.trace[0].kind == report.trace[0].kind
+
+    def test_json_roundtrip_without_trace(self, small_circuit):
+        import json
+
+        inputs = np.zeros(small_circuit.num_inputs, dtype=bool)
+        _, report = PlaintextBackend().run(small_circuit, inputs)
+        back = type(report).from_json(report.to_json())
+        assert back == report
+        assert json.loads(report.to_json())["backend"] == "plaintext"
+
+    def test_json_is_deterministic(self, small_circuit):
+        inputs = np.zeros(small_circuit.num_inputs, dtype=bool)
+        _, report = PlaintextBackend().run(small_circuit, inputs)
+        assert report.to_json() == type(report).from_json(report.to_json()).to_json()

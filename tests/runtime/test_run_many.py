@@ -100,3 +100,47 @@ def test_run_many_shape_validation(adder, test_keys, rng):
     backend = CpuBackend(cloud, batched=True)
     with pytest.raises(ValueError):
         backend.run_many(adder, flat)
+
+class TestRunManyEdgeCases:
+    def test_empty_batch_rejected(self, adder, test_keys):
+        _, cloud = test_keys
+        backend = CpuBackend(cloud, batched=True)
+        empty = LweCiphertext(
+            np.zeros((0, 8, cloud.params.lwe_dimension), dtype=np.int32),
+            np.zeros((0, 8), dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="at least one instance"):
+            backend.run_many(adder, empty)
+
+    def test_batch_of_one_matches_run(self, adder, test_keys, rng):
+        secret, cloud = test_keys
+        bits = _encode_many([(11, 6)])
+        ct = encrypt_bits(secret, bits, rng)
+        backend = CpuBackend(cloud, batched=True)
+        many, many_report = backend.run_many(adder, ct)
+        single, _ = backend.run(
+            adder, LweCiphertext(ct.a[0], ct.b[0])
+        )
+        assert many.batch_shape == (1, 4)
+        assert np.array_equal(
+            decrypt_bits(secret, LweCiphertext(many.a[0], many.b[0])),
+            decrypt_bits(secret, single),
+        )
+        assert many_report.gates_total == adder.num_gates
+
+    def test_heterogeneous_width_rejected(self, adder, test_keys, rng):
+        secret, cloud = test_keys
+        # The adder takes 8 input bits per instance; offer 6.
+        bits = np.zeros((3, 6), dtype=bool)
+        ct = encrypt_bits(secret, bits, rng)
+        backend = CpuBackend(cloud, batched=True)
+        with pytest.raises(ValueError, match="heterogeneous input width"):
+            backend.run_many(adder, ct)
+
+    def test_supports_run_many_flags(self, test_keys):
+        from repro.runtime import PlaintextBackend
+
+        _, cloud = test_keys
+        assert CpuBackend(cloud, batched=True).supports_run_many
+        assert not CpuBackend(cloud, batched=False).supports_run_many
+        assert not PlaintextBackend().supports_run_many

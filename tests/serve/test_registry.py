@@ -1,0 +1,170 @@
+"""Program registry and tenant keystore tests."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import AnalyzerConfig
+from repro.chiseltorch.dtypes import SInt
+from repro.core.compiler import TensorSpec, compile_function
+from repro.core.session import compile_to_binary
+from repro.serialization import save_cloud_key
+from repro.serve import (
+    ProgramRegistry,
+    ServeError,
+    Status,
+    TenantKeystore,
+    program_id_of,
+)
+from repro.tfhe import TFHE_TEST, generate_keys
+
+
+@pytest.fixture(scope="module")
+def binary():
+    # A real two-operand add: 34 bootstrapped gates, so the noise
+    # certification family has levels to certify (x + x is pure wiring).
+    compiled = compile_function(
+        lambda x, y: x + y,
+        [TensorSpec("x", (2,), SInt(4)), TensorSpec("y", (2,), SInt(4))],
+        name="add",
+    )
+    return compile_to_binary(compiled)
+
+
+class TestProgramRegistry:
+    def test_register_and_get(self, binary):
+        registry = ProgramRegistry()
+        program, cached = registry.register(binary)
+        assert not cached
+        assert program.program_id == program_id_of(binary)
+        assert registry.get(program.program_id) is program
+        assert program.num_inputs == program.netlist.num_inputs
+
+    def test_content_hash_caching(self, binary):
+        registry = ProgramRegistry()
+        first, _ = registry.register(binary)
+        second, cached = registry.register(binary)
+        assert cached
+        assert second is first
+        assert len(registry) == 1
+
+    def test_unknown_program_not_found(self):
+        registry = ProgramRegistry()
+        with pytest.raises(ServeError) as err:
+            registry.get("deadbeef")
+        assert err.value.status == Status.NOT_FOUND
+
+    def test_garbage_binary_bad_request(self):
+        registry = ProgramRegistry()
+        with pytest.raises(ServeError) as err:
+            registry.register(b"this is not a pytfhe binary")
+        assert err.value.status == Status.BAD_REQUEST
+
+    def test_analyzer_gate_rejects(self, binary):
+        # An impossible noise margin makes every bootstrapped level an
+        # ERROR finding, so the analyzer gate must refuse the upload.
+        registry = ProgramRegistry(
+            check=AnalyzerConfig(params=TFHE_TEST, error_sigmas=1e9)
+        )
+        with pytest.raises(ServeError) as err:
+            registry.register(binary)
+        assert err.value.status == Status.REJECTED
+        assert len(registry) == 0
+
+    def test_describe_is_json_ready(self, binary):
+        import json
+
+        registry = ProgramRegistry()
+        program, _ = registry.register(binary)
+        doc = json.loads(json.dumps(program.describe()))
+        assert doc["num_inputs"] == program.num_inputs
+        assert doc["gates"] == program.netlist.num_gates
+
+
+class TestTenantKeystore:
+    def test_register_creates_runtime(self, cloud_key):
+        store = TenantKeystore(backend="batched")
+        try:
+            runtime, created = store.register("acme", cloud_key)
+            assert created
+            assert runtime.key_fingerprint == cloud_key.fingerprint()
+            assert store.get("acme") is runtime
+            assert len(store) == 1
+        finally:
+            store.shutdown()
+
+    def test_same_key_idempotent(self, cloud_key):
+        store = TenantKeystore()
+        try:
+            first, _ = store.register("acme", cloud_key)
+            again, created = store.register("acme", cloud_key)
+            assert not created
+            assert again is first
+        finally:
+            store.shutdown()
+
+    def test_different_key_refused(self, cloud_key):
+        store = TenantKeystore()
+        try:
+            store.register("acme", cloud_key)
+            _, other = generate_keys(TFHE_TEST, seed=99)
+            with pytest.raises(ServeError) as err:
+                store.register("acme", other)
+            assert err.value.status == Status.BAD_REQUEST
+            assert "once" in err.value.message
+        finally:
+            store.shutdown()
+
+    def test_register_blob_roundtrip(self, cloud_key):
+        store = TenantKeystore()
+        try:
+            runtime, _ = store.register_blob(
+                "acme", save_cloud_key(cloud_key)
+            )
+            assert runtime.key_fingerprint == cloud_key.fingerprint()
+        finally:
+            store.shutdown()
+
+    def test_bad_blob_bad_request(self):
+        store = TenantKeystore()
+        try:
+            with pytest.raises(ServeError) as err:
+                store.register_blob("acme", b"\x00" * 32)
+            assert err.value.status == Status.BAD_REQUEST
+        finally:
+            store.shutdown()
+
+    def test_unknown_tenant_not_found(self):
+        store = TenantKeystore()
+        try:
+            with pytest.raises(ServeError) as err:
+                store.get("nobody")
+            assert err.value.status == Status.NOT_FOUND
+        finally:
+            store.shutdown()
+
+    def test_empty_tenant_refused(self, cloud_key):
+        store = TenantKeystore()
+        try:
+            with pytest.raises(ServeError) as err:
+                store.register("", cloud_key)
+            assert err.value.status == Status.BAD_REQUEST
+        finally:
+            store.shutdown()
+
+    def test_runtime_executes(self, cloud_key, secret_key, rng):
+        """The keystore-built Server really evaluates ciphertexts."""
+        from repro.tfhe import decrypt_bits, encrypt_bits
+
+        compiled = compile_function(
+            lambda x: x + x, [TensorSpec("x", (2,), SInt(4))]
+        )
+        store = TenantKeystore(backend="batched")
+        try:
+            runtime, _ = store.register("acme", cloud_key)
+            bits = compiled.encode_inputs(np.array([1.0, 2.0]))
+            ct = encrypt_bits(secret_key, bits, rng)
+            out, _ = runtime.server.execute(compiled.netlist, ct)
+            got = compiled.decode_outputs(decrypt_bits(secret_key, out))
+            assert np.array_equal(got[0], np.array([2.0, 4.0]))
+        finally:
+            store.shutdown()

@@ -280,3 +280,24 @@ def test_check_passes_json_schema(tmp_path, capsys):
         "dead_gate_elimination",
     ]
     capsys.readouterr()
+
+def test_call_against_in_process_server(capsys):
+    from repro.serve import ServeConfig, serving
+
+    with serving(ServeConfig(port=0)) as handle:
+        assert (
+            main(
+                [
+                    "call",
+                    "hamming_distance",
+                    "--port",
+                    str(handle.port),
+                    "--requests",
+                    "2",
+                ]
+            )
+            == 0
+        )
+    out = capsys.readouterr().out
+    assert out.count("ok=True") == 2
+    assert "program " in out

@@ -1,9 +1,13 @@
 """Serialization roundtrip tests for keys and ciphertexts."""
 
 import numpy as np
+import pytest
 
 from repro.gatetypes import Gate
 from repro.serialization import (
+    FORMAT_VERSION,
+    MAGIC,
+    SerializationError,
     load_ciphertext,
     load_cloud_key,
     load_netlist_plan,
@@ -88,3 +92,57 @@ class TestKeyRoundtrips:
         bits = rng.integers(0, 2, 8).astype(bool)
         ct = encrypt_bits(secret, bits, rng)
         assert np.array_equal(decrypt_bits(back, ct), bits)
+
+class TestEnvelope:
+    """Magic + format-version header on every payload."""
+
+    def _blob(self, test_keys, rng):
+        secret, _ = test_keys
+        return save_ciphertext(encrypt_bits(secret, [True, False], rng))
+
+    def test_payload_starts_with_magic_and_version(self, test_keys, rng):
+        blob = self._blob(test_keys, rng)
+        assert blob[:4] == MAGIC
+        assert int.from_bytes(blob[4:6], "big") == FORMAT_VERSION
+
+    def test_truncated_payload_rejected(self, test_keys, rng):
+        with pytest.raises(SerializationError, match="truncated"):
+            load_ciphertext(self._blob(test_keys, rng)[:3])
+
+    def test_foreign_payload_rejected(self):
+        with pytest.raises(SerializationError, match="bad magic"):
+            load_ciphertext(b"PK\x03\x04 definitely not ours")
+
+    def test_future_version_rejected(self, test_keys, rng):
+        blob = bytearray(self._blob(test_keys, rng))
+        blob[4:6] = (FORMAT_VERSION + 1).to_bytes(2, "big")
+        with pytest.raises(SerializationError, match="version"):
+            load_ciphertext(bytes(blob))
+
+    def test_corrupt_body_rejected(self, test_keys, rng):
+        blob = self._blob(test_keys, rng)
+        corrupt = blob[:6] + b"\x00" * 16
+        with pytest.raises(SerializationError):
+            load_ciphertext(corrupt)
+
+    def test_envelope_on_every_save_family(self, test_keys, rng):
+        from repro.hdl.builder import CircuitBuilder
+
+        secret, cloud = test_keys
+        bd = CircuitBuilder()
+        bd.output(bd.not_(bd.input()))
+        payloads = [
+            save_ciphertext(encrypt_bits(secret, [True], rng)),
+            save_secret_key(secret),
+            save_cloud_key(cloud),
+            save_netlist_plan(bd.build()),
+        ]
+        for blob in payloads:
+            assert blob[:4] == MAGIC
+
+    def test_cross_loader_error_is_clear(self, test_keys):
+        # Loading a valid payload with the wrong loader fails with a
+        # SerializationError naming the missing field, not a KeyError.
+        secret, _ = test_keys
+        with pytest.raises(SerializationError):
+            load_cloud_key(save_secret_key(secret))
