@@ -1,0 +1,236 @@
+"""Static-analyzer scaling: flat vectorized engines vs the object walk.
+
+Generates synthetic random netlists (10k / 100k / 1M gates by
+default), runs every analysis family under both engines, verifies the
+reports are bit-identical where both ran, and reports per-family
+speedups plus the content-hash cache's miss/hit latencies.  The legacy
+per-gate walk is capped at ``--legacy-max`` gates (it is the slow side
+of the comparison); the flat engine runs the full ladder and must
+finish the largest size inside ``--budget-s``.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/bench_analyze_scale.py \
+        --sizes 10000 100000 --json analyze_scale.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.analyze import (
+    AnalysisCache,
+    DEFAULT_CONFIG,
+    FlatCircuitFacts,
+    analyze_netlist_cached,
+    check_dataflow,
+    check_program,
+    check_schedule,
+    check_structure,
+)
+from repro.analyze.structural import CircuitFacts
+from repro.gatetypes import TWO_INPUT_GATES, Gate
+from repro.hdl.netlist import NO_INPUT, Netlist
+from repro.isa.assembler import assemble
+from repro.runtime.scheduler import build_schedule
+
+
+def synthetic_netlist(num_gates, num_inputs=64, seed=0):
+    """A random valid netlist, built vectorized (no Python gate loop)."""
+    rng = np.random.default_rng(seed)
+    binary = np.array([int(g) for g in TWO_INPUT_GATES], dtype=np.int64)
+    unary = np.array([int(Gate.NOT), int(Gate.BUF)], dtype=np.int64)
+    const = np.array([int(Gate.CONST0), int(Gate.CONST1)], dtype=np.int64)
+    kind = rng.random(num_gates)
+    ops = np.where(
+        kind < 0.80,
+        rng.choice(binary, num_gates),
+        np.where(
+            kind < 0.95,
+            rng.choice(unary, num_gates),
+            rng.choice(const, num_gates),
+        ),
+    )
+    arity = np.zeros(num_gates, dtype=np.int64)
+    for code in np.unique(ops):
+        arity[ops == code] = Gate(int(code)).arity
+    nodes = num_inputs + np.arange(num_gates, dtype=np.int64)
+    in0 = np.where(arity >= 1, rng.integers(0, nodes), NO_INPUT)
+    in1 = np.where(arity == 2, rng.integers(0, nodes), NO_INPUT)
+    outputs = nodes[-min(32, num_gates) :]
+    return Netlist(num_inputs, ops, in0, in1, outputs, name=f"syn{num_gates}")
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def report_of(col):
+    return col.into_report("bench", ["bench"]).as_dict()
+
+
+def bench_size(num_gates, legacy_max, failures):
+    row = {"gates": num_gates}
+    netlist = synthetic_netlist(num_gates)
+    schedule = build_schedule(netlist)
+    binary = assemble(netlist)
+    run_legacy = num_gates <= legacy_max
+
+    t_extract, flat = timed(
+        lambda: FlatCircuitFacts.from_netlist(netlist)
+    )
+    t_rounds, _ = timed(lambda: flat.rounds)
+    row["extract_s"] = t_extract + t_rounds
+
+    pairs = {
+        "structural": (
+            lambda eng: check_structure(
+                flat
+                if eng == "flat"
+                else CircuitFacts.from_netlist(netlist),
+                engine=eng,
+            )
+        ),
+        "hazards": (
+            lambda eng: check_schedule(netlist, schedule, engine=eng)
+        ),
+        "stream": (lambda eng: check_program(binary, engine=eng)),
+    }
+    for family, run in pairs.items():
+        t_flat, col_flat = timed(lambda: run("flat"))
+        row[f"{family}_flat_s"] = t_flat
+        if run_legacy:
+            t_legacy, col_legacy = timed(lambda: run("legacy"))
+            row[f"{family}_legacy_s"] = t_legacy
+            row[f"{family}_speedup"] = t_legacy / max(t_flat, 1e-9)
+            if report_of(col_flat) != report_of(col_legacy):
+                failures.append(
+                    f"{family}@{num_gates}: engines disagree"
+                )
+
+    t_df, _ = timed(lambda: check_dataflow(flat))
+    row["dataflow_flat_s"] = t_df
+
+    cache = AnalysisCache()
+    t_miss, _ = timed(
+        lambda: analyze_netlist_cached(
+            netlist, DEFAULT_CONFIG, schedule=schedule, cache=cache
+        )
+    )
+    t_hit, _ = timed(
+        lambda: analyze_netlist_cached(
+            netlist, DEFAULT_CONFIG, schedule=schedule, cache=cache
+        )
+    )
+    row["cache_miss_s"] = t_miss
+    row["cache_hit_s"] = t_hit
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10_000, 100_000, 1_000_000],
+        help="synthetic netlist sizes (gates)",
+    )
+    parser.add_argument(
+        "--legacy-max",
+        type=int,
+        default=100_000,
+        help="largest size the legacy engines also run at",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required flat-vs-legacy speedup at the largest compared "
+        "size (per family, best-of)",
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=60.0,
+        help="flat-engine time budget (all families) at the largest size",
+    )
+    parser.add_argument("--json", default=None)
+    args = parser.parse_args(argv)
+
+    failures = []
+    rows = [
+        bench_size(size, args.legacy_max, failures)
+        for size in sorted(args.sizes)
+    ]
+
+    compared = [r for r in rows if "structural_speedup" in r]
+    if compared:
+        biggest = compared[-1]
+        best = max(
+            biggest[f"{fam}_speedup"]
+            for fam in ("structural", "hazards", "stream")
+        )
+        if best < args.min_speedup:
+            failures.append(
+                f"best speedup {best:.1f}x at {biggest['gates']} gates "
+                f"is below the {args.min_speedup:.0f}x target"
+            )
+    largest = rows[-1]
+    flat_total = (
+        largest["extract_s"]
+        + largest["structural_flat_s"]
+        + largest["hazards_flat_s"]
+        + largest["stream_flat_s"]
+        + largest["dataflow_flat_s"]
+    )
+    if flat_total > args.budget_s:
+        failures.append(
+            f"flat analysis of {largest['gates']} gates took "
+            f"{flat_total:.1f}s (> {args.budget_s:.0f}s budget)"
+        )
+
+    header = (
+        f"{'gates':>9} {'family':>10} {'flat':>9} {'legacy':>9} "
+        f"{'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        for fam in ("structural", "hazards", "stream", "dataflow"):
+            flat_s = row.get(f"{fam}_flat_s")
+            legacy_s = row.get(f"{fam}_legacy_s")
+            speedup = row.get(f"{fam}_speedup")
+            print(
+                f"{row['gates']:>9} {fam:>10} {flat_s:>8.3f}s "
+                + (f"{legacy_s:>8.3f}s " if legacy_s else f"{'—':>9} ")
+                + (f"{speedup:>7.1f}x" if speedup else f"{'—':>8}")
+            )
+        print(
+            f"{row['gates']:>9} {'cache':>10} miss {row['cache_miss_s']:.3f}s"
+            f" -> hit {row['cache_hit_s'] * 1e3:.2f}ms"
+        )
+
+    summary = {
+        "sizes": sorted(args.sizes),
+        "legacy_max": args.legacy_max,
+        "rows": rows,
+        "flat_total_largest_s": flat_total,
+        "failures": failures,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

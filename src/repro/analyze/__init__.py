@@ -1,7 +1,7 @@
 """Compile-time circuit verification for PyTFHE programs.
 
 A rule-based, multi-pass static analyzer over netlists and packed
-binaries, with three analysis families:
+binaries, with four analysis families:
 
 * **structural lint** (``SL``) — combinational loops, dangling or
   stray operands, dead/duplicate gates, constant-foldable residues;
@@ -9,7 +9,17 @@ binaries, with three analysis families:
   and read-before-write / write-after-write / intra-level races over
   the result plane, plus packed instruction-stream discipline;
 * **static noise certification** (``NB``) — per-level decision-margin
-  prediction that fails compilation below a sigma threshold.
+  prediction that fails compilation below a sigma threshold;
+* **dataflow** (``DF``/``SC``) — abstract interpretation over the gate
+  DAG: compile-time constant propagation and transparent-ciphertext
+  taint tracking.
+
+The checkers run on :class:`~repro.analyze.facts.FlatCircuitFacts`, a
+structure-of-arrays view extracted once per subject, as vectorized
+numpy transforms; the original per-gate object walk survives behind
+``AnalyzerConfig(engine="legacy")`` as the equivalence oracle.
+Verdicts are cached by content hash (:mod:`repro.analyze.cache`), so
+re-checking an unchanged program is a lookup, not a re-analysis.
 
 Typical use::
 
@@ -31,9 +41,20 @@ from .analyzer import (
     analyze_binary,
     analyze_netlist,
 )
+from .cache import (
+    AnalysisCache,
+    analyze_binary_cached,
+    analyze_netlist_cached,
+    binary_digest,
+    default_cache,
+    netlist_digest,
+)
+from .dataflow import UNKNOWN, check_dataflow, propagate_constants
+from .facts import FlatCircuitFacts
 from .findings import (
     AnalysisError,
     Collector,
+    DEFAULT_MAX_FINDINGS_PER_RULE,
     Finding,
     Report,
     Severity,
@@ -51,13 +72,16 @@ from .structural import CircuitFacts, check_structure
 
 __all__ = [
     "Analysis",
+    "AnalysisCache",
     "AnalysisError",
     "AnalyzerConfig",
     "CircuitFacts",
     "Collector",
     "DEFAULT_CONFIG",
+    "DEFAULT_MAX_FINDINGS_PER_RULE",
     "DEFAULT_PASSES",
     "Finding",
+    "FlatCircuitFacts",
     "LevelCertificate",
     "NoiseCertificate",
     "PassCheckRecord",
@@ -66,13 +90,21 @@ __all__ = [
     "RULES",
     "Rule",
     "Severity",
+    "UNKNOWN",
     "analyze_binary",
+    "analyze_binary_cached",
     "analyze_netlist",
+    "analyze_netlist_cached",
+    "binary_digest",
     "catalog_by_family",
     "certify_noise",
+    "check_dataflow",
     "check_program",
     "check_schedule",
     "check_structure",
+    "default_cache",
+    "netlist_digest",
+    "propagate_constants",
     "rule",
     "run_checked_passes",
 ]

@@ -1,12 +1,18 @@
 """The analyzer driver: configuration + entry points.
 
-``analyze_netlist`` runs the three analysis families (structural lint,
-schedule/hazard checking, static noise certification) over a netlist
-and returns a :class:`~repro.analyze.findings.Report`.
+``analyze_netlist`` runs the four analysis families (structural lint,
+schedule/hazard checking, static noise certification, and dataflow
+constant/transparency propagation) over a netlist and returns a
+:class:`~repro.analyze.findings.Report`.
 ``analyze_binary`` does the same for a packed 128-bit program: the
 instruction stream is linted first, and only a stream with no error
 findings is disassembled into a netlist for the deeper families — a
 corrupt binary yields findings, never a parse exception.
+
+The ``engine`` knob selects between the vectorized flat-array checkers
+(the default) and the legacy per-gate object walk; both produce
+bit-identical reports, so the knob exists for oracle testing and
+benchmark comparison, not behavior.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from ..hdl.netlist import Netlist
 from ..obs import get as _get_obs
 from ..runtime.scheduler import Schedule, build_schedule
 from ..tfhe.params import TFHEParameters
-from .findings import Collector, Report
+from .dataflow import check_dataflow
+from .facts import FlatCircuitFacts
+from .findings import DEFAULT_MAX_FINDINGS_PER_RULE, Collector, Report
 from .hazards import check_program, check_schedule
 from .noisecert import NoiseCertificate, certify_noise
 from .structural import CircuitFacts, check_structure
@@ -33,6 +41,10 @@ class AnalyzerConfig:
     structural: bool = True
     hazards: bool = True
     noise: bool = True
+    #: Constant propagation + transparency taint (``DF``/``SC``).
+    dataflow: bool = True
+    #: ``"flat"`` (vectorized, default) or ``"legacy"`` (object walk).
+    engine: str = "flat"
     #: A level below this margin is an ERROR (fails compilation).
     error_sigmas: float = 4.0
     #: A level below this margin is a WARNING.
@@ -40,7 +52,7 @@ class AnalyzerConfig:
     #: Budget for expected wrong gate decryptions circuit-wide.
     max_expected_failures: float = 1e-6
     #: Stored findings per rule; overflow is counted, not stored.
-    max_findings_per_rule: int = 25
+    max_findings_per_rule: int = DEFAULT_MAX_FINDINGS_PER_RULE
 
     def with_params(self, params: Optional[TFHEParameters]) -> "AnalyzerConfig":
         return replace(self, params=params)
@@ -88,20 +100,30 @@ def analyze_netlist(
     col = Collector(max_per_rule=config.max_findings_per_rule)
     families: List[str] = []
     certificate: Optional[NoiseCertificate] = None
+    flat: Optional[FlatCircuitFacts] = None
     with _get_obs().tracer.span(
         "analyze:netlist", cat="compile", circuit=netlist.name,
         gates=netlist.num_gates,
     ) as sp:
+        if config.structural or config.dataflow:
+            # One facts extraction feeds both array-level families.
+            flat = FlatCircuitFacts.from_netlist(netlist)
         if config.structural:
             families.append("structural")
-            check_structure(CircuitFacts.from_netlist(netlist), col)
+            if config.engine == "legacy":
+                check_structure(
+                    CircuitFacts.from_netlist(netlist), col, engine="legacy"
+                )
+            else:
+                assert flat is not None
+                check_structure(flat, col, engine=config.engine)
         if config.hazards or (config.noise and config.params is not None):
             if schedule is None:
                 schedule = build_schedule(netlist)
         if config.hazards:
             families.append("hazards")
             assert schedule is not None
-            check_schedule(netlist, schedule, col)
+            check_schedule(netlist, schedule, col, engine=config.engine)
         if config.noise and config.params is not None:
             families.append("noise")
             assert schedule is not None
@@ -113,6 +135,10 @@ def analyze_netlist(
                 max_expected_failures=config.max_expected_failures,
                 collector=col,
             )
+        if config.dataflow:
+            families.append("dataflow")
+            assert flat is not None
+            check_dataflow(flat, col)
         report = col.into_report(netlist.name, families)
         sp.args["findings"] = len(report)
         sp.args["errors"] = len(report.errors())
@@ -142,7 +168,7 @@ def analyze_binary(
     with _get_obs().tracer.span(
         "analyze:binary", cat="compile", bytes=len(data)
     ):
-        check_program(data, col)
+        check_program(data, col, engine=config.engine)
         stream_report = col.into_report(name, ["stream"])
         if stream_report.has_errors:
             _publish(stream_report)

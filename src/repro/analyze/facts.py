@@ -1,0 +1,318 @@
+"""Flat structure-of-arrays circuit facts for vectorized analysis.
+
+:class:`FlatCircuitFacts` is the analyzer's answer to per-gate Python
+object walks: one extraction pass turns a netlist (or raw, possibly
+corrupt ``ops/in0/in1`` arrays) into numpy int/bool columns —
+decoded-gate validity, arity, bootstrap class, per-slot operand
+usability, a fanout CSR, dependency-round buckets, and BFS bootstrap
+levels — and every downstream check (structural lint, hazard replay,
+constant propagation, taint tracking) becomes a handful of array
+transforms instead of a million-iteration interpreter loop.
+
+The facts layer is deliberately *unvalidated*: the most interesting
+subjects — a mis-assembled binary, a hand-patched instruction stream —
+are exactly the ones the :class:`~repro.hdl.netlist.Netlist`
+constructor refuses to build.  A per-slot ``usable`` mask (operand
+present, in range, strictly backward) marks the edges every derived
+structure is built from, so cyclic or dangling inputs degrade into
+findings rather than exceptions.
+
+Dependency rounds are computed with a vectorized Kahn traversal: each
+round finalizes every gate whose usable gate-fanins are all final, so
+total work is ``O(V + E)`` in numpy operations and the Python-level
+loop runs once per *round* (circuit depth), not once per gate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..gatetypes import Gate
+from ..hdl.netlist import NO_INPUT, Netlist
+
+#: Lookup tables are indexed by the 4-bit op nibble.
+_NUM_CODES = 16
+#: Arity placeholder for op codes outside the Gate vocabulary.
+UNKNOWN_ARITY = -1
+
+_KNOWN_CODE = np.zeros(_NUM_CODES, dtype=bool)
+_CODE_ARITY = np.full(_NUM_CODES, UNKNOWN_ARITY, dtype=np.int8)
+_CODE_BOOTSTRAPS = np.zeros(_NUM_CODES, dtype=bool)
+for _gate in Gate:
+    _KNOWN_CODE[int(_gate)] = True
+    _CODE_ARITY[int(_gate)] = _gate.arity
+    _CODE_BOOTSTRAPS[int(_gate)] = _gate.needs_bootstrap
+
+
+def _csr_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Concatenate the CSR ranges of ``rows`` (vectorized gather)."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=indices.dtype)
+    # Offsets within each row's range: arange minus each row's start
+    # position in the output.
+    out_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        out_starts, counts
+    )
+    return indices[np.repeat(starts, counts) + offsets]
+
+
+class FlatCircuitFacts:
+    """A raw circuit as flat numpy arrays, plus derived analysis views.
+
+    Node ids follow the netlist convention: ``0 .. num_inputs-1`` are
+    inputs, gate ``j`` is node ``num_inputs + j``.  All derived views
+    are computed lazily and cached on the instance.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        ops: np.ndarray,
+        in0: np.ndarray,
+        in1: np.ndarray,
+        outputs: np.ndarray,
+        input_names: Optional[List[str]] = None,
+        output_names: Optional[List[str]] = None,
+    ):
+        self.name = name
+        self.num_inputs = int(num_inputs)
+        self.ops = np.asarray(ops, dtype=np.int64)
+        self.in0 = np.asarray(in0, dtype=np.int64)
+        self.in1 = np.asarray(in1, dtype=np.int64)
+        self.outputs = np.asarray(outputs, dtype=np.int64)
+        self.input_names = input_names
+        self.output_names = output_names
+        if not (len(self.ops) == len(self.in0) == len(self.in1)):
+            raise ValueError("ops/in0/in1 length mismatch")
+        self._known: Optional[np.ndarray] = None
+        self._arity: Optional[np.ndarray] = None
+        self._bootstraps: Optional[np.ndarray] = None
+        self._usable0: Optional[np.ndarray] = None
+        self._usable1: Optional[np.ndarray] = None
+        self._fanout: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._rounds: Optional[List[np.ndarray]] = None
+        self._node_levels: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "FlatCircuitFacts":
+        """Zero-copy-ish view of a validated netlist."""
+        return cls(
+            name=netlist.name,
+            num_inputs=netlist.num_inputs,
+            ops=netlist.ops.astype(np.int64),
+            in0=netlist.in0,
+            in1=netlist.in1,
+            outputs=netlist.outputs,
+            input_names=list(netlist.input_names),
+            output_names=list(netlist.output_names),
+        )
+
+    @classmethod
+    def from_facts(cls, facts: "object") -> "FlatCircuitFacts":
+        """Lift a legacy :class:`~repro.analyze.structural.CircuitFacts`
+        (plain-list, possibly invalid) view into flat arrays."""
+        return cls(
+            name=facts.name,  # type: ignore[attr-defined]
+            num_inputs=facts.num_inputs,  # type: ignore[attr-defined]
+            ops=np.asarray(facts.ops, dtype=np.int64),  # type: ignore[attr-defined]
+            in0=np.asarray(facts.in0, dtype=np.int64),  # type: ignore[attr-defined]
+            in1=np.asarray(facts.in1, dtype=np.int64),  # type: ignore[attr-defined]
+            outputs=np.asarray(facts.outputs, dtype=np.int64),  # type: ignore[attr-defined]
+            input_names=facts.input_names,  # type: ignore[attr-defined]
+            output_names=facts.output_names,  # type: ignore[attr-defined]
+        )
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_inputs + len(self.ops)
+
+    @property
+    def gate_nodes(self) -> np.ndarray:
+        """Node id of each gate (``num_inputs + arange``)."""
+        return self.num_inputs + np.arange(self.num_gates, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Decoded-gate columns
+    # ------------------------------------------------------------------
+    @property
+    def known(self) -> np.ndarray:
+        """Per-gate bool: op code decodes to a :class:`Gate`."""
+        if self._known is None:
+            in_nibble = (self.ops >= 0) & (self.ops < _NUM_CODES)
+            known = np.zeros(self.num_gates, dtype=bool)
+            known[in_nibble] = _KNOWN_CODE[self.ops[in_nibble]]
+            self._known = known
+        return self._known
+
+    @property
+    def arity(self) -> np.ndarray:
+        """Per-gate int8 arity; :data:`UNKNOWN_ARITY` for unknown ops."""
+        if self._arity is None:
+            arity = np.full(self.num_gates, UNKNOWN_ARITY, dtype=np.int8)
+            arity[self.known] = _CODE_ARITY[self.ops[self.known]]
+            self._arity = arity
+        return self._arity
+
+    @property
+    def needs_bootstrap(self) -> np.ndarray:
+        """Per-gate bool: homomorphic evaluation bootstraps."""
+        if self._bootstraps is None:
+            needs = np.zeros(self.num_gates, dtype=bool)
+            needs[self.known] = _CODE_BOOTSTRAPS[self.ops[self.known]]
+            self._bootstraps = needs
+        return self._bootstraps
+
+    # ------------------------------------------------------------------
+    # Operand usability (the validated backward edges)
+    # ------------------------------------------------------------------
+    def _usable(self, values: np.ndarray, required: np.ndarray) -> np.ndarray:
+        present = values != NO_INPUT
+        in_range = (values >= 0) & (values < self.num_nodes)
+        return required & present & in_range & (values < self.gate_nodes)
+
+    @property
+    def usable0(self) -> np.ndarray:
+        """Slot-0 edges that are present, in range, and backward."""
+        if self._usable0 is None:
+            self._usable0 = self._usable(self.in0, self.arity >= 1)
+        return self._usable0
+
+    @property
+    def usable1(self) -> np.ndarray:
+        """Slot-1 edges that are present, in range, and backward."""
+        if self._usable1 is None:
+            self._usable1 = self._usable(self.in1, self.arity == 2)
+        return self._usable1
+
+    # ------------------------------------------------------------------
+    # Fanout CSR over usable edges
+    # ------------------------------------------------------------------
+    def fanout(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indptr, gate_indices)``: gates reading each node.
+
+        ``gate_indices[indptr[n]:indptr[n+1]]`` lists, in ascending
+        order, the gate indices with a usable edge from node ``n``.
+        """
+        if self._fanout is None:
+            gates = np.arange(self.num_gates, dtype=np.int64)
+            heads = np.concatenate(
+                (self.in0[self.usable0], self.in1[self.usable1])
+            )
+            readers = np.concatenate(
+                (gates[self.usable0], gates[self.usable1])
+            )
+            order = np.argsort(heads, kind="stable")
+            counts = np.bincount(heads, minlength=self.num_nodes)
+            indptr = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64)
+            self._fanout = (indptr, readers[order])
+        return self._fanout
+
+    # ------------------------------------------------------------------
+    # Dependency rounds + bootstrap levels (vectorized Kahn)
+    # ------------------------------------------------------------------
+    def _traverse(self) -> None:
+        n_in = self.num_inputs
+        num_gates = self.num_gates
+        in0, in1 = self.in0, self.in1
+        u0, u1 = self.usable0, self.usable1
+        indptr, readers = self.fanout()
+        # A gate is ready once its usable *gate* fanins are all final;
+        # input fanins are final from the start.
+        indeg = (u0 & (in0 >= n_in)).astype(np.int64)
+        indeg += u1 & (in1 >= n_in)
+        node_levels = np.zeros(self.num_nodes, dtype=np.int64)
+        bootstraps = self.needs_bootstrap
+        rounds: List[np.ndarray] = []
+        ready = np.nonzero(indeg == 0)[0]
+        while ready.size:
+            rounds.append(ready)
+            a = np.where(u0[ready], in0[ready], 0)
+            b = np.where(u1[ready], in1[ready], 0)
+            level = np.maximum(
+                np.where(u0[ready], node_levels[a], 0),
+                np.where(u1[ready], node_levels[b], 0),
+            )
+            node_levels[n_in + ready] = level + bootstraps[ready]
+            consumers = _csr_rows(indptr, readers, n_in + ready)
+            if not consumers.size:
+                ready = np.empty(0, dtype=np.int64)
+                continue
+            dec = np.bincount(consumers, minlength=num_gates)
+            touched = np.nonzero(dec)[0]
+            indeg[touched] -= dec[touched]
+            ready = touched[indeg[touched] == 0]
+        self._rounds = rounds
+        self._node_levels = node_levels
+
+    @property
+    def rounds(self) -> List[np.ndarray]:
+        """Gate indices bucketed by dependency round.
+
+        Within a round no gate reads another (over usable edges), and
+        every usable fanin of a round-``r`` gate was finalized in a
+        round ``< r`` — the invariant forward dataflow sweeps and the
+        reverse reachability sweep rely on.  Usable edges point
+        strictly backward, so every gate lands in exactly one round.
+        """
+        if self._rounds is None:
+            self._traverse()
+        assert self._rounds is not None
+        return self._rounds
+
+    @property
+    def node_levels(self) -> np.ndarray:
+        """Per-node BFS bootstrap level over usable edges.
+
+        Matches :meth:`repro.hdl.netlist.Netlist.bootstrap_levels` on
+        valid netlists (where every required edge is usable).
+        """
+        if self._node_levels is None:
+            self._traverse()
+        assert self._node_levels is not None
+        return self._node_levels
+
+    # ------------------------------------------------------------------
+    # Reverse reachability
+    # ------------------------------------------------------------------
+    def output_reachable(self) -> np.ndarray:
+        """Per-node bool: node reaches some in-range output backward."""
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        outs = self.outputs
+        mask[outs[(outs >= 0) & (outs < self.num_nodes)]] = True
+        n_in = self.num_inputs
+        in0, in1 = self.in0, self.in1
+        u0, u1 = self.usable0, self.usable1
+        for bucket in reversed(self.rounds):
+            live = bucket[mask[n_in + bucket]]
+            if not live.size:
+                continue
+            mask[in0[live[u0[live]]]] = True
+            mask[in1[live[u1[live]]]] = True
+        return mask
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatCircuitFacts({self.name!r}, inputs={self.num_inputs}, "
+            f"gates={self.num_gates}, outputs={len(self.outputs)})"
+        )

@@ -11,6 +11,13 @@ Multi-million-gate netlists can trip the same rule arbitrarily often
 (think a baseline framework netlist where *every* composite gate is a
 CSE residue), so collection goes through a :class:`Collector` that
 caps the stored findings per rule while still counting the overflow.
+
+Ordering is part of the contract: every checker emits each rule's
+findings in ascending (node, slot) order, the per-rule cap keeps the
+first :data:`DEFAULT_MAX_FINDINGS_PER_RULE` of that sequence, and
+:meth:`Collector.into_report` sorts the survivors by
+``(rule, node, level, offset, message)`` — so ``repro check --json``
+output is byte-stable across runs and engines and diffable in CI.
 """
 
 from __future__ import annotations
@@ -18,10 +25,21 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .rules import Rule as RuleLike
+
+#: Default per-rule storage cap (``repro check --max-findings-per-rule``).
+DEFAULT_MAX_FINDINGS_PER_RULE = 25
 
 
 class Severity(enum.IntEnum):
@@ -72,6 +90,16 @@ class Finding:
             parts.append(f"offset {self.offset:#x}")
         return ", ".join(parts)
 
+    def sort_key(self) -> Tuple[str, int, int, int, str]:
+        """Canonical report order: (rule, node, level, offset, message)."""
+        return (
+            self.rule,
+            self.node if self.node is not None else -1,
+            self.level if self.level is not None else -1,
+            self.offset if self.offset is not None else -1,
+            self.message,
+        )
+
     def as_dict(self) -> dict:
         out: dict = {
             "rule": self.rule,
@@ -83,6 +111,18 @@ class Finding:
             if value is not None:
                 out[key] = value
         return out
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        return cls(
+            rule=doc["rule"],
+            severity=Severity.parse(doc["severity"]),
+            message=doc["message"],
+            node=doc.get("node"),
+            level=doc.get("level"),
+            offset=doc.get("offset"),
+            fix_hint=doc.get("fix_hint"),
+        )
 
     def render(self) -> str:
         where = self.where
@@ -128,6 +168,11 @@ class Report:
     def extend(self, findings: Iterable[Finding]) -> None:
         self.findings.extend(findings)
 
+    def sort(self) -> "Report":
+        """Restore the canonical deterministic (rule, node, ...) order."""
+        self.findings.sort(key=Finding.sort_key)
+        return self
+
     def merge(self, other: "Report") -> None:
         self.findings.extend(other.findings)
         for rule, count in other.suppressed.items():
@@ -135,6 +180,7 @@ class Report:
         for family in other.families:
             if family not in self.families:
                 self.families.append(family)
+        self.sort()
 
     # ------------------------------------------------------------------
     # Queries
@@ -190,6 +236,18 @@ class Report:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Report":
+        """Rebuild a report from :meth:`as_dict` output (cache loads)."""
+        return cls(
+            subject=doc["subject"],
+            findings=[Finding.from_dict(f) for f in doc["findings"]],
+            suppressed={
+                str(k): int(v) for k, v in doc.get("suppressed", {}).items()
+            },
+            families=list(doc.get("families", [])),
+        )
+
     def render_text(self) -> str:
         lines = [f"== static analysis: {self.subject} =="]
         if self.families:
@@ -212,13 +270,40 @@ class Report:
 
 
 class Collector:
-    """Accumulates findings with a per-rule storage cap."""
+    """Accumulates findings with a per-rule storage cap.
 
-    def __init__(self, max_per_rule: int = 25):
+    Checkers must emit each rule's findings in ascending canonical
+    order (node, then slot); the eager cap then keeps exactly the
+    findings a sort-all-then-truncate pass would, without ever
+    materializing the overflow.  Vectorized checkers reserve room in
+    bulk via :meth:`admit` so they can skip rendering messages the cap
+    would drop anyway.
+    """
+
+    def __init__(self, max_per_rule: int = DEFAULT_MAX_FINDINGS_PER_RULE):
         self.max_per_rule = max_per_rule
         self.findings: List[Finding] = []
         self.suppressed: Dict[str, int] = {}
         self._per_rule: Dict[str, int] = {}
+
+    def admit(self, rule: "RuleLike", total: int) -> int:
+        """Reserve room for ``total`` findings of ``rule``.
+
+        Returns how many of them the caller should materialize (and
+        then pass to :meth:`add`, in canonical order); the remainder is
+        recorded as suppressed immediately.
+        """
+        if total <= 0:
+            return 0
+        if not self.max_per_rule:
+            return total
+        stored = self._per_rule.get(rule.id, 0)
+        keep = max(0, min(total, self.max_per_rule - stored))
+        if total > keep:
+            self.suppressed[rule.id] = (
+                self.suppressed.get(rule.id, 0) + total - keep
+            )
+        return keep
 
     def add(
         self,
@@ -254,4 +339,4 @@ class Collector:
             findings=self.findings,
             suppressed=self.suppressed,
             families=families,
-        )
+        ).sort()

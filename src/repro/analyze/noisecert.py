@@ -48,6 +48,26 @@ class NoiseCertificate:
             return None
         return min(self.levels, key=lambda c: c.margin_sigmas)
 
+    def as_dict(self) -> dict:
+        return {
+            "params": self.params_name,
+            "error_sigmas": self.error_sigmas,
+            "warn_sigmas": self.warn_sigmas,
+            "expected_failures": self.expected_failures,
+            "levels": [vars(c).copy() for c in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "NoiseCertificate":
+        """Rebuild a certificate from :meth:`as_dict` (cache loads)."""
+        return cls(
+            params_name=doc["params"],
+            error_sigmas=doc["error_sigmas"],
+            warn_sigmas=doc["warn_sigmas"],
+            expected_failures=doc["expected_failures"],
+            levels=[LevelCertificate(**level) for level in doc["levels"]],
+        )
+
 
 def certify_noise(
     schedule: Schedule,

@@ -10,7 +10,9 @@ Families
 * ``HZ`` — schedule legality and result-plane hazard detection,
 * ``IS`` — packed 128-bit instruction-stream checks,
 * ``NB`` — static noise-budget certification,
-* ``PC`` — synthesis pass checking (``--check-passes``).
+* ``PC`` — synthesis pass checking (``--check-passes``),
+* ``DF`` — dataflow: constant/known-plaintext propagation,
+* ``SC`` — security: transparent-ciphertext taint tracking.
 """
 
 from __future__ import annotations
@@ -158,6 +160,33 @@ _CATALOG: List[Rule] = [
         "NB003", Severity.WARNING, "circuit failure expectation high",
         "Summed over all bootstrapped gates, the expected number of "
         "wrong gate decryptions exceeds the configured budget.",
+    ),
+    # ------------------------------------------------------------- dataflow
+    Rule(
+        "DF001", Severity.WARNING, "constant-valued gate",
+        "Constant propagation over the gate DAG proves this gate's "
+        "output is the same bit for every circuit input (e.g. an AND "
+        "with a propagated known-0 operand); it is computable at "
+        "compile time and should be folded, not bootstrapped.",
+    ),
+    Rule(
+        "DF002", Severity.INFO, "gate reduces to a free operation",
+        "One operand is a propagated compile-time constant and the "
+        "gate collapses to a BUF or NOT of its other operand — a free "
+        "linear ciphertext operation instead of a bootstrap.",
+    ),
+    # ------------------------------------------------------------- security
+    Rule(
+        "SC001", Severity.WARNING, "transparent-ciphertext output",
+        "A circuit output is derivable purely from public constants: "
+        "it depends on no encrypted input, so the evaluating server "
+        "can read its plaintext value.",
+    ),
+    Rule(
+        "SC002", Severity.INFO, "bootstrap over transparent operands",
+        "A bootstrapped gate consumes only transparent "
+        "(publicly-derivable) operands; it spends a bootstrap on data "
+        "the server already knows.",
     ),
     # ----------------------------------------------------------- pass check
     Rule(

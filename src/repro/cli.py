@@ -74,10 +74,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     from . import obs as obslib
     from .analyze import (
+        AnalysisCache,
         AnalyzerConfig,
+        DEFAULT_MAX_FINDINGS_PER_RULE,
         Severity,
         analyze_binary,
+        analyze_binary_cached,
         analyze_netlist,
+        analyze_netlist_cached,
         run_checked_passes,
     )
 
@@ -87,12 +91,22 @@ def cmd_check(args: argparse.Namespace) -> int:
     config = AnalyzerConfig(
         params=params,
         noise=not args.no_noise,
+        dataflow=not args.no_dataflow,
+        engine=args.engine,
         error_sigmas=args.sigma_error,
         warn_sigmas=args.sigma_warn,
-        max_findings_per_rule=args.max_findings,
+        max_findings_per_rule=(
+            args.max_findings
+            if args.max_findings is not None
+            else DEFAULT_MAX_FINDINGS_PER_RULE
+        ),
     )
     fail_at = (
         None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    )
+    use_cache = not args.no_cache
+    cache = (
+        AnalysisCache(directory=args.cache_dir) if args.cache_dir else None
     )
 
     observed = _wants_observability(args)
@@ -103,12 +117,31 @@ def cmd_check(args: argparse.Namespace) -> int:
         if os.path.exists(args.target):
             with open(args.target, "rb") as handle:
                 data = handle.read()
-            analysis = analyze_binary(
-                data, config, name=os.path.basename(args.target)
-            )
+            name = os.path.basename(args.target)
+            if use_cache:
+                analysis = analyze_binary_cached(
+                    data, config, name=name, cache=cache
+                )
+                if (
+                    args.check_passes
+                    and analysis.netlist is None
+                    and not analysis.report.has_errors
+                ):
+                    # A cache hit skips disassembly; recover the
+                    # netlist so --check-passes still has a subject.
+                    from .isa import disassemble
+
+                    analysis.netlist = disassemble(data, name=name)
+            else:
+                analysis = analyze_binary(data, config, name=name)
         else:
             workload = _workload_by_name(args.target)
-            analysis = analyze_netlist(workload.netlist, config)
+            if use_cache:
+                analysis = analyze_netlist_cached(
+                    workload.netlist, config, cache=cache
+                )
+            else:
+                analysis = analyze_netlist(workload.netlist, config)
 
         passcheck = None
         if args.check_passes:
@@ -127,13 +160,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.json:
         doc = report.as_dict()
         if analysis.noise is not None:
-            doc["noise"] = {
-                "params": analysis.noise.params_name,
-                "error_sigmas": analysis.noise.error_sigmas,
-                "warn_sigmas": analysis.noise.warn_sigmas,
-                "expected_failures": analysis.noise.expected_failures,
-                "levels": [vars(c).copy() for c in analysis.noise.levels],
-            }
+            doc["noise"] = analysis.noise.as_dict()
         if passcheck is not None:
             doc["passcheck"] = {
                 "ok": passcheck.ok,
@@ -639,10 +666,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the noise-certification family",
     )
     p.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the dataflow (constant/transparency) family",
+    )
+    p.add_argument(
+        "--max-findings-per-rule",
         "--max-findings",
+        dest="max_findings",
         type=int,
-        default=25,
+        default=None,
         help="findings stored per rule (overflow is counted, not listed)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("flat", "legacy"),
+        default="flat",
+        help="checker engine: vectorized flat arrays (default) or the "
+        "legacy per-gate walk (bit-identical findings)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-hash analysis cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist analysis verdicts to DIR so repeated checks of an "
+        "unchanged program are cache hits across processes",
     )
     p.add_argument(
         "--json",

@@ -113,7 +113,9 @@ class CompiledCircuit:
         return self.decode_outputs(result)
 
 
-def verify_compiled(netlist: Netlist, check: CheckArg) -> None:
+def verify_compiled(
+    netlist: Netlist, check: CheckArg, cache_key: Optional[str] = None
+) -> None:
     """Statically verify a compiled netlist; raise on error findings.
 
     ``check`` is False (skip), True (default
@@ -124,13 +126,21 @@ def verify_compiled(netlist: Netlist, check: CheckArg) -> None:
     :class:`repro.analyze.AnalysisError` when any ERROR-severity
     finding exists, so a ``Session``-level compile never hands an
     unsound circuit to the encrypted run.
+
+    Verdicts are cached by content hash (``repro.analyze.cache``):
+    re-verifying an unchanged program is a lookup, not a re-analysis.
+    ``cache_key`` lets callers that already hold a content digest (the
+    serve registry's program id) skip re-hashing the netlist.
     """
     if not check:
         return
-    from ..analyze import AnalyzerConfig, analyze_netlist
+    from ..analyze import AnalyzerConfig
+    from ..analyze.cache import analyze_netlist_cached
 
     config = check if isinstance(check, AnalyzerConfig) else AnalyzerConfig()
-    analyze_netlist(netlist, config).report.raise_on_errors()
+    analyze_netlist_cached(
+        netlist, config, digest=cache_key
+    ).report.raise_on_errors()
 
 
 def compile_model(

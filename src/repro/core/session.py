@@ -210,9 +210,11 @@ class Server:
     ) -> Netlist:
         netlist = _resolve_netlist(program)
         if self._check_config is not None:
-            from ..analyze import analyze_netlist
+            # Content-hash cached: re-executing an unchanged program
+            # costs a digest, not a re-analysis.
+            from ..analyze.cache import analyze_netlist_cached
 
-            analyze_netlist(
+            analyze_netlist_cached(
                 netlist, self._check_config
             ).report.raise_on_errors()
         return netlist

@@ -108,7 +108,10 @@ class ProgramRegistry:
                 f"not a PyTFHE binary: {exc}",
             ) from exc
         try:
-            verify_compiled(netlist, self.check)
+            # The program id doubles as the analysis-cache digest, so a
+            # previously-certified upload (even via another registry or
+            # a direct `repro check`) skips re-analysis entirely.
+            verify_compiled(netlist, self.check, cache_key=program_id)
         except Exception as exc:
             raise ServeError(
                 Status.REJECTED,

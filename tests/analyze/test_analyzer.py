@@ -41,12 +41,19 @@ class TestAnalyzeNetlist:
             full_adder(), DEFAULT_CONFIG.with_params(TFHE_TEST)
         )
         assert analysis.report.ok
-        assert analysis.families == ["structural", "hazards", "noise"]
+        assert analysis.families == [
+            "structural",
+            "hazards",
+            "noise",
+            "dataflow",
+        ]
         assert analysis.schedule is not None
         assert analysis.noise is not None and analysis.noise.worst
 
     def test_family_toggles(self):
-        config = AnalyzerConfig(structural=False, noise=False)
+        config = AnalyzerConfig(
+            structural=False, noise=False, dataflow=False
+        )
         analysis = analyze_netlist(full_adder(), config)
         assert analysis.families == ["hazards"]
         assert analysis.noise is None
@@ -84,6 +91,7 @@ class TestAnalyzeBinary:
             "structural",
             "hazards",
             "noise",
+            "dataflow",
         ]
         assert analysis.report.subject == "fa.bin"
         assert analysis.netlist is not None

@@ -1,0 +1,170 @@
+"""Property test: flat and legacy engines are bit-identical.
+
+The vectorized engines claim *bit-identical* reports to the per-gate
+object walks they replaced — same findings, same messages, same
+suppressed counts — on valid circuits and on adversarially malformed
+subjects alike.  The legacy engines survive behind ``engine="legacy"``
+precisely to serve as the oracle here.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import check_program, check_schedule, check_structure
+from repro.analyze.structural import CircuitFacts
+from repro.gatetypes import TWO_INPUT_GATES, Gate
+from repro.hdl.netlist import NO_INPUT, Netlist
+from repro.isa.assembler import assemble
+from repro.runtime.scheduler import Level, Schedule, build_schedule
+
+
+@st.composite
+def netlists(draw):
+    """A random valid netlist: topological, arity-correct, output-bearing."""
+    num_inputs = draw(st.integers(min_value=1, max_value=6))
+    num_gates = draw(st.integers(min_value=1, max_value=24))
+    ops, in0, in1 = [], [], []
+    for idx in range(num_gates):
+        node = num_inputs + idx
+        kind = draw(st.sampled_from(["binary", "unary", "const"]))
+        if kind == "binary":
+            gate = draw(st.sampled_from(TWO_INPUT_GATES))
+            ops.append(int(gate))
+            in0.append(draw(st.integers(min_value=0, max_value=node - 1)))
+            in1.append(draw(st.integers(min_value=0, max_value=node - 1)))
+        elif kind == "unary":
+            gate = draw(st.sampled_from([Gate.NOT, Gate.BUF]))
+            ops.append(int(gate))
+            in0.append(draw(st.integers(min_value=0, max_value=node - 1)))
+            in1.append(NO_INPUT)
+        else:
+            gate = draw(st.sampled_from([Gate.CONST0, Gate.CONST1]))
+            ops.append(int(gate))
+            in0.append(NO_INPUT)
+            in1.append(NO_INPUT)
+    num_nodes = num_inputs + num_gates
+    outputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_nodes - 1),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return Netlist(num_inputs, ops, in0, in1, outputs, name="prop")
+
+
+@st.composite
+def raw_facts(draw):
+    """Arbitrary — usually malformed — raw circuit facts."""
+    num_inputs = draw(st.integers(min_value=0, max_value=3))
+    num_gates = draw(st.integers(min_value=0, max_value=12))
+    num_nodes = num_inputs + num_gates
+    operand = st.integers(min_value=-3, max_value=num_nodes + 2)
+    ops = draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=16),
+            min_size=num_gates,
+            max_size=num_gates,
+        )
+    )
+    in0 = draw(st.lists(operand, min_size=num_gates, max_size=num_gates))
+    in1 = draw(st.lists(operand, min_size=num_gates, max_size=num_gates))
+    outputs = draw(st.lists(operand, min_size=0, max_size=4))
+    return CircuitFacts(
+        name="raw",
+        num_inputs=num_inputs,
+        ops=ops,
+        in0=in0,
+        in1=in1,
+        outputs=outputs,
+    )
+
+
+@st.composite
+def corrupted_schedules(draw):
+    """A valid netlist with a deliberately scrambled execution plan.
+
+    Each gate lands in 0..2 slots at arbitrary (level, role, position),
+    manufacturing read-before-write, double-write, missing-write, and
+    misclassified-bootstrap hazards for both engines to agree on.
+    """
+    netlist = draw(netlists())
+    num_levels = draw(st.integers(min_value=1, max_value=4))
+    slots = []
+    for g in range(netlist.num_gates):
+        copies = draw(st.integers(min_value=0, max_value=2))
+        for _ in range(copies):
+            level = draw(st.integers(min_value=0, max_value=num_levels - 1))
+            role = draw(st.sampled_from(["bootstrapped", "free"]))
+            slots.append((level, role, g))
+    levels = []
+    for i in range(num_levels):
+        boot = [g for lv, role, g in slots if lv == i and role == "bootstrapped"]
+        free = [g for lv, role, g in slots if lv == i and role == "free"]
+        levels.append(
+            Level(
+                index=i,
+                bootstrapped=np.asarray(boot, dtype=np.int64),
+                free=np.asarray(free, dtype=np.int64),
+            )
+        )
+    return netlist, Schedule(netlist=netlist, levels=levels)
+
+
+@st.composite
+def corrupted_binaries(draw):
+    """An assembled program with a handful of bytes rewritten."""
+    data = bytearray(assemble(draw(netlists())))
+    num_flips = draw(st.integers(min_value=0, max_value=6))
+    for _ in range(num_flips):
+        pos = draw(st.integers(min_value=0, max_value=len(data) - 1))
+        data[pos] = draw(st.integers(min_value=0, max_value=255))
+    return bytes(data)
+
+
+def report_of(col):
+    return col.into_report("equiv", ["test"]).as_dict()
+
+
+@given(netlists())
+@settings(max_examples=40, deadline=None)
+def test_structural_engines_agree_on_valid_netlists(netlist):
+    facts = CircuitFacts.from_netlist(netlist)
+    assert report_of(check_structure(facts, engine="flat")) == report_of(
+        check_structure(facts, engine="legacy")
+    )
+
+
+@given(raw_facts())
+@settings(max_examples=60, deadline=None)
+def test_structural_engines_agree_on_malformed_facts(facts):
+    assert report_of(check_structure(facts, engine="flat")) == report_of(
+        check_structure(facts, engine="legacy")
+    )
+
+
+@given(netlists())
+@settings(max_examples=30, deadline=None)
+def test_schedule_engines_agree_on_clean_schedules(netlist):
+    schedule = build_schedule(netlist)
+    flat = check_schedule(netlist, schedule, engine="flat")
+    legacy = check_schedule(netlist, schedule, engine="legacy")
+    assert report_of(flat) == report_of(legacy)
+
+
+@given(corrupted_schedules())
+@settings(max_examples=50, deadline=None)
+def test_schedule_engines_agree_on_scrambled_schedules(case):
+    netlist, schedule = case
+    flat = check_schedule(netlist, schedule, engine="flat")
+    legacy = check_schedule(netlist, schedule, engine="legacy")
+    assert report_of(flat) == report_of(legacy)
+
+
+@given(corrupted_binaries())
+@settings(max_examples=50, deadline=None)
+def test_stream_engines_agree_on_corrupted_binaries(data):
+    flat = check_program(data, engine="flat")
+    legacy = check_program(data, engine="legacy")
+    assert report_of(flat) == report_of(legacy)

@@ -71,6 +71,9 @@ def test_two_tenants_concurrent_batching_deadlines(
     config = ServeConfig(
         port=0, backend="batched", linger_s=0.2, max_batch=8
     )
+    from repro.analyze.cache import default_cache
+
+    default_cache().clear()  # isolate the analysis-cache counters
     with obs.observe() as ob, serving(config) as handle:
         # -- registration: each tenant uploads its key once, then its
         # program (tenant B registers both programs to show programs
@@ -98,6 +101,14 @@ def test_two_tenants_concurrent_batching_deadlines(
             with pytest.raises(ServeClientError) as err:
                 client_a.register_key(cloud_b)
             assert err.value.status == "BAD_REQUEST"
+
+        # -- analysis economy: three program uploads across two tenants
+        # ran the static analyzer exactly twice — once per distinct
+        # binary; tenant B's re-upload of tenant A's program touched
+        # neither the analyzer nor the analysis cache (the registry's
+        # metadata short-circuits first).
+        assert ob.metrics.counter_value("analyze_cache_miss") == 2
+        assert ob.metrics.counter_value("analyze_cache_hit") == 0
 
         # -- 8 concurrent encrypted requests: six same-program calls
         # for tenant A (these should coalesce) plus two for tenant B.

@@ -181,7 +181,12 @@ def test_check_json_report(tmp_path, capsys):
     doc = json.loads(json_path.read_text())
     assert doc["ok"] is True
     assert doc["counts"]["ERROR"] == 0
-    assert doc["families"] == ["structural", "hazards", "noise"]
+    assert doc["families"] == [
+        "structural",
+        "hazards",
+        "noise",
+        "dataflow",
+    ]
     assert doc["noise"]["params"] == "tfhe-test"
     assert doc["noise"]["levels"]
     out = capsys.readouterr().out
