@@ -11,9 +11,11 @@ A small operator toolbox around the library:
 * ``stats``    — gate statistics of a binary;
 * ``estimate`` — backend runtime estimates for a binary (paper model);
 * ``run``      — execute a workload under real FHE on a chosen
-  backend/transport, reusing one worker pool across ``--runs``;
-  ``--trace-out`` / ``--metrics-out`` / ``--noise`` capture the run
-  through the observability layer;
+  backend/transport (default ``batched``: the level-batched SIMD
+  bootstrapping engine; ``single`` is the legacy per-gate baseline),
+  reusing one worker pool across ``--runs``; ``--trace-out`` /
+  ``--metrics-out`` / ``--noise`` capture the run through the
+  observability layer;
 * ``profile``  — compile + run one workload fully instrumented and
   print a combined Fig.-7/Fig.-8-style report (gate phases, compile
   passes, execution Gantt, metrics, noise margins);
@@ -24,7 +26,9 @@ A small operator toolbox around the library:
 * ``call``     — drive a workload through a running service: register
   key + program, send encrypted inputs, verify the decrypted reply;
 * ``keygen``   — generate and save a (secret, cloud) key pair;
-* ``bench-gate`` — measure this machine's bootstrapped-gate cost.
+* ``bench-gate`` — measure this machine's bootstrapped-gate cost:
+  single-gate phase breakdown plus (by default) the batched engine's
+  fused-bootstrap gates/s and its speedup over the per-gate baseline.
 """
 
 from __future__ import annotations
@@ -607,18 +611,61 @@ def cmd_keygen(args) -> int:
 
 
 def cmd_bench_gate(args) -> int:
+    import time as _time
+
+    import numpy as np
+
+    from .gatetypes import Gate
     from .runtime import profile_gate
     from .tfhe import PARAMETER_SETS, generate_keys
+    from .tfhe.gates import evaluate_gates_batch
+    from .tfhe.lwe import LweCiphertext
 
     params = PARAMETER_SETS[args.params]
     print(f"generating keys for {params.name} ...")
     _, cloud = generate_keys(params, seed=0)
+
+    # Random-mask samples: a trivial sample's zero mask lets the blind
+    # rotation skip every CMUX step, so trivial inputs would time
+    # little beyond the key switch.  Timing needs no decryptable
+    # plaintext, only representative mask values.
+    rng = np.random.default_rng(0)
+
+    def _random_samples(batch):
+        a = rng.integers(
+            -(2 ** 31), 2 ** 31,
+            size=(batch, params.lwe_dimension), dtype=np.int64,
+        ).astype(np.int32)
+        b = rng.integers(
+            -(2 ** 31), 2 ** 31, size=batch, dtype=np.int64
+        ).astype(np.int32)
+        return LweCiphertext(a, b)
+
     profile = profile_gate(
-        cloud, repetitions=args.repetitions, warmup=args.warmup
+        cloud,
+        repetitions=args.repetitions,
+        warmup=args.warmup,
+        inputs=(_random_samples(1), _random_samples(1)),
     )
     for phase, ms, fraction in profile.rows():
         print(f"  {phase:20s} {ms:8.2f} ms  ({fraction * 100:5.1f}%)")
     print(f"  {'total':20s} {profile.total_ms:8.2f} ms")
+    single_rate = 1e3 / profile.total_ms
+    print(f"  single engine: {single_rate:8.1f} gates/s (per-gate legacy)")
+    if args.backend == "batched":
+        batch = args.batch
+        ca = _random_samples(batch)
+        codes = np.full(batch, int(Gate.NAND))
+        best = float("inf")
+        for _ in range(max(1, args.repetitions)):
+            t0 = _time.perf_counter()
+            evaluate_gates_batch(cloud, codes, ca, ca)
+            best = min(best, _time.perf_counter() - t0)
+        batched_rate = batch / best
+        print(
+            f"  batched engine: {batched_rate:7.1f} gates/s at batch "
+            f"{batch} ({batched_rate / single_rate:.1f}x over single)"
+        )
     return 0
 
 
@@ -747,7 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         choices=("single", "batched", "distributed"),
-        default="distributed",
+        default="batched",
+        help="execution engine (default: batched — level-batched SIMD "
+        "bootstrapping, each BFS level bootstraps as one fused "
+        "vectorized call; 'single' is the legacy per-gate engine "
+        "kept as a baseline; 'distributed' fans levels out over a "
+        "worker pool)",
     )
     p.add_argument(
         "--transport",
@@ -883,6 +935,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench-gate", help="measure local gate cost")
     p.add_argument("--params", default="tfhe-test")
+    p.add_argument(
+        "--backend",
+        choices=("single", "batched"),
+        default="batched",
+        help="engine to measure (default: batched — also reports the "
+        "legacy per-gate 'single' baseline for comparison)",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        help="gates per fused SIMD bootstrap in batched mode",
+    )
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument(
         "--warmup",

@@ -75,6 +75,13 @@ class Client:
 class Server:
     """Cloud evaluator: runs PyTFHE binaries over ciphertexts.
 
+    ``backend`` selects the engine: ``"batched"`` (the default) is the
+    level-batched SIMD bootstrapping engine — whole BFS levels fuse
+    their blind rotations and key switches into single vectorized
+    calls, and :meth:`execute_many` stacks cross-request batches on
+    top (request × level 2-D batching).  ``"single"`` is the legacy
+    per-gate engine kept as an explicit baseline.
+
     A ``distributed`` server keeps its worker pool warm across
     ``execute()`` calls: the cloud key is broadcast once when the pool
     starts, and later runs report ``key_bytes_moved == 0``.

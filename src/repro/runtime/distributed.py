@@ -222,6 +222,11 @@ class DistributedCpuBackend:
         self.name = (
             f"cpu-distributed-{self.pool.num_workers}w-{self.transport}"
         )
+        # One explicit free-gate helper shared by both transports and
+        # every run.  Free gates never bootstrap, but constructing the
+        # helper with an explicit engine (rather than inheriting
+        # whatever CpuBackend's default is) keeps its behavior pinned.
+        self._free_helper = CpuBackend(self.cloud_key, batched=True)
 
     @classmethod
     @contextlib.contextmanager
@@ -284,7 +289,7 @@ class DistributedCpuBackend:
         store = _NodeStore(netlist.num_nodes, params.lwe_dimension)
         store.put(np.arange(netlist.num_inputs), inputs)
 
-        helper = CpuBackend(self.cloud_key)  # reuse its free-gate logic
+        helper = self._free_helper  # reuse its free-gate logic
         n_in = netlist.num_inputs
         moved = 0
         tasks = 0
@@ -386,7 +391,7 @@ class DistributedCpuBackend:
                 buffers=(plane.a, plane.b),
             )
             store.put(np.arange(netlist.num_inputs), inputs)
-            helper = CpuBackend(self.cloud_key)
+            helper = self._free_helper
             n_in = netlist.num_inputs
             for level in schedule.levels:
                 if level.width:

@@ -57,21 +57,29 @@ def profile_gate(
     gate: Gate = Gate.NAND,
     repetitions: int = 5,
     warmup: int = 1,
+    inputs=None,
 ) -> GateProfile:
     """Time the phases of one bootstrapped gate evaluation.
 
-    Uses trivial (noiseless) samples so no secret key is needed — the
-    evaluator-side work is identical.  ``warmup`` untimed iterations
-    run first so one-time FFT planning / numpy buffer allocation does
-    not skew the Fig. 7 phase breakdown.
+    By default uses trivial (noiseless) samples so no secret key is
+    needed.  Note that the blind rotation skips zero rotation amounts
+    and a trivial sample's mask is all zeros, so the default
+    under-reports rotation cost — pass ``inputs=(ca, cb)`` with real
+    (or random-mask) batch-1 samples to time the full rotation work,
+    as ``repro bench-gate`` does.  ``warmup`` untimed iterations run
+    first so one-time FFT planning / numpy buffer allocation does not
+    skew the Fig. 7 phase breakdown.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
     params = cloud_key.params
-    ca = trivial_bit(True, params)
-    cb = trivial_bit(False, params)
-    ca = ca.__class__(ca.a[None, :], ca.b[None])
-    cb = cb.__class__(cb.a[None, :], cb.b[None])
+    if inputs is None:
+        ca = trivial_bit(True, params)
+        cb = trivial_bit(False, params)
+        ca = ca.__class__(ca.a[None, :], ca.b[None])
+        cb = cb.__class__(cb.a[None, :], cb.b[None])
+    else:
+        ca, cb = inputs
 
     for _ in range(max(0, warmup)):
         warm = gate_linear_input(gate, ca, cb)

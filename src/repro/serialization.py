@@ -179,13 +179,26 @@ def save_cloud_key(cloud: CloudKey) -> bytes:
 def load_cloud_key(data: bytes) -> CloudKey:
     loaded = _unpack(data)
     params = _params_from_json(bytes(_field(loaded, "params")).decode())
-    spectra = _field(loaded, "bootstrapping_key")
+    spectra = np.ascontiguousarray(_field(loaded, "bootstrapping_key"))
     bootstrapping_key = [TgswFFT(spectra[i]) for i in range(spectra.shape[0])]
     ksk = KeySwitchingKey(
         a=_field(loaded, "ks_a"), b=_field(loaded, "ks_b"), params=params
     )
-    return CloudKey(
+    cloud = CloudKey(
         params=params,
         bootstrapping_key=bootstrapping_key,
         keyswitching_key=ksk,
     )
+    # The wire format carries the stacked full spectrum, so the
+    # broadcast copy a distributed worker deserializes seeds the
+    # per-key FFT cache here — one fold + transpose at load time into
+    # the matmul layout :meth:`CloudKey.bootstrap_fft` serves, never
+    # again per gate (the TgswFFT entries above stay views of the
+    # wire-layout array).
+    from .tfhe.polynomial import get_ring
+
+    half_index = get_ring(params.tlwe_degree).half_index
+    cloud._bootstrap_fft = np.ascontiguousarray(
+        spectra[..., half_index].transpose(0, 3, 1, 2)
+    )
+    return cloud

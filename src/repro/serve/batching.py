@@ -305,6 +305,14 @@ class RequestScheduler:
             obs.metrics.inc(
                 "serve_requests", len(live), status=Status.OK
             )
+            if report.wall_time_s > 0:
+                # Request x level 2-D batching throughput: every gate
+                # of every coalesced request rode a fused bootstrap.
+                obs.metrics.set_gauge(
+                    "bootstraps_per_sec",
+                    report.gates_bootstrapped / report.wall_time_s,
+                    backend="serve",
+                )
         for i, request in enumerate(live):
             result = BatchResult(
                 ciphertext=LweCiphertext(outputs.a[i], outputs.b[i]),

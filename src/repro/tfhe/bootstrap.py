@@ -10,16 +10,13 @@ batch execution.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from .lwe import LweCiphertext
 from .params import TFHEParameters
-from .polynomial import negacyclic_shift
-from .tgsw import TgswFFT, external_product
+from .polynomial import get_ring, negacyclic_shift
+from .tgsw import external_product
 from .tlwe import tlwe_extract_lwe
-from .torus import wrap_int32
 
 
 def _round_to_2n(values: np.ndarray, two_n: int) -> np.ndarray:
@@ -33,10 +30,19 @@ def _round_to_2n(values: np.ndarray, two_n: int) -> np.ndarray:
 def blind_rotate(
     test_poly: np.ndarray,
     ct: LweCiphertext,
-    bootstrapping_key: Sequence[TgswFFT],
+    bootstrapping_key,
     params: TFHEParameters,
 ) -> np.ndarray:
     """Rotate ``test_poly`` by the (rounded) phase of each sample.
+
+    ``bootstrapping_key`` is either the per-bit ``Sequence[TgswFFT]``
+    or the cached stacked array from
+    :meth:`repro.tfhe.keys.CloudKey.bootstrap_fft` (ring-axis-leading
+    folded shape ``(n, N/2, (k+1)*l, k+1)``) — the hot paths pass the
+    cached form so each CMUX step is one contiguous BLAS matmul over
+    the non-redundant half spectrum instead of chasing per-bit Python
+    objects.  Per-bit lists and the full wire layout
+    ``(n, (k+1)*l, k+1, N)`` are normalized on entry.
 
     Returns TLWE sample(s) of shape ``batch + (k+1, N)`` whose message
     is ``X**(-phase_rounded) * test_poly``.
@@ -45,6 +51,16 @@ def blind_rotate(
     big_n = params.tlwe_degree
     two_n = 2 * big_n
     k = params.tlwe_k
+
+    if not isinstance(bootstrapping_key, np.ndarray):
+        bootstrapping_key = np.stack(
+            [t.spectrum for t in bootstrapping_key]
+        )
+    if bootstrapping_key.shape[-1] == big_n:
+        half_index = get_ring(big_n).half_index
+        bootstrapping_key = np.ascontiguousarray(
+            bootstrapping_key[..., half_index].transpose(0, 3, 1, 2)
+        )
 
     bara = _round_to_2n(ct.a, two_n)  # batch + (n,)
     barb = _round_to_2n(ct.b, two_n)  # batch
@@ -55,28 +71,30 @@ def blind_rotate(
         np.broadcast_to(test_poly, batch_shape + (big_n,)), two_n - barb
     )
 
+    # int32 wrap-around add/sub are exact torus arithmetic, so the CMUX
+    # accumulation needs no widening to int64.
     for i in range(n_lwe):
         amounts = bara[..., i]
         if not np.any(amounts):
             continue
         rotated = negacyclic_shift(acc, amounts[..., None])
-        diff = wrap_int32(rotated.astype(np.int64) - acc.astype(np.int64))
-        acc = wrap_int32(
-            acc.astype(np.int64)
-            + external_product(bootstrapping_key[i], diff, params).astype(
-                np.int64
-            )
+        acc = acc + external_product(
+            bootstrapping_key[i], rotated - acc, params
         )
     return acc
 
 
 def bootstrap_to_extracted(
     ct: LweCiphertext,
-    bootstrapping_key: Sequence[TgswFFT],
+    bootstrapping_key,
     params: TFHEParameters,
     mu: np.int32,
 ) -> LweCiphertext:
-    """Bootstrap sample(s) to LWE(±mu) under the extracted key."""
+    """Bootstrap sample(s) to LWE(±mu) under the extracted key.
+
+    ``bootstrapping_key`` accepts the same forms as
+    :func:`blind_rotate`; pass ``cloud.bootstrap_fft()`` on hot paths.
+    """
     test_poly = np.full(params.tlwe_degree, np.int32(mu), dtype=np.int32)
     acc = blind_rotate(test_poly, ct, bootstrapping_key, params)
     return tlwe_extract_lwe(acc, params)

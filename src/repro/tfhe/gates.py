@@ -59,9 +59,13 @@ def gate_linear_input(
 
 
 def bootstrap_binary(cloud: CloudKey, ct: LweCiphertext) -> LweCiphertext:
-    """Bootstrap + key switch back to the small key (message ±1/8)."""
+    """Bootstrap + key switch back to the small key (message ±1/8).
+
+    Uses the key's cached stacked FFT (:meth:`CloudKey.bootstrap_fft`),
+    computed once per key and shared by every engine and batch size.
+    """
     extracted = bootstrap_to_extracted(
-        ct, cloud.bootstrapping_key, cloud.params, MU_GATE
+        ct, cloud.bootstrap_fft(), cloud.params, MU_GATE
     )
     return keyswitch_apply(cloud.keyswitching_key, extracted)
 
@@ -106,15 +110,16 @@ def evaluate_mux(
     decomposition would use.
     """
     params = cloud.params
+    bk_fft = cloud.bootstrap_fft()
     taken = bootstrap_to_extracted(
         gate_linear_input(Gate.AND, selector, when_true),
-        cloud.bootstrapping_key,
+        bk_fft,
         params,
         MU_GATE,
     )
     skipped = bootstrap_to_extracted(
         gate_linear_input(Gate.ANDNY, selector, when_false),
-        cloud.bootstrapping_key,
+        bk_fft,
         params,
         MU_GATE,
     )

@@ -43,6 +43,38 @@ class CloudKey:
         bk = sum(t.spectrum.nbytes for t in self.bootstrapping_key)
         return bk + self.keyswitching_key.nbytes()
 
+    def bootstrap_fft(self) -> np.ndarray:
+        """The whole bootstrapping key as one contiguous FFT array.
+
+        Shape ``(n, N/2, (k+1)*l, k+1)`` complex128 — the per-bit TGSW
+        spectra stacked, folded down to the non-redundant half of the
+        negacyclic spectrum (see
+        :meth:`repro.tfhe.polynomial.NegacyclicRing.forward_half`),
+        and transposed into the layout the external product consumes:
+        with the ring axis leading, each CMUX step of blind rotation
+        is a single batched BLAS ``zgemm``
+        (``(N/2, batch, rows) @ (N/2, rows, k+1)``) instead of an
+        einsum re-planned per call.  Computed at most once per key
+        instance and cached, so every engine that bootstraps with this
+        key — ``CpuBackend.run``/``run_many``, the distributed
+        workers' broadcast copy, the serving layer's per-tenant
+        executors — shares one spectrum instead of re-deriving or
+        re-gathering it per call.  Deserialized keys seed this cache
+        at load time (see :func:`repro.serialization.load_cloud_key`).
+        """
+        cached = getattr(self, "_bootstrap_fft", None)
+        if cached is None:
+            from .polynomial import get_ring
+
+            half_index = get_ring(self.params.tlwe_degree).half_index
+            cached = np.ascontiguousarray(
+                np.stack(
+                    [t.spectrum for t in self.bootstrapping_key]
+                )[..., half_index].transpose(0, 3, 1, 2)
+            )
+            self._bootstrap_fft = cached
+        return cached
+
     def fingerprint(self) -> str:
         """Content hash identifying this key across processes.
 

@@ -113,7 +113,7 @@ def apply_lut(
     outputs = np.asarray(table, dtype=np.int64)[slice_of]
     test_poly = encoding_out.encode(outputs)
 
-    acc = blind_rotate(test_poly, ct, cloud.bootstrapping_key, params)
+    acc = blind_rotate(test_poly, ct, cloud.bootstrap_fft(), params)
     extracted = tlwe_extract_lwe(acc, params)
     return keyswitch_apply(cloud.keyswitching_key, extracted)
 

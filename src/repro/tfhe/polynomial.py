@@ -31,6 +31,20 @@ class NegacyclicRing:
         j = np.arange(degree)
         self._twist = np.exp(1j * np.pi * j / degree)
         self._untwist = np.exp(-1j * np.pi * j / degree)
+        half = degree // 2
+        jh = np.arange(half)
+        # Folded (half-size) transform: a real negacyclic polynomial is
+        # fully determined by its values at the N/2 odd roots
+        # w^(4k+1); pack (a_j, a_{j+N/2}) into one complex sequence and
+        # a length-N/2 FFT evaluates exactly those points.  The N/2
+        # scale of the inverse-sign DFT is folded into the twist.
+        self._twist_half = np.exp(1j * np.pi * jh / degree) * half
+        self._untwist_half = np.exp(-1j * np.pi * jh / degree) / half
+        #: Indices such that ``forward(x)[..., half_index]`` equals
+        #: ``forward_half(x)`` — lets full (wire-format) spectra be
+        #: sliced down to the folded representation without re-FFT.
+        self.half_index = (-2 * jh) % degree
+        self._rotation_tables = None
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Twisted FFT of integer/torus coefficient arrays (..., N)."""
@@ -42,6 +56,48 @@ class NegacyclicRing:
         """Inverse of :meth:`forward`, rounded back onto int32 torus."""
         coeffs = np.fft.ifft(spectrum, axis=-1) * self._untwist
         return wrap_int32(np.round(coeffs.real).astype(np.int64))
+
+    def forward_half(self, coeffs: np.ndarray) -> np.ndarray:
+        """Folded twisted FFT: real ``(..., N)`` -> complex ``(..., N/2)``.
+
+        Returns the polynomial's values at the odd 2N-th roots of unity
+        ``w^(4k+1)`` — half the redundant full spectrum, so pointwise
+        products (and the external-product matmul) do half the work.
+        """
+        half = self.degree // 2
+        arr = np.asarray(coeffs, dtype=np.float64)
+        packed = np.empty(arr.shape[:-1] + (half,), dtype=np.complex128)
+        packed.real = arr[..., :half]
+        packed.imag = arr[..., half:]
+        packed *= self._twist_half
+        return np.fft.ifft(packed, axis=-1)
+
+    def backward_half(self, spectrum: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward_half`, rounded onto the int32 torus."""
+        u = np.fft.fft(spectrum, axis=-1) * self._untwist_half
+        return wrap_int32(
+            np.round(
+                np.concatenate([u.real, u.imag], axis=-1)
+            ).astype(np.int64)
+        )
+
+    def rotation_tables(self):
+        """Cached gather tables for :func:`negacyclic_shift`.
+
+        ``(idx, sign)`` of shape ``(2N, N)``: row ``a`` holds the source
+        index and negacyclic sign of each output coefficient when
+        multiplying by ``X**a``.  Built once per ring so the hot
+        blind-rotation loop does a single table row lookup instead of
+        re-deriving the modular index arithmetic every CMUX step.
+        """
+        if self._rotation_tables is None:
+            n = self.degree
+            a = np.arange(2 * n)[:, None]
+            j = np.arange(n)[None, :]
+            src = (j - a) % (2 * n)
+            sign = np.where(src >= n, -1, 1).astype(np.int32)
+            self._rotation_tables = ((src % n).astype(np.intp), sign)
+        return self._rotation_tables
 
     def multiply(self, int_poly: np.ndarray, torus_poly: np.ndarray) -> np.ndarray:
         """Product of an integer polynomial with a torus polynomial."""
@@ -92,15 +148,34 @@ def negacyclic_shift(poly: np.ndarray, amount) -> np.ndarray:
         return _shift_scalar(poly, int(amount_arr))
 
     # Per-batch shifts: result[..., j] = sign * poly[..., (j - k) mod 2N].
-    k = amount_arr.reshape(amount_arr.shape + (1,) * (poly.ndim - amount_arr.ndim))
-    j = np.arange(n)
-    src = (j - k) % (2 * n)
-    sign = np.where(src >= n, -1, 1).astype(poly.dtype)
-    src = src % n
-    src_b = np.broadcast_to(src, poly.shape)
-    sign_b = np.broadcast_to(sign, poly.shape)
-    gathered = np.take_along_axis(poly, src_b, axis=-1)
-    return wrap_int32(gathered.astype(np.int64) * sign_b.astype(np.int64))
+    # Negation stays in the input dtype: int32 wrap-around *is* exact
+    # torus negation, so no int64 round-trip is needed on the hot path.
+    if amount_arr.ndim == poly.ndim:
+        if amount_arr.shape[-1] != 1:
+            # Per-coefficient amounts: fall back to direct index math.
+            k = amount_arr
+            j = np.arange(n)
+            src = (j - k) % (2 * n)
+            sign = np.where(src >= n, -1, 1).astype(poly.dtype)
+            gathered = np.take_along_axis(
+                poly, np.broadcast_to(src % n, poly.shape), axis=-1
+            )
+            return gathered * np.broadcast_to(sign, poly.shape)
+        amount_arr = amount_arr[..., 0]
+    # One row lookup in the ring's cached (2N, N) tables replaces the
+    # modular index arithmetic — the blind-rotation fast path.
+    idx_t, sign_t = get_ring(n).rotation_tables()
+    src = idx_t[amount_arr]
+    sign = sign_t[amount_arr]
+    pad = poly.ndim - amount_arr.ndim - 1
+    if pad:
+        shape = amount_arr.shape + (1,) * pad + (n,)
+        src = src.reshape(shape)
+        sign = sign.reshape(shape)
+    gathered = np.take_along_axis(
+        poly, np.broadcast_to(src, poly.shape), axis=-1
+    )
+    return gathered * np.broadcast_to(sign.astype(poly.dtype, copy=False), poly.shape)
 
 
 def _shift_scalar(poly: np.ndarray, amount: int) -> np.ndarray:

@@ -76,14 +76,14 @@ def tgsw_decompose(tlwe: np.ndarray, params: TFHEParameters) -> np.ndarray:
     values = tlwe.view(np.uint32).astype(np.int64) + decomposition_offset(params)
     batch = tlwe.shape[:-2]
     n = params.tlwe_degree
-    digits = np.empty(batch + ((k + 1) * ell, n), dtype=np.int64)
-    for i in range(k + 1):
-        for j in range(ell):
-            shift = 32 - (j + 1) * beta
-            digits[..., i * ell + j, :] = (
-                (values[..., i, :] >> shift) & (base - 1)
-            ) - half_base
-    return digits
+    # One broadcast shift extracts every digit window at once:
+    # batch + (k+1, 1, N) >> (l, 1) -> batch + (k+1, l, N), and the
+    # reshape fuses (k+1, l) into the row axis in gadget order.
+    shifts = 32 - (np.arange(1, ell + 1, dtype=np.int64)) * beta
+    digits = (
+        (values[..., :, None, :] >> shifts[:, None]) & (base - 1)
+    ) - half_base
+    return digits.reshape(batch + ((k + 1) * ell, n))
 
 
 @dataclass
@@ -101,17 +101,63 @@ class TgswFFT:
         return TgswFFT(ring.forward(sample))
 
 
-def external_product(
-    tgsw_fft: TgswFFT, tlwe: np.ndarray, params: TFHEParameters
-) -> np.ndarray:
-    """TGSW ⊡ TLWE, batched over the leading dimensions of ``tlwe``."""
-    ring = get_ring(params.tlwe_degree)
-    digits = tgsw_decompose(tlwe, params)
-    digit_spec = ring.forward(digits)
-    out_spec = np.einsum(
-        "...rn,rcn->...cn", digit_spec, tgsw_fft.spectrum, optimize=True
+def _decompose_float(tlwe: np.ndarray, params: TFHEParameters) -> np.ndarray:
+    """Gadget digits as float64, ready for the folded FFT.
+
+    Same digits as :func:`tgsw_decompose` but produced without the
+    int64 round-trip: the offset add wraps in uint32 (exact — no digit
+    window straddles bit 32) and the result lands directly in the
+    float64 dtype :meth:`NegacyclicRing.forward_half` consumes.
+    """
+    k, ell = params.tlwe_k, params.bs_decomp_length
+    beta = params.bs_decomp_log2_base
+    base = 1 << beta
+    values = tlwe.view(np.uint32) + np.uint32(decomposition_offset(params))
+    shifts = (32 - np.arange(1, ell + 1, dtype=np.uint32) * beta).astype(
+        np.uint32
     )
-    return ring.backward(out_spec)
+    digits = (
+        (values[..., :, None, :] >> shifts[:, None]) & np.uint32(base - 1)
+    ).astype(np.float64) - float(base >> 1)
+    return digits.reshape(
+        tlwe.shape[:-2] + ((k + 1) * ell, params.tlwe_degree)
+    )
+
+
+def external_product(
+    tgsw_fft, tlwe: np.ndarray, params: TFHEParameters
+) -> np.ndarray:
+    """TGSW ⊡ TLWE, batched over the leading dimensions of ``tlwe``.
+
+    ``tgsw_fft`` is a :class:`TgswFFT`, its raw full spectrum of shape
+    ``((k+1)*l, k+1, N)``, or a ring-axis-leading *folded* slice
+    ``(N/2, (k+1)*l, k+1)`` of the cached stacked key
+    (:meth:`repro.tfhe.keys.CloudKey.bootstrap_fft`) — blind rotation
+    passes the latter so the pointwise ring products collapse into one
+    batched complex BLAS matmul ``(N/2, B, rows) @ (N/2, rows, k+1)``
+    over the non-redundant half spectrum.
+    """
+    spectrum = (
+        tgsw_fft.spectrum if isinstance(tgsw_fft, TgswFFT) else tgsw_fft
+    )
+    big_n = params.tlwe_degree
+    ring = get_ring(big_n)
+    if spectrum.shape[-1] == big_n:
+        # Full wire-layout spectrum: fold to the N/2 evaluation points
+        # and lead with the ring axis for the matmul.
+        spectrum = np.ascontiguousarray(
+            np.moveaxis(spectrum[..., ring.half_index], -1, 0)
+        )
+    digits = _decompose_float(tlwe, params)
+    digit_spec = ring.forward_half(digits)  # batch + (rows, N/2)
+    batch = tlwe.shape[:-2]
+    rows = digit_spec.shape[-2]
+    flat = np.moveaxis(digit_spec, -1, 0).reshape(big_n // 2, -1, rows)
+    out = flat @ spectrum  # (N/2, B, k+1) zgemm
+    out_spec = np.moveaxis(out, 0, -1).reshape(
+        batch + (spectrum.shape[-1], big_n // 2)
+    )
+    return ring.backward_half(out_spec)
 
 
 def cmux(
@@ -120,11 +166,10 @@ def cmux(
     when_false: np.ndarray,
     params: TFHEParameters,
 ) -> np.ndarray:
-    """Homomorphic select: TGSW(1) yields ``when_true``, TGSW(0) the other."""
-    diff = wrap_int32(
-        when_true.astype(np.int64) - when_false.astype(np.int64)
-    )
-    return wrap_int32(
-        when_false.astype(np.int64)
-        + external_product(tgsw_fft, diff, params).astype(np.int64)
-    )
+    """Homomorphic select: TGSW(1) yields ``when_true``, TGSW(0) the other.
+
+    Operands are int32 torus polynomials; int32 wrap-around add and
+    subtract *are* exact torus arithmetic (see :mod:`repro.tfhe.torus`).
+    """
+    diff = when_true - when_false
+    return when_false + external_product(tgsw_fft, diff, params)

@@ -1,0 +1,71 @@
+"""Engine-equivalence properties behind the batched-by-default flip.
+
+The legacy ``single`` per-gate engine, the default level-batched
+engine, and the request x level 2-D ``run_many`` path must all decrypt
+to the plaintext reference on random netlists — the safety net that
+lets the batched engine be the default everywhere.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatetypes import Gate, TWO_INPUT_GATES
+from repro.hdl.builder import CircuitBuilder
+from repro.runtime import CpuBackend
+from repro.tfhe import decrypt_bits, encrypt_bits
+from repro.tfhe.lwe import LweCiphertext
+
+
+def _random_netlist(seed, num_inputs=3, num_gates=12):
+    rng = np.random.default_rng(seed)
+    bd = CircuitBuilder(
+        hash_cons=False, fold_constants=False, absorb_inverters=False
+    )
+    nodes = list(bd.inputs(num_inputs))
+    pool = list(TWO_INPUT_GATES) + [Gate.NOT, Gate.BUF]
+    for _ in range(num_gates):
+        gate = pool[rng.integers(len(pool))]
+        nodes.append(
+            bd.gate(
+                gate,
+                nodes[rng.integers(len(nodes))],
+                nodes[rng.integers(len(nodes))],
+            )
+        )
+    bd.output(nodes[-1])
+    bd.output(nodes[rng.integers(len(nodes))])
+    return bd.build()
+
+
+class TestEnginesAgreeOnRandomNetlists:
+    def test_default_engine_is_batched(self, cloud_key):
+        backend = CpuBackend(cloud_key)
+        assert backend.batched
+        assert backend.name == "cpu-batched"
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=6, deadline=None)
+    def test_engines_decrypt_identically(self, test_keys, seed):
+        secret, cloud = test_keys
+        nl = _random_netlist(seed)
+        rng = np.random.default_rng(seed + 1)
+        bits = rng.integers(0, 2, nl.num_inputs).astype(bool)
+        want = nl.evaluate(bits)
+
+        ct = encrypt_bits(secret, bits, rng)
+        out_single, _ = CpuBackend(cloud, batched=False).run(nl, ct)
+        out_batched, _ = CpuBackend(cloud).run(nl, ct)
+
+        instances = 2
+        flat = encrypt_bits(secret, np.tile(bits, instances), rng)
+        stacked = LweCiphertext(
+            flat.a.reshape(instances, nl.num_inputs, -1),
+            flat.b.reshape(instances, nl.num_inputs),
+        )
+        out_many, _ = CpuBackend(cloud).run_many(nl, stacked)
+
+        assert np.array_equal(decrypt_bits(secret, out_single), want)
+        assert np.array_equal(decrypt_bits(secret, out_batched), want)
+        for i in range(instances):
+            assert np.array_equal(decrypt_bits(secret, out_many[i]), want)

@@ -1,0 +1,64 @@
+"""CloudKey tests: the cached bootstrapping-key FFT.
+
+The stacked/folded/transposed spectrum is computed once per key
+instance and shared by every engine; a fresh key must never see a
+stale spectrum, and deserialized keys arrive with the cache seeded.
+"""
+
+import numpy as np
+
+from repro.serialization import load_cloud_key, save_cloud_key
+from repro.tfhe import TFHE_TEST, generate_keys
+from repro.tfhe.polynomial import get_ring
+
+
+class TestBootstrapFftCache:
+    def test_computed_once_and_cached(self, cloud_key):
+        assert cloud_key.bootstrap_fft() is cloud_key.bootstrap_fft()
+
+    def test_layout_and_values_match_full_spectra(self, cloud_key):
+        params = cloud_key.params
+        big_n = params.tlwe_degree
+        rows = (params.tlwe_k + 1) * params.bs_decomp_length
+        cached = cloud_key.bootstrap_fft()
+        assert cached.shape == (
+            params.lwe_dimension,
+            big_n // 2,
+            rows,
+            params.tlwe_k + 1,
+        )
+        full = np.stack(
+            [t.spectrum for t in cloud_key.bootstrapping_key]
+        )
+        half_index = get_ring(big_n).half_index
+        np.testing.assert_array_equal(
+            cached, full[..., half_index].transpose(0, 3, 1, 2)
+        )
+
+    def test_half_slice_equals_forward_half(self, cloud_key):
+        """The non-redundant half really is ``forward_half`` pointwise."""
+        ring = get_ring(cloud_key.params.tlwe_degree)
+        spectrum = cloud_key.bootstrapping_key[0].spectrum
+        coeffs = ring.backward(spectrum)
+        np.testing.assert_allclose(
+            ring.forward_half(coeffs),
+            spectrum[..., ring.half_index],
+            atol=1e-6 * float(np.abs(spectrum).max()),
+        )
+
+    def test_fresh_key_gets_fresh_cache(self):
+        _, cloud_a = generate_keys(TFHE_TEST, seed=1)
+        _, cloud_b = generate_keys(TFHE_TEST, seed=2)
+        fft_a = cloud_a.bootstrap_fft()
+        fft_b = cloud_b.bootstrap_fft()
+        assert fft_a is not fft_b
+        assert not np.array_equal(fft_a, fft_b)
+
+    def test_deserialized_key_arrives_with_seeded_cache(self, cloud_key):
+        loaded = load_cloud_key(save_cloud_key(cloud_key))
+        seeded = getattr(loaded, "_bootstrap_fft", None)
+        assert seeded is not None
+        assert loaded.bootstrap_fft() is seeded  # no recompute on use
+        np.testing.assert_array_equal(
+            loaded.bootstrap_fft(), cloud_key.bootstrap_fft()
+        )
