@@ -1,31 +1,47 @@
-"""Observability overhead — disabled tracing must stay under 2%.
+"""Observability overhead — the disabled path must stay under 3%.
 
 Every backend run consults the ambient observability bundle; when
 nothing is observing, that is one attribute lookup plus a couple of
 boolean guards per level.  This harness measures the CpuBackend wall
-time of a real FHE run with the ambient bundle disabled vs fully
-enabled (tracer + metrics + noise telemetry).  Measurements are
-interleaved and the best of each mode compared, so slow OS-level drift
-does not masquerade as instrumentation cost; the budget asserted is
-deliberately looser than the < 2% design target because single-run
-FHE timings on shared CI machines jitter by more than that.
+time of a real FHE run in three modes, interleaved so OS-level drift
+hits all of them equally:
+
+* **baseline** — the ambient-observability hooks short-circuited to a
+  constant ``DISABLED`` (the closest measurable stand-in for
+  uninstrumented code),
+* **disabled** — the default production path: ambient bundle present
+  but inactive, every emit guarded off,
+* **enabled** — full tracer + metrics + noise telemetry.
+
+The CI gate (``main``) fails when the disabled path costs more than
+``--max-disabled-overhead`` (3%) over baseline, and writes
+``BENCH_obs_overhead.json`` for the artifact upload.  Best-of-N per
+mode is compared so a single scheduler hiccup cannot fail the gate.
 
 Run as a script for a quick local check::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 """
 
+import argparse
+import contextlib
+import json
+import os
+import sys
 import time
 
 import numpy as np
 
 from repro import obs
+from repro import obs as obs_module
 from repro.hdl import arith
 from repro.hdl.builder import CircuitBuilder
 from repro.runtime import CpuBackend, build_schedule
+from repro.runtime import executors as executors_module
 from repro.tfhe import TFHE_TEST, encrypt_bits, generate_keys
+from repro.tfhe import gates as gates_module
 
-REPEATS = 7
+REPEATS = 9
 
 
 def _build_circuit():
@@ -37,7 +53,32 @@ def _build_circuit():
     return bd.build()
 
 
-def _measure():
+@contextlib.contextmanager
+def _stubbed_hooks():
+    """Short-circuit every ambient-obs lookup to a constant DISABLED."""
+
+    def _disabled():
+        return obs.DISABLED
+
+    saved = (
+        obs_module.get,
+        executors_module._get_obs,
+        gates_module._obs_get,
+    )
+    obs_module.get = _disabled  # type: ignore[assignment]
+    executors_module._get_obs = _disabled
+    gates_module._obs_get = _disabled
+    try:
+        yield
+    finally:
+        (
+            obs_module.get,  # type: ignore[assignment]
+            executors_module._get_obs,
+            gates_module._obs_get,
+        ) = saved
+
+
+def _measure(repeats: int = REPEATS):
     secret, cloud = generate_keys(TFHE_TEST, seed=42)
     netlist = _build_circuit()
     schedule = build_schedule(netlist)
@@ -46,41 +87,130 @@ def _measure():
     ciphertext = encrypt_bits(secret, bits, rng)
     backend = CpuBackend(cloud, batched=True)
 
-    backend.run(netlist, ciphertext, schedule)  # warm-up (FFT plans)
-    disabled_best = float("inf")
-    enabled_best = float("inf")
-    # Interleave the two modes so machine drift hits both equally.
-    for _ in range(REPEATS):
+    for _ in range(2):  # warm-up: FFT plans, caches, frequency ramp
+        backend.run(netlist, ciphertext, schedule)
+    best = {"baseline": float("inf"), "disabled": float("inf"),
+            "enabled": float("inf")}
+
+    def _timed(mode):
         t0 = time.perf_counter()
         backend.run(netlist, ciphertext, schedule)
-        disabled_best = min(disabled_best, time.perf_counter() - t0)
-        with obs.observe(noise_params=TFHE_TEST):
-            t0 = time.perf_counter()
-            backend.run(netlist, ciphertext, schedule)
-            enabled_best = min(enabled_best, time.perf_counter() - t0)
-    return disabled_best, enabled_best
+        best[mode] = min(best[mode], time.perf_counter() - t0)
+
+    def _run(mode):
+        if mode == "baseline":
+            with _stubbed_hooks():
+                _timed(mode)
+        elif mode == "disabled":
+            _timed(mode)
+        else:
+            with obs.observe(noise_params=TFHE_TEST):
+                _timed(mode)
+
+    # Interleave the three modes AND rotate their order each round:
+    # position within a round correlates with cache warmth and CPU
+    # frequency ramp, which would otherwise bias whichever mode runs
+    # first.  Best-of-N per mode then compares like with like.
+    modes = ("baseline", "disabled", "enabled")
+    for round_index in range(repeats):
+        shift = round_index % len(modes)
+        for mode in modes[shift:] + modes[:shift]:
+            _run(mode)
+    return best
 
 
 def test_observability_overhead(benchmark):
-    disabled_s, enabled_s = benchmark.pedantic(
-        _measure, rounds=1, iterations=1
-    )
-    delta = enabled_s / disabled_s - 1
+    best = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    delta = best["enabled"] / best["disabled"] - 1
     print(
-        f"\ndisabled: {disabled_s * 1e3:.1f} ms   "
-        f"enabled (trace+metrics+noise): {enabled_s * 1e3:.1f} ms   "
-        f"delta {delta * 100:+.2f}%"
+        f"\nbaseline: {best['baseline'] * 1e3:.1f} ms   "
+        f"disabled: {best['disabled'] * 1e3:.1f} ms   "
+        f"enabled (trace+metrics+noise): {best['enabled'] * 1e3:.1f} ms   "
+        f"enabled delta {delta * 100:+.2f}%"
     )
     # Even *fully enabled* instrumentation must never cost an amount
     # that would distort the figures it measures; the disabled path is
     # strictly cheaper (it skips every emit).
-    assert enabled_s < disabled_s * 1.15, (
+    assert best["enabled"] < best["disabled"] * 1.15, (
         f"enabled observability costs {delta * 100:.1f}% on CpuBackend.run"
     )
 
 
+def main(argv=None) -> int:
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        default=os.path.join(out_dir, "BENCH_obs_overhead.json"),
+    )
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--max-disabled-overhead",
+        type=float,
+        default=0.03,
+        help="fail when the disabled path exceeds baseline by this "
+        "fraction (best-of-N vs best-of-N)",
+    )
+    parser.add_argument(
+        "--max-enabled-overhead",
+        type=float,
+        default=0.15,
+        help="fail when full instrumentation exceeds the disabled "
+        "path by this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    best = _measure(args.repeats)
+    disabled_overhead = best["disabled"] / best["baseline"] - 1
+    enabled_overhead = best["enabled"] / best["disabled"] - 1
+    failures = []
+    if disabled_overhead > args.max_disabled_overhead:
+        failures.append(
+            f"disabled-observability path costs "
+            f"{disabled_overhead * 100:.2f}% over baseline "
+            f"(budget {args.max_disabled_overhead * 100:.0f}%)"
+        )
+    if enabled_overhead > args.max_enabled_overhead:
+        failures.append(
+            f"enabled observability costs "
+            f"{enabled_overhead * 100:.2f}% over the disabled path "
+            f"(budget {args.max_enabled_overhead * 100:.0f}%)"
+        )
+
+    doc = {
+        "repeats": args.repeats,
+        "baseline_ms": best["baseline"] * 1e3,
+        "disabled_ms": best["disabled"] * 1e3,
+        "enabled_ms": best["enabled"] * 1e3,
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "max_disabled_overhead": args.max_disabled_overhead,
+        "max_enabled_overhead": args.max_enabled_overhead,
+        "failures": failures,
+        "ok": not failures,
+    }
+    os.makedirs(
+        os.path.dirname(os.path.abspath(args.json)), exist_ok=True
+    )
+    with open(args.json, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+
+    print(
+        f"baseline (hooks stubbed) : {best['baseline'] * 1e3:8.1f} ms "
+        f"(best of {args.repeats})"
+    )
+    print(
+        f"disabled ambient         : {best['disabled'] * 1e3:8.1f} ms "
+        f"({disabled_overhead * 100:+.2f}%)"
+    )
+    print(
+        f"enabled ambient          : {best['enabled'] * 1e3:8.1f} ms "
+        f"({enabled_overhead * 100:+.2f}% vs disabled)"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 if __name__ == "__main__":
-    disabled_s, enabled_s = _measure()
-    print(f"disabled ambient : {disabled_s * 1e3:8.1f} ms (best of {REPEATS})")
-    print(f"enabled ambient  : {enabled_s * 1e3:8.1f} ms (trace+metrics+noise)")
-    print(f"enabled delta    : {(enabled_s / disabled_s - 1) * 100:+.2f}%")
+    sys.exit(main())

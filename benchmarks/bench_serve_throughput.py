@@ -23,6 +23,7 @@ Run::
 import argparse
 import concurrent.futures
 import json
+import os
 import statistics
 import sys
 import time
@@ -150,6 +151,8 @@ def main(argv=None) -> int:
         )
 
     if args.json:
+        parent = os.path.dirname(os.path.abspath(args.json))
+        os.makedirs(parent, exist_ok=True)
         with open(args.json, "w") as fh:
             json.dump(
                 {"params": TFHE_TEST.name, "rows": rows},

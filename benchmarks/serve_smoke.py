@@ -10,12 +10,15 @@ written as artifacts and validated against the exporter schema.
 
 Run locally::
 
-    PYTHONPATH=src python benchmarks/serve_smoke.py --json serve_smoke.json
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Artifacts land under ``benchmarks/out/`` (gitignored).
 """
 
 import argparse
 import concurrent.futures
 import json
+import os
 import sys
 import time
 
@@ -40,11 +43,22 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 
 
 def main(argv=None) -> int:
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--json", default="serve_smoke.json")
-    parser.add_argument("--trace-out", default="serve_trace.json")
-    parser.add_argument("--metrics-out", default="serve_metrics.json")
+    parser.add_argument(
+        "--json", default=os.path.join(out_dir, "serve_smoke.json")
+    )
+    parser.add_argument(
+        "--trace-out", default=os.path.join(out_dir, "serve_trace.json")
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=os.path.join(out_dir, "serve_metrics.json"),
+    )
     args = parser.parse_args(argv)
+    for path in (args.json, args.trace_out, args.metrics_out):
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
 
     compiled = compile_function(
         lambda x, y: x + y,

@@ -511,6 +511,9 @@ def cmd_serve(args) -> int:
         linger_s=args.linger_ms / 1e3,
         max_frame_bytes=args.max_frame_bytes,
         check=not args.no_check,
+        telemetry_port=args.telemetry_port,
+        flight_dir=args.flight_dir,
+        noise_monitoring=not args.no_noise_monitor,
     )
 
     async def _main(server: FheServer) -> None:
@@ -520,6 +523,11 @@ def cmd_serve(args) -> int:
             f"(backend={config.backend}, max_batch={config.max_batch}, "
             f"max_pending={config.max_pending})"
         )
+        if server.telemetry_port is not None:
+            print(
+                f"telemetry on http://{config.telemetry_host}:"
+                f"{server.telemetry_port}  (/metrics /healthz /varz)"
+            )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -589,6 +597,103 @@ def cmd_call(args) -> int:
                 status = 1
                 break
     return status
+
+
+def _render_top(doc: dict, req_rate: Optional[float]) -> str:
+    """One ``repro top`` screen from a /varz document."""
+    metrics = doc.get("metrics", {})
+    gauges = metrics.get("gauges", {})
+    hists = metrics.get("histograms", {})
+    stats = doc.get("scheduler_stats", {})
+
+    def _hist(name: str) -> dict:
+        return hists.get(name, {})
+
+    stage = {
+        key.split("stage=", 1)[1].rstrip("}"): value
+        for key, value in hists.items()
+        if key.startswith("serve_stage_ms{")
+    }
+    lines = [
+        f"repro top — backend={doc.get('backend', '?')}  "
+        f"uptime={doc.get('uptime_s', 0.0):.0f}s  "
+        f"tenants={doc.get('tenants', 0)}  "
+        f"programs={doc.get('programs', 0)}",
+        f"req/s: "
+        + (f"{req_rate:8.2f}" if req_rate is not None else "      --")
+        + f"   queue: {doc.get('queue_depth', 0)}/"
+        f"{doc.get('max_pending', 0)}"
+        f"   bootstraps/s: "
+        f"{gauges.get('bootstraps_per_sec{backend=serve}', 0.0):10.1f}",
+        f"batches: {stats.get('dispatched_batches', 0)} dispatched, "
+        f"{stats.get('coalesced_batches', 0)} coalesced, "
+        f"busy={stats.get('busy_rejections', 0)}, "
+        f"deadline={stats.get('deadline_cancellations', 0)}",
+        f"batch size: mean="
+        f"{_hist('serve_batch_size').get('mean', 0.0):.1f} "
+        f"max={_hist('serve_batch_size').get('max', 0.0):.0f} "
+        f"(cap {doc.get('max_batch', 0)})",
+    ]
+    if stage:
+        lines.append("stage latencies (ms):        p50        p99")
+        for name in ("queue_wait", "batch_linger", "execute"):
+            h = stage.get(name)
+            if h:
+                lines.append(
+                    f"  {name:<18s} {h.get('p50', 0.0):10.2f} "
+                    f"{h.get('p99', 0.0):10.2f}"
+                )
+    triggers = doc.get("flight_triggers", {})
+    if triggers:
+        rendered = ", ".join(
+            f"{k}={v}" for k, v in sorted(triggers.items())
+        )
+        lines.append(
+            f"flight: {rendered} "
+            f"({doc.get('flight_dumps', 0)} dumps)"
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/varz"
+    prev_requests: Optional[float] = None
+    prev_t: Optional[float] = None
+    iteration = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    doc = _json.loads(resp.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"cannot reach {url}: {exc}")
+                return 1
+            counters = doc.get("metrics", {}).get("counters", {})
+            total = sum(
+                value
+                for key, value in counters.items()
+                if key.startswith("serve_requests")
+            )
+            now = _time.monotonic()
+            rate = None
+            if prev_requests is not None and now > prev_t:
+                rate = (total - prev_requests) / (now - prev_t)
+            prev_requests, prev_t = total, now
+            if iteration and sys.stdout.isatty():
+                # Redraw in place on a live terminal; append when piped.
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_top(doc, rate))
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_keygen(args) -> int:
@@ -898,8 +1003,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the static-analyzer gate on program registration",
     )
+    p.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics (Prometheus), /healthz, and /varz over "
+        "HTTP on this port (0 = ephemeral; omit to disable)",
+    )
+    p.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="dump the flight recorder's recent-span ring here on "
+        "BUSY/DEADLINE/crash/noise-breach",
+    )
+    p.add_argument(
+        "--no-noise-monitor",
+        action="store_true",
+        help="disable the runtime noise-vs-certificate watchdog",
+    )
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a serving fleet's /varz",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        required=True,
+        help="the server's --telemetry-port",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N polls (0 = until interrupted)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "call",

@@ -32,13 +32,42 @@ from .exporters import (
     chrome_trace_events,
     jsonl_lines,
     to_chrome_trace,
+    trace_tree,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import NULL_METRICS, MetricsRegistry, NullMetrics
-from .noisetrack import LevelNoiseRecord, NoiseTracker
-from .tracer import NULL_TRACER, Instant, NullTracer, Span, Tracer
+from .expose import (
+    TelemetryServer,
+    http_get,
+    parse_prometheus,
+    render_prometheus,
+)
+from .flight import FlightRecorder
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .noisetrack import (
+    LevelNoiseRecord,
+    NoiseBreach,
+    NoiseMonitor,
+    NoiseTracker,
+)
+from .tracer import (
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    current_trace_context,
+    new_span_id,
+    new_trace_id,
+    use_trace_context,
+)
 
 
 class Observability:
@@ -79,6 +108,21 @@ def get() -> Observability:
     return _ambient
 
 
+def set_ambient(obs: Observability) -> Observability:
+    """Install ``obs`` as the ambient bundle; returns the previous one.
+
+    Unlike :func:`observe`, this is not scoped to a ``with`` block —
+    it is the hook for long-running processes (the serve loop) that
+    want always-on telemetry for their whole lifetime.  The caller is
+    responsible for restoring the returned previous bundle (usually
+    :data:`DISABLED`) on shutdown.
+    """
+    global _ambient
+    with _ambient_lock:
+        previous, _ambient = _ambient, obs
+    return previous
+
+
 @contextlib.contextmanager
 def observe(
     noise_params: Optional[TFHEParameters] = None,
@@ -111,10 +155,14 @@ def observe(
 
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "DISABLED",
+    "FlightRecorder",
     "Instant",
     "LevelNoiseRecord",
     "MetricsRegistry",
+    "NoiseBreach",
+    "NoiseMonitor",
     "NoiseTracker",
     "NullMetrics",
     "NullTracer",
@@ -122,12 +170,23 @@ __all__ = [
     "NULL_TRACER",
     "Observability",
     "Span",
+    "TelemetryServer",
+    "TraceContext",
     "Tracer",
     "chrome_trace_events",
+    "current_trace_context",
     "get",
+    "http_get",
     "jsonl_lines",
+    "new_span_id",
+    "new_trace_id",
     "observe",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_ambient",
     "to_chrome_trace",
+    "trace_tree",
+    "use_trace_context",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

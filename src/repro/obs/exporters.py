@@ -58,6 +58,14 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
             if span.track is not None
             else real_tid(span.pid, span.tid)
         )
+        args = span.args
+        if span.trace_id is not None:
+            # Surface the request identity in Perfetto's args panel so
+            # one trace id can be followed across process/track rows.
+            args = dict(args, trace_id=span.trace_id,
+                        span_id=span.span_id)
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
         events.append(
             {
                 "name": span.name,
@@ -67,7 +75,7 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
                 "dur": span.duration_s * 1e6,
                 "pid": span.pid,
                 "tid": tid,
-                "args": span.args,
+                "args": args,
             }
         )
     for marker in list(tracer.instants):
@@ -112,21 +120,22 @@ def jsonl_lines(tracer: Tracer) -> List[str]:
     """One JSON object per span/instant, in record order."""
     lines = []
     for span in tracer.iter_spans():
-        lines.append(
-            json.dumps(
-                {
-                    "type": "span",
-                    "name": span.name,
-                    "cat": span.cat,
-                    "start_s": span.start_s,
-                    "end_s": span.end_s,
-                    "pid": span.pid,
-                    "tid": span.tid,
-                    "track": span.track,
-                    "args": span.args,
-                }
-            )
-        )
+        record = {
+            "type": "span",
+            "name": span.name,
+            "cat": span.cat,
+            "start_s": span.start_s,
+            "end_s": span.end_s,
+            "pid": span.pid,
+            "tid": span.tid,
+            "track": span.track,
+            "args": span.args,
+        }
+        if span.trace_id is not None:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+            record["parent_id"] = span.parent_id
+        lines.append(json.dumps(record))
     for marker in list(tracer.instants):
         lines.append(
             json.dumps(
@@ -197,3 +206,45 @@ def validate_chrome_trace(doc) -> int:
             if not isinstance(args, dict) or "name" not in args:
                 raise ValueError(f"{where} metadata needs args.name")
     return len(events)
+
+
+def trace_tree(tracer: Tracer, trace_id: str) -> dict:
+    """Reassemble one request's causal span tree from a tracer.
+
+    Returns ``{"trace_id": ..., "roots": [...], "orphans": [...],
+    "spans": n}`` where each node is ``{"name", "span_id",
+    "duration_ms", "track", "children": [...]}``.  A span whose
+    parent_id doesn't resolve within the trace lands in ``orphans``
+    (a disconnected tree — exactly what the serve e2e test asserts
+    against).  Children are ordered by start time.
+    """
+    spans = [
+        s for s in tracer.iter_spans() if s.trace_id == trace_id
+    ]
+    spans.sort(key=lambda s: s.start_s)
+    by_id = {s.span_id: s for s in spans if s.span_id}
+    nodes = {
+        s.span_id: {
+            "name": s.name,
+            "span_id": s.span_id,
+            "duration_ms": s.duration_s * 1e3,
+            "track": s.track,
+            "children": [],
+        }
+        for s in spans
+    }
+    roots, orphans = [], []
+    for s in spans:
+        node = nodes[s.span_id]
+        if s.parent_id is None:
+            roots.append(node)
+        elif s.parent_id in by_id:
+            nodes[s.parent_id]["children"].append(node)
+        else:
+            orphans.append(node)
+    return {
+        "trace_id": trace_id,
+        "roots": roots,
+        "orphans": orphans,
+        "spans": len(spans),
+    }

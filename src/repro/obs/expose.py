@@ -1,0 +1,348 @@
+"""HTTP exposition: Prometheus text format, /healthz, /varz.
+
+:func:`render_prometheus` turns a :class:`MetricsRegistry` snapshot
+into the Prometheus text exposition format (version 0.0.4): one
+``# TYPE`` line per metric family, label values escaped per the spec
+(backslash, double-quote, newline), histograms expanded into
+cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``.
+:func:`parse_prometheus` is the matching reader used by tests and by
+``repro top`` — strict enough to catch a malformed exposition, small
+enough to not be a dependency.
+
+:class:`TelemetryServer` is a minimal asyncio HTTP/1.1 server (GET
+only, no keep-alive) serving:
+
+* ``/metrics`` — Prometheus text of the ambient (or bound) registry
+* ``/healthz`` — ``200 ok`` liveness probe
+* ``/varz``    — JSON snapshot: metrics + caller-supplied status vars
+
+It exists so an external scraper/controller (ROADMAP items 4/5) can
+poll a running :class:`repro.serve.FheServer` without speaking FHES.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format spec."""
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_float(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+_NAME_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name into a legal Prometheus name."""
+    out = "".join(ch if ch in _NAME_SAFE else "_" for ch in name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _render_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{sanitize_metric_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(metrics: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    snapshot = metrics.snapshot_series()
+    lines: List[str] = []
+    for name, series in snapshot["counters"].items():
+        safe = sanitize_metric_name(name)
+        lines.append(f"# TYPE {safe} counter")
+        for row in series:
+            lines.append(
+                f"{safe}{_render_labels(row['labels'])} "
+                f"{_format_float(row['value'])}"
+            )
+    for name, series in snapshot["gauges"].items():
+        safe = sanitize_metric_name(name)
+        lines.append(f"# TYPE {safe} gauge")
+        for row in series:
+            lines.append(
+                f"{safe}{_render_labels(row['labels'])} "
+                f"{_format_float(row['value'])}"
+            )
+    for name, series in snapshot["histograms"].items():
+        safe = sanitize_metric_name(name)
+        lines.append(f"# TYPE {safe} histogram")
+        for row in series:
+            for le, cum in row["buckets"]:
+                extra = f'le="{_format_float(le)}"'
+                lines.append(
+                    f"{safe}_bucket{_render_labels(row['labels'], extra)}"
+                    f" {cum}"
+                )
+            lines.append(
+                f"{safe}_sum{_render_labels(row['labels'])} "
+                f"{_format_float(row['sum'])}"
+            )
+            lines.append(
+                f"{safe}_count{_render_labels(row['labels'])} "
+                f"{row['count']}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_label_block(block: str, where: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq].strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"{where}: unquoted label value")
+        j = eq + 2
+        value_chars: List[str] = []
+        while True:
+            ch = block[j]
+            if ch == "\\":
+                nxt = block[j + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt)
+                )
+                j += 2
+            elif ch == '"':
+                break
+            else:
+                value_chars.append(ch)
+                j += 1
+        labels[key] = "".join(value_chars)
+        i = j + 1
+        if i < len(block):
+            if block[i] != ",":
+                raise ValueError(f"{where}: expected ',' between labels")
+            i += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text exposition into a structured dict.
+
+    Returns ``{"types": {name: type}, "samples": [(name, labels,
+    value), ...]}``.  Raises :class:`ValueError` on malformed input —
+    the tests use this as the format oracle.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        where = f"line {lineno}"
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"{where}: malformed TYPE line")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"{where}: unknown type {kind!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            brace = line.index("{")
+            name = line[:brace]
+            close = line.rindex("}")
+            labels = _parse_label_block(line[brace + 1:close], where)
+            rest = line[close + 1:].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = {}
+            rest = rest.strip()
+        if not name or not all(c in _NAME_SAFE for c in name):
+            raise ValueError(f"{where}: bad metric name {name!r}")
+        value_text = rest.split()[0] if rest else ""
+        try:
+            value = float(value_text.replace("+Inf", "inf")
+                          .replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"{where}: bad sample value {value_text!r}"
+            ) from None
+        samples.append((name, labels, value))
+    return {"types": types, "samples": samples}
+
+
+class TelemetryServer:
+    """Tiny asyncio HTTP server exposing /metrics, /healthz, /varz."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        varz: Optional[Callable[[], dict]] = None,
+    ):
+        self.metrics = metrics
+        self.host = host
+        self.port = port
+        self._varz = varz
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.monotonic()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def _respond(self, path: str) -> Tuple[int, str, str]:
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(self.metrics),
+            )
+        if path == "/healthz":
+            return 200, "text/plain; charset=utf-8", "ok\n"
+        if path == "/varz":
+            doc = {
+                "uptime_s": time.monotonic() - self._started,
+                "metrics": self.metrics.as_dict(),
+            }
+            if self._varz is not None:
+                try:
+                    doc.update(self._varz())
+                except Exception as exc:
+                    doc["varz_error"] = repr(exc)
+            return (
+                200,
+                "application/json; charset=utf-8",
+                json.dumps(doc) + "\n",
+            )
+        return 404, "text/plain; charset=utf-8", "not found\n"
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                status, ctype, body = (
+                    405, "text/plain; charset=utf-8",
+                    "method not allowed\n",
+                )
+            else:
+                # Drain (tiny) request headers up to the blank line.
+                while True:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=5.0
+                    )
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                path = parts[1].split("?", 1)[0]
+                status, ctype, body = self._respond(path)
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 404: "Not Found",
+                      405: "Method Not Allowed"}.get(status, "OK")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def http_get(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Tuple[int, str]:
+    """One-shot async HTTP GET against a :class:`TelemetryServer`.
+
+    Returns ``(status, body)``.  Deliberately minimal — enough for
+    tests and the ``repro top`` poller without urllib's blocking I/O
+    inside the event loop.
+    """
+
+    async def _go() -> Tuple[int, str]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                (
+                    f"GET {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split()[1])
+        return status, body.decode("utf-8")
+
+    return await asyncio.wait_for(_go(), timeout=timeout)
+
+
+__all__ = [
+    "TelemetryServer",
+    "escape_label_value",
+    "http_get",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
+]

@@ -1,12 +1,18 @@
-"""Metrics registry: counters, gauges, and summary histograms.
+"""Metrics registry: counters, gauges, and bucketed histograms.
 
 A deliberately small Prometheus-flavoured registry: metrics are named,
 optionally labelled (``inc("gates_executed", 3, gate="NAND")``), and
 render to both a text exposition format and a JSON-serializable dict.
 Counters accumulate, gauges overwrite, histograms keep streaming
-summary statistics (count/sum/min/max) rather than buckets — enough
-for per-pass node deltas, bootstraps/sec, and byte counters without a
-dependency.
+summary statistics (count/sum/min/max) *and* fixed cumulative bucket
+counts, so the Prometheus exposition (:mod:`repro.obs.expose`) can
+emit ``_bucket{le=...}`` series and :meth:`MetricsRegistry.quantile`
+can estimate p50/p99 — still without any dependency.
+
+Bucket boundaries default to :data:`DEFAULT_BUCKETS` (a log-ish ladder
+sized for millisecond latencies and small batch sizes) and can be
+pinned per metric name with :meth:`MetricsRegistry.declare_buckets`
+before the first ``observe``.
 
 All mutation is lock-guarded; the disabled path is the shared
 :data:`NULL_METRICS` whose methods are no-ops.
@@ -16,9 +22,18 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Default histogram bucket upper bounds.  Spans sub-millisecond
+#: through multi-minute latencies (in ms) while staying usable for
+#: small-integer distributions such as batch sizes.  ``+Inf`` is
+#: implicit: the total count is the final cumulative bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+    250, 500, 1000, 2500, 5000, 10000, 30000, 60000,
+)
 
 
 def _key(name: str, labels: Dict[str, object]) -> LabelKey:
@@ -37,19 +52,66 @@ def _format_key(key: LabelKey) -> str:
 
 
 class _HistogramStat:
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "bounds", "bucket_counts")
 
-    def __init__(self):
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts, one per bound; values
+        #: above the last bound land only in the implicit +Inf bucket
+        #: (= ``count``).
+        self.bucket_counts = [0] * len(bounds)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo < len(self.bounds):
+            self.bucket_counts[lo] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, ending with ``(inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile (0..1) from the buckets.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the observed min/max so tiny samples don't report a bucket
+        boundary nobody hit.  Returns 0.0 with no observations.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        running = 0
+        prev_bound = 0.0 if self.min >= 0 else self.min
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if running + n >= rank and n > 0:
+                frac = (rank - running) / n
+                est = prev_bound + (bound - prev_bound) * frac
+                return min(max(est, self.min), self.max)
+            running += n
+            prev_bound = bound
+        return self.max
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +120,8 @@ class _HistogramStat:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -71,6 +135,7 @@ class MetricsRegistry:
         self._counters: Dict[LabelKey, float] = {}
         self._gauges: Dict[LabelKey, float] = {}
         self._histograms: Dict[LabelKey, _HistogramStat] = {}
+        self._bucket_bounds: Dict[str, Tuple[float, ...]] = {}
 
     # -- writes --------------------------------------------------------
     def inc(self, name: str, value: float = 1, **labels) -> None:
@@ -82,12 +147,27 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[_key(name, labels)] = value
 
+    def declare_buckets(
+        self, name: str, bounds: Sequence[float]
+    ) -> None:
+        """Pin bucket upper bounds for a histogram metric name.
+
+        Must be called before the first ``observe`` of that name;
+        existing series of the name keep their original bounds.
+        """
+        ordered = tuple(sorted(float(b) for b in bounds))
+        if not ordered:
+            raise ValueError("bucket bounds must be non-empty")
+        with self._lock:
+            self._bucket_bounds[name] = ordered
+
     def observe(self, name: str, value: float, **labels) -> None:
         key = _key(name, labels)
         with self._lock:
             stat = self._histograms.get(key)
             if stat is None:
-                stat = self._histograms[key] = _HistogramStat()
+                bounds = self._bucket_bounds.get(name, DEFAULT_BUCKETS)
+                stat = self._histograms[key] = _HistogramStat(bounds)
             stat.observe(value)
 
     # -- reads ---------------------------------------------------------
@@ -107,6 +187,54 @@ class MetricsRegistry:
                 for key, value in self._counters.items()
                 if key[0] == name
             }
+
+    def quantile(self, name: str, q: float, **labels) -> Optional[float]:
+        """Bucket-interpolated quantile of one histogram series.
+
+        ``None`` when the series doesn't exist or has no observations.
+        """
+        with self._lock:
+            stat = self._histograms.get(_key(name, labels))
+            if stat is None or stat.count == 0:
+                return None
+            return stat.quantile(q)
+
+    def snapshot_series(self) -> dict:
+        """Structured snapshot keyed by metric name, for exposition.
+
+        Unlike :meth:`as_dict` (flat ``name{labels}`` string keys, for
+        JSON artifacts), this groups series under their metric name
+        with labels as dicts and histograms carrying cumulative
+        buckets — the shape the Prometheus renderer needs.
+        """
+        with self._lock:
+            out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+            for key, value in sorted(self._counters.items()):
+                name, labels = key
+                out["counters"].setdefault(name, []).append(
+                    {"labels": dict(labels), "value": value}
+                )
+            for key, value in sorted(self._gauges.items()):
+                name, labels = key
+                out["gauges"].setdefault(name, []).append(
+                    {"labels": dict(labels), "value": value}
+                )
+            for key, stat in sorted(self._histograms.items()):
+                name, labels = key
+                out["histograms"].setdefault(name, []).append(
+                    {
+                        "labels": dict(labels),
+                        "count": stat.count,
+                        "sum": stat.total,
+                        "buckets": [
+                            [le, n]
+                            for le, n in stat.cumulative_buckets()
+                        ],
+                        "p50": stat.quantile(0.5),
+                        "p99": stat.quantile(0.99),
+                    }
+                )
+            return out
 
     def as_dict(self) -> dict:
         """JSON-serializable snapshot of every metric."""
@@ -158,6 +286,9 @@ class NullMetrics(MetricsRegistry):
         pass
 
     def observe(self, *a, **kw) -> None:
+        pass
+
+    def declare_buckets(self, *a, **kw) -> None:
         pass
 
 

@@ -105,3 +105,111 @@ class NoiseTracker:
                 f"  {'yes' if r.ok else 'LOW MARGIN'}"
             )
         return "\n".join(lines)
+
+
+@dataclass
+class NoiseBreach:
+    """One level whose runtime margin eroded past its certification."""
+
+    program_id: str
+    level: int
+    observed_sigmas: float
+    certified_sigmas: float
+    warn_sigmas: float
+    reason: str
+
+
+class NoiseMonitor:
+    """Compares runtime noise margins against static NB certification.
+
+    The static analyzer (:mod:`repro.analyze.noisecert`) certifies a
+    compiled schedule's per-level noise margins at registration time;
+    the runtime :class:`NoiseTracker` predicts margins for the levels
+    actually executed.  The monitor holds one lazily computed
+    certificate per program and flags a *breach* whenever an executed
+    level's margin is below the certified margin minus
+    ``tolerance_sigmas`` (the static promise eroded — e.g. a params
+    mismatch or a synthesis change the certificate never saw) or
+    below ``warn_sigmas`` outright (absolute headroom exhausted).
+
+    Breaches accumulate on the monitor; callers (the serve scheduler)
+    turn them into metrics counters and flight-recorder events.
+    """
+
+    def __init__(
+        self,
+        params: TFHEParameters,
+        warn_sigmas: float = 4.0,
+        tolerance_sigmas: float = 0.25,
+    ):
+        self.params = params
+        self.warn_sigmas = warn_sigmas
+        self.tolerance_sigmas = tolerance_sigmas
+        self._certificates: dict = {}
+        self.breaches: List[NoiseBreach] = []
+        self.checks = 0
+
+    def certificate_for(self, program_id: str, schedule) -> object:
+        """The static noise certificate for a program (cached)."""
+        cert = self._certificates.get(program_id)
+        if cert is None:
+            # Lazy import: repro.analyze imports repro.obs for its own
+            # instrumentation, so a module-level import would cycle.
+            from ..analyze.noisecert import certify_noise
+
+            cert = certify_noise(schedule, self.params)
+            self._certificates[program_id] = cert
+        return cert
+
+    def check(
+        self,
+        program_id: str,
+        schedule,
+        records: List[LevelNoiseRecord],
+    ) -> List[NoiseBreach]:
+        """Compare executed-level records against the certificate.
+
+        Returns (and accumulates) the breaches found in ``records``.
+        """
+        cert = self.certificate_for(program_id, schedule)
+        certified = {lv.level: lv for lv in cert.levels}
+        found: List[NoiseBreach] = []
+        for record in records:
+            self.checks += 1
+            cert_level = certified.get(record.level)
+            cert_sigmas = (
+                cert_level.margin_sigmas
+                if cert_level is not None
+                else math.inf
+            )
+            reason = None
+            if record.margin_sigmas < self.warn_sigmas:
+                reason = "below_warn_threshold"
+            elif (
+                cert_level is not None
+                and record.margin_sigmas
+                < cert_sigmas - self.tolerance_sigmas
+            ):
+                reason = "eroded_vs_certificate"
+            if reason is not None:
+                found.append(
+                    NoiseBreach(
+                        program_id=program_id,
+                        level=record.level,
+                        observed_sigmas=record.margin_sigmas,
+                        certified_sigmas=cert_sigmas,
+                        warn_sigmas=self.warn_sigmas,
+                        reason=reason,
+                    )
+                )
+        self.breaches.extend(found)
+        return found
+
+    def as_dict(self) -> dict:
+        return {
+            "params": self.params.name,
+            "warn_sigmas": self.warn_sigmas,
+            "tolerance_sigmas": self.tolerance_sigmas,
+            "checks": self.checks,
+            "breaches": [vars(b).copy() for b in self.breaches],
+        }

@@ -29,6 +29,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import FlightRecorder, TraceContext, use_trace_context
 from ..obs import get as _get_obs
 from ..runtime.executors import ExecutionReport
 from ..tfhe.lwe import LweCiphertext
@@ -53,6 +54,9 @@ class ServeRequest:
     #: Absolute ``time.monotonic()`` deadline; ``None`` = no deadline.
     deadline_s: Optional[float] = None
     enqueued_at: float = 0.0
+    #: This request's node in its trace tree (the server-side span
+    #: minted by ``_handle_call`` as a child of the client's context).
+    ctx: Optional[TraceContext] = None
     future: "asyncio.Future" = field(default=None, repr=False)  # type: ignore[assignment]
 
     @property
@@ -73,6 +77,10 @@ class BatchResult:
     report: ExecutionReport
     batch_size: int
     queue_s: float
+    #: Per-stage latency breakdown (ms): queue_wait, batch_linger,
+    #: execute — the numbers the reply header carries back so the
+    #: client sees where its milliseconds went.
+    stages: Dict[str, float] = field(default_factory=dict)
 
 
 class RequestScheduler:
@@ -83,6 +91,7 @@ class RequestScheduler:
         max_pending: int = 64,
         max_batch: int = 16,
         linger_s: float = 0.0,
+        flight: Optional[FlightRecorder] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -91,6 +100,7 @@ class RequestScheduler:
         self.max_pending = max_pending
         self.max_batch = max_batch
         self.linger_s = linger_s
+        self.flight = flight
         self._pending: Deque[ServeRequest] = collections.deque()
         self._cond: Optional[asyncio.Condition] = None
         self._task: Optional[asyncio.Task] = None
@@ -136,6 +146,13 @@ class RequestScheduler:
     def depth(self) -> int:
         return len(self._pending)
 
+    def _record_trouble(self, reason: str, **context) -> None:
+        """Note a BUSY/DEADLINE/crash/breach on the flight recorder."""
+        if self.flight is None:
+            return
+        self.flight.record_event(f"serve:{reason}", **context)
+        self.flight.trigger(reason, **context)
+
     # -- admission -----------------------------------------------------
     async def submit(self, request: ServeRequest) -> BatchResult:
         """Admit one request and await its slice of a batch result.
@@ -149,6 +166,10 @@ class RequestScheduler:
         now = time.monotonic()
         if request.expired(now):
             self.stats["deadline_cancellations"] += 1
+            self._record_trouble(
+                "deadline", tenant=request.tenant,
+                where="admission",
+            )
             raise ServeError(
                 Status.DEADLINE,
                 "deadline expired before the request was admitted",
@@ -164,6 +185,10 @@ class RequestScheduler:
                     obs.metrics.inc(
                         "serve_requests", status=Status.BUSY
                     )
+                self._record_trouble(
+                    "busy", tenant=request.tenant,
+                    queue_depth=len(self._pending),
+                )
                 raise ServeError(
                     Status.BUSY,
                     f"queue full ({self.max_pending} pending); "
@@ -193,8 +218,11 @@ class RequestScheduler:
                 if not self._pending:
                     return  # closed and drained
                 key = self._pending[0].batch_key
+            linger_elapsed = 0.0
             if self.linger_s > 0:
+                linger_t0 = time.perf_counter()
                 await self._linger(key)
+                linger_elapsed = time.perf_counter() - linger_t0
             async with self._cond:
                 batch: List[ServeRequest] = []
                 kept: Deque[ServeRequest] = collections.deque()
@@ -214,7 +242,20 @@ class RequestScheduler:
                         "serve_queue_depth", len(self._pending)
                     )
             if batch:
-                await self._dispatch(batch)
+                try:
+                    await self._dispatch(batch, linger_elapsed)
+                except Exception as exc:
+                    # The loop must survive anything _dispatch throws:
+                    # a dead dispatcher strands every queued future.
+                    self._record_trouble(
+                        "dispatch-failure", error=str(exc)
+                    )
+                    failure = ServeError(
+                        Status.ERROR, f"dispatch failed: {exc}"
+                    )
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(failure)
 
     async def _linger(self, key: BatchKey) -> None:
         """Hold the batch open briefly so stragglers can coalesce."""
@@ -232,7 +273,9 @@ class RequestScheduler:
         except asyncio.TimeoutError:
             pass
 
-    async def _dispatch(self, batch: List[ServeRequest]) -> None:
+    async def _dispatch(
+        self, batch: List[ServeRequest], linger_elapsed: float = 0.0
+    ) -> None:
         obs = _get_obs()
         now = time.monotonic()
         live: List[ServeRequest] = []
@@ -243,6 +286,11 @@ class RequestScheduler:
                     obs.metrics.inc(
                         "serve_requests", status=Status.DEADLINE
                     )
+                self._record_trouble(
+                    "deadline", tenant=request.tenant,
+                    where="queue",
+                    queued_s=now - request.enqueued_at,
+                )
                 if not request.future.done():
                     request.future.set_exception(
                         ServeError(
@@ -266,23 +314,54 @@ class RequestScheduler:
         self.stats["dispatched_requests"] += len(live)
         if len(live) > 1:
             self.stats["coalesced_batches"] += 1
+        queue_waits_s = [now - r.enqueued_at for r in live]
         if obs.active:
             obs.metrics.observe("serve_batch_size", len(live))
+            for wait_s in queue_waits_s:
+                obs.metrics.observe(
+                    "serve_stage_ms",
+                    max(wait_s - linger_elapsed, 0.0) * 1e3,
+                    stage="queue_wait",
+                )
+            obs.metrics.observe(
+                "serve_stage_ms", linger_elapsed * 1e3,
+                stage="batch_linger",
+            )
+
+        # The batch's spans (execute levels, worker chunks) hang off
+        # the *primary* request's trace context; coalesced followers
+        # still share the batch via their reply's ``stages``/report.
+        batch_ctx = (
+            live[0].ctx.child() if live[0].ctx is not None else None
+        )
+        noise = obs.noise if obs.active else None
+
+        def _execute():
+            noise_start = len(noise.records) if noise is not None else 0
+            with use_trace_context(batch_ctx):
+                outputs, report = runtime.server.execute_many(
+                    program.netlist, stacked, schedule=program.schedule
+                )
+            fresh_noise = (
+                noise.records[noise_start:] if noise is not None else []
+            )
+            return outputs, report, fresh_noise
 
         loop = asyncio.get_running_loop()
         t0 = time.perf_counter()
         try:
-            outputs, report = await loop.run_in_executor(
-                self._executor,
-                lambda: runtime.server.execute_many(
-                    program.netlist, stacked, schedule=program.schedule
-                ),
+            outputs, report, fresh_noise = await loop.run_in_executor(
+                self._executor, _execute
             )
         except Exception as exc:
             if obs.active:
                 obs.metrics.inc(
                     "serve_requests", status=Status.ERROR
                 )
+            self._record_trouble(
+                "execution-failure", tenant=live[0].tenant,
+                program=program.program_id[:12], error=str(exc),
+            )
             failure = ServeError(
                 Status.ERROR, f"execution failed: {exc}"
             )
@@ -290,17 +369,22 @@ class RequestScheduler:
                 if not request.future.done():
                     request.future.set_exception(failure)
             return
+        execute_s = time.perf_counter() - t0
         if obs.active:
             obs.tracer.add(
                 f"serve:batch x{len(live)}",
                 cat="serve",
                 start_s=t0,
-                end_s=time.perf_counter(),
+                end_s=t0 + execute_s,
                 track="serve",
+                ctx=batch_ctx,
                 tenant=live[0].tenant,
                 program=program.program_id[:12],
                 batch=len(live),
                 gates=program.netlist.num_gates * len(live),
+            )
+            obs.metrics.observe(
+                "serve_stage_ms", execute_s * 1e3, stage="execute"
             )
             obs.metrics.inc(
                 "serve_requests", len(live), status=Status.OK
@@ -313,12 +397,61 @@ class RequestScheduler:
                     report.gates_bootstrapped / report.wall_time_s,
                     backend="serve",
                 )
+        self._check_noise(obs, live[0], program, fresh_noise)
         for i, request in enumerate(live):
             result = BatchResult(
                 ciphertext=LweCiphertext(outputs.a[i], outputs.b[i]),
                 report=report,
                 batch_size=len(live),
-                queue_s=now - request.enqueued_at,
+                queue_s=queue_waits_s[i],
+                stages={
+                    "queue_wait_ms": max(
+                        queue_waits_s[i] - linger_elapsed, 0.0
+                    ) * 1e3,
+                    "batch_linger_ms": linger_elapsed * 1e3,
+                    "execute_ms": execute_s * 1e3,
+                },
             )
             if not request.future.done():
                 request.future.set_result(result)
+
+    def _check_noise(
+        self,
+        obs,
+        primary: ServeRequest,
+        program: RegisteredProgram,
+        fresh_noise: list,
+    ) -> None:
+        """Compare this batch's noise records to the static cert."""
+        monitor = getattr(primary.runtime, "monitor", None)
+        if monitor is None or not fresh_noise:
+            return
+        try:
+            breaches = monitor.check(
+                program.program_id, program.schedule, fresh_noise
+            )
+        except Exception:
+            # Monitoring must never fail a request that executed fine.
+            return
+        if not breaches:
+            return
+        if obs.active:
+            obs.metrics.inc(
+                "noise_margin_breaches", len(breaches),
+                tenant=primary.tenant,
+            )
+            worst = min(breaches, key=lambda b: b.observed_sigmas)
+            obs.tracer.instant(
+                "noise-margin-breach", cat="serve",
+                tenant=primary.tenant,
+                program=program.program_id[:12],
+                level=worst.level,
+                observed_sigmas=worst.observed_sigmas,
+                certified_sigmas=worst.certified_sigmas,
+                reason=worst.reason,
+            )
+        self._record_trouble(
+            "noise-margin-breach", tenant=primary.tenant,
+            program=program.program_id[:12],
+            breaches=len(breaches),
+        )

@@ -25,6 +25,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from ..core.compiler import CompiledCircuit
 from ..core.session import compile_to_binary
+from ..obs import TraceContext
+from ..obs import get as _get_obs
 from ..runtime.executors import ExecutionReport
 from ..serialization import (
     load_ciphertext,
@@ -238,19 +240,38 @@ class FheServiceClient:
         """One encrypted inference; returns (output, report, info).
 
         ``info`` carries serving metadata: ``batch_size`` (how many
-        requests shared the SIMD dispatch) and ``queue_ms``.
+        requests shared the SIMD dispatch), ``queue_ms``, the server's
+        per-stage latency breakdown (``stages``), and the request's
+        ``trace_id``.  The trace id is minted here — the root of the
+        request's causal tree — and rides the wire header, so the
+        server's batch/execute/worker spans all join this trace.
+        Retries reuse the id: one logical request, one trace.
         """
         header: Dict[str, Any] = {"program_id": program_id}
         if deadline_ms is not None:
             header["deadline_ms"] = deadline_ms
+        ctx = TraceContext.root()
+        header["trace"] = ctx.to_header()
+        t0 = time.perf_counter()
         reply = self.request(
             MessageKind.CALL,
             header,
             payload=save_ciphertext(ciphertext),
         )
+        obs = _get_obs()
+        if obs.active:
+            obs.tracer.add(
+                "client:call", cat="client",
+                start_s=t0, end_s=time.perf_counter(),
+                track="client", ctx=ctx,
+                tenant=self.tenant, program=program_id[:12],
+            )
         report = ExecutionReport.from_dict(reply.header["report"])
         info = {
             "batch_size": reply.header.get("batch_size", 1),
             "queue_ms": reply.header.get("queue_ms", 0.0),
+            "stages": reply.header.get("stages") or {},
+            "trace_id": ctx.trace_id,
+            "server_span": reply.header.get("trace"),
         }
         return load_ciphertext(reply.payload), report, info

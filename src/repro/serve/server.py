@@ -27,6 +27,14 @@ from typing import Iterator, Optional
 
 from .. import __version__
 from ..core.compiler import CheckArg
+from ..obs import (
+    FlightRecorder,
+    Observability,
+    TelemetryServer,
+    TraceContext,
+    Tracer,
+    set_ambient,
+)
 from ..obs import get as _get_obs
 from ..serialization import (
     SerializationError,
@@ -69,6 +77,20 @@ class ServeConfig:
     check: CheckArg = True
     #: Deadline applied when a CALL carries none (None = unbounded).
     default_deadline_s: Optional[float] = None
+    #: HTTP exposition (/metrics, /healthz, /varz): ``None`` disables,
+    #: 0 binds an ephemeral port (read back via ``telemetry_port``).
+    telemetry_port: Optional[int] = None
+    telemetry_host: str = "127.0.0.1"
+    #: Flight-recorder dump directory; ``None`` = record but never dump.
+    flight_dir: Optional[str] = None
+    flight_capacity: int = 2048
+    flight_enabled: bool = True
+    #: Runtime noise watchdog (static-cert comparison) per tenant.
+    noise_monitoring: bool = True
+    noise_warn_sigmas: float = 4.0
+    #: Span bound for the server-owned tracer installed when no
+    #: ambient observability is active at start().
+    max_trace_spans: int = 65536
 
 
 class FheServer:
@@ -81,14 +103,25 @@ class FheServer:
             backend=self.config.backend,
             num_workers=self.config.num_workers,
             transport=self.config.transport,
+            noise_monitoring=self.config.noise_monitoring,
+            noise_warn_sigmas=self.config.noise_warn_sigmas,
+        )
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            dump_dir=self.config.flight_dir,
+            enabled=self.config.flight_enabled,
         )
         self.scheduler = RequestScheduler(
             max_pending=self.config.max_pending,
             max_batch=self.config.max_batch,
             linger_s=self.config.linger_s,
+            flight=self.flight,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
+        self._telemetry: Optional[TelemetryServer] = None
+        self._prev_ambient: Optional[Observability] = None
+        self.obs: Observability = _get_obs()
         self.started_at = time.time()
 
     # -- lifecycle -----------------------------------------------------
@@ -98,15 +131,65 @@ class FheServer:
         assert self._server is not None, "server not started"
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def telemetry_port(self) -> Optional[int]:
+        """The bound HTTP exposition port, if telemetry is on."""
+        return (
+            self._telemetry.port if self._telemetry is not None else None
+        )
+
+    def _varz(self) -> dict:
+        return {
+            "server_version": __version__,
+            "backend": self.config.backend,
+            "tenants": len(self.keystore),
+            "programs": len(self.registry),
+            "queue_depth": self.scheduler.depth,
+            "max_pending": self.config.max_pending,
+            "max_batch": self.config.max_batch,
+            "scheduler_stats": dict(self.scheduler.stats),
+            "flight_triggers": dict(self.flight.trigger_counts),
+            "flight_dumps": len(self.flight.dumps_written),
+        }
+
     async def start(self) -> None:
+        # The serve loop wants always-on telemetry: reuse an active
+        # ambient bundle (tests under obs.observe()), else install a
+        # server-owned bundle with a bounded tracer for our lifetime.
+        ambient = _get_obs()
+        if not ambient.active:
+            bundle = Observability(
+                tracer=Tracer(max_spans=self.config.max_trace_spans)
+            )
+            self._prev_ambient = set_ambient(bundle)
+            ambient = bundle
+        self.obs = ambient
+        # Batch-size buckets: the latency-shaped defaults would put
+        # every batch in one bucket.
+        self.obs.metrics.declare_buckets(
+            "serve_batch_size",
+            [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64],
+        )
+        self.flight.attach(self.obs.tracer)
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
             port=self.config.port,
         )
+        if self.config.telemetry_port is not None:
+            self._telemetry = TelemetryServer(
+                self.obs.metrics,
+                host=self.config.telemetry_host,
+                port=self.config.telemetry_port,
+                varz=self._varz,
+            )
+            await self._telemetry.start()
 
     async def stop(self) -> None:
+        if self._telemetry is not None:
+            await self._telemetry.stop()
+            self._telemetry = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -119,6 +202,10 @@ class FheServer:
             )
         await self.scheduler.stop()
         self.keystore.shutdown()
+        self.flight.detach()
+        if self._prev_ambient is not None:
+            set_ambient(self._prev_ambient)
+            self._prev_ambient = None
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -154,6 +241,9 @@ class FheServer:
                             "serve_requests", status=Status.BUSY
                         )
                     self.scheduler.stats["busy_rejections"] += 1
+                    self.scheduler._record_trouble(
+                        "busy", where="frame_too_large",
+                    )
                     await self._reply(
                         writer,
                         Status.BUSY,
@@ -299,14 +389,54 @@ class FheServer:
                 f"shape {tuple(ciphertext.batch_shape)}",
             )
         deadline_s = self._resolve_deadline(frame)
-        result = await self.scheduler.submit(
-            ServeRequest(
-                tenant=tenant,
-                program=program,
-                runtime=runtime,
-                ciphertext=ciphertext,
-                deadline_s=deadline_s,
+        # Continue the client's trace (or root a server-side one):
+        # this request's spans all hang off ``req_ctx``.
+        obs = _get_obs()
+        client_ctx = TraceContext.from_header(
+            frame.header.get("trace")
+        )
+        req_ctx: Optional[TraceContext] = None
+        if client_ctx is not None:
+            req_ctx = client_ctx.child()
+        elif obs.active:
+            req_ctx = TraceContext.root()
+        t0 = time.perf_counter()
+        try:
+            result = await self.scheduler.submit(
+                ServeRequest(
+                    tenant=tenant,
+                    program=program,
+                    runtime=runtime,
+                    ciphertext=ciphertext,
+                    deadline_s=deadline_s,
+                    ctx=req_ctx,
+                )
             )
+        except ServeError as exc:
+            if obs.active and req_ctx is not None:
+                obs.tracer.add(
+                    "serve:request", cat="serve",
+                    start_s=t0, end_s=time.perf_counter(),
+                    track="serve", ctx=req_ctx,
+                    tenant=tenant, program=program_id[:12],
+                    status=exc.status,
+                )
+            raise
+        if obs.active and req_ctx is not None:
+            obs.tracer.add(
+                "serve:request", cat="serve",
+                start_s=t0, end_s=time.perf_counter(),
+                track="serve", ctx=req_ctx,
+                tenant=tenant, program=program_id[:12],
+                status=Status.OK, batch_size=result.batch_size,
+            )
+        trace_header = (
+            {
+                "trace_id": req_ctx.trace_id,
+                "span_id": req_ctx.span_id,
+            }
+            if req_ctx is not None
+            else None
         )
         await self._reply(
             writer,
@@ -316,6 +446,8 @@ class FheServer:
             report=result.report.as_dict(),
             batch_size=result.batch_size,
             queue_ms=result.queue_s * 1e3,
+            stages=result.stages,
+            trace=trace_header,
         )
 
     def _resolve_deadline(self, frame: Frame) -> Optional[float]:

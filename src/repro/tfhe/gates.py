@@ -11,6 +11,7 @@ functional counterpart of the paper's GPU batch execution.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -58,16 +59,56 @@ def gate_linear_input(
     return LweCiphertext(wrap_int32(a), wrap_int32(b))
 
 
+_obs_get = None
+
+
+def _ambient_obs():
+    """Lazy hook into :func:`repro.obs.get`.
+
+    ``repro.obs`` imports ``repro.tfhe.params``, so a module-level
+    import here would cycle through the package __init__; resolving on
+    first use (and caching the getter) keeps the disabled-path cost to
+    one call + one attribute check per *batched* bootstrap.
+    """
+    global _obs_get
+    if _obs_get is None:
+        from .. import obs as _obs_module
+
+        _obs_get = _obs_module.get
+    return _obs_get()
+
+
 def bootstrap_binary(cloud: CloudKey, ct: LweCiphertext) -> LweCiphertext:
     """Bootstrap + key switch back to the small key (message ±1/8).
 
     Uses the key's cached stacked FFT (:meth:`CloudKey.bootstrap_fft`),
     computed once per key and shared by every engine and batch size.
+
+    When observability is on, the two phases land in the
+    ``bootstrap_phase_ms`` histogram (``phase=blind_rotate`` /
+    ``phase=keyswitch``) — the split that tells you whether a slow
+    level is rotation-bound or switching-bound.
     """
+    obs = _ambient_obs()
+    if not obs.active:
+        extracted = bootstrap_to_extracted(
+            ct, cloud.bootstrap_fft(), cloud.params, MU_GATE
+        )
+        return keyswitch_apply(cloud.keyswitching_key, extracted)
+    t0 = time.perf_counter()
     extracted = bootstrap_to_extracted(
         ct, cloud.bootstrap_fft(), cloud.params, MU_GATE
     )
-    return keyswitch_apply(cloud.keyswitching_key, extracted)
+    t1 = time.perf_counter()
+    out = keyswitch_apply(cloud.keyswitching_key, extracted)
+    t2 = time.perf_counter()
+    obs.metrics.observe(
+        "bootstrap_phase_ms", (t1 - t0) * 1e3, phase="blind_rotate"
+    )
+    obs.metrics.observe(
+        "bootstrap_phase_ms", (t2 - t1) * 1e3, phase="keyswitch"
+    )
+    return out
 
 
 def evaluate_gate(

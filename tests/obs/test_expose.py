@@ -1,0 +1,140 @@
+"""Prometheus text exposition + telemetry HTTP endpoint tests."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TelemetryServer,
+    http_get,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.expose import escape_label_value, sanitize_metric_name
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("two\nlines") == "two\\nlines"
+
+    def test_combined_order(self):
+        # Backslashes must be escaped first or the others double up.
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("queue depth!") == "queue_depth_"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("ok_name:sub") == "ok_name:sub"
+
+
+class TestRender:
+    def test_counters_and_gauges_with_types(self):
+        metrics = MetricsRegistry()
+        metrics.inc("requests", 3, tenant="acme")
+        metrics.set_gauge("queue_depth", 7)
+        text = render_prometheus(metrics)
+        assert "# TYPE requests counter" in text
+        assert 'requests{tenant="acme"} 3' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_bucket_sum_count_series(self):
+        metrics = MetricsRegistry()
+        metrics.declare_buckets("lat_ms", [1, 5, 10])
+        for v in (0.5, 2, 7, 20):
+            metrics.observe("lat_ms", v, stage="execute")
+        text = render_prometheus(metrics)
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{stage="execute",le="1"} 1' in text
+        assert 'lat_ms_bucket{stage="execute",le="5"} 2' in text
+        assert 'lat_ms_bucket{stage="execute",le="10"} 3' in text
+        assert 'lat_ms_bucket{stage="execute",le="+Inf"} 4' in text
+        assert 'lat_ms_count{stage="execute"} 4' in text
+        assert 'lat_ms_sum{stage="execute"} 29.5' in text
+
+    def test_label_values_escaped_and_parse_round_trip(self):
+        metrics = MetricsRegistry()
+        hostile = 'we"ird\\ten\nant'
+        metrics.inc("requests", 1, tenant=hostile)
+        text = render_prometheus(metrics)
+        parsed = parse_prometheus(text)
+        assert parsed["types"]["requests"] == "counter"
+        [(name, labels, value)] = [
+            s for s in parsed["samples"] if s[0] == "requests"
+        ]
+        assert labels == {"tenant": hostile}
+        assert value == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is { not prometheus")
+
+
+class TestTelemetryServer:
+    def _run(self, coro):
+        return asyncio.new_event_loop().run_until_complete(coro)
+
+    def test_metrics_healthz_varz_and_404(self):
+        async def scenario():
+            metrics = MetricsRegistry()
+            metrics.inc("requests", 2)
+            metrics.set_gauge("serve_queue_depth", 3)
+            server = TelemetryServer(
+                metrics, varz=lambda: {"backend": "batched"}
+            )
+            await server.start()
+            try:
+                port = server.port
+                status, body = await http_get(
+                    "127.0.0.1", port, "/metrics"
+                )
+                assert status == 200
+                parsed = parse_prometheus(body)
+                names = {s[0] for s in parsed["samples"]}
+                assert {"requests", "serve_queue_depth"} <= names
+
+                status, body = await http_get(
+                    "127.0.0.1", port, "/healthz"
+                )
+                assert (status, body) == (200, "ok\n")
+
+                status, body = await http_get(
+                    "127.0.0.1", port, "/varz"
+                )
+                assert status == 200
+                doc = json.loads(body)
+                assert doc["backend"] == "batched"
+                assert doc["uptime_s"] >= 0
+                assert doc["metrics"]["gauges"]["serve_queue_depth"]
+
+                status, _ = await http_get(
+                    "127.0.0.1", port, "/nope"
+                )
+                assert status == 404
+            finally:
+                await server.stop()
+
+        self._run(scenario())
+
+    def test_varz_provider_failure_is_contained(self):
+        async def scenario():
+            def varz():
+                raise RuntimeError("boom")
+
+            server = TelemetryServer(MetricsRegistry(), varz=varz)
+            await server.start()
+            try:
+                status, body = await http_get(
+                    "127.0.0.1", server.port, "/varz"
+                )
+                assert status == 200
+                assert "boom" in json.loads(body)["varz_error"]
+            finally:
+                await server.stop()
+
+        self._run(scenario())

@@ -1,0 +1,108 @@
+"""Flight recorder: ring wraparound, trigger dumps, disabled path."""
+
+import json
+
+from repro.obs import FlightRecorder, Tracer, validate_chrome_trace
+
+
+def _fill(tracer, count, prefix="span"):
+    for i in range(count):
+        with tracer.span(f"{prefix}-{i}", cat="test", index=i):
+            pass
+
+
+class TestRing:
+    def test_records_attached_tracer_spans(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(capacity=16)
+        recorder.attach(tracer)
+        _fill(tracer, 3)
+        tracer.instant("marker", cat="test")
+        assert len(recorder) == 4
+        names = [e["name"] for e in recorder.snapshot()]
+        assert names == ["span-0", "span-1", "span-2", "marker"]
+
+    def test_wraparound_keeps_most_recent(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(capacity=5)
+        recorder.attach(tracer)
+        _fill(tracer, 12)
+        assert len(recorder) == 5
+        names = [e["name"] for e in recorder.snapshot()]
+        assert names == [f"span-{i}" for i in range(7, 12)]
+
+    def test_detach_stops_recording(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(capacity=8)
+        recorder.attach(tracer)
+        _fill(tracer, 1)
+        recorder.detach()
+        _fill(tracer, 5, prefix="after")
+        assert len(recorder) == 1
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(capacity=8, enabled=False)
+        recorder.attach(tracer)
+        _fill(tracer, 3)
+        recorder.record_event("synthetic")
+        assert len(recorder) == 0
+
+
+class TestTrigger:
+    def test_dump_is_a_valid_chrome_trace(self, tmp_path):
+        tracer = Tracer()
+        recorder = FlightRecorder(
+            capacity=8, dump_dir=str(tmp_path)
+        )
+        recorder.attach(tracer)
+        _fill(tracer, 6)
+        recorder.record_event(
+            "serve:busy", where="admission", queue_depth=9
+        )
+        path = recorder.trigger("busy", queue_depth=9, batch=object())
+        assert path is not None
+        doc = json.load(open(path))
+        assert validate_chrome_trace(doc) == 7
+        assert doc["otherData"]["flight_reason"] == "busy"
+        context = doc["otherData"]["flight_context"]
+        assert context["queue_depth"] == 9
+        assert isinstance(context["batch"], str)  # repr'd, not raw
+        assert recorder.dumps_written == [path]
+        assert recorder.trigger_counts == {"busy": 1}
+
+    def test_rate_limit_one_dump_per_reason(self, tmp_path):
+        recorder = FlightRecorder(
+            capacity=8,
+            dump_dir=str(tmp_path),
+            min_dump_interval_s=60.0,
+        )
+        first = recorder.trigger("busy")
+        assert first is not None
+        assert recorder.trigger("busy") is None  # rate-limited
+        assert recorder.trigger("deadline") is not None  # per reason
+        assert recorder.trigger_counts == {"busy": 2, "deadline": 1}
+        assert len(recorder.dumps_written) == 2
+
+    def test_no_dump_dir_counts_but_never_writes(self, tmp_path):
+        recorder = FlightRecorder(capacity=8)
+        assert recorder.trigger("busy") is None
+        assert recorder.trigger_counts == {"busy": 1}
+        assert recorder.dumps_written == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_counts_but_never_writes(self, tmp_path):
+        recorder = FlightRecorder(
+            capacity=8, dump_dir=str(tmp_path), enabled=False
+        )
+        assert recorder.trigger("worker-crash") is None
+        assert recorder.trigger_counts == {"worker-crash": 1}
+        assert list(tmp_path.iterdir()) == []
+
+    def test_reason_sanitized_in_filename(self, tmp_path):
+        recorder = FlightRecorder(
+            capacity=8, dump_dir=str(tmp_path)
+        )
+        path = recorder.trigger("noise/margin breach!")
+        assert path is not None
+        assert "noise_margin_breach_" in path

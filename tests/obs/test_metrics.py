@@ -2,7 +2,9 @@
 
 import json
 
-from repro.obs import NULL_METRICS, MetricsRegistry
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, NULL_METRICS, MetricsRegistry
 
 
 class TestCounters:
@@ -73,6 +75,77 @@ class TestRendering:
 
     def test_render_text_empty(self):
         assert MetricsRegistry().render_text() == "(no metrics)"
+
+
+class TestHistogramBuckets:
+    def test_default_bucket_bounds(self):
+        reg = MetricsRegistry()
+        reg.observe("lat_ms", 1.0)
+        series = reg.snapshot_series()["histograms"]["lat_ms"][0]
+        bounds = [le for le, _ in series["buckets"][:-1]]
+        assert tuple(bounds) == DEFAULT_BUCKETS
+        assert series["buckets"][-1][0] == float("inf")
+
+    def test_cumulative_counts(self):
+        reg = MetricsRegistry()
+        reg.declare_buckets("lat_ms", [1, 5, 10])
+        for value in (0.5, 0.7, 3, 8, 100):
+            reg.observe("lat_ms", value)
+        series = reg.snapshot_series()["histograms"]["lat_ms"][0]
+        assert series["buckets"] == [
+            [1, 2], [5, 3], [10, 4], [float("inf"), 5]
+        ]
+        assert series["count"] == 5
+
+    def test_quantiles_interpolated_and_clamped(self):
+        reg = MetricsRegistry()
+        reg.declare_buckets("lat_ms", [10, 20, 40])
+        for value in (5.0, 12.0, 15.0, 18.0):
+            reg.observe("lat_ms", value)
+        p50 = reg.quantile("lat_ms", 0.5)
+        assert 10 <= p50 <= 20
+        # The tail quantile can't exceed the observed maximum even
+        # though its bucket stretches to 20.
+        assert reg.quantile("lat_ms", 0.99) <= 18.0
+        # Nor can any quantile undershoot the observed minimum.
+        assert reg.quantile("lat_ms", 0.0) >= 5.0
+
+    def test_quantile_missing_series_is_none(self):
+        reg = MetricsRegistry()
+        assert reg.quantile("nope", 0.5) is None
+
+    def test_as_dict_gains_p50_p99_keeps_legacy_keys(self):
+        reg = MetricsRegistry()
+        for value in range(1, 101):
+            reg.observe("lat_ms", float(value))
+        stats = reg.as_dict()["histograms"]["lat_ms"]
+        for key in ("count", "sum", "min", "max", "mean"):
+            assert key in stats  # the pre-bucket contract
+        assert stats["p50"] < stats["p99"] <= 100.0
+
+    def test_late_declare_leaves_existing_series_alone(self):
+        reg = MetricsRegistry()
+        reg.observe("lat_ms", 1.0, stage="old")
+        reg.declare_buckets("lat_ms", [1, 2])
+        reg.observe("lat_ms", 1.0, stage="new")
+        rows = reg.snapshot_series()["histograms"]["lat_ms"]
+        by_stage = {row["labels"]["stage"]: row for row in rows}
+        assert len(by_stage["old"]["buckets"]) == len(DEFAULT_BUCKETS) + 1
+        assert len(by_stage["new"]["buckets"]) == 3
+
+    def test_declare_empty_bounds_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().declare_buckets("lat_ms", [])
+
+    def test_labelled_series_bucket_independently(self):
+        reg = MetricsRegistry()
+        reg.declare_buckets("stage_ms", [1, 10])
+        reg.observe("stage_ms", 0.5, stage="queue_wait")
+        reg.observe("stage_ms", 5.0, stage="execute")
+        rows = reg.snapshot_series()["histograms"]["stage_ms"]
+        by_stage = {row["labels"]["stage"]: row for row in rows}
+        assert by_stage["queue_wait"]["buckets"][0] == [1, 1]
+        assert by_stage["execute"]["buckets"][0] == [1, 0]
 
 
 class TestNullMetrics:

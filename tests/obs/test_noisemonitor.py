@@ -1,0 +1,107 @@
+"""Noise monitor: runtime margins vs the static NB certificate."""
+
+import math
+
+from repro.hdl import arith
+from repro.hdl.builder import CircuitBuilder
+from repro.obs import NoiseMonitor, NoiseTracker
+from repro.obs.noisetrack import LevelNoiseRecord
+from repro.runtime import build_schedule
+from repro.tfhe import TFHE_TEST
+
+
+def _schedule():
+    bd = CircuitBuilder()
+    a = [bd.input() for _ in range(4)]
+    b = [bd.input() for _ in range(4)]
+    for bit in arith.ripple_add(bd, a, b, width=4, signed=False):
+        bd.output(bit)
+    return build_schedule(bd.build())
+
+
+def _record(level, margin_sigmas):
+    return LevelNoiseRecord(
+        level=level,
+        gates=4,
+        decision_std=1e-3,
+        margin=margin_sigmas * 1e-3,
+        margin_sigmas=margin_sigmas,
+        failure_probability=0.0,
+        ok=margin_sigmas >= 4.0,
+    )
+
+
+class TestNoiseMonitor:
+    def test_healthy_levels_no_breach(self):
+        schedule = _schedule()
+        monitor = NoiseMonitor(TFHE_TEST, warn_sigmas=4.0)
+        tracker = NoiseTracker(TFHE_TEST)
+        # Mirror the runtime: fresh inputs at the FIRST bootstrapped
+        # level (width-0 free levels are never certified or recorded).
+        bootstrapped = [lv for lv in schedule.levels if lv.width]
+        first = bootstrapped[0].index
+        for lv in bootstrapped:
+            tracker.record_level(
+                lv.index, gates=lv.width, fresh_inputs=lv.index == first
+            )
+        breaches = monitor.check("prog", schedule, tracker.records)
+        assert breaches == []
+        assert monitor.checks == len(bootstrapped)
+
+    def test_absolute_floor_breach(self):
+        monitor = NoiseMonitor(TFHE_TEST, warn_sigmas=4.0)
+        [breach] = monitor.check(
+            "prog", _schedule(), [_record(0, margin_sigmas=2.5)]
+        )
+        assert breach.reason == "below_warn_threshold"
+        assert breach.observed_sigmas == 2.5
+        assert monitor.breaches == [breach]
+
+    def test_erosion_vs_certificate_breach(self):
+        schedule = _schedule()
+        monitor = NoiseMonitor(
+            TFHE_TEST, warn_sigmas=4.0, tolerance_sigmas=0.25
+        )
+        cert = monitor.certificate_for("prog", schedule)
+        level = cert.levels[0].level  # first *bootstrapped* level
+        certified = cert.levels[0].margin_sigmas
+        assert certified > 5.0  # the test params are healthy
+        observed = certified - 1.0  # above the floor, below the cert
+        [breach] = monitor.check(
+            "prog", schedule, [_record(level, margin_sigmas=observed)]
+        )
+        assert breach.reason == "eroded_vs_certificate"
+        assert breach.certified_sigmas == certified
+
+    def test_uncertified_level_uses_absolute_floor_only(self):
+        schedule = _schedule()
+        monitor = NoiseMonitor(TFHE_TEST, warn_sigmas=4.0)
+        # Level 99 is not in the certificate: only the absolute
+        # threshold applies, and a healthy margin passes.
+        assert (
+            monitor.check(
+                "prog", schedule, [_record(99, margin_sigmas=50.0)]
+            )
+            == []
+        )
+        [breach] = monitor.check(
+            "prog", schedule, [_record(99, margin_sigmas=1.0)]
+        )
+        assert breach.reason == "below_warn_threshold"
+        assert math.isinf(breach.certified_sigmas)
+
+    def test_certificate_cached_per_program(self):
+        schedule = _schedule()
+        monitor = NoiseMonitor(TFHE_TEST)
+        first = monitor.certificate_for("prog", schedule)
+        assert monitor.certificate_for("prog", schedule) is first
+
+    def test_as_dict(self):
+        monitor = NoiseMonitor(TFHE_TEST, warn_sigmas=4.0)
+        monitor.check(
+            "prog", _schedule(), [_record(0, margin_sigmas=1.0)]
+        )
+        doc = monitor.as_dict()
+        assert doc["params"] == TFHE_TEST.name
+        assert doc["checks"] == 1
+        assert doc["breaches"][0]["reason"] == "below_warn_threshold"

@@ -1,0 +1,181 @@
+"""Trace-context propagation: ids, wire headers, ambient inheritance.
+
+The contract under test is the one the serving layer depends on: a
+root context minted in the client travels as a wire header, every
+``child()`` keeps the trace id while re-parenting the span id, spans
+recorded under an ambient context stitch into one connected tree, and
+contexts cross thread boundaries only when explicitly re-installed
+(``use_trace_context``), never by accident.
+"""
+
+import concurrent.futures
+
+from repro.obs import (
+    TraceContext,
+    Tracer,
+    current_trace_context,
+    new_span_id,
+    new_trace_id,
+    trace_tree,
+    use_trace_context,
+)
+
+
+class TestTraceContext:
+    def test_root_mints_fresh_ids(self):
+        a, b = TraceContext.root(), TraceContext.root()
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_child_keeps_trace_id_and_reparents(self):
+        root = TraceContext.root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_header_round_trip(self):
+        # The wire header carries (trace_id, span_id) only: the
+        # receiver childs from it, so the sender-side parent link is
+        # deliberately not serialized.
+        ctx = TraceContext.root().child()
+        back = TraceContext.from_header(ctx.to_header())
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+        assert back.parent_id is None
+
+    def test_malformed_headers_return_none(self):
+        assert TraceContext.from_header(None) is None
+        assert TraceContext.from_header("not-a-dict") is None
+        assert TraceContext.from_header({}) is None
+        assert TraceContext.from_header({"trace_id": 42}) is None
+
+    def test_id_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)  # both are hex
+        int(new_span_id(), 16)
+
+
+class TestAmbientContext:
+    def test_use_trace_context_installs_and_restores(self):
+        assert current_trace_context() is None
+        ctx = TraceContext.root()
+        with use_trace_context(ctx):
+            assert current_trace_context() == ctx
+        assert current_trace_context() is None
+
+    def test_use_none_is_a_noop(self):
+        with use_trace_context(None):
+            assert current_trace_context() is None
+
+    def test_spans_inherit_ambient_as_children(self):
+        tracer = Tracer()
+        root = TraceContext.root()
+        with use_trace_context(root):
+            with tracer.span("inner", cat="test"):
+                pass
+        span = tracer.spans[0]
+        assert span.trace_id == root.trace_id
+        assert span.parent_id == root.span_id
+
+    def test_nested_spans_form_a_chain(self):
+        tracer = Tracer()
+        root = TraceContext.root()
+        with use_trace_context(root):
+            with tracer.span("outer", cat="test"):
+                with tracer.span("inner", cat="test"):
+                    pass
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id == root.trace_id
+
+    def test_explicit_ctx_pins_identity(self):
+        tracer = Tracer()
+        ctx = TraceContext.root()
+        now = tracer.now()
+        tracer.add(
+            "pinned", cat="test", start_s=now, end_s=now, ctx=ctx
+        )
+        span = tracer.spans[0]
+        assert span.span_id == ctx.span_id
+        assert span.parent_id is None
+
+    def test_no_ambient_no_ids(self):
+        tracer = Tracer()
+        now = tracer.now()
+        tracer.add("plain", cat="test", start_s=now, end_s=now)
+        assert tracer.spans[0].trace_id is None
+
+    def test_context_does_not_leak_into_executor_threads(self):
+        """contextvars don't cross into pool threads on their own —
+        the serving layer must re-install the batch context inside the
+        executed closure, which is exactly what this guards."""
+        ctx = TraceContext.root()
+        with use_trace_context(ctx):
+            with concurrent.futures.ThreadPoolExecutor(1) as pool:
+                seen = pool.submit(current_trace_context).result()
+        assert seen is None
+
+    def test_reinstalled_context_crosses_threads(self):
+        tracer = Tracer()
+        ctx = TraceContext.root()
+
+        def work():
+            with use_trace_context(ctx):
+                with tracer.span("threaded", cat="test"):
+                    pass
+
+        with concurrent.futures.ThreadPoolExecutor(1) as pool:
+            pool.submit(work).result()
+        assert tracer.spans[0].trace_id == ctx.trace_id
+
+
+class TestTraceTree:
+    def test_connected_tree(self):
+        tracer = Tracer()
+        root = TraceContext.root()
+        now = tracer.now()
+        tracer.add(
+            "client:call", cat="client", start_s=now, end_s=now + 1,
+            ctx=root,
+        )
+        with use_trace_context(root):
+            with tracer.span("serve:batch", cat="serve"):
+                with tracer.span("run:level", cat="execute"):
+                    pass
+        tree = trace_tree(tracer, root.trace_id)
+        assert tree["orphans"] == []
+        assert len(tree["roots"]) == 1
+        top = tree["roots"][0]
+        assert top["name"] == "client:call"
+        assert top["children"][0]["name"] == "serve:batch"
+        assert (
+            top["children"][0]["children"][0]["name"] == "run:level"
+        )
+
+    def test_unknown_parent_is_an_orphan(self):
+        tracer = Tracer()
+        trace_id = new_trace_id()
+        ctx = TraceContext(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=new_span_id(),  # never recorded
+        )
+        now = tracer.now()
+        tracer.add(
+            "floating", cat="test", start_s=now, end_s=now, ctx=ctx
+        )
+        tree = trace_tree(tracer, trace_id)
+        assert tree["roots"] == []
+        assert [n["name"] for n in tree["orphans"]] == ["floating"]
+
+    def test_other_traces_excluded(self):
+        tracer = Tracer()
+        a, b = TraceContext.root(), TraceContext.root()
+        now = tracer.now()
+        tracer.add("a", cat="test", start_s=now, end_s=now, ctx=a)
+        tracer.add("b", cat="test", start_s=now, end_s=now, ctx=b)
+        tree = trace_tree(tracer, a.trace_id)
+        assert [n["name"] for n in tree["roots"]] == ["a"]

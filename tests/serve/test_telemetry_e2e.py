@@ -1,0 +1,249 @@
+"""Fleet telemetry end-to-end: one connected trace + live /metrics.
+
+The acceptance scenario for the observability PR: a request issued
+through :class:`FheServiceClient` leaves ONE connected span tree —
+client:call -> serve:request -> serve:batch -> backend level spans ->
+distributed worker chunk spans — all stamped with the trace id the
+client minted, and the server's HTTP exposition endpoint serves valid
+Prometheus text carrying queue/throughput gauges and per-stage latency
+histograms with buckets.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.chiseltorch.dtypes import SInt
+from repro.core.compiler import TensorSpec, compile_function
+from repro.obs import parse_prometheus, trace_tree, validate_chrome_trace
+from repro.serve import (
+    DeadlineError,
+    FheServiceClient,
+    ServeConfig,
+    serving,
+)
+from repro.tfhe import TFHE_TEST, decrypt_bits, encrypt_bits
+
+
+@pytest.fixture(scope="module")
+def program_add():
+    return compile_function(
+        lambda x, y: x + y,
+        [TensorSpec("x", (2,), SInt(4)), TensorSpec("y", (2,), SInt(4))],
+        name="add",
+    )
+
+
+def _http_get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _walk(node):
+    yield node
+    for child in node["children"]:
+        yield from _walk(child)
+
+
+def test_one_connected_trace_and_prometheus_scrape(
+    test_keys, program_add
+):
+    secret, cloud = test_keys
+    config = ServeConfig(
+        port=0,
+        backend="distributed",
+        num_workers=2,
+        telemetry_port=0,
+        linger_s=0.0,
+        max_batch=4,
+    )
+    with obs.observe() as ob, serving(config) as handle:
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "acme", timeout_s=120
+        ) as client:
+            client.register_key(cloud)
+            pid = client.register_program(program_add)
+            bits = program_add.encode_inputs(
+                np.array([2, -1]), np.array([1, 3])
+            )
+            ct = encrypt_bits(secret, bits, np.random.default_rng(7))
+            out_ct, report, info = client.call(pid, ct)
+
+        # Correctness first: telemetry must never bend the data path.
+        want = program_add.netlist.evaluate(bits)
+        assert np.array_equal(decrypt_bits(secret, out_ct), want)
+
+        # -- per-request latency breakdown rode the reply header.
+        stages = info["stages"]
+        for key in ("queue_wait_ms", "batch_linger_ms", "execute_ms"):
+            assert stages[key] >= 0.0
+        assert info["trace_id"]
+        assert info["server_span"]["trace_id"] == info["trace_id"]
+
+        # -- ONE connected causal tree under the client's trace id.
+        tree = trace_tree(ob.tracer, info["trace_id"])
+        assert tree["orphans"] == []
+        assert len(tree["roots"]) == 1
+        root = tree["roots"][0]
+        assert root["name"] == "client:call"
+        nodes = list(_walk(root))
+        names = [n["name"] for n in nodes]
+        assert any(n.startswith("serve:request") for n in names)
+        assert any(n.startswith("serve:batch") for n in names)
+        assert any(n.startswith("run:") for n in names)
+        assert any(
+            n.startswith("L") and "bootstrap" in n for n in names
+        )
+        # Distributed chunk spans land on per-worker tracks, still
+        # inside the same tree.
+        worker_tracks = {
+            n["track"]
+            for n in nodes
+            if n["track"] and n["track"].startswith("worker-")
+        }
+        assert worker_tracks, "no worker chunk spans joined the trace"
+        # Every span the tracer holds for this trace is in the tree.
+        in_trace = [
+            s
+            for s in ob.tracer.spans
+            if s.trace_id == info["trace_id"]
+        ]
+        assert len(nodes) == len(in_trace)
+
+        # -- live Prometheus scrape off the side-channel HTTP port.
+        tport = handle.server.telemetry_port
+        assert tport is not None
+        status, text = _http_get(tport, "/metrics")
+        assert status == 200
+        parsed = parse_prometheus(text)
+        names = {s[0] for s in parsed["samples"]}
+        assert "serve_queue_depth" in names
+        assert "bootstraps_per_sec" in names
+        assert parsed["types"]["serve_stage_ms"] == "histogram"
+        stage_buckets = [
+            (name, labels, value)
+            for name, labels, value in parsed["samples"]
+            if name == "serve_stage_ms_bucket"
+        ]
+        assert {
+            labels["stage"] for _, labels, _ in stage_buckets
+        } == {"queue_wait", "batch_linger", "execute"}
+        assert all("le" in labels for _, labels, _ in stage_buckets)
+        assert parsed["types"]["serve_batch_size"] == "histogram"
+
+        status, body = _http_get(tport, "/healthz")
+        assert (status, body) == (200, "ok\n")
+
+
+def test_server_owned_ambient_and_varz(test_keys, program_add):
+    """Without an enclosing ``obs.observe()`` the server installs its
+    own bounded ambient bundle for always-on telemetry, and restores
+    the previous (disabled) bundle on stop."""
+    secret, cloud = test_keys
+    from repro.obs import get as get_obs
+
+    assert get_obs().active is False
+    config = ServeConfig(
+        port=0, backend="batched", telemetry_port=0, max_batch=4
+    )
+    with serving(config) as handle:
+        assert get_obs().active is True  # server-owned bundle
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "acme", timeout_s=120
+        ) as client:
+            client.register_key(cloud)
+            pid = client.register_program(program_add)
+            bits = program_add.encode_inputs(
+                np.array([1, 1]), np.array([2, 2])
+            )
+            ct = encrypt_bits(secret, bits, np.random.default_rng(8))
+            client.call(pid, ct)
+
+        tport = handle.server.telemetry_port
+        _, text = _http_get(tport, "/metrics")
+        parsed = parse_prometheus(text)
+        counters = [
+            s for s in parsed["samples"] if s[0] == "serve_requests"
+        ]
+        assert sum(v for _, _, v in counters) >= 1
+        # The in-process batched backend surfaces the gate layer's
+        # bootstrap phase split (blind-rotate vs keyswitch) too.
+        phases = {
+            labels["phase"]
+            for name, labels, _ in parsed["samples"]
+            if name == "bootstrap_phase_ms_count"
+        }
+        assert phases == {"blind_rotate", "keyswitch"}
+
+        status, body = _http_get(tport, "/varz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["backend"] == "batched"
+        assert doc["tenants"] == 1
+        assert doc["programs"] == 1
+        assert doc["queue_depth"] == 0
+        assert doc["scheduler_stats"]["dispatched_requests"] == 1
+    assert get_obs().active is False  # previous ambient restored
+
+
+def test_deadline_trips_the_flight_recorder(
+    test_keys, program_add, tmp_path
+):
+    secret, cloud = test_keys
+    config = ServeConfig(
+        port=0,
+        backend="batched",
+        flight_dir=str(tmp_path),
+        max_batch=4,
+    )
+    with serving(config) as handle:
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "acme", timeout_s=120
+        ) as client:
+            client.register_key(cloud)
+            pid = client.register_program(program_add)
+            bits = program_add.encode_inputs(
+                np.array([1, 2]), np.array([3, 4])
+            )
+            ct = encrypt_bits(secret, bits, np.random.default_rng(9))
+            with pytest.raises(DeadlineError):
+                client.call(pid, ct, deadline_ms=0)
+        flight = handle.server.flight
+        assert flight.trigger_counts.get("deadline", 0) >= 1
+        assert flight.dumps_written
+        doc = json.load(open(flight.dumps_written[0]))
+        validate_chrome_trace(doc)
+        assert doc["otherData"]["flight_reason"] == "deadline"
+
+
+def test_repro_top_renders_a_varz_document(test_keys, program_add):
+    from repro.cli import _render_top
+
+    secret, cloud = test_keys
+    config = ServeConfig(
+        port=0, backend="batched", telemetry_port=0, max_batch=4
+    )
+    with serving(config) as handle:
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "acme", timeout_s=120
+        ) as client:
+            client.register_key(cloud)
+            pid = client.register_program(program_add)
+            bits = program_add.encode_inputs(
+                np.array([0, 1]), np.array([1, 0])
+            )
+            ct = encrypt_bits(secret, bits, np.random.default_rng(10))
+            client.call(pid, ct)
+        _, body = _http_get(handle.server.telemetry_port, "/varz")
+    doc = json.loads(body)
+    screen = _render_top(doc, req_rate=1.5)
+    assert "backend=batched" in screen
+    assert "req/s:" in screen and "1.50" in screen
+    assert "stage latencies (ms):" in screen
+    for stage in ("queue_wait", "batch_linger", "execute"):
+        assert stage in screen
