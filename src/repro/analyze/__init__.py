@@ -12,7 +12,12 @@ binaries, with four analysis families:
   prediction that fails compilation below a sigma threshold;
 * **dataflow** (``DF``/``SC``) — abstract interpretation over the gate
   DAG: compile-time constant propagation and transparent-ciphertext
-  taint tracking.
+  taint tracking;
+* **cost certification** (``CA``) — one vectorized sweep predicting
+  execute latency per engine and the ciphertext-plane memory
+  high-water mark, emitted as a serializable
+  :class:`~repro.analyze.cost.CostCertificate` and gated against
+  declared latency/memory budgets.
 
 The checkers run on :class:`~repro.analyze.facts.FlatCircuitFacts`, a
 structure-of-arrays view extracted once per subject, as vectorized
@@ -49,6 +54,13 @@ from .cache import (
     default_cache,
     netlist_digest,
 )
+from .cost import (
+    DEFAULT_COST_CONFIG,
+    CostAnalysisConfig,
+    CostCertificate,
+    certify_cost,
+    cost_certificate,
+)
 from .dataflow import UNKNOWN, check_dataflow, propagate_constants
 from .facts import FlatCircuitFacts
 from .findings import (
@@ -77,7 +89,10 @@ __all__ = [
     "AnalyzerConfig",
     "CircuitFacts",
     "Collector",
+    "CostAnalysisConfig",
+    "CostCertificate",
     "DEFAULT_CONFIG",
+    "DEFAULT_COST_CONFIG",
     "DEFAULT_MAX_FINDINGS_PER_RULE",
     "DEFAULT_PASSES",
     "Finding",
@@ -97,7 +112,9 @@ __all__ = [
     "analyze_netlist_cached",
     "binary_digest",
     "catalog_by_family",
+    "certify_cost",
     "certify_noise",
+    "cost_certificate",
     "check_dataflow",
     "check_program",
     "check_schedule",

@@ -24,6 +24,12 @@ from ..hdl.netlist import Netlist
 from ..obs import get as _get_obs
 from ..runtime.scheduler import Schedule, build_schedule
 from ..tfhe.params import TFHEParameters
+from .cost import (
+    DEFAULT_COST_CONFIG,
+    CostAnalysisConfig,
+    CostCertificate,
+    certify_cost,
+)
 from .dataflow import check_dataflow
 from .facts import FlatCircuitFacts
 from .findings import DEFAULT_MAX_FINDINGS_PER_RULE, Collector, Report
@@ -43,6 +49,10 @@ class AnalyzerConfig:
     noise: bool = True
     #: Constant propagation + transparency taint (``DF``/``SC``).
     dataflow: bool = True
+    #: Cost certification (``CA``): latency/memory prediction + budgets.
+    cost: bool = True
+    #: Calibration and budgets driving the cost family.
+    cost_config: CostAnalysisConfig = DEFAULT_COST_CONFIG
     #: ``"flat"`` (vectorized, default) or ``"legacy"`` (object walk).
     engine: str = "flat"
     #: A level below this margin is an ERROR (fails compilation).
@@ -68,6 +78,7 @@ class Analysis:
     report: Report
     schedule: Optional[Schedule] = None
     noise: Optional[NoiseCertificate] = None
+    cost: Optional[CostCertificate] = None
     netlist: Optional[Netlist] = None
     families: List[str] = field(default_factory=list)
 
@@ -100,13 +111,14 @@ def analyze_netlist(
     col = Collector(max_per_rule=config.max_findings_per_rule)
     families: List[str] = []
     certificate: Optional[NoiseCertificate] = None
+    cost_cert: Optional[CostCertificate] = None
     flat: Optional[FlatCircuitFacts] = None
     with _get_obs().tracer.span(
         "analyze:netlist", cat="compile", circuit=netlist.name,
         gates=netlist.num_gates,
     ) as sp:
-        if config.structural or config.dataflow:
-            # One facts extraction feeds both array-level families.
+        if config.structural or config.dataflow or config.cost:
+            # One facts extraction feeds all array-level families.
             flat = FlatCircuitFacts.from_netlist(netlist)
         if config.structural:
             families.append("structural")
@@ -139,6 +151,10 @@ def analyze_netlist(
             families.append("dataflow")
             assert flat is not None
             check_dataflow(flat, col)
+        if config.cost:
+            families.append("cost")
+            assert flat is not None
+            cost_cert = certify_cost(flat, config.cost_config, col)
         report = col.into_report(netlist.name, families)
         sp.args["findings"] = len(report)
         sp.args["errors"] = len(report.errors())
@@ -147,6 +163,7 @@ def analyze_netlist(
         report=report,
         schedule=schedule,
         noise=certificate,
+        cost=cost_cert,
         netlist=netlist,
         families=list(families),
     )

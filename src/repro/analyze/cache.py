@@ -39,6 +39,7 @@ from ..runtime.scheduler import Schedule
 from .analyzer import DEFAULT_CONFIG, Analysis, AnalyzerConfig
 from .analyzer import analyze_binary as _analyze_binary
 from .analyzer import analyze_netlist as _analyze_netlist
+from .cost import CostCertificate
 from .findings import Report
 from .noisecert import NoiseCertificate
 
@@ -80,6 +81,10 @@ def config_digest(config: AnalyzerConfig) -> str:
         config.warn_sigmas,
         config.max_expected_failures,
         config.max_findings_per_rule,
+        # Cost certification: a changed calibration or budget must
+        # never be served a stale certificate.
+        config.cost,
+        repr(config.cost_config),
     )
     return hashlib.sha256(repr(doc).encode()).hexdigest()[:16]
 
@@ -169,6 +174,8 @@ def _entry_of(analysis: Analysis) -> Entry:
     }
     if analysis.noise is not None:
         entry["noise"] = analysis.noise.as_dict()
+    if analysis.cost is not None:
+        entry["cost"] = analysis.cost.as_dict()
     return entry
 
 
@@ -179,13 +186,21 @@ def _analysis_of(
 ) -> Analysis:
     # Reports are mutable (``merge``); every hit gets a fresh copy.
     noise = entry.get("noise")
+    cost = entry.get("cost")
     return Analysis(
         report=Report.from_dict(entry["report"]),
         schedule=schedule,
         noise=NoiseCertificate.from_dict(noise) if noise else None,
+        cost=CostCertificate.from_dict(cost) if cost else None,
         netlist=netlist,
         families=list(entry["families"]),
     )
+
+
+def _count_cost(config: AnalyzerConfig, hit: bool) -> None:
+    """Certificates ride the verdict cache; count their hits separately."""
+    if config.cost:
+        _count("analyze_cost_cache_hit" if hit else "analyze_cost_cache_miss")
 
 
 def analyze_netlist_cached(
@@ -205,8 +220,10 @@ def analyze_netlist_cached(
     entry = cache.lookup(key)
     if entry is not None:
         _count("analyze_cache_hit")
+        _count_cost(config, hit=True)
         return _analysis_of(entry, netlist, schedule)
     _count("analyze_cache_miss")
+    _count_cost(config, hit=False)
     analysis = _analyze_netlist(netlist, config, schedule)
     cache.store(key, _entry_of(analysis))
     return analysis
@@ -235,8 +252,10 @@ def analyze_binary_cached(
     entry = cache.lookup(key)
     if entry is not None:
         _count("analyze_cache_hit")
+        _count_cost(config, hit=True)
         return _analysis_of(entry, None, None)
     _count("analyze_cache_miss")
+    _count_cost(config, hit=False)
     analysis = _analyze_binary(data, config, name=name)
     cache.store(key, _entry_of(analysis))
     return analysis

@@ -12,7 +12,9 @@ Families
 * ``NB`` — static noise-budget certification,
 * ``PC`` — synthesis pass checking (``--check-passes``),
 * ``DF`` — dataflow: constant/known-plaintext propagation,
-* ``SC`` — security: transparent-ciphertext taint tracking.
+* ``SC`` — security: transparent-ciphertext taint tracking,
+* ``CA`` — cost certification: latency/memory budgets and
+  parallelism feasibility.
 """
 
 from __future__ import annotations
@@ -187,6 +189,25 @@ _CATALOG: List[Rule] = [
         "A bootstrapped gate consumes only transparent "
         "(publicly-derivable) operands; it spends a bootstrap on data "
         "the server already knows.",
+    ),
+    # ---------------------------------------------------------------- cost
+    Rule(
+        "CA001", Severity.ERROR, "predicted latency over budget",
+        "The cost certificate's predicted execute latency for the "
+        "declared backend exceeds the declared latency budget; the "
+        "program cannot meet its deadline even before queueing.",
+    ),
+    Rule(
+        "CA002", Severity.ERROR, "memory high-water over budget",
+        "The ciphertext-plane memory high-water mark (peak "
+        "simultaneously-live wires x ciphertext size) exceeds the "
+        "declared memory budget.",
+    ),
+    Rule(
+        "CA003", Severity.WARNING, "degenerate parallelism for backend",
+        "The program's work/span bound is too low for the requested "
+        "parallel backend to help; batching or distributing it only "
+        "adds overhead over the single engine.",
     ),
     # ----------------------------------------------------------- pass check
     Rule(

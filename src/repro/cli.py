@@ -72,6 +72,15 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _gatecost_arg(spec):
+    """``--gatecost`` value: 'paper' (None = default) or a JSON path."""
+    if spec is None or spec == "paper":
+        return None
+    from .perfmodel import load_gate_cost
+
+    return load_gate_cost(spec)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     import json
     import os
@@ -80,6 +89,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     from .analyze import (
         AnalysisCache,
         AnalyzerConfig,
+        CostAnalysisConfig,
         DEFAULT_MAX_FINDINGS_PER_RULE,
         Severity,
         analyze_binary,
@@ -92,10 +102,18 @@ def cmd_check(args: argparse.Namespace) -> int:
     params = None
     if args.params.lower() != "none":
         params = _resolve_params(args.params)
+    cost_config = CostAnalysisConfig(
+        gate_cost=_gatecost_arg(args.gatecost),
+        budget_ms=args.budget_ms,
+        budget_mb=args.budget_mb,
+        backend=args.cost_backend,
+    )
     config = AnalyzerConfig(
         params=params,
         noise=not args.no_noise,
         dataflow=not args.no_dataflow,
+        cost=not args.no_cost,
+        cost_config=cost_config,
         engine=args.engine,
         error_sigmas=args.sigma_error,
         warn_sigmas=args.sigma_warn,
@@ -165,6 +183,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         doc = report.as_dict()
         if analysis.noise is not None:
             doc["noise"] = analysis.noise.as_dict()
+        if analysis.cost is not None:
+            doc["cost"] = analysis.cost.as_dict()
         if passcheck is not None:
             doc["passcheck"] = {
                 "ok": passcheck.ok,
@@ -196,6 +216,8 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"{worst.margin_sigmas:.1f} sigma at L{worst.level}, "
                 f"expected failures {analysis.noise.expected_failures:.2e}"
             )
+        if args.cost and analysis.cost is not None:
+            print(analysis.cost.render_text())
         if passcheck is not None:
             print(passcheck.render_text())
     if observed:
@@ -207,6 +229,116 @@ def cmd_check(args: argparse.Namespace) -> int:
     if passcheck is not None and not passcheck.ok:
         status = 1
     return status
+
+
+def cmd_cost(args) -> int:
+    """Render one program's static cost certificate (text or JSON)."""
+    import json
+    import os
+
+    from .analyze import (
+        CostAnalysisConfig,
+        FlatCircuitFacts,
+        certify_cost,
+    )
+    from .analyze.findings import Collector
+
+    if os.path.exists(args.target):
+        from .isa import disassemble
+
+        with open(args.target, "rb") as handle:
+            data = handle.read()
+        netlist = disassemble(
+            data, name=os.path.basename(args.target)
+        )
+    else:
+        netlist = _workload_by_name(args.target).netlist
+    config = CostAnalysisConfig(
+        gate_cost=_gatecost_arg(args.gatecost),
+        budget_ms=args.budget_ms,
+        budget_mb=args.budget_mb,
+        backend=args.backend,
+        requests=args.requests,
+    )
+    col = Collector()
+    certificate = certify_cost(
+        FlatCircuitFacts.from_netlist(netlist), config, col
+    )
+    report = col.into_report(netlist.name, ["cost"])
+    if args.json:
+        doc = certificate.as_dict()
+        doc["report"] = report.as_dict()
+        serialized = json.dumps(doc, indent=2)
+        if args.json == "-":
+            print(serialized)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(serialized + "\n")
+            print(f"wrote cost certificate to {args.json}")
+    if args.json != "-":
+        print(certificate.render_text())
+        if report.findings:
+            print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def cmd_calibrate(args) -> int:
+    """Measure this machine's gate cost and persist the calibration."""
+    import os
+
+    import numpy as np
+
+    from .perfmodel import measured_gate_cost
+    from .tfhe import PARAMETER_SETS, generate_keys
+    from .tfhe.lwe import LweCiphertext
+
+    params = PARAMETER_SETS.get(args.params)
+    if params is None:
+        raise SystemExit(
+            f"unknown parameter set {args.params!r}; "
+            f"choose from {sorted(PARAMETER_SETS)}"
+        )
+    print(f"generating keys for {params.name} ...")
+    _, cloud = generate_keys(params, seed=args.seed)
+
+    # Random-mask inputs: a trivial sample's zero mask lets the blind
+    # rotation skip every CMUX, which would calibrate an optimistic
+    # model that serve admission then trusts.  Same discipline as
+    # `repro bench-gate`.
+    rng = np.random.default_rng(args.seed)
+
+    def _sample():
+        a = rng.integers(
+            -(2 ** 31), 2 ** 31,
+            size=(1, params.lwe_dimension), dtype=np.int64,
+        ).astype(np.int32)
+        b = rng.integers(
+            -(2 ** 31), 2 ** 31, size=1, dtype=np.int64
+        ).astype(np.int32)
+        return LweCiphertext(a, b)
+
+    cost = measured_gate_cost(
+        cloud,
+        repetitions=args.repetitions,
+        warmup=args.warmup,
+        inputs=(_sample(), _sample()),
+    )
+    out_dir = os.path.dirname(args.output)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    cost.save(args.output)
+    print(
+        f"calibrated {cost.name}: {cost.gate_ms:.2f} ms/gate "
+        f"(linear {cost.linear_ms:.3f}, blind rotation "
+        f"{cost.blind_rotation_ms:.2f}, key switch "
+        f"{cost.key_switching_ms:.2f}), ciphertext "
+        f"{cost.ciphertext_bytes} B"
+    )
+    print(
+        f"wrote {args.output} — serve it with "
+        f"`repro serve --gatecost {args.output}`"
+    )
+    return 0
 
 
 def cmd_disasm(args) -> int:
@@ -511,6 +643,8 @@ def cmd_serve(args) -> int:
         linger_s=args.linger_ms / 1e3,
         max_frame_bytes=args.max_frame_bytes,
         check=not args.no_check,
+        gatecost_path=args.gatecost,
+        admission_engine=None if args.no_admission else args.backend,
         telemetry_port=args.telemetry_port,
         flight_dir=args.flight_dir,
         noise_monitoring=not args.no_noise_monitor,
@@ -823,6 +957,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the dataflow (constant/transparency) family",
     )
     p.add_argument(
+        "--cost",
+        action="store_true",
+        help="print the cost certificate (predicted latency per "
+        "engine, memory high-water mark) with the report",
+    )
+    p.add_argument(
+        "--no-cost",
+        action="store_true",
+        help="skip the cost-certification family",
+    )
+    p.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="declared execute-latency budget; CA001 (ERROR) fires "
+        "when the predicted latency exceeds it",
+    )
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="declared ciphertext-plane memory budget in MiB; CA002 "
+        "(ERROR) fires when the high-water mark exceeds it",
+    )
+    p.add_argument(
+        "--gatecost",
+        default=None,
+        metavar="PATH",
+        help="gate-cost calibration JSON (`repro calibrate` output) "
+        "for cost predictions; default: the paper's Xeon model",
+    )
+    p.add_argument(
+        "--cost-backend",
+        default=None,
+        choices=("single", "batched", "2d", "distributed"),
+        help="backend the latency budget applies to (also arms CA003 "
+        "degenerate-parallelism warnings)",
+    )
+    p.add_argument(
         "--max-findings-per-rule",
         "--max-findings",
         dest="max_findings",
@@ -880,6 +1053,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry (finding counters) as JSON",
     )
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "cost",
+        help="static cost certificate: predicted latency per engine, "
+        "memory high-water mark, parallelism classification",
+    )
+    p.add_argument(
+        "target",
+        help="path to a .pytfhe binary, or a built-in workload name",
+    )
+    p.add_argument(
+        "--gatecost",
+        default=None,
+        metavar="PATH",
+        help="gate-cost calibration JSON (`repro calibrate` output); "
+        "default: the paper's Xeon model",
+    )
+    p.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="latency budget (CA001 ERROR beyond it; exit non-zero)",
+    )
+    p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="memory budget in MiB (CA002 ERROR beyond it)",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=("single", "batched", "2d", "distributed"),
+        help="backend the budget applies to (arms CA003 checks)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        help="request depth of the 2-D (request x level) prediction",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the certificate as JSON ('-' for stdout)",
+    )
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure this machine's bootstrapped-gate cost and write "
+        "a calibration JSON for `repro serve --gatecost` / "
+        "`repro cost --gatecost`",
+    )
+    p.add_argument("--params", default="tfhe-test")
+    p.add_argument(
+        "-o",
+        "--output",
+        default="benchmarks/out/gatecost.json",
+        help="calibration file to write",
+    )
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed iterations before measurement",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("disasm", help="list a binary's instructions")
     p.add_argument("binary")
@@ -1002,6 +1246,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-check",
         action="store_true",
         help="skip the static-analyzer gate on program registration",
+    )
+    p.add_argument(
+        "--gatecost",
+        default=None,
+        metavar="PATH",
+        help="load a `repro calibrate` gate-cost JSON at startup so "
+        "cost certificates (and deadline admission) use this "
+        "machine's calibration instead of the paper's",
+    )
+    p.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="disable static deadline-feasibility admission (requests "
+        "with provably-unmeetable deadlines are otherwise rejected "
+        "with DEADLINE before queueing)",
     )
     p.add_argument(
         "--telemetry-port",

@@ -10,7 +10,15 @@ lives in :mod:`repro.isa`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -20,6 +28,9 @@ from ..chiseltorch.tensor import HTensor
 from ..hdl.builder import CircuitBuilder
 from ..hdl.netlist import Netlist
 from ..obs import get as _get_obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analyze import Analysis
 
 #: ``check=`` argument type: False (off), True (default config), or an
 #: explicit :class:`repro.analyze.AnalyzerConfig`.
@@ -115,7 +126,7 @@ class CompiledCircuit:
 
 def verify_compiled(
     netlist: Netlist, check: CheckArg, cache_key: Optional[str] = None
-) -> None:
+) -> Optional["Analysis"]:
     """Statically verify a compiled netlist; raise on error findings.
 
     ``check`` is False (skip), True (default
@@ -127,20 +138,25 @@ def verify_compiled(
     finding exists, so a ``Session``-level compile never hands an
     unsound circuit to the encrypted run.
 
+    Returns the (possibly cached) :class:`~repro.analyze.Analysis` so
+    callers can read its side artifacts — the serve registry stores
+    ``analysis.cost`` (the static cost certificate) with the program.
+    Returns ``None`` when checking is disabled.
+
     Verdicts are cached by content hash (``repro.analyze.cache``):
     re-verifying an unchanged program is a lookup, not a re-analysis.
     ``cache_key`` lets callers that already hold a content digest (the
     serve registry's program id) skip re-hashing the netlist.
     """
     if not check:
-        return
+        return None
     from ..analyze import AnalyzerConfig
     from ..analyze.cache import analyze_netlist_cached
 
     config = check if isinstance(check, AnalyzerConfig) else AnalyzerConfig()
-    analyze_netlist_cached(
-        netlist, config, digest=cache_key
-    ).report.raise_on_errors()
+    analysis = analyze_netlist_cached(netlist, config, digest=cache_key)
+    analysis.report.raise_on_errors()
+    return analysis
 
 
 def compile_model(

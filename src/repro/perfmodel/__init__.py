@@ -12,7 +12,13 @@ from .cluster import (
     TABLE_II_CLUSTER,
     single_node,
 )
-from .costs import GateCostModel, PAPER_GATE_COST, measured_gate_cost
+from .costs import (
+    GATECOST_FORMAT,
+    GateCostModel,
+    PAPER_GATE_COST,
+    load_gate_cost,
+    measured_gate_cost,
+)
 from .gpu import (
     A5000,
     GPU_PLATFORMS,
@@ -32,6 +38,7 @@ __all__ = [
     "ClusterConfig",
     "ClusterSimResult",
     "ClusterSimulator",
+    "GATECOST_FORMAT",
     "GPU_PLATFORMS",
     "GateCostModel",
     "GpuConfig",
@@ -41,6 +48,7 @@ __all__ = [
     "RTX4090",
     "TABLE_II_CLUSTER",
     "cufhe_timeline",
+    "load_gate_cost",
     "measured_gate_cost",
     "pytfhe_timeline",
     "single_node",

@@ -17,7 +17,12 @@ see footnote 1 of the paper).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+
+#: Serialization marker for persisted calibrations
+#: (``benchmarks/out/gatecost.json``, ``repro calibrate``).
+GATECOST_FORMAT = "pytfhe-gatecost/1"
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,52 @@ class GateCostModel:
     def gates_per_second(self) -> float:
         return 1e3 / self.gate_ms
 
+    # ------------------------------------------------------------------
+    # Persistence: calibrate once, load at serve startup.
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "format": GATECOST_FORMAT,
+            "name": self.name,
+            "linear_ms": self.linear_ms,
+            "blind_rotation_ms": self.blind_rotation_ms,
+            "key_switching_ms": self.key_switching_ms,
+            "ciphertext_bytes": self.ciphertext_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "GateCostModel":
+        return cls(
+            name=str(doc["name"]),
+            linear_ms=float(doc["linear_ms"]),
+            blind_rotation_ms=float(doc["blind_rotation_ms"]),
+            key_switching_ms=float(doc["key_switching_ms"]),
+            ciphertext_bytes=int(doc["ciphertext_bytes"]),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GateCostModel":
+        doc = json.loads(text)
+        if doc.get("format") != GATECOST_FORMAT:
+            raise ValueError(
+                f"not a gate-cost calibration: format "
+                f"{doc.get('format')!r} != {GATECOST_FORMAT!r}"
+            )
+        return cls.from_dict(doc)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def load_gate_cost(path: str) -> GateCostModel:
+    """Load a calibration written by :meth:`GateCostModel.save`."""
+    with open(path, "r") as handle:
+        return GateCostModel.from_json(handle.read())
+
 
 #: Single-core TFHE-library cost on the paper's Xeon platform (Fig. 7).
 PAPER_GATE_COST = GateCostModel(
@@ -49,11 +100,21 @@ PAPER_GATE_COST = GateCostModel(
 )
 
 
-def measured_gate_cost(cloud_key, repetitions: int = 3) -> GateCostModel:
-    """Calibrate a cost model by profiling this implementation."""
+def measured_gate_cost(
+    cloud_key, repetitions: int = 3, warmup: int = 1, inputs=None
+) -> GateCostModel:
+    """Calibrate a cost model by profiling this implementation.
+
+    Pass ``inputs=(ca, cb)`` with random-mask batch-1 samples for a
+    faithful blind-rotation cost — the default trivial samples have
+    all-zero masks, which lets the rotation skip work and
+    under-reports it (see :func:`~repro.runtime.profiler.profile_gate`).
+    """
     from ..runtime.profiler import profile_gate
 
-    profile = profile_gate(cloud_key, repetitions=repetitions)
+    profile = profile_gate(
+        cloud_key, repetitions=repetitions, warmup=warmup, inputs=inputs
+    )
     return GateCostModel(
         name=f"measured-{cloud_key.params.name}",
         linear_ms=profile.linear_ms,

@@ -16,6 +16,13 @@ the *next* dispatch folds into one batch — batching emerges from load.
 let stragglers join (latency traded for throughput); per-request
 deadlines cancel queued work that would complete too late, with a
 DEADLINE reply instead of wasted bootstraps.
+
+Deadlines are also checked *statically* at admission: every registered
+program carries a :class:`~repro.analyze.cost.CostCertificate`, and a
+request whose deadline budget is below the certificate's predicted
+execute latency is rejected with DEADLINE before it consumes a queue
+slot — no bootstrap is ever spent on a request that provably cannot
+finish in time.
 """
 
 from __future__ import annotations
@@ -92,6 +99,7 @@ class RequestScheduler:
         max_batch: int = 16,
         linger_s: float = 0.0,
         flight: Optional[FlightRecorder] = None,
+        admission_engine: Optional[str] = "batched",
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -101,6 +109,9 @@ class RequestScheduler:
         self.max_batch = max_batch
         self.linger_s = linger_s
         self.flight = flight
+        #: Engine key the static feasibility check reads from each
+        #: program's cost certificate; ``None`` disables the check.
+        self.admission_engine = admission_engine
         self._pending: Deque[ServeRequest] = collections.deque()
         self._cond: Optional[asyncio.Condition] = None
         self._task: Optional[asyncio.Task] = None
@@ -114,6 +125,7 @@ class RequestScheduler:
             "dispatched_requests": 0,
             "coalesced_batches": 0,
             "deadline_cancellations": 0,
+            "infeasible_rejections": 0,
             "busy_rejections": 0,
         }
 
@@ -153,6 +165,20 @@ class RequestScheduler:
         self.flight.record_event(f"serve:{reason}", **context)
         self.flight.trigger(reason, **context)
 
+    def _predicted_ms(self, request: ServeRequest) -> Optional[float]:
+        """Certified execute-latency prediction for this request.
+
+        ``None`` (no certificate on the program, or admission checks
+        disabled) means no static opinion — the request is admitted
+        and the runtime deadline machinery takes over.
+        """
+        if self.admission_engine is None:
+            return None
+        certificate = getattr(request.program, "certificate", None)
+        if certificate is None:
+            return None
+        return certificate.predicted_execute_ms(self.admission_engine)
+
     # -- admission -----------------------------------------------------
     async def submit(self, request: ServeRequest) -> BatchResult:
         """Admit one request and await its slice of a batch result.
@@ -166,6 +192,13 @@ class RequestScheduler:
         now = time.monotonic()
         if request.expired(now):
             self.stats["deadline_cancellations"] += 1
+            # Pre-admission DEADLINE counts like the post-queue one:
+            # the status counter and flight recorder must agree no
+            # matter where in the pipeline the deadline died.
+            if obs.active:
+                obs.metrics.inc(
+                    "serve_requests", status=Status.DEADLINE
+                )
             self._record_trouble(
                 "deadline", tenant=request.tenant,
                 where="admission",
@@ -173,6 +206,34 @@ class RequestScheduler:
             raise ServeError(
                 Status.DEADLINE,
                 "deadline expired before the request was admitted",
+            )
+        predicted_ms = self._predicted_ms(request)
+        if (
+            predicted_ms is not None
+            and request.deadline_s is not None
+            and now + predicted_ms / 1e3 > request.deadline_s
+        ):
+            # Static feasibility: the certificate says execution alone
+            # outlasts the deadline budget, so reject before the
+            # request consumes a queue slot or a single bootstrap.
+            budget_ms = (request.deadline_s - now) * 1e3
+            self.stats["deadline_cancellations"] += 1
+            self.stats["infeasible_rejections"] += 1
+            if obs.active:
+                obs.metrics.inc(
+                    "serve_requests", status=Status.DEADLINE
+                )
+            self._record_trouble(
+                "deadline", tenant=request.tenant,
+                where="admission-infeasible",
+                predicted_ms=round(predicted_ms, 1),
+                budget_ms=round(budget_ms, 1),
+            )
+            raise ServeError(
+                Status.DEADLINE,
+                f"statically infeasible: predicted execute latency "
+                f"{predicted_ms:.0f} ms exceeds the {budget_ms:.0f} ms "
+                f"deadline budget",
             )
         async with self._cond:
             if self._closed:

@@ -18,9 +18,15 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from ..analyze.analyzer import AnalyzerConfig
+from ..analyze.cost import (
+    CostAnalysisConfig,
+    CostCertificate,
+    cost_certificate,
+)
 from ..core.compiler import CheckArg, verify_compiled
 from ..core.session import Server
 from ..hdl.netlist import Netlist
@@ -50,6 +56,11 @@ class RegisteredProgram:
     binary: bytes
     netlist: Netlist
     schedule: Schedule = field(repr=False)
+    #: Static cost certificate (predicted latency/memory) — the
+    #: scheduler's deadline-feasibility admission reads this.
+    certificate: Optional[CostCertificate] = field(
+        default=None, repr=False
+    )
 
     @property
     def num_inputs(self) -> int:
@@ -60,7 +71,7 @@ class RegisteredProgram:
         return len(self.netlist.outputs)
 
     def describe(self) -> dict:
-        return {
+        doc = {
             "program_id": self.program_id,
             "gates": self.netlist.num_gates,
             "bootstrapped": self.schedule.num_bootstrapped,
@@ -68,6 +79,11 @@ class RegisteredProgram:
             "num_inputs": self.num_inputs,
             "num_outputs": self.num_outputs,
         }
+        if self.certificate is not None:
+            doc["predicted_ms"] = dict(self.certificate.predicted_ms)
+            doc["peak_memory_bytes"] = self.certificate.peak_memory_bytes
+            doc["classification"] = self.certificate.classification
+        return doc
 
 
 def program_id_of(binary: bytes) -> str:
@@ -76,10 +92,30 @@ def program_id_of(binary: bytes) -> str:
 
 
 class ProgramRegistry:
-    """Content-addressed store of analyzer-verified programs."""
+    """Content-addressed store of analyzer-verified programs.
 
-    def __init__(self, check: CheckArg = True):
+    ``cost_config`` carries the serve deployment's calibration and
+    budgets into the analyzer's cost family, so every registered
+    program gets a :class:`~repro.analyze.cost.CostCertificate`
+    predicted with *this* machine's gate cost (loaded at startup from
+    ``repro calibrate`` output) rather than the paper's.
+    """
+
+    def __init__(
+        self,
+        check: CheckArg = True,
+        cost_config: Optional[CostAnalysisConfig] = None,
+    ):
+        if cost_config is not None:
+            # Fold the deployment's calibration into the analyzer
+            # config; the cache digest covers it, so a recalibrated
+            # serve never reads a stale certificate.
+            if isinstance(check, AnalyzerConfig):
+                check = replace(check, cost=True, cost_config=cost_config)
+            elif check:
+                check = AnalyzerConfig(cost_config=cost_config)
         self.check = check
+        self.cost_config = cost_config
         self._lock = threading.Lock()
         self._programs: Dict[str, RegisteredProgram] = {}
 
@@ -112,17 +148,28 @@ class ProgramRegistry:
             # The program id doubles as the analysis-cache digest, so a
             # previously-certified upload (even via another registry or
             # a direct `repro check`) skips re-analysis entirely.
-            verify_compiled(netlist, self.check, cache_key=program_id)
+            analysis = verify_compiled(
+                netlist, self.check, cache_key=program_id
+            )
         except Exception as exc:
             raise ServeError(
                 Status.REJECTED,
                 f"program failed static analysis: {exc}",
             ) from exc
+        certificate = analysis.cost if analysis is not None else None
+        if certificate is None:
+            # Checking disabled (or a config without the cost family):
+            # the admission path still needs a prediction, and a bare
+            # certification sweep is cheap.
+            certificate = cost_certificate(
+                netlist, self.cost_config or CostAnalysisConfig()
+            )
         program = RegisteredProgram(
             program_id=program_id,
             binary=binary,
             netlist=netlist,
             schedule=build_schedule(netlist),
+            certificate=certificate,
         )
         with self._lock:
             # Another thread may have raced the same upload; content

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from .. import __version__
+from ..analyze.cost import CostAnalysisConfig
 from ..core.compiler import CheckArg
 from ..obs import (
     FlightRecorder,
@@ -75,6 +76,14 @@ class ServeConfig:
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     #: Static-analysis gate for program registration.
     check: CheckArg = True
+    #: Path to a ``repro calibrate`` gate-cost JSON; loaded at startup
+    #: so cost certificates are predicted with *this* machine's
+    #: calibration instead of the paper's (``None`` = paper model).
+    gatecost_path: Optional[str] = None
+    #: Engine key for static deadline-feasibility admission (reject
+    #: with DEADLINE before queueing when the certificate's predicted
+    #: execute latency exceeds the deadline budget); ``None`` disables.
+    admission_engine: Optional[str] = "batched"
     #: Deadline applied when a CALL carries none (None = unbounded).
     default_deadline_s: Optional[float] = None
     #: HTTP exposition (/metrics, /healthz, /varz): ``None`` disables,
@@ -98,7 +107,21 @@ class FheServer:
 
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
-        self.registry = ProgramRegistry(check=self.config.check)
+        gate_cost = None
+        if self.config.gatecost_path is not None:
+            from ..perfmodel import load_gate_cost
+
+            # Calibrate once (`repro calibrate`), load at every serve
+            # startup — never re-measure on the serving path.
+            gate_cost = load_gate_cost(self.config.gatecost_path)
+        self.gate_cost = gate_cost
+        self.registry = ProgramRegistry(
+            check=self.config.check,
+            cost_config=CostAnalysisConfig(
+                gate_cost=gate_cost,
+                backend=self.config.backend,
+            ),
+        )
         self.keystore = TenantKeystore(
             backend=self.config.backend,
             num_workers=self.config.num_workers,
@@ -116,6 +139,7 @@ class FheServer:
             max_batch=self.config.max_batch,
             linger_s=self.config.linger_s,
             flight=self.flight,
+            admission_engine=self.config.admission_engine,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
@@ -142,6 +166,12 @@ class FheServer:
         return {
             "server_version": __version__,
             "backend": self.config.backend,
+            "gate_cost": (
+                self.gate_cost.name
+                if self.gate_cost is not None
+                else "paper-xeon-5215"
+            ),
+            "admission_engine": self.config.admission_engine,
             "tenants": len(self.keystore),
             "programs": len(self.registry),
             "queue_depth": self.scheduler.depth,

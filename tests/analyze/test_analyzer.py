@@ -46,17 +46,21 @@ class TestAnalyzeNetlist:
             "hazards",
             "noise",
             "dataflow",
+            "cost",
         ]
         assert analysis.schedule is not None
         assert analysis.noise is not None and analysis.noise.worst
+        assert analysis.cost is not None
+        assert analysis.cost.gates == analysis.netlist.num_gates
 
     def test_family_toggles(self):
         config = AnalyzerConfig(
-            structural=False, noise=False, dataflow=False
+            structural=False, noise=False, dataflow=False, cost=False
         )
         analysis = analyze_netlist(full_adder(), config)
         assert analysis.families == ["hazards"]
         assert analysis.noise is None
+        assert analysis.cost is None
 
     def test_without_params_noise_family_is_skipped(self):
         analysis = analyze_netlist(full_adder(), DEFAULT_CONFIG)
@@ -92,6 +96,7 @@ class TestAnalyzeBinary:
             "hazards",
             "noise",
             "dataflow",
+            "cost",
         ]
         assert analysis.report.subject == "fa.bin"
         assert analysis.netlist is not None

@@ -176,6 +176,51 @@ class TestDiskCache:
             assert counters(ob) == (0, 1)
 
 
+class TestCostCaching:
+    def test_certificate_round_trips_through_disk(self, tmp_path):
+        nl = full_adder()
+        config = DEFAULT_CONFIG.with_params(TFHE_TEST)
+        warm = analyze_netlist_cached(
+            nl, config, cache=AnalysisCache(directory=str(tmp_path))
+        )
+        assert warm.cost is not None
+        # A brand-new cache instance reads the certificate from disk.
+        hit = analyze_netlist_cached(
+            nl, config, cache=AnalysisCache(directory=str(tmp_path))
+        )
+        assert hit.cost is not None
+        assert hit.cost == warm.cost
+        assert hit.cost.as_dict() == warm.cost.as_dict()
+
+    def test_cost_counters_track_hits_and_misses(self):
+        nl = full_adder()
+        cache = AnalysisCache()
+        with obs.observe() as ob:
+            analyze_netlist_cached(nl, DEFAULT_CONFIG, cache=cache)
+            analyze_netlist_cached(nl, DEFAULT_CONFIG, cache=cache)
+            assert (
+                ob.metrics.counter_value("analyze_cost_cache_miss") == 1
+            )
+            assert (
+                ob.metrics.counter_value("analyze_cost_cache_hit") == 1
+            )
+
+    def test_cost_counters_silent_when_family_disabled(self):
+        nl = full_adder()
+        cache = AnalysisCache()
+        no_cost = dataclasses.replace(DEFAULT_CONFIG, cost=False)
+        with obs.observe() as ob:
+            analyze_netlist_cached(nl, no_cost, cache=cache)
+            analyze_netlist_cached(nl, no_cost, cache=cache)
+            assert counters(ob) == (1, 1)
+            assert (
+                ob.metrics.counter_value("analyze_cost_cache_miss") == 0
+            )
+            assert (
+                ob.metrics.counter_value("analyze_cost_cache_hit") == 0
+            )
+
+
 class TestBinaryCache:
     def test_binary_hit_skips_disassembly(self):
         data = assemble(full_adder())
@@ -221,6 +266,31 @@ class TestDigests:
         )
         assert config_digest(base) != config_digest(
             dataclasses.replace(base, max_findings_per_rule=3)
+        )
+
+    def test_config_digest_covers_cost_config(self):
+        # A recalibrated gate cost or changed budget must never be
+        # served a stale certificate.
+        from repro.analyze import CostAnalysisConfig
+        from repro.perfmodel import GateCostModel
+
+        base = AnalyzerConfig()
+        assert config_digest(base) != config_digest(
+            dataclasses.replace(base, cost=False)
+        )
+        assert config_digest(base) != config_digest(
+            dataclasses.replace(
+                base,
+                cost_config=CostAnalysisConfig(budget_ms=100.0),
+            )
+        )
+        assert config_digest(base) != config_digest(
+            dataclasses.replace(
+                base,
+                cost_config=CostAnalysisConfig(
+                    gate_cost=GateCostModel("m", 0.1, 2.0, 0.2, 64)
+                ),
+            )
         )
 
 

@@ -27,3 +27,26 @@ def test_measured_cost_from_this_machine(cloud_key):
     assert model.gate_ms > 0
     assert model.ciphertext_bytes == cloud_key.params.ciphertext_bytes
     assert model.name.endswith(cloud_key.params.name)
+
+
+def test_json_round_trip_is_lossless():
+    back = GateCostModel.from_json(PAPER_GATE_COST.to_json())
+    assert back == PAPER_GATE_COST
+
+
+def test_save_load_round_trip(tmp_path):
+    from repro.perfmodel import load_gate_cost
+
+    path = str(tmp_path / "gatecost.json")
+    model = GateCostModel("calib", 0.019, 3.17, 0.14, 132)
+    model.save(path)
+    assert load_gate_cost(path) == model
+
+
+def test_wrong_format_marker_rejected():
+    import json
+
+    doc = PAPER_GATE_COST.as_dict()
+    doc["format"] = "pytfhe-costcert/1"
+    with pytest.raises(ValueError, match="not a gate-cost calibration"):
+        GateCostModel.from_json(json.dumps(doc))

@@ -51,11 +51,12 @@ class StubServer:
 
 
 def make_request(server, program_id="prog", tenant="acme", value=0,
-                 deadline_s=None):
+                 deadline_s=None, certificate=None):
     program = SimpleNamespace(
         program_id=program_id,
         netlist=SimpleNamespace(num_gates=4, num_inputs=2),
         schedule=None,
+        certificate=certificate,
     )
     runtime = SimpleNamespace(server=server)
     ct = LweCiphertext(
@@ -270,6 +271,174 @@ class TestAdmissionControl:
             assert server.calls == [1]
 
         run_async(with_scheduler(body))
+
+
+def make_certificate(predicted_ms):
+    """A minimal real certificate predicting ``predicted_ms`` batched."""
+    from repro.analyze import CostCertificate
+
+    return CostCertificate(
+        subject="prog",
+        cost_model="stub",
+        gate_ms=13.0,
+        linear_ms=0.2,
+        ciphertext_bytes=2524,
+        gates=4,
+        bootstrapped=4,
+        free_gates=0,
+        depth=2,
+        predicted_ms={"single": predicted_ms * 4, "batched": predicted_ms},
+    )
+
+
+class TestStaticAdmission:
+    """Certificate-driven feasibility checks at submit time."""
+
+    def test_infeasible_deadline_rejected_before_queueing(self):
+        from repro import obs
+
+        server = StubServer()
+        certificate = make_certificate(predicted_ms=60_000.0)
+
+        async def body(scheduler):
+            with pytest.raises(ServeError) as err:
+                await scheduler.submit(
+                    make_request(
+                        server,
+                        certificate=certificate,
+                        deadline_s=time.monotonic() + 0.5,
+                    )
+                )
+            assert err.value.status == Status.DEADLINE
+            assert "statically infeasible" in err.value.message
+            assert scheduler.stats["infeasible_rejections"] == 1
+            assert scheduler.stats["deadline_cancellations"] == 1
+            assert scheduler.depth == 0
+
+        with obs.observe() as ob:
+            run_async(with_scheduler(body))
+        # The rejection never reached the executor and was counted
+        # under the same status label as a post-queue deadline death.
+        assert server.calls == []
+        assert (
+            ob.metrics.counter_value(
+                "serve_requests", status=Status.DEADLINE
+            )
+            == 1
+        )
+
+    def test_feasible_deadline_is_admitted_and_served(self):
+        server = StubServer()
+        certificate = make_certificate(predicted_ms=1.0)
+
+        async def body(scheduler):
+            result = await scheduler.submit(
+                make_request(
+                    server,
+                    value=5,
+                    certificate=certificate,
+                    deadline_s=time.monotonic() + 30.0,
+                )
+            )
+            assert int(result.ciphertext.b[0]) == 5
+            assert scheduler.stats["infeasible_rejections"] == 0
+
+        run_async(with_scheduler(body))
+        assert server.calls == [1]
+
+    def test_no_deadline_skips_the_feasibility_check(self):
+        server = StubServer()
+        certificate = make_certificate(predicted_ms=60_000.0)
+
+        async def body(scheduler):
+            result = await scheduler.submit(
+                make_request(server, certificate=certificate)
+            )
+            assert result.batch_size == 1
+
+        run_async(with_scheduler(body))
+
+    def test_uncertified_program_is_admitted(self):
+        server = StubServer()
+
+        async def body(scheduler):
+            result = await scheduler.submit(
+                make_request(
+                    server, deadline_s=time.monotonic() + 30.0
+                )
+            )
+            assert result.batch_size == 1
+
+        run_async(with_scheduler(body))
+
+    def test_admission_engine_none_disables_the_check(self):
+        server = StubServer()
+        certificate = make_certificate(predicted_ms=60_000.0)
+
+        async def body(scheduler):
+            result = await scheduler.submit(
+                make_request(
+                    server,
+                    certificate=certificate,
+                    deadline_s=time.monotonic() + 30.0,
+                )
+            )
+            assert result.batch_size == 1
+            assert scheduler.stats["infeasible_rejections"] == 0
+
+        run_async(with_scheduler(body, admission_engine=None))
+
+    def test_admission_reads_the_configured_engine(self):
+        # single predicts 4x the batched latency; an admission budget
+        # between the two flips with the engine choice.
+        server = StubServer()
+        certificate = make_certificate(predicted_ms=1_000.0)
+
+        async def feasible(scheduler):
+            await scheduler.submit(
+                make_request(
+                    server,
+                    certificate=certificate,
+                    deadline_s=time.monotonic() + 2.0,
+                )
+            )
+
+        async def infeasible(scheduler):
+            with pytest.raises(ServeError) as err:
+                await scheduler.submit(
+                    make_request(
+                        server,
+                        certificate=certificate,
+                        deadline_s=time.monotonic() + 2.0,
+                    )
+                )
+            assert err.value.status == Status.DEADLINE
+
+        run_async(with_scheduler(feasible, admission_engine="batched"))
+        run_async(with_scheduler(infeasible, admission_engine="single"))
+
+    def test_expired_deadline_counts_like_a_deadline_death(self):
+        from repro import obs
+
+        server = StubServer()
+
+        async def body(scheduler):
+            with pytest.raises(ServeError) as err:
+                await scheduler.submit(
+                    make_request(
+                        server, deadline_s=time.monotonic() - 1.0
+                    )
+                )
+            assert err.value.status == Status.DEADLINE
+
+        with obs.observe() as ob:
+            run_async(with_scheduler(body))
+        assert (
+            ob.metrics.counter_value(
+                "serve_requests", status=Status.DEADLINE
+            )
+            == 1
+        )
 
 
 class TestFailureHandling:

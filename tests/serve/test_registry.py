@@ -78,6 +78,58 @@ class TestProgramRegistry:
         doc = json.loads(json.dumps(program.describe()))
         assert doc["num_inputs"] == program.num_inputs
         assert doc["gates"] == program.netlist.num_gates
+        assert doc["predicted_ms"]["batched"] > 0
+        assert doc["peak_memory_bytes"] > 0
+        assert doc["classification"]
+
+    def test_register_attaches_cost_certificate(self, binary):
+        registry = ProgramRegistry()
+        program, _ = registry.register(binary)
+        assert program.certificate is not None
+        assert program.certificate.gates == program.netlist.num_gates
+        assert (
+            program.certificate.bootstrapped
+            == program.schedule.num_bootstrapped
+        )
+        assert program.certificate.predicted_execute_ms("batched") > 0
+
+    def test_reregistration_serves_certificate_from_cache(self, binary):
+        from repro import obs
+        from repro.analyze.cache import default_cache
+
+        default_cache().clear()
+        with obs.observe() as ob:
+            first, _ = ProgramRegistry().register(binary)
+            # A fresh registry has no metadata for this binary, so it
+            # re-verifies — and the certificate rides the content-hash
+            # analysis cache instead of being recomputed.
+            second, cached = ProgramRegistry().register(binary)
+        assert not cached  # new registry instance: not a metadata hit
+        assert (
+            ob.metrics.counter_value("analyze_cost_cache_miss") == 1
+        )
+        assert ob.metrics.counter_value("analyze_cost_cache_hit") == 1
+        assert second.certificate is not None
+        assert second.certificate == first.certificate
+
+    def test_cost_config_carries_deployment_calibration(self, binary):
+        from repro.analyze import CostAnalysisConfig
+        from repro.perfmodel import GateCostModel
+
+        fast = GateCostModel("site-calibrated", 0.02, 3.0, 0.15, 132)
+        registry = ProgramRegistry(
+            cost_config=CostAnalysisConfig(gate_cost=fast)
+        )
+        program, _ = registry.register(binary)
+        assert program.certificate is not None
+        assert program.certificate.cost_model == "site-calibrated"
+        assert program.certificate.gate_ms == pytest.approx(3.17)
+
+    def test_check_disabled_still_certifies(self, binary):
+        registry = ProgramRegistry(check=False)
+        program, _ = registry.register(binary)
+        assert program.certificate is not None
+        assert program.certificate.predicted_execute_ms("batched") > 0
 
 
 class TestTenantKeystore:

@@ -212,6 +212,55 @@ def test_oversized_frame_gets_busy_not_hangup(test_keys, program_add):
             )
 
 
+def test_static_admission_rejects_infeasible_deadline(
+    test_keys, program_add
+):
+    """A deadline below the certified execute latency draws DEADLINE
+    at admission — before any queue slot or bootstrap is spent — while
+    a feasible deadline on the same program completes normally."""
+    secret_a, cloud_a = test_keys
+    with serving(ServeConfig(port=0, backend="batched")) as handle:
+        with FheServiceClient(
+            "127.0.0.1", handle.port, "tenant-a", timeout_s=120
+        ) as client:
+            client.register_key(cloud_a)
+            pid = client.register_program(program_add)
+            # The paper cost model predicts well over 50 ms for the
+            # 34-bootstrapped-gate adder on any engine.
+            ct = _encrypt(program_add, secret_a, 9, [1, 2], [3, 1])
+            with pytest.raises(DeadlineError) as err:
+                client.call(pid, ct, deadline_ms=25)
+            assert "statically infeasible" in err.value.message
+            stats = client.metrics()["stats"]
+            assert stats["infeasible_rejections"] == 1
+            assert stats["deadline_cancellations"] == 1
+            assert stats["dispatched_requests"] == 0
+
+            out_ct, _, _ = client.call(pid, ct, deadline_ms=120_000)
+            got = decrypt_bits(secret_a, out_ct)
+            assert np.array_equal(
+                got, _reference_bits(program_add, [1, 2], [3, 1])
+            )
+            stats = client.metrics()["stats"]
+            assert stats["dispatched_requests"] == 1
+            assert stats["infeasible_rejections"] == 1
+
+
+def test_gatecost_path_loads_site_calibration(tmp_path):
+    from repro.perfmodel import GateCostModel
+    from repro.serve.server import FheServer
+
+    path = str(tmp_path / "gatecost.json")
+    GateCostModel("site-cal", 0.02, 3.0, 0.15, 132).save(path)
+    server = FheServer(ServeConfig(port=0, gatecost_path=path))
+    assert server.gate_cost is not None
+    assert server.gate_cost.name == "site-cal"
+    assert server.registry.cost_config.gate_cost.name == "site-cal"
+    varz = server._varz()
+    assert varz["gate_cost"] == "site-cal"
+    assert varz["admission_engine"] == "batched"
+
+
 def test_unknown_tenant_and_program_not_found(test_keys):
     _, cloud_a = test_keys
     with serving(ServeConfig(port=0)) as handle:

@@ -186,9 +186,12 @@ def test_check_json_report(tmp_path, capsys):
         "hazards",
         "noise",
         "dataflow",
+        "cost",
     ]
     assert doc["noise"]["params"] == "tfhe-test"
     assert doc["noise"]["levels"]
+    assert doc["cost"]["predicted_ms"]["batched"] > 0
+    assert doc["cost"]["bootstrapped"] > 0
     out = capsys.readouterr().out
     assert "wrote JSON report" in out
 
@@ -285,6 +288,118 @@ def test_check_passes_json_schema(tmp_path, capsys):
         "dead_gate_elimination",
     ]
     capsys.readouterr()
+
+# ----------------------------------------------------------------------
+# repro cost / repro calibrate — static cost certification
+# ----------------------------------------------------------------------
+def test_cost_text_report(capsys):
+    assert main(["cost", "hamming_distance"]) == 0
+    out = capsys.readouterr().out
+    assert "cost certificate: hamming_distance" in out
+    assert "predicted execute latency" in out
+    assert "batched" in out and "single" in out
+
+
+def test_cost_json_to_stdout(capsys):
+    import json
+
+    assert main(["cost", "hamming_distance", "--json", "-"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "pytfhe-costcert/1"
+    assert doc["subject"] == "hamming_distance"
+    assert doc["bootstrapped"] > 0
+    assert doc["predicted_ms"]["batched"] > 0
+    assert doc["report"]["ok"] is True
+
+
+def test_cost_over_budget_exits_nonzero(capsys):
+    assert (
+        main(
+            [
+                "cost",
+                "hamming_distance",
+                "--budget-ms",
+                "1",
+                "--backend",
+                "batched",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "CA001" in out
+
+
+def test_cost_of_compiled_binary(tmp_path, capsys):
+    binary_path = tmp_path / "prog.pytfhe"
+    assert main(["compile", "hamming_distance", "-o", str(binary_path)]) == 0
+    capsys.readouterr()
+    assert main(["cost", str(binary_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cost certificate: prog.pytfhe" in out
+
+
+def test_calibrate_writes_loadable_model(tmp_path, capsys):
+    from repro.perfmodel import load_gate_cost
+
+    path = tmp_path / "out" / "gatecost.json"
+    assert (
+        main(
+            [
+                "calibrate",
+                "--params",
+                "tfhe-test",
+                "--repetitions",
+                "1",
+                "-o",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "calibrated measured-tfhe-test" in out
+    model = load_gate_cost(str(path))
+    assert model.gate_ms > 0
+    capsys.readouterr()
+    # The calibration plugs straight back into `repro cost`.
+    assert (
+        main(
+            ["cost", "hamming_distance", "--gatecost", str(path)]
+        )
+        == 0
+    )
+    assert "measured-tfhe-test" in capsys.readouterr().out
+
+
+def test_check_cost_flag_prints_certificate(capsys):
+    assert (
+        main(
+            ["check", "hamming_distance", "--params", "none", "--cost"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "cost certificate" in out
+
+
+def test_check_budget_produces_ca001(capsys):
+    assert (
+        main(
+            [
+                "check",
+                "hamming_distance",
+                "--params",
+                "none",
+                "--budget-ms",
+                "1",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "CA001" in out and "ERROR" in out
+
 
 def test_call_against_in_process_server(capsys):
     from repro.serve import ServeConfig, serving
