@@ -1,0 +1,238 @@
+"""Multi-bit LUT gate: bootstrap-count reduction + decrypted identity.
+
+The CI ``mblut-gate`` harness behind the multi-bit execution path's
+headline claim: compiling arithmetic onto programmable bootstrapping
+must cut bootstrap counts by the configured floor (default 5x on the
+8-bit ripple adder) while decrypting bit-identically to the boolean
+compilation of the same circuit.
+
+Three stages, all hard-gated:
+
+1. **8-bit adder, static**: synthesize at ``--modulus`` and compare
+   bootstrap counts; fails below ``--min-reduction``.  The synthesized
+   netlist must also certify noise-clean under ``tfhe-mb-128``.
+2. **8-bit adder, encrypted**: execute both compilations on real
+   ciphertexts under ``tfhe-mb-128`` and require bit-identical
+   decrypted outputs (and both equal to the plaintext oracle).
+3. **Bench-model layer**: synthesize one reduced MNIST_S model in both
+   modes, prove plaintext equivalence, and record the reduction (conv
+   layers are multiply-heavy, so no 5x floor applies here — the number
+   is reported, not gated).
+
+Writes a ``BENCH_mblut.json`` artifact::
+
+    PYTHONPATH=src python benchmarks/bench_mblut.py \
+        --json BENCH_mblut.json --min-reduction 5
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.analyze import AnalyzerConfig, analyze_netlist
+from repro.hdl.arith import ripple_add
+from repro.hdl.builder import CircuitBuilder
+from repro.mblut import decrypt_mb_outputs, encrypt_mb_inputs, synthesize
+from repro.runtime import CpuBackend
+from repro.synth import check_equivalence
+from repro.tfhe import decrypt_bits, encrypt_bits, generate_keys
+from repro.tfhe.params import TFHE_MB_128
+
+
+def adder_netlist(width=8):
+    bd = CircuitBuilder()
+    a = [bd.input() for _ in range(width)]
+    b = [bd.input() for _ in range(width)]
+    for bit in ripple_add(bd, a, b, width=width + 1, signed=False):
+        bd.output(bit)
+    return bd.build()
+
+
+def operand_bits(a, b, width=8):
+    return np.array(
+        [(a >> i) & 1 for i in range(width)]
+        + [(b >> i) & 1 for i in range(width)],
+        dtype=bool,
+    )
+
+
+def measure_adder(modulus):
+    net = adder_netlist()
+    boolean_bootstraps = int(net.stats().num_bootstrapped_gates)
+    t0 = time.perf_counter()
+    mb = synthesize(net, modulus=modulus)
+    synth_s = time.perf_counter() - t0
+    equivalence = check_equivalence(net, mb, random_trials=256)
+    analysis = analyze_netlist(mb, AnalyzerConfig(params=TFHE_MB_128))
+    worst_margin = (
+        min(lv.margin_sigmas for lv in analysis.noise.levels)
+        if analysis.noise and analysis.noise.levels
+        else None
+    )
+    mb_bootstraps = int(mb.stats().num_bootstrapped_gates)
+    return net, mb, {
+        "boolean_bootstraps": boolean_bootstraps,
+        "mb_bootstraps": mb_bootstraps,
+        "lut_bootstraps": mb.num_lut_bootstraps,
+        "reduction": boolean_bootstraps / max(mb_bootstraps, 1),
+        "synthesis_s": synth_s,
+        "plaintext_equivalent": bool(equivalence),
+        "analysis_errors": len(analysis.report.errors()),
+        "worst_margin_sigmas": worst_margin,
+        "report": mb.synthesis.as_dict(),
+    }
+
+
+def measure_encrypted(net, mb, vectors, seed=42):
+    secret, cloud = generate_keys(TFHE_MB_128, seed=seed)
+    rng = np.random.default_rng(seed)
+    backend = CpuBackend(cloud)
+    rows = []
+    identical = True
+    for a, b in vectors:
+        bits = operand_bits(a, b)
+        want = net.evaluate(bits)
+
+        t0 = time.perf_counter()
+        out_bool, rep_bool = backend.run(net, encrypt_bits(secret, bits, rng))
+        bool_s = time.perf_counter() - t0
+        got_bool = decrypt_bits(secret, out_bool)
+
+        t0 = time.perf_counter()
+        out_mb, rep_mb = backend.run(
+            mb, encrypt_mb_inputs(secret, mb, bits, rng)
+        )
+        mb_s = time.perf_counter() - t0
+        got_mb = decrypt_mb_outputs(secret, mb, out_mb)
+
+        match = bool(
+            np.array_equal(got_bool, want) and np.array_equal(got_mb, want)
+        )
+        identical = identical and match
+        rows.append(
+            {
+                "a": a,
+                "b": b,
+                "boolean_s": bool_s,
+                "mblut_s": mb_s,
+                "boolean_bootstraps": rep_bool.gates_bootstrapped,
+                "mblut_bootstraps": rep_mb.gates_bootstrapped,
+                "decrypted_identical": match,
+            }
+        )
+    return {"params": TFHE_MB_128.name, "vectors": rows,
+            "decrypted_identical": identical}
+
+
+def measure_model_layer(modulus):
+    from repro.bench import mnist_workload
+
+    workload = mnist_workload("S", "reduced")
+    net = workload.netlist
+    t0 = time.perf_counter()
+    mb = synthesize(net, modulus=modulus)
+    synth_s = time.perf_counter() - t0
+    equivalence = check_equivalence(net, mb, random_trials=32)
+    before = int(net.stats().num_bootstrapped_gates)
+    after = int(mb.stats().num_bootstrapped_gates)
+    return {
+        "workload": workload.name,
+        "gates": net.num_gates,
+        "boolean_bootstraps": before,
+        "mb_bootstraps": after,
+        "lut_bootstraps": mb.num_lut_bootstraps,
+        "reduction": before / max(after, 1),
+        "synthesis_s": synth_s,
+        "plaintext_equivalent": bool(equivalence),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--modulus", type=int, default=16)
+    parser.add_argument(
+        "--min-reduction",
+        type=float,
+        default=5.0,
+        help="fail if the 8-bit adder's bootstrap reduction is below "
+        "this multiple",
+    )
+    parser.add_argument(
+        "--vectors",
+        type=int,
+        default=2,
+        help="encrypted operand pairs to execute in both modes",
+    )
+    parser.add_argument(
+        "--skip-encrypted",
+        action="store_true",
+        help="static + plaintext stages only (no key generation)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write results here"
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    net, mb, adder = measure_adder(args.modulus)
+    if adder["reduction"] < args.min_reduction:
+        failures.append(
+            f"8-bit adder reduction is {adder['reduction']:.2f}x "
+            f"(floor {args.min_reduction}x)"
+        )
+    if not adder["plaintext_equivalent"]:
+        failures.append("mblut adder is not equivalent to the boolean one")
+    if adder["analysis_errors"]:
+        failures.append(
+            f"mblut adder has {adder['analysis_errors']} analyzer errors "
+            f"under {TFHE_MB_128.name}"
+        )
+
+    result = {
+        "modulus": args.modulus,
+        "min_reduction": args.min_reduction,
+        "adder": adder,
+    }
+
+    if not args.skip_encrypted:
+        rng = np.random.default_rng(7)
+        pairs = [
+            (int(rng.integers(0, 256)), int(rng.integers(0, 256)))
+            for _ in range(args.vectors)
+        ]
+        encrypted = measure_encrypted(net, mb, pairs)
+        result["encrypted"] = encrypted
+        if not encrypted["decrypted_identical"]:
+            failures.append(
+                "multi-bit and boolean executions decrypted differently"
+            )
+
+    result["model_layer"] = measure_model_layer(args.modulus)
+    if not result["model_layer"]["plaintext_equivalent"]:
+        failures.append("mblut model layer is not equivalent")
+
+    result["failures"] = failures
+    result["ok"] = not failures
+
+    text = json.dumps(result, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    if failures:
+        for failure in failures:
+            print(f"MBLUT GATE FAILED: {failure}")
+        return 1
+    print(
+        f"mblut gate OK: adder {adder['boolean_bootstraps']} -> "
+        f"{adder['mb_bootstraps']} bootstraps "
+        f"({adder['reduction']:.1f}x), model layer "
+        f"{result['model_layer']['reduction']:.2f}x, decrypted identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

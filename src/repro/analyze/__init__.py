@@ -17,7 +17,11 @@ binaries, with four analysis families:
   execute latency per engine and the ciphertext-plane memory
   high-water mark, emitted as a serializable
   :class:`~repro.analyze.cost.CostCertificate` and gated against
-  declared latency/memory budgets.
+  declared latency/memory budgets;
+* **multi-bit coherence** (``MB``) — digit precision overflow over
+  leveled LIN chains and LUT table/precision agreement, plus the NB
+  and CA families lifted to ``p``-ary encodings
+  (:mod:`repro.analyze.mb`).
 
 The checkers run on :class:`~repro.analyze.facts.FlatCircuitFacts`, a
 structure-of-arrays view extracted once per subject, as vectorized
@@ -72,6 +76,12 @@ from .findings import (
     Severity,
 )
 from .hazards import check_program, check_schedule
+from .mb import (
+    analyze_mb_netlist,
+    certify_noise_mb,
+    check_mb,
+    check_program_mb,
+)
 from .noisecert import LevelCertificate, NoiseCertificate, certify_noise
 from .passcheck import (
     DEFAULT_PASSES,
@@ -108,8 +118,12 @@ __all__ = [
     "UNKNOWN",
     "analyze_binary",
     "analyze_binary_cached",
+    "analyze_mb_netlist",
     "analyze_netlist",
     "analyze_netlist_cached",
+    "certify_noise_mb",
+    "check_mb",
+    "check_program_mb",
     "binary_digest",
     "catalog_by_family",
     "certify_cost",

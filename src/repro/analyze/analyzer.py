@@ -107,7 +107,19 @@ def analyze_netlist(
     config: AnalyzerConfig = DEFAULT_CONFIG,
     schedule: Optional[Schedule] = None,
 ) -> Analysis:
-    """Run the configured analysis families over one netlist."""
+    """Run the configured analysis families over one netlist.
+
+    Multi-bit netlists route to the MB driver: the same hazard, noise,
+    and cost families generalized to the LIN/LUT vocabulary, plus the
+    MB coherence checks, minus the boolean-only structural/dataflow
+    families.
+    """
+    if getattr(netlist, "is_multibit", False):
+        from .mb import analyze_mb_netlist
+
+        analysis = analyze_mb_netlist(netlist, config, schedule)
+        _publish(analysis.report)
+        return analysis
     col = Collector(max_per_rule=config.max_findings_per_rule)
     families: List[str] = []
     certificate: Optional[NoiseCertificate] = None

@@ -47,7 +47,12 @@ Entry = Dict[str, Any]
 
 
 def netlist_digest(netlist: Netlist) -> str:
-    """Content hash of a netlist (the arrays that reach the analyzer)."""
+    """Content hash of a netlist (the arrays that reach the analyzer).
+
+    Multi-bit netlists fold in their precision/coefficient columns and
+    every LUT table — two programs with identical wiring but different
+    tables must never share a verdict.
+    """
     h = hashlib.sha256()
     h.update(netlist.name.encode())
     h.update(b"\x00")
@@ -57,6 +62,22 @@ def netlist_digest(netlist: Netlist) -> str:
         h.update(arr.tobytes())
     for names in (netlist.input_names, netlist.output_names):
         h.update(("\x00" + "\x1f".join(names)).encode())
+    if getattr(netlist, "is_multibit", False):
+        h.update(b"\x00mb")
+        for arr in (
+            netlist.input_prec,
+            netlist.input_bound,
+            netlist.prec,
+            netlist.kx,
+            netlist.ky,
+            netlist.kconst,
+            netlist.table_id,
+        ):
+            h.update(b"\x00")
+            h.update(arr.tobytes())
+        for table in netlist.tables:
+            h.update(b"\x00")
+            h.update(table.tobytes())
     return h.hexdigest()[:32]
 
 

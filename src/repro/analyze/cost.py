@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..gatetypes import OP_B2D, OP_D2B, OP_LUT
 from ..hdl.netlist import Netlist
 from ..perfmodel.analysis import ParallelismProfile, classify_workload
 from ..perfmodel.costs import PAPER_GATE_COST, GateCostModel
@@ -80,6 +81,11 @@ class CostAnalysisConfig:
     #: Marginal per-gate cost inside a fused level, as a fraction of
     #: ``gate_ms`` (the batched engine's measured amortization).
     batched_marginal_fraction: float = 0.125
+    #: Cost of one multi-bit LUT bootstrap (LUT/B2D/D2B) relative to a
+    #: boolean gate bootstrap.  The blind rotation is the same size;
+    #: the factor exists so calibration can price the wider test
+    #: polynomial prep and post-add separately.
+    lut_cost_factor: float = 1.0
     #: Per-task overhead a distributed worker pays per gate (ms).
     task_overhead_ms: float = 0.45
     #: Synchronization barrier closing each distributed level (ms).
@@ -115,6 +121,10 @@ class CostCertificate:
     free_gates: int
     #: Critical-path depth: number of levels with bootstrapped gates.
     depth: int
+    #: Multi-bit LUT bootstraps (LUT/B2D/D2B) within ``bootstrapped``,
+    #: and the per-bootstrap price they were charged at.
+    lut_bootstrapped: int = 0
+    lut_ms: float = 0.0
     #: Bootstrapped / free gate count per BFS level (index = level).
     bootstrap_histogram: List[int] = field(default_factory=list)
     free_histogram: List[int] = field(default_factory=list)
@@ -164,6 +174,8 @@ class CostCertificate:
             "bootstrapped": self.bootstrapped,
             "free_gates": self.free_gates,
             "depth": self.depth,
+            "lut_bootstrapped": self.lut_bootstrapped,
+            "lut_ms": self.lut_ms,
             "bootstrap_histogram": list(self.bootstrap_histogram),
             "free_histogram": list(self.free_histogram),
             "peak_live_wires": self.peak_live_wires,
@@ -186,6 +198,8 @@ class CostCertificate:
             bootstrapped=doc["bootstrapped"],
             free_gates=doc["free_gates"],
             depth=doc["depth"],
+            lut_bootstrapped=int(doc.get("lut_bootstrapped", 0)),
+            lut_ms=float(doc.get("lut_ms", 0.0)),
             bootstrap_histogram=[int(x) for x in doc["bootstrap_histogram"]],
             free_histogram=[int(x) for x in doc["free_histogram"]],
             peak_live_wires=doc["peak_live_wires"],
@@ -218,7 +232,13 @@ class CostCertificate:
             f"(gate {self.gate_ms:.2f} ms, linear {self.linear_ms:.3f} ms, "
             f"ciphertext {self.ciphertext_bytes} B)",
             f"gates: {self.gates} total, {self.bootstrapped} bootstrapped "
-            f"over {self.depth} level(s), {self.free_gates} free",
+            f"over {self.depth} level(s), {self.free_gates} free"
+            + (
+                f" ({self.lut_bootstrapped} multi-bit LUT bootstraps "
+                f"at {self.lut_ms:.2f} ms)"
+                if self.lut_bootstrapped
+                else ""
+            ),
             f"parallelism: {self.classification}  "
             f"(work/span bound {self.max_speedup:.1f}x, "
             f"mean level width {self.mean_width:.1f})",
@@ -235,17 +255,28 @@ class CostCertificate:
 
 def _level_histograms(
     flat: FlatCircuitFacts,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-level (bootstrapped, free) gate counts, index = BFS level."""
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-level (bootstrapped, free, LUT) gate counts, index = level.
+
+    The LUT histogram counts the multi-bit programmable bootstraps
+    (LUT/B2D/D2B) — a subset of the bootstrapped histogram — so the
+    latency prediction can price them at ``lut_cost_factor``.
+    """
     if not flat.num_gates:
         empty = np.zeros(0, dtype=np.int64)
-        return empty, empty
+        return empty, empty, empty
     gate_levels = flat.node_levels[flat.num_inputs :]
     needs = flat.needs_bootstrap
+    is_lut = np.isin(flat.ops, (OP_LUT, OP_B2D, OP_D2B))
     width = int(gate_levels.max()) + 1
     boot = np.bincount(gate_levels[needs], minlength=width)
     free = np.bincount(gate_levels[~needs], minlength=width)
-    return boot.astype(np.int64), free.astype(np.int64)
+    lut = np.bincount(gate_levels[needs & is_lut], minlength=width)
+    return (
+        boot.astype(np.int64),
+        free.astype(np.int64),
+        lut.astype(np.int64),
+    )
 
 
 def _peak_live_wires(flat: FlatCircuitFacts) -> int:
@@ -346,11 +377,15 @@ def certify_cost(
     """
     col = collector if collector is not None else Collector()
     cost = config.cost
-    boot_hist, free_hist = _level_histograms(flat)
+    boot_hist, free_hist, lut_hist = _level_histograms(flat)
     bootstrapped = int(boot_hist.sum())
     free_total = int(free_hist.sum())
+    lut_total = int(lut_hist.sum())
     profile = _profile_of(boot_hist)
-    predicted = _predict_latency(boot_hist, free_total, config)
+    # LUT bootstraps are priced at lut_cost_factor gate-equivalents;
+    # the weighted histogram flows into every engine prediction.
+    weighted_hist = boot_hist + (config.lut_cost_factor - 1.0) * lut_hist
+    predicted = _predict_latency(weighted_hist, free_total, config)
     peak_wires = _peak_live_wires(flat)
     certificate = CostCertificate(
         subject=flat.name,
@@ -362,6 +397,8 @@ def certify_cost(
         bootstrapped=bootstrapped,
         free_gates=free_total,
         depth=profile.depth,
+        lut_bootstrapped=lut_total,
+        lut_ms=config.lut_cost_factor * cost.gate_ms,
         bootstrap_histogram=[int(x) for x in boot_hist],
         free_histogram=[int(x) for x in free_hist],
         peak_live_wires=peak_wires,

@@ -29,12 +29,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..gatetypes import Gate
+from ..gatetypes import MB_OPS, Gate, op_arity, op_needs_bootstrap
 from ..hdl.netlist import NO_INPUT, Netlist
 
-#: Lookup tables are indexed by the 4-bit op nibble.
-_NUM_CODES = 16
-#: Arity placeholder for op codes outside the Gate vocabulary.
+#: Lookup tables span the 4-bit boolean nibbles plus the multi-bit
+#: op codes (0x10..0x13); anything else is unknown.
+_NUM_CODES = max(MB_OPS) + 1
+#: Arity placeholder for op codes outside the vocabulary.
 UNKNOWN_ARITY = -1
 
 _KNOWN_CODE = np.zeros(_NUM_CODES, dtype=bool)
@@ -44,6 +45,10 @@ for _gate in Gate:
     _KNOWN_CODE[int(_gate)] = True
     _CODE_ARITY[int(_gate)] = _gate.arity
     _CODE_BOOTSTRAPS[int(_gate)] = _gate.needs_bootstrap
+for _code in MB_OPS:
+    _KNOWN_CODE[_code] = True
+    _CODE_ARITY[_code] = op_arity(_code)
+    _CODE_BOOTSTRAPS[_code] = op_needs_bootstrap(_code)
 
 
 def _csr_rows(
@@ -82,8 +87,10 @@ class FlatCircuitFacts:
         outputs: np.ndarray,
         input_names: Optional[List[str]] = None,
         output_names: Optional[List[str]] = None,
+        multibit: bool = False,
     ):
         self.name = name
+        self.multibit = bool(multibit)
         self.num_inputs = int(num_inputs)
         self.ops = np.asarray(ops, dtype=np.int64)
         self.in0 = np.asarray(in0, dtype=np.int64)
@@ -117,6 +124,7 @@ class FlatCircuitFacts:
             outputs=netlist.outputs,
             input_names=list(netlist.input_names),
             output_names=list(netlist.output_names),
+            multibit=bool(getattr(netlist, "is_multibit", False)),
         )
 
     @classmethod
@@ -155,11 +163,13 @@ class FlatCircuitFacts:
     # ------------------------------------------------------------------
     @property
     def known(self) -> np.ndarray:
-        """Per-gate bool: op code decodes to a :class:`Gate`."""
+        """Per-gate bool: op code decodes to a :class:`Gate` (or, on a
+        multi-bit subject, to an mb op)."""
         if self._known is None:
-            in_nibble = (self.ops >= 0) & (self.ops < _NUM_CODES)
+            limit = _NUM_CODES if self.multibit else 16
+            in_range = (self.ops >= 0) & (self.ops < limit)
             known = np.zeros(self.num_gates, dtype=bool)
-            known[in_nibble] = _KNOWN_CODE[self.ops[in_nibble]]
+            known[in_range] = _KNOWN_CODE[self.ops[in_range]]
             self._known = known
         return self._known
 

@@ -30,7 +30,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..gatetypes import Gate
+from ..gatetypes import Gate, op_name
 from ..hdl.netlist import Netlist
 from ..isa.encoding import (
     FIELD_ALL_ONES,
@@ -76,11 +76,23 @@ def check_program(
     gate may only read indices defined strictly earlier in the stream,
     which is exactly the read-before-write discipline of the result
     plane.
+
+    A header carrying the multi-bit format marker routes the stream to
+    the extended-format lint (identically for both engines): format-1
+    words reuse the marker nibbles, so the boolean walk would flag
+    every extended gate as garbage.
     """
+    if engine not in ("flat", "legacy"):
+        raise ValueError(f"unknown analyzer engine {engine!r}")
+    if len(data) >= INSTRUCTION_BYTES and not len(data) % INSTRUCTION_BYTES:
+        from ..mblut.isa import is_mb_binary
+
+        if is_mb_binary(data):
+            from .mb import check_program_mb
+
+            return check_program_mb(data, collector)
     if engine == "legacy":
         return _check_program_legacy(data, collector)
-    if engine != "flat":
-        raise ValueError(f"unknown analyzer engine {engine!r}")
     return check_program_flat(data, collector)
 
 
@@ -124,7 +136,7 @@ def check_schedule_flat(
     free_first = np.full(num_nodes, _FAR, dtype=np.int64)
 
     def name_of(gate_idx: int) -> str:
-        return Gate(int(ops[gate_idx])).name
+        return op_name(int(ops[gate_idx]))
 
     def commit_writes(gates_arr: np.ndarray, level_index: int) -> None:
         """Apply a write section (HZ002 + result-plane state update)."""

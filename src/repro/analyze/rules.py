@@ -14,7 +14,9 @@ Families
 * ``DF`` — dataflow: constant/known-plaintext propagation,
 * ``SC`` — security: transparent-ciphertext taint tracking,
 * ``CA`` — cost certification: latency/memory budgets and
-  parallelism feasibility.
+  parallelism feasibility,
+* ``MB`` — multi-bit coherence: digit precision overflow and
+  LUT table/precision agreement.
 """
 
 from __future__ import annotations
@@ -208,6 +210,21 @@ _CATALOG: List[Rule] = [
         "The program's work/span bound is too low for the requested "
         "parallel backend to help; batching or distributing it only "
         "adds overhead over the single engine.",
+    ),
+    # ------------------------------------------------------------ multi-bit
+    Rule(
+        "MB001", Severity.ERROR, "digit precision overflow",
+        "Interval analysis over a leveled LIN chain proves a wire's "
+        "message range escapes [0, p-1] for its declared modulus; the "
+        "half-torus encoding wraps and every downstream LUT reads the "
+        "wrong slice.",
+    ),
+    Rule(
+        "MB002", Severity.ERROR, "table/precision mismatch",
+        "A programmable-bootstrap table disagrees with its operand's "
+        "precision: wrong entry count for the input modulus, an entry "
+        "outside the output modulus, or a missing/out-of-range table "
+        "id.",
     ),
     # ----------------------------------------------------------- pass check
     Rule(

@@ -15,7 +15,9 @@ A small operator toolbox around the library:
   bootstrapping engine; ``single`` is the legacy per-gate baseline),
   reusing one worker pool across ``--runs``; ``--trace-out`` /
   ``--metrics-out`` / ``--noise`` capture the run through the
-  observability layer;
+  observability layer; ``--mode mblut`` (also on ``check``, ``cost``
+  and ``bench-gate``) compiles matched arithmetic onto multi-bit LUT
+  bootstraps first;
 * ``profile``  — compile + run one workload fully instrumented and
   print a combined Fig.-7/Fig.-8-style report (gate phases, compile
   passes, execution Gantt, metrics, noise margins);
@@ -72,6 +74,39 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _maybe_synthesize_mb(netlist, args):
+    """Apply ``--mode mblut``: rewrite arithmetic onto LUT bootstraps."""
+    if getattr(args, "mode", "boolean") != "mblut":
+        return netlist
+    from .mblut import synthesize
+
+    mb = synthesize(netlist, modulus=args.modulus)
+    rep = mb.synthesis
+    print(
+        f"mblut synthesis (p={rep.modulus}): "
+        f"{rep.bool_bootstraps_before} -> {rep.mb_bootstraps_after} "
+        f"bootstraps ({rep.reduction:.1f}x over boolean, "
+        f"{rep.chains} chains, {rep.lut_bootstraps} LUTs, "
+        f"{rep.b2d_conversions}+{rep.d2b_conversions} conversions)"
+    )
+    return mb
+
+
+def _mode_params_name(args) -> str:
+    """``--mode mblut`` retargets the default parameter set.
+
+    The boolean-tuned default decides against a 1/8 margin; multi-bit
+    slices need the PBS-grade set, so an unchanged ``--params`` follows
+    the mode.  An explicit ``--params`` always wins.
+    """
+    if (
+        getattr(args, "mode", "boolean") == "mblut"
+        and args.params == "tfhe-default-128"
+    ):
+        return "tfhe-mb-128"
+    return args.params
+
+
 def _gatecost_arg(spec):
     """``--gatecost`` value: 'paper' (None = default) or a JSON path."""
     if spec is None or spec == "paper":
@@ -100,8 +135,9 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
 
     params = None
-    if args.params.lower() != "none":
-        params = _resolve_params(args.params)
+    params_name = _mode_params_name(args)
+    if params_name.lower() != "none":
+        params = _resolve_params(params_name)
     cost_config = CostAnalysisConfig(
         gate_cost=_gatecost_arg(args.gatecost),
         budget_ms=args.budget_ms,
@@ -158,12 +194,13 @@ def cmd_check(args: argparse.Namespace) -> int:
                 analysis = analyze_binary(data, config, name=name)
         else:
             workload = _workload_by_name(args.target)
+            netlist = _maybe_synthesize_mb(workload.netlist, args)
             if use_cache:
                 analysis = analyze_netlist_cached(
-                    workload.netlist, config, cache=cache
+                    netlist, config, cache=cache
                 )
             else:
-                analysis = analyze_netlist(workload.netlist, config)
+                analysis = analyze_netlist(netlist, config)
 
         passcheck = None
         if args.check_passes:
@@ -252,7 +289,9 @@ def cmd_cost(args) -> int:
             data, name=os.path.basename(args.target)
         )
     else:
-        netlist = _workload_by_name(args.target).netlist
+        netlist = _maybe_synthesize_mb(
+            _workload_by_name(args.target).netlist, args
+        )
     config = CostAnalysisConfig(
         gate_cost=_gatecost_arg(args.gatecost),
         budget_ms=args.budget_ms,
@@ -488,6 +527,13 @@ def cmd_run(args) -> int:
     from .tfhe import decrypt_bits, encrypt_bits, generate_keys
 
     params = _resolve_params(args.params)
+    mblut = args.mode == "mblut"
+    transport = args.transport
+    if mblut and args.backend == "distributed" and transport == "shm":
+        # The shared-memory plane is boolean-only; fall back rather
+        # than let the transport refuse the netlist mid-run.
+        print("mblut mode: distributed transport switched to pickle")
+        transport = "pickle"
     observed = _wants_observability(args)
     ctx = (
         obslib.observe(noise_params=params if args.noise else None)
@@ -496,18 +542,45 @@ def cmd_run(args) -> int:
     )
     with ctx as ob:
         workload = _workload_by_name(args.workload)
-        netlist = workload.netlist
+        source = workload.netlist
+        netlist = _maybe_synthesize_mb(source, args)
         print(f"generating keys for {params.name} ...")
         secret, cloud = generate_keys(params, seed=args.seed)
         rng = np.random.default_rng(args.seed)
         bits = workload.compiled.encode_inputs(*workload.sample_inputs())
-        ciphertext = encrypt_bits(secret, bits, rng)
-        want = netlist.evaluate(bits)
+        want = source.evaluate(bits)
+        if mblut:
+            from .mblut import decrypt_mb_outputs, encrypt_mb_inputs
+
+            ciphertext = encrypt_mb_inputs(secret, netlist, bits, rng)
+        else:
+            ciphertext = encrypt_bits(secret, bits, rng)
         schedule = build_schedule(netlist)
+        if mblut:
+            # Multi-bit slices are 1/(4p) wide, so a parameter set that
+            # is fine for boolean gates may be hopeless here; say so
+            # before spending minutes on a run that cannot decrypt.
+            from .analyze import certify_noise_mb
+
+            cert = certify_noise_mb(netlist, schedule, params)
+            worst = (
+                min(l.margin_sigmas for l in cert.levels)
+                if cert.levels
+                else float("inf")
+            )
+            if worst < 4.0:
+                print(
+                    f"warning: certified decision margin is only "
+                    f"{worst:.1f} sigma at p={args.modulus} on "
+                    f"{params.name} (expected wrong decisions: "
+                    f"{cert.expected_failures:.2e}); decryption "
+                    f"failures are likely — lower --modulus or use "
+                    f"--params tfhe-mb-128"
+                )
 
         if args.backend == "distributed":
             backend = DistributedCpuBackend(
-                cloud, num_workers=args.workers, transport=args.transport
+                cloud, num_workers=args.workers, transport=transport
             )
         else:
             backend = CpuBackend(cloud, batched=args.backend == "batched")
@@ -515,7 +588,10 @@ def cmd_run(args) -> int:
         try:
             for index in range(args.runs):
                 out, report = backend.run(netlist, ciphertext, schedule)
-                got = decrypt_bits(secret, out)
+                if mblut:
+                    got = decrypt_mb_outputs(secret, netlist, out)
+                else:
+                    got = decrypt_bits(secret, out)
                 ok = bool(np.array_equal(got, want))
                 print(
                     f"run {index}: {report.backend}  "
@@ -891,6 +967,7 @@ def cmd_bench_gate(args) -> int:
     print(f"  {'total':20s} {profile.total_ms:8.2f} ms")
     single_rate = 1e3 / profile.total_ms
     print(f"  single engine: {single_rate:8.1f} gates/s (per-gate legacy)")
+    batched_rate = None
     if args.backend == "batched":
         batch = args.batch
         ca = _random_samples(batch)
@@ -905,7 +982,56 @@ def cmd_bench_gate(args) -> int:
             f"  batched engine: {batched_rate:7.1f} gates/s at batch "
             f"{batch} ({batched_rate / single_rate:.1f}x over single)"
         )
+    if args.mode == "mblut":
+        # A programmable (multi-bit LUT) bootstrap is the same blind
+        # rotation with a table-shaped test polynomial; measure it so
+        # the ~1x cost claim behind the gate-count reduction is checked
+        # on this machine, not assumed.
+        from .mblut.kernels import _digit_test_poly, mb_bootstrap_batch
+
+        p = args.modulus
+        table = rng.integers(0, p, size=p)
+        row = _digit_test_poly(table, p, p, params.tlwe_degree).astype(
+            np.int32
+        )
+        batch = args.batch
+        rows = np.tile(row, (batch, 1))
+        post = np.zeros(batch, dtype=np.int32)
+        ct = _random_samples(batch)
+        best = float("inf")
+        for _ in range(max(1, args.repetitions)):
+            t0 = _time.perf_counter()
+            mb_bootstrap_batch(cloud, ct, rows, post)
+            best = min(best, _time.perf_counter() - t0)
+        lut_rate = batch / best
+        # Compare against the same engine shape: a fused boolean batch
+        # when one was measured, else the per-gate baseline.
+        base_rate = batched_rate if batched_rate else single_rate
+        base_name = "batched" if batched_rate else "single"
+        print(
+            f"  mblut engine:   {lut_rate:7.1f} LUT bootstraps/s at "
+            f"batch {batch}, p={p} ({base_rate / lut_rate:.2f}x a "
+            f"{base_name} boolean gate's cost)"
+        )
     return 0
+
+
+def _add_mode_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mode",
+        choices=("boolean", "mblut"),
+        default="boolean",
+        help="compilation mode for workload targets: 'mblut' rewrites "
+        "matched arithmetic onto multi-bit LUT bootstraps first "
+        "(binary targets self-describe their format; under the "
+        "default --params, mblut retargets to tfhe-mb-128)",
+    )
+    parser.add_argument(
+        "--modulus",
+        type=int,
+        default=16,
+        help="digit modulus p for --mode mblut (power of two >= 4)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1052,6 +1178,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the metrics registry (finding counters) as JSON",
     )
+    _add_mode_arguments(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -1100,6 +1227,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the certificate as JSON ('-' for stdout)",
     )
+    _add_mode_arguments(p)
     p.set_defaults(func=cmd_cost)
 
     p = sub.add_parser(
@@ -1166,6 +1294,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--params", default="tfhe-test")
     p.add_argument("--seed", type=int, default=0)
+    _add_mode_arguments(p)
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_run)
 
@@ -1365,6 +1494,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="untimed iterations before measurement (FFT planning, "
         "numpy buffer warm-up)",
     )
+    _add_mode_arguments(p)
     p.set_defaults(func=cmd_bench_gate)
 
     return parser

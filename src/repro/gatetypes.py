@@ -187,3 +187,68 @@ SWAP: Dict[Gate, Gate] = {
 COMMUTATIVE = frozenset(
     (Gate.AND, Gate.NAND, Gate.OR, Gate.NOR, Gate.XOR, Gate.XNOR)
 )
+
+
+# ---------------------------------------------------------------------------
+# Multi-bit op codes (the mblut subsystem)
+# ---------------------------------------------------------------------------
+# The multi-bit LUT path extends the op vocabulary past the 4-bit gate
+# nibble.  These codes only ever appear in :class:`repro.mblut.MbNetlist`
+# ops arrays (and, re-encoded, in ext instructions of the binary format);
+# they are deliberately outside [0, 16) so no boolean pipeline can confuse
+# them with a gate nibble.
+
+#: Leveled linear combination: ``kx*in0 + ky*in1 + const`` on p-ary
+#: digit encodings.  Free (no bootstrap) — torus adds and integer scales.
+OP_LIN = 0x10
+#: Programmable bootstrap through a lookup table: ``table[in0]``.
+OP_LUT = 0x11
+#: Boolean-to-digit bridge bootstrap: gate-encoded bit -> digit encoding
+#: (table has two entries: the digit values for bit 0 / bit 1).
+OP_B2D = 0x12
+#: Digit-to-boolean bridge bootstrap: digit -> gate-encoded bit
+#: (table has one 0/1 entry per input slice).
+OP_D2B = 0x13
+
+#: All multi-bit op codes.
+MB_OPS = frozenset((OP_LIN, OP_LUT, OP_B2D, OP_D2B))
+
+_MB_ARITY = {OP_LIN: 2, OP_LUT: 1, OP_B2D: 1, OP_D2B: 1}
+_MB_NAMES = {OP_LIN: "LIN", OP_LUT: "LUT", OP_B2D: "B2D", OP_D2B: "D2B"}
+
+
+def op_is_mb(code: int) -> bool:
+    """Whether ``code`` is a multi-bit op (LIN/LUT/B2D/D2B)."""
+    return code in MB_OPS
+
+
+def op_arity(code: int) -> int:
+    """Arity of any op code — boolean gate or multi-bit op.
+
+    LIN is nominally binary but tolerates a missing second operand
+    (``ky`` is ignored then); callers validating strict arity should
+    special-case it.
+    """
+    if code in _MB_ARITY:
+        return _MB_ARITY[code]
+    return Gate(code).arity
+
+
+def op_needs_bootstrap(code: int) -> bool:
+    """Whether homomorphic evaluation of ``code`` bootstraps.
+
+    LIN is the one free multi-bit op; LUT/B2D/D2B all blind-rotate.
+    """
+    if code in MB_OPS:
+        return code != OP_LIN
+    return Gate(code).needs_bootstrap
+
+
+def op_name(code: int) -> str:
+    """Display name of any op code (``Gate`` name or LIN/LUT/B2D/D2B)."""
+    if code in _MB_NAMES:
+        return _MB_NAMES[code]
+    try:
+        return Gate(code).name
+    except ValueError:
+        return f"OP_{code:#x}"

@@ -24,7 +24,15 @@ from .encoding import (
 
 
 def assemble(netlist: Netlist) -> bytes:
-    """Serialize a netlist into the PyTFHE binary format."""
+    """Serialize a netlist into the PyTFHE binary format.
+
+    Multi-bit netlists route to the extended (format-1) encoder; plain
+    boolean netlists produce the original format-0 stream.
+    """
+    if getattr(netlist, "is_multibit", False):
+        from ..mblut.isa import assemble_mb
+
+        return assemble_mb(netlist)
     chunks: List[bytes] = [encode_header(netlist.num_gates)]
     chunks.extend(encode_input() for _ in range(netlist.num_inputs))
     ops = netlist.ops
@@ -45,7 +53,15 @@ def assemble(netlist: Netlist) -> bytes:
 
 
 def disassemble(data: bytes, name: str = "binary") -> Netlist:
-    """Parse a PyTFHE binary back into a netlist."""
+    """Parse a PyTFHE binary back into a netlist.
+
+    Format-1 (multi-bit) binaries are detected by the header's format
+    marker and come back as :class:`~repro.mblut.ir.MbNetlist`.
+    """
+    from ..mblut.isa import disassemble_mb, is_mb_binary
+
+    if is_mb_binary(data):
+        return disassemble_mb(data, name=name)
     instructions = list(iter_instructions(data))
     if not instructions or instructions[0].kind != "header":
         raise ValueError("binary does not start with a header instruction")
@@ -93,5 +109,9 @@ def disassemble(data: bytes, name: str = "binary") -> Netlist:
 
 def binary_size_bytes(netlist: Netlist) -> int:
     """Size of the assembled binary without materializing it."""
+    if getattr(netlist, "is_multibit", False):
+        from ..mblut.isa import binary_size_bytes_mb
+
+        return binary_size_bytes_mb(netlist)
     count = 1 + netlist.num_inputs + netlist.num_gates + netlist.num_outputs
     return count * INSTRUCTION_BYTES

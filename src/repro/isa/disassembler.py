@@ -4,39 +4,165 @@ from __future__ import annotations
 
 from typing import List
 
-from .encoding import FIELD_ALL_ONES, INSTRUCTION_BYTES, iter_instructions
+from ..gatetypes import Gate, op_name
+from .encoding import (
+    FIELD_ALL_ONES,
+    INPUT_MARKER,
+    INSTRUCTION_BYTES,
+    OUTPUT_MARKER,
+    TYPE_MASK,
+)
+
+
+def _row(offset: int, index: str, text: str) -> str:
+    return f"{offset:#08x}  [{index:>6s}]  {text}"
 
 
 def format_program(data: bytes, max_rows: int = 0) -> str:
-    """Human-readable listing of a PyTFHE binary.
+    """Human-readable listing of a PyTFHE binary (never raises mid-listing).
 
     Each row shows the byte offset, the node index the instruction
     defines (inputs and gates are numbered sequentially from 1, as in
-    paper Fig. 6), and the decoded instruction.  ``max_rows`` truncates
-    long programs (0 = unlimited).
+    paper Fig. 6), and the decoded instruction.  Unknown or reserved
+    type nibbles render as a ``.word`` diagnostic line carrying the raw
+    bits and the byte offset — a corrupt word never aborts the listing,
+    so the surrounding context stays inspectable.  Multi-bit binaries
+    (format marker in the header's field 0) decode their extended gate
+    words and table segments.  ``max_rows`` truncates long programs
+    (0 = unlimited).
     """
     lines: List[str] = []
     next_index = 1
-    for position, inst in enumerate(iter_instructions(data)):
+    is_mb = False
+    table_data_left = 0
+    total_words, remainder = divmod(len(data), INSTRUCTION_BYTES)
+    for position in range(total_words):
         offset = position * INSTRUCTION_BYTES
-        if inst.kind == "header":
-            text = f"header  total_gates={inst.total_gates}"
-            index = "-"
-        elif inst.kind == "input":
+        raw = data[offset : offset + INSTRUCTION_BYTES]
+        word = int.from_bytes(raw, "little")
+        nibble = word & TYPE_MASK
+        field1 = (word >> 4) & FIELD_ALL_ONES
+        field0 = (word >> 66) & FIELD_ALL_ONES
+
+        if position == 0:
+            if nibble != 0:
+                lines.append(
+                    _row(
+                        offset, "-",
+                        f".word {word:#034x}  ; malformed header "
+                        f"(nibble {nibble:#x})",
+                    )
+                )
+            elif field0 == 0:
+                lines.append(
+                    _row(offset, "-", f"header  total_gates={field1}")
+                )
+            elif field0 == 1:
+                is_mb = True
+                lines.append(
+                    _row(
+                        offset, "-",
+                        f"header  mb-format=1 total_gates={field1}",
+                    )
+                )
+            else:
+                lines.append(
+                    _row(
+                        offset, "-",
+                        f".word {word:#034x}  ; unknown format marker "
+                        f"{field0}",
+                    )
+                )
+        elif table_data_left > 0:
+            table_data_left -= 1
+            lines.append(
+                _row(offset, "-", f"table   data={word >> 4:#x}")
+            )
+        elif nibble == INPUT_MARKER and field0 == FIELD_ALL_ONES:
             index = str(next_index)
             next_index += 1
-            text = "input"
-        elif inst.kind == "gate":
+            if is_mb and field1 != FIELD_ALL_ONES:
+                in_prec = field1 & 0x3FF
+                in_bound = field1 >> 10
+                kind = (
+                    "bool"
+                    if in_prec == 0
+                    else f"digit p={in_prec} bound={in_bound}"
+                )
+                lines.append(_row(offset, index, f"input   {kind}"))
+            else:
+                lines.append(_row(offset, index, "input"))
+        elif nibble == INPUT_MARKER and is_mb:
+            # Table segment header: field0 = id + 1, field1 = entries.
+            entries = field1
+            table_data_left = -(-entries // 12)
+            lines.append(
+                _row(
+                    offset, "-",
+                    f"table   id={field0 - 1} entries={entries}",
+                )
+            )
+        elif nibble == OUTPUT_MARKER and field0 == FIELD_ALL_ONES:
+            lines.append(_row(offset, "-", f"output  node={field1}"))
+        elif nibble == OUTPUT_MARKER and is_mb:
+            from ..mblut.isa import _unpack_ext_field1
+
+            code, prec, kx, ky, kconst, table_id, in1 = (
+                _unpack_ext_field1(field1)
+            )
             index = str(next_index)
             next_index += 1
-            a = "-" if inst.field0 == FIELD_ALL_ONES else str(inst.field0)
-            b = "-" if inst.field1 == FIELD_ALL_ONES else str(inst.field1)
-            text = f"gate    {inst.gate.name:6s} in0={a} in1={b}"
+            name = op_name(code).lower()
+            detail = f"p={prec} in0={field0 - 1}"
+            if in1 >= 0:
+                detail += f" in1={in1}"
+            if name == "lin":
+                detail += f" kx={kx} ky={ky} const={kconst}"
+            else:
+                detail += f" table={table_id}"
+            lines.append(_row(offset, index, f"gate    {name:6s} {detail}"))
+        elif nibble in (OUTPUT_MARKER, INPUT_MARKER):
+            # Reserved combination in a boolean binary: diagnose, move on.
+            lines.append(
+                _row(
+                    offset, "-",
+                    f".word {word:#034x}  ; reserved nibble "
+                    f"{nibble:#x} with operand field at offset "
+                    f"{offset:#x}",
+                )
+            )
         else:
-            index = "-"
-            text = f"output  node={inst.output_node}"
-        lines.append(f"{offset:#08x}  [{index:>6s}]  {text}")
+            try:
+                gate = Gate(nibble)
+            except ValueError:
+                lines.append(
+                    _row(
+                        offset, "-",
+                        f".word {word:#034x}  ; unknown gate nibble "
+                        f"{nibble:#x} at offset {offset:#x}",
+                    )
+                )
+            else:
+                index = str(next_index)
+                next_index += 1
+                name = gate.name
+                a = "-" if field0 == FIELD_ALL_ONES else str(field0)
+                b = "-" if field1 == FIELD_ALL_ONES else str(field1)
+                lines.append(
+                    _row(
+                        offset, index,
+                        f"gate    {name:6s} in0={a} in1={b}",
+                    )
+                )
         if max_rows and len(lines) >= max_rows:
-            lines.append(f"... ({len(data) // INSTRUCTION_BYTES} instructions total)")
-            break
+            lines.append(f"... ({total_words} instructions total)")
+            return "\n".join(lines)
+    if remainder:
+        lines.append(
+            _row(
+                total_words * INSTRUCTION_BYTES, "-",
+                f".word ; truncated instruction ({remainder} trailing "
+                "bytes)",
+            )
+        )
     return "\n".join(lines)

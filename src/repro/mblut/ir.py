@@ -1,0 +1,439 @@
+"""The mixed boolean / multi-bit netlist IR.
+
+:class:`MbNetlist` duck-types the flat-array surface of
+:class:`repro.hdl.netlist.Netlist` (``ops/in0/in1/outputs`` plus the
+shape properties), so the scheduler, the backends, and the serve
+registry run it unchanged — but its op vocabulary additionally spans
+the multi-bit codes of :mod:`repro.gatetypes` (LIN/LUT/B2D/D2B), and
+every wire carries a *precision*: ``0`` for a gate-encoded boolean,
+else the digit modulus ``p`` of its half-torus integer encoding.
+
+Construction validates **structure** only (operand direction, array
+shapes, table existence).  Semantic soundness — value ranges staying
+inside the modulus, tables agreeing with their operand's precision —
+is the MB rule family's job (:mod:`repro.analyze.mb`), exactly as the
+boolean constructor leaves noise/hazard soundness to the analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gatetypes import (
+    Gate,
+    MB_OPS,
+    OP_B2D,
+    OP_D2B,
+    OP_LIN,
+    OP_LUT,
+    evaluate_plain,
+    op_arity,
+    op_name,
+    op_needs_bootstrap,
+)
+from ..hdl.netlist import NO_INPUT, NetlistStats
+
+
+@dataclass
+class MbIoMap:
+    """Boolean-bit <-> multi-bit-wire contract of a synthesized netlist.
+
+    ``input_entries[i] = (wire_index, bit)`` maps boolean input bit
+    ``i`` of the *source* netlist onto the ``MbNetlist``'s input wire:
+    ``bit is None`` for a boolean wire (the bit travels as a gate
+    encoding), else bit position ``bit`` of a digit-encoded wire.
+    ``output_entries`` maps source output bits onto ``MbNetlist``
+    output positions the same way.
+    """
+
+    num_source_inputs: int
+    num_source_outputs: int
+    input_entries: List[Tuple[int, Optional[int]]] = field(
+        default_factory=list
+    )
+    output_entries: List[Tuple[int, Optional[int]]] = field(
+        default_factory=list
+    )
+
+    def encode_inputs(
+        self, bits: np.ndarray, input_prec: np.ndarray
+    ) -> np.ndarray:
+        """Boolean input bits -> per-wire integer messages.
+
+        ``bits`` has shape ``(num_source_inputs,)`` or
+        ``(batch, num_source_inputs)``; the result has the matching
+        batch shape over ``len(input_prec)`` wires.
+        """
+        arr = np.asarray(bits).astype(np.int64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[1] != self.num_source_inputs:
+            raise ValueError(
+                f"expected {self.num_source_inputs} input bits, "
+                f"got {arr.shape[1]}"
+            )
+        values = np.zeros((arr.shape[0], len(input_prec)), dtype=np.int64)
+        for i, (wire, bit) in enumerate(self.input_entries):
+            if bit is None:
+                values[:, wire] = arr[:, i]
+            else:
+                values[:, wire] += arr[:, i] << bit
+        return values[0] if single else values
+
+    def decode_outputs(self, values: np.ndarray) -> np.ndarray:
+        """Per-output-wire integer messages -> boolean output bits."""
+        arr = np.asarray(values, dtype=np.int64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        bits = np.zeros(
+            (arr.shape[0], self.num_source_outputs), dtype=bool
+        )
+        for i, (pos, bit) in enumerate(self.output_entries):
+            if bit is None:
+                bits[:, i] = arr[:, pos] != 0
+            else:
+                bits[:, i] = (arr[:, pos] >> bit) & 1 != 0
+        return bits[0] if single else bits
+
+
+class MbNetlist:
+    """A combinational DAG mixing boolean gates and multi-bit ops."""
+
+    #: Backends and the analyzer dispatch on this marker.
+    is_multibit = True
+
+    def __init__(
+        self,
+        num_inputs: int,
+        ops: Sequence[int],
+        in0: Sequence[int],
+        in1: Sequence[int],
+        outputs: Sequence[int],
+        input_prec: Sequence[int],
+        prec: Sequence[int],
+        kx: Sequence[int],
+        ky: Sequence[int],
+        kconst: Sequence[int],
+        table_id: Sequence[int],
+        tables: Sequence[Sequence[int]],
+        input_bound: Optional[Sequence[int]] = None,
+        io: Optional[MbIoMap] = None,
+        input_names: Optional[List[str]] = None,
+        output_names: Optional[List[str]] = None,
+        name: str = "mb-netlist",
+    ):
+        self.num_inputs = int(num_inputs)
+        self.ops = np.asarray(ops, dtype=np.int16)
+        self.in0 = np.asarray(in0, dtype=np.int64)
+        self.in1 = np.asarray(in1, dtype=np.int64)
+        self.outputs = np.asarray(outputs, dtype=np.int64)
+        self.input_prec = np.asarray(input_prec, dtype=np.int32)
+        self.prec = np.asarray(prec, dtype=np.int32)
+        self.kx = np.asarray(kx, dtype=np.int32)
+        self.ky = np.asarray(ky, dtype=np.int32)
+        self.kconst = np.asarray(kconst, dtype=np.int64)
+        self.table_id = np.asarray(table_id, dtype=np.int32)
+        self.tables = [
+            np.asarray(t, dtype=np.int64).reshape(-1) for t in tables
+        ]
+        if input_bound is None:
+            # Worst case: a digit wire may carry any message in [0, p).
+            self.input_bound = np.where(
+                self.input_prec > 0,
+                np.maximum(self.input_prec.astype(np.int64) - 1, 1),
+                1,
+            )
+        else:
+            self.input_bound = np.asarray(input_bound, dtype=np.int64)
+        self.io = io
+        self.name = name
+        self.input_names = input_names or [
+            f"in{i}" for i in range(self.num_inputs)
+        ]
+        self.output_names = output_names or [
+            f"out{i}" for i in range(len(self.outputs))
+        ]
+        self._levels_cache: Optional[np.ndarray] = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_inputs + self.num_gates
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def node_prec(self, node: int) -> int:
+        """Precision of a wire: 0 = boolean, else digit modulus."""
+        if node < self.num_inputs:
+            return int(self.input_prec[node])
+        return int(self.prec[node - self.num_inputs])
+
+    def node_precisions(self) -> np.ndarray:
+        """Per-node precision column (inputs then gates)."""
+        return np.concatenate(
+            (self.input_prec.astype(np.int64), self.prec.astype(np.int64))
+        )
+
+    def _validate(self) -> None:
+        n_in = self.num_inputs
+        lengths = {
+            "in0": len(self.in0),
+            "in1": len(self.in1),
+            "prec": len(self.prec),
+            "kx": len(self.kx),
+            "ky": len(self.ky),
+            "kconst": len(self.kconst),
+            "table_id": len(self.table_id),
+        }
+        for label, length in lengths.items():
+            if length != len(self.ops):
+                raise ValueError(
+                    f"{label} length {length} != ops length {len(self.ops)}"
+                )
+        if len(self.input_prec) != n_in:
+            raise ValueError("input_prec length mismatch")
+        if len(self.input_bound) != n_in:
+            raise ValueError("input_bound length mismatch")
+        if len(self.input_names) != n_in:
+            raise ValueError("input_names length mismatch")
+        if len(self.output_names) != len(self.outputs):
+            raise ValueError("output_names length mismatch")
+        for idx in range(self.num_gates):
+            code = int(self.ops[idx])
+            node = n_in + idx
+            if code not in MB_OPS:
+                try:
+                    Gate(code)
+                except ValueError:
+                    raise ValueError(
+                        f"gate index {idx} (node {node}): unknown op "
+                        f"code {code:#x}"
+                    ) from None
+            arity = op_arity(code)
+            a, b = int(self.in0[idx]), int(self.in1[idx])
+            need_b = arity == 2 and not (code == OP_LIN and b == NO_INPUT)
+            for slot, value, required in (
+                ("input0", a, arity >= 1),
+                ("input1", b, need_b),
+            ):
+                if required and not (0 <= value < node):
+                    raise ValueError(
+                        f"gate index {idx} (node {node}, "
+                        f"{op_name(code)}) {slot} is {value}; operands "
+                        f"must name an earlier node in [0, {node})"
+                    )
+            if code in (OP_LUT, OP_B2D, OP_D2B):
+                tid = int(self.table_id[idx])
+                if not (0 <= tid < len(self.tables)):
+                    raise ValueError(
+                        f"gate index {idx} ({op_name(code)}) references "
+                        f"table {tid}, but only {len(self.tables)} "
+                        "tables exist"
+                    )
+        for pos, out in enumerate(self.outputs):
+            if not (0 <= out < self.num_nodes):
+                raise ValueError(
+                    f"output {pos} references node {int(out)}, outside "
+                    f"[0, {self.num_nodes})"
+                )
+
+    # ------------------------------------------------------------------
+    # Levels / statistics
+    # ------------------------------------------------------------------
+    def bootstrap_levels(self) -> np.ndarray:
+        """Per-node bootstrap level (LIN is free, like NOT/BUF)."""
+        if self._levels_cache is not None:
+            return self._levels_cache
+        n_in = self.num_inputs
+        lv = [0] * self.num_nodes
+        ops = self.ops.tolist()
+        in0 = self.in0.tolist()
+        in1 = self.in1.tolist()
+        for idx in range(self.num_gates):
+            code = ops[idx]
+            arity = op_arity(code)
+            if arity == 0:
+                base = 0
+            elif arity == 1 or in1[idx] == NO_INPUT:
+                base = lv[in0[idx]]
+            else:
+                la, lb = lv[in0[idx]], lv[in1[idx]]
+                base = la if la > lb else lb
+            lv[n_in + idx] = base + (1 if op_needs_bootstrap(code) else 0)
+        self._levels_cache = np.asarray(lv, dtype=np.int64)
+        return self._levels_cache
+
+    def stats(self) -> NetlistStats:
+        histogram: Dict[str, int] = {}
+        for code, count in zip(*np.unique(self.ops, return_counts=True)):
+            histogram[op_name(int(code))] = int(count)
+        needs = np.array(
+            [op_needs_bootstrap(int(c)) for c in self.ops], dtype=bool
+        )
+        num_bs = int(needs.sum())
+        levels = self.bootstrap_levels()
+        gate_levels = (
+            levels[self.num_inputs :][needs] if num_bs else np.array([0])
+        )
+        depth = int(gate_levels.max()) if num_bs else 0
+        if num_bs:
+            __, widths = np.unique(gate_levels, return_counts=True)
+            max_width = int(widths.max())
+            mean_width = float(widths.mean())
+        else:
+            max_width, mean_width = 0, 0.0
+        return NetlistStats(
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            num_gates=self.num_gates,
+            num_bootstrapped_gates=num_bs,
+            gate_histogram=histogram,
+            bootstrap_depth=depth,
+            max_level_width=max_width,
+            mean_level_width=mean_width,
+        )
+
+    @property
+    def num_lut_bootstraps(self) -> int:
+        """Bootstraps that blind-rotate a programmable table."""
+        return int(
+            np.isin(self.ops, (OP_LUT, OP_B2D, OP_D2B)).sum()
+        )
+
+    # ------------------------------------------------------------------
+    # Plaintext evaluation (reference semantics)
+    # ------------------------------------------------------------------
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate on per-wire integer messages.
+
+        ``values`` has shape ``(num_inputs,)`` or
+        ``(batch, num_inputs)``: boolean wires carry 0/1, digit wires
+        their message in ``[0, p)``.  Result: one integer per output
+        wire.  LUT indices are reduced modulo the table length, the
+        torus wraparound an uncertified circuit would hit — certified
+        circuits (MB001 clean) never rely on it.
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} input wires, got {arr.shape[1]}"
+            )
+        batch = arr.shape[0]
+        node_values: List[np.ndarray] = [
+            arr[:, i] for i in range(self.num_inputs)
+        ]
+        zeros = np.zeros(batch, dtype=np.int64)
+        for idx in range(self.num_gates):
+            code = int(self.ops[idx])
+            a = (
+                node_values[int(self.in0[idx])]
+                if self.in0[idx] != NO_INPUT
+                else zeros
+            )
+            b = (
+                node_values[int(self.in1[idx])]
+                if self.in1[idx] != NO_INPUT
+                else zeros
+            )
+            if code == OP_LIN:
+                v = (
+                    int(self.kx[idx]) * a
+                    + int(self.ky[idx]) * b
+                    + int(self.kconst[idx])
+                )
+            elif code in (OP_LUT, OP_D2B):
+                table = self.tables[int(self.table_id[idx])]
+                v = table[a % len(table)]
+            elif code == OP_B2D:
+                table = self.tables[int(self.table_id[idx])]
+                v = table[(a != 0).astype(np.int64)]
+            else:
+                v = np.asarray(
+                    evaluate_plain(Gate(code), a & 1, b & 1),
+                    dtype=np.int64,
+                )
+                if v.ndim == 0:  # CONST0/CONST1 ignore their operands
+                    v = np.full(batch, int(v), dtype=np.int64)
+            node_values.append(v)
+        out = np.stack(
+            [node_values[int(o)] for o in self.outputs], axis=1
+        )
+        return out[0] if single else out
+
+    def evaluate_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Boolean-contract evaluation through the I/O map.
+
+        Takes/returns the *source* netlist's boolean bit vectors, so the
+        result is directly comparable against the boolean oracle.
+        """
+        if self.io is None:
+            raise ValueError(
+                "this MbNetlist carries no I/O map (e.g. it was "
+                "disassembled from a binary); evaluate() on wire "
+                "messages instead"
+            )
+        values = self.io.encode_inputs(bits, self.input_prec)
+        return self.io.decode_outputs(self.evaluate(values))
+
+    def __repr__(self) -> str:
+        return (
+            f"MbNetlist({self.name!r}, inputs={self.num_inputs}, "
+            f"gates={self.num_gates}, outputs={self.num_outputs}, "
+            f"luts={self.num_lut_bootstraps})"
+        )
+
+
+def mb_value_ranges(
+    netlist: MbNetlist,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Static per-node message range ``(lo, hi)`` (interval analysis).
+
+    Boolean wires span [0, 1]; digit inputs span their declared
+    ``input_bound`` (the client contract — a grouped ``w``-bit digit
+    only ever carries messages up to ``2^w - 1``, not ``p - 1``); LIN
+    propagates interval arithmetic; table ops span their entry range.
+    The MB001 check compares these against each wire's modulus.
+    """
+    n_in = netlist.num_inputs
+    lo = np.zeros(netlist.num_nodes, dtype=np.int64)
+    hi = np.zeros(netlist.num_nodes, dtype=np.int64)
+    for i in range(n_in):
+        hi[i] = int(netlist.input_bound[i])
+    for idx in range(netlist.num_gates):
+        node = n_in + idx
+        code = int(netlist.ops[idx])
+        a = int(netlist.in0[idx])
+        b = int(netlist.in1[idx])
+        if code == OP_LIN:
+            kx, ky = int(netlist.kx[idx]), int(netlist.ky[idx])
+            c = int(netlist.kconst[idx])
+            ends = [kx * lo[a], kx * hi[a]]
+            lo_v, hi_v = min(ends), max(ends)
+            if b != NO_INPUT:
+                ends = [ky * lo[b], ky * hi[b]]
+                lo_v, hi_v = lo_v + min(ends), hi_v + max(ends)
+            lo[node], hi[node] = lo_v + c, hi_v + c
+        elif code in (OP_LUT, OP_B2D, OP_D2B):
+            table = netlist.tables[int(netlist.table_id[idx])]
+            lo[node] = int(table.min()) if len(table) else 0
+            hi[node] = int(table.max()) if len(table) else 0
+        else:
+            hi[node] = 1
+    return lo, hi

@@ -1,0 +1,390 @@
+"""Multi-bit extension of the 128-bit PyTFHE instruction format.
+
+Boolean binaries spend only 14 of the 16 type-nibble codes on gates;
+``0x3`` is the output marker and ``0xF`` the input marker, and both are
+only unambiguous together with an all-ones field 0.  The multi-bit
+format claims the *reserved combinations*:
+
+* **header** — nibble ``0``, field 1 = gate count as before, but
+  field 0 = ``1``: the format-version marker (boolean binaries carry
+  ``0``).  Both stream-lint engines and the disassembler dispatch on
+  this word.
+* **input** — nibble ``0xF``, field 0 all-ones, field 1 packs the
+  wire's precision (``0`` = boolean, else the digit modulus ``p``) in
+  the low 10 bits and the wire's declared value bound (the largest
+  message the client contract may place on it) above — the bound is
+  what keeps the MB001 interval analysis exact for grouped digits that
+  carry fewer than ``log2(p)`` bits.
+* **boolean gate** — unchanged from the base format.
+* **multi-bit gate** — nibble ``0x3`` with a *real* operand in field 0
+  (``in0 + 1``, never all-ones — which is what keeps output words
+  unambiguous).  Field 1 packs, LSB first::
+
+      [ 1: 0] subop        0=LIN 1=LUT 2=B2D 3=D2B
+      [10: 2] precision    output modulus p (9 bits)
+      [18:11] kx + 128     LIN x-coefficient (8 bits)
+      [26:19] ky + 128     LIN y-coefficient (8 bits)
+      [42:27] kconst + 2^15  LIN constant — or the table id for
+                             LUT/B2D/D2B (16 bits)
+      [61:43] in1 + 1      second operand, 0 = none (19 bits)
+
+* **output** — unchanged (nibble ``0x3``, field 0 all-ones).
+* **table segment** — after the outputs: per table one header word
+  (nibble ``0xF``, field 0 = ``table_id + 1`` — a real value, never
+  all-ones — field 1 = entry count) followed by data words (nibble
+  ``0xF``, six 10-bit entries packed per field, twelve per word).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..gatetypes import Gate, OP_B2D, OP_D2B, OP_LIN, OP_LUT
+from ..hdl.netlist import NO_INPUT
+from ..isa.encoding import (
+    FIELD_ALL_ONES,
+    INPUT_MARKER,
+    INSTRUCTION_BYTES,
+    OUTPUT_MARKER,
+    TYPE_MASK,
+)
+from .ir import MbNetlist
+
+#: Field-0 value of a multi-bit header word (boolean binaries carry 0).
+MB_FORMAT_VERSION = 1
+
+EXT_MARKER = OUTPUT_MARKER  # 0x3 with a real operand in field 0
+
+_SUBOP_TO_CODE = {0: OP_LIN, 1: OP_LUT, 2: OP_B2D, 3: OP_D2B}
+_CODE_TO_SUBOP = {v: k for k, v in _SUBOP_TO_CODE.items()}
+
+_PREC_BITS = 9
+_INPUT_PREC_BITS = 10  # precision slice of an input word's field 1
+_COEFF_BITS = 8
+_CONST_BITS = 16
+_IN1_BITS = 19
+_COEFF_BIAS = 1 << (_COEFF_BITS - 1)
+_CONST_BIAS = 1 << (_CONST_BITS - 1)
+_MAX_IN1 = (1 << _IN1_BITS) - 2
+
+_ENTRY_BITS = 10
+_ENTRIES_PER_FIELD = 6
+_ENTRIES_PER_WORD = 2 * _ENTRIES_PER_FIELD
+_MAX_ENTRY = (1 << _ENTRY_BITS) - 1
+
+
+def _pack(field0: int, field1: int, nibble: int) -> bytes:
+    word = (field0 << 66) | (field1 << 4) | (nibble & TYPE_MASK)
+    return word.to_bytes(INSTRUCTION_BYTES, "little")
+
+
+def _unpack(raw: bytes) -> Tuple[int, int, int]:
+    word = int.from_bytes(raw, "little")
+    return (
+        (word >> 66) & FIELD_ALL_ONES,
+        (word >> 4) & FIELD_ALL_ONES,
+        word & TYPE_MASK,
+    )
+
+
+def is_mb_binary(data: bytes) -> bool:
+    """True when ``data`` starts with a multi-bit format header."""
+    if len(data) < INSTRUCTION_BYTES:
+        return False
+    field0, _, nibble = _unpack(data[:INSTRUCTION_BYTES])
+    return nibble == 0 and field0 == MB_FORMAT_VERSION
+
+
+def _pack_ext_field1(
+    code: int,
+    prec: int,
+    kx: int,
+    ky: int,
+    kconst_or_table: int,
+    in1: int,
+) -> int:
+    subop = _CODE_TO_SUBOP[code]
+    if not (0 <= prec < (1 << _PREC_BITS)):
+        raise ValueError(f"precision {prec} exceeds {_PREC_BITS} bits")
+    if not (-_COEFF_BIAS <= kx < _COEFF_BIAS):
+        raise ValueError(f"LIN coefficient kx={kx} out of 8-bit range")
+    if not (-_COEFF_BIAS <= ky < _COEFF_BIAS):
+        raise ValueError(f"LIN coefficient ky={ky} out of 8-bit range")
+    if code == OP_LIN:
+        if not (-_CONST_BIAS <= kconst_or_table < _CONST_BIAS):
+            raise ValueError(
+                f"LIN constant {kconst_or_table} out of 16-bit range"
+            )
+        const_field = kconst_or_table + _CONST_BIAS
+    else:
+        if not (0 <= kconst_or_table < (1 << _CONST_BITS)):
+            raise ValueError(
+                f"table id {kconst_or_table} exceeds {_CONST_BITS} bits"
+            )
+        const_field = kconst_or_table
+    in1_field = 0 if in1 == NO_INPUT else in1 + 1
+    if not (0 <= in1_field < (1 << _IN1_BITS)):
+        raise ValueError(
+            f"second operand {in1} exceeds the {_IN1_BITS}-bit "
+            "multi-bit operand space"
+        )
+    return (
+        subop
+        | (prec << 2)
+        | ((kx + _COEFF_BIAS) << 11)
+        | ((ky + _COEFF_BIAS) << 19)
+        | (const_field << 27)
+        | (in1_field << 43)
+    )
+
+
+def _unpack_ext_field1(field1: int):
+    subop = field1 & 0x3
+    prec = (field1 >> 2) & ((1 << _PREC_BITS) - 1)
+    kx = ((field1 >> 11) & ((1 << _COEFF_BITS) - 1)) - _COEFF_BIAS
+    ky = ((field1 >> 19) & ((1 << _COEFF_BITS) - 1)) - _COEFF_BIAS
+    const_field = (field1 >> 27) & ((1 << _CONST_BITS) - 1)
+    in1_field = (field1 >> 43) & ((1 << _IN1_BITS) - 1)
+    code = _SUBOP_TO_CODE[subop]
+    if code == OP_LIN:
+        kconst, table_id = const_field - _CONST_BIAS, -1
+    else:
+        kconst, table_id = 0, const_field
+    in1 = NO_INPUT if in1_field == 0 else in1_field - 1
+    return code, prec, kx, ky, kconst, table_id, in1
+
+
+def _table_words(table_id: int, entries: np.ndarray) -> List[bytes]:
+    if table_id + 1 >= FIELD_ALL_ONES:
+        raise ValueError("table id exceeds the 62-bit field")
+    words = [_pack(table_id + 1, len(entries), INPUT_MARKER)]
+    values = [int(v) for v in entries]
+    for v in values:
+        if not (0 <= v <= _MAX_ENTRY):
+            raise ValueError(
+                f"table entry {v} exceeds {_ENTRY_BITS} bits"
+            )
+    for start in range(0, len(values), _ENTRIES_PER_WORD):
+        chunk = values[start : start + _ENTRIES_PER_WORD]
+        f0 = 0
+        f1 = 0
+        for j, v in enumerate(chunk[:_ENTRIES_PER_FIELD]):
+            f0 |= v << (j * _ENTRY_BITS)
+        for j, v in enumerate(chunk[_ENTRIES_PER_FIELD:]):
+            f1 |= v << (j * _ENTRY_BITS)
+        words.append(_pack(f0, f1, INPUT_MARKER))
+    return words
+
+
+def assemble_mb(netlist: MbNetlist) -> bytes:
+    """Serialize an :class:`MbNetlist` into the multi-bit binary format.
+
+    The client-side I/O map is deliberately *not* serialized — the
+    server only ever needs wire semantics; bit packing is the client's
+    contract (keeping the binary free of plaintext structure hints).
+    """
+    chunks: List[bytes] = [
+        _pack(MB_FORMAT_VERSION, netlist.num_gates, 0)
+    ]
+    for wire in range(netlist.num_inputs):
+        w_prec = int(netlist.input_prec[wire])
+        w_bound = int(netlist.input_bound[wire])
+        if not (0 <= w_prec < (1 << _INPUT_PREC_BITS)):
+            raise ValueError(
+                f"input precision {w_prec} exceeds "
+                f"{_INPUT_PREC_BITS} bits"
+            )
+        if w_bound < 0:
+            raise ValueError(f"input bound {w_bound} is negative")
+        chunks.append(
+            _pack(
+                FIELD_ALL_ONES,
+                w_prec | (w_bound << _INPUT_PREC_BITS),
+                INPUT_MARKER,
+            )
+        )
+    for idx in range(netlist.num_gates):
+        code = int(netlist.ops[idx])
+        a = int(netlist.in0[idx])
+        b = int(netlist.in1[idx])
+        if code in _CODE_TO_SUBOP:
+            payload = int(netlist.kconst[idx])
+            if code != OP_LIN:
+                payload = int(netlist.table_id[idx])
+            field1 = _pack_ext_field1(
+                code,
+                int(netlist.prec[idx]),
+                int(netlist.kx[idx]),
+                int(netlist.ky[idx]),
+                payload,
+                b,
+            )
+            chunks.append(_pack(a + 1, field1, EXT_MARKER))
+        else:
+            gate = Gate(code)
+            f0 = FIELD_ALL_ONES if gate.arity < 1 else a + 1
+            f1 = FIELD_ALL_ONES if gate.arity < 2 else b + 1
+            chunks.append(_pack(f0, f1, int(gate)))
+    for out in netlist.outputs:
+        chunks.append(_pack(FIELD_ALL_ONES, int(out) + 1, OUTPUT_MARKER))
+    for tid, table in enumerate(netlist.tables):
+        chunks.extend(_table_words(tid, table))
+    return b"".join(chunks)
+
+
+def disassemble_mb(data: bytes, name: str = "mb-binary") -> MbNetlist:
+    """Parse a multi-bit binary back into an :class:`MbNetlist`.
+
+    The result has ``io=None``: the bit-packing contract stays with the
+    client that synthesized the program.
+    """
+    if len(data) % INSTRUCTION_BYTES:
+        raise ValueError("binary length is not a multiple of 16 bytes")
+    if not is_mb_binary(data):
+        raise ValueError("not a multi-bit binary (bad header word)")
+    n_words = len(data) // INSTRUCTION_BYTES
+    words = [
+        _unpack(data[i * INSTRUCTION_BYTES : (i + 1) * INSTRUCTION_BYTES])
+        for i in range(n_words)
+    ]
+    total_gates = words[0][1]
+
+    input_prec: List[int] = []
+    input_bound: List[int] = []
+    ops: List[int] = []
+    in0: List[int] = []
+    in1: List[int] = []
+    prec: List[int] = []
+    kx: List[int] = []
+    ky: List[int] = []
+    kconst: List[int] = []
+    table_id: List[int] = []
+    outputs: List[int] = []
+    tables: List[List[int]] = []
+
+    state = "inputs"
+    pos = 1
+    while pos < len(words):
+        field0, field1, nibble = words[pos]
+        offset = pos * INSTRUCTION_BYTES
+        if nibble == INPUT_MARKER and field0 == FIELD_ALL_ONES:
+            if state != "inputs":
+                raise ValueError(
+                    f"input word at offset {offset:#x} after gates began"
+                )
+            input_prec.append(field1 & ((1 << _INPUT_PREC_BITS) - 1))
+            input_bound.append(field1 >> _INPUT_PREC_BITS)
+            pos += 1
+            continue
+        if nibble == INPUT_MARKER:
+            # Table segment: header word + packed entry words.
+            if state not in ("outputs", "tables"):
+                raise ValueError(
+                    f"table word at offset {offset:#x} before outputs"
+                )
+            state = "tables"
+            tid, count = field0 - 1, field1
+            if tid != len(tables):
+                raise ValueError(
+                    f"table segment at offset {offset:#x} declares id "
+                    f"{tid}, expected {len(tables)}"
+                )
+            n_data = -(-count // _ENTRIES_PER_WORD)
+            if pos + n_data >= len(words) + 1:
+                raise ValueError(
+                    f"table {tid} truncated: needs {n_data} data words"
+                )
+            entries: List[int] = []
+            for d in range(n_data):
+                f0, f1, dn = words[pos + 1 + d]
+                if dn != INPUT_MARKER:
+                    raise ValueError(
+                        f"table {tid} data word {d} has nibble {dn:#x}"
+                    )
+                for j in range(_ENTRIES_PER_FIELD):
+                    entries.append((f0 >> (j * _ENTRY_BITS)) & _MAX_ENTRY)
+                for j in range(_ENTRIES_PER_FIELD):
+                    entries.append((f1 >> (j * _ENTRY_BITS)) & _MAX_ENTRY)
+            tables.append(entries[:count])
+            pos += 1 + n_data
+            continue
+        if nibble == OUTPUT_MARKER and field0 == FIELD_ALL_ONES:
+            if state == "tables":
+                raise ValueError(
+                    f"output word at offset {offset:#x} after tables began"
+                )
+            state = "outputs"
+            outputs.append(field1 - 1)
+            pos += 1
+            continue
+        # A gate word (boolean, or extended when nibble == 0x3).
+        if state == "outputs" or state == "tables":
+            raise ValueError(
+                f"gate word at offset {offset:#x} after outputs began"
+            )
+        state = "gates"
+        if nibble == EXT_MARKER:
+            code, g_prec, g_kx, g_ky, g_kconst, g_tid, b = (
+                _unpack_ext_field1(field1)
+            )
+            ops.append(code)
+            in0.append(field0 - 1)
+            in1.append(b)
+            prec.append(g_prec)
+            kx.append(g_kx)
+            ky.append(g_ky)
+            kconst.append(g_kconst)
+            table_id.append(g_tid)
+        else:
+            try:
+                gate = Gate(nibble)
+            except ValueError:
+                raise ValueError(
+                    f"unknown gate nibble {nibble:#x} at offset "
+                    f"{offset:#x}"
+                ) from None
+            ops.append(int(gate))
+            in0.append(
+                NO_INPUT if field0 == FIELD_ALL_ONES else field0 - 1
+            )
+            in1.append(
+                NO_INPUT if field1 == FIELD_ALL_ONES else field1 - 1
+            )
+            prec.append(0)
+            kx.append(0)
+            ky.append(0)
+            kconst.append(0)
+            table_id.append(-1)
+        pos += 1
+
+    if len(ops) != total_gates:
+        raise ValueError(
+            f"header claims {total_gates} gates, binary holds {len(ops)}"
+        )
+    return MbNetlist(
+        num_inputs=len(input_prec),
+        ops=ops,
+        in0=in0,
+        in1=in1,
+        outputs=outputs,
+        input_prec=input_prec,
+        prec=prec,
+        kx=kx,
+        ky=ky,
+        kconst=kconst,
+        table_id=table_id,
+        tables=tables,
+        input_bound=input_bound,
+        io=None,
+        name=name,
+    )
+
+
+def binary_size_bytes_mb(netlist: MbNetlist) -> int:
+    """Size of the assembled multi-bit binary without materializing it."""
+    words = 1 + netlist.num_inputs + netlist.num_gates + netlist.num_outputs
+    for table in netlist.tables:
+        words += 1 + -(-len(table) // _ENTRIES_PER_WORD)
+    return words * INSTRUCTION_BYTES

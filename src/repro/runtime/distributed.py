@@ -62,7 +62,20 @@ def _pickle_pool_init(key_blob: bytes) -> None:
 
 
 def _evaluate_chunk(payload) -> Tuple[np.ndarray, np.ndarray]:
-    """Worker-side task: evaluate one batch of bootstrapped gates."""
+    """Worker-side task: evaluate one batch of bootstrapped gates.
+
+    Two payload shapes: the boolean 5-tuple ``(codes, ca_a, ca_b, cb_a,
+    cb_b)``, and the multi-bit tagged form ``("mb", rows, post, a, b)``
+    whose per-gate test polynomials blind-rotate in one fused call.
+    """
+    if isinstance(payload[0], str) and payload[0] == "mb":
+        from ..mblut.kernels import mb_bootstrap_batch
+
+        _tag, rows, post, a, b = payload
+        out = mb_bootstrap_batch(
+            _WORKER_KEY, LweCiphertext(a, b), rows, post
+        )
+        return out.a, out.b
     codes, ca_a, ca_b, cb_a, cb_b = payload
     out = evaluate_gates_batch(
         _WORKER_KEY,
@@ -271,6 +284,12 @@ class DistributedCpuBackend:
             )
         schedule = schedule or build_schedule(netlist)
         if self.transport == "shm":
+            if getattr(netlist, "is_multibit", False):
+                raise ValueError(
+                    "the shm transport's worker plan only carries "
+                    "boolean gate codes; run multi-bit netlists with "
+                    "transport='pickle'"
+                )
             return self._run_shm(netlist, inputs, schedule)
         return self._run_pickle(netlist, inputs, schedule)
 
@@ -297,9 +316,29 @@ class DistributedCpuBackend:
         for level in schedule.levels:
             if level.width:
                 t0 = time.perf_counter()
-                chunks = shard_level(
-                    level.bootstrapped, self.pool.num_workers
-                )
+                if getattr(netlist, "is_multibit", False):
+                    from ..mblut.kernels import (
+                        mb_test_poly_rows,
+                        split_level,
+                    )
+
+                    level_codes = netlist.ops[
+                        level.bootstrapped
+                    ].astype(np.int64)
+                    bool_pos, mb_pos = split_level(level_codes)
+                    chunks = shard_level(
+                        level.bootstrapped[bool_pos],
+                        self.pool.num_workers,
+                    )
+                    mb_chunks = shard_level(
+                        level.bootstrapped[mb_pos],
+                        self.pool.num_workers,
+                    )
+                else:
+                    chunks = shard_level(
+                        level.bootstrapped, self.pool.num_workers
+                    )
+                    mb_chunks = []
                 payloads = []
                 for chunk in chunks:
                     codes = netlist.ops[chunk].astype(np.int64)
@@ -307,6 +346,14 @@ class DistributedCpuBackend:
                     cb = store.get(netlist.in1[chunk])
                     payloads.append((codes, ca.a, ca.b, cb.a, cb.b))
                     moved += ca.nbytes() + cb.nbytes()
+                for chunk in mb_chunks:
+                    rows, post = mb_test_poly_rows(
+                        netlist, chunk, params.tlwe_degree
+                    )
+                    ct = store.get(netlist.in0[chunk])
+                    payloads.append(("mb", rows, post, ct.a, ct.b))
+                    moved += ct.nbytes() + rows.nbytes + post.nbytes
+                chunks = chunks + mb_chunks
                 results = self.pool.map(payloads)
                 tasks += len(payloads)
                 for chunk, (out_a, out_b) in zip(chunks, results):

@@ -24,8 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..gatetypes import Gate
-from ..hdl.netlist import Netlist
+from ..gatetypes import Gate, OP_LIN, op_name
+from ..hdl.netlist import NO_INPUT, Netlist
 from ..obs import Observability
 from ..obs import get as _get_obs
 from ..tfhe.gates import evaluate_gate, evaluate_gates_batch, trivial_bit
@@ -86,7 +86,7 @@ def emit_execution_observability(
         metrics.inc(
             "gates_executed",
             int(count) * instances,
-            gate=Gate(int(code)).name,
+            gate=op_name(int(code)),
         )
     metrics.inc("runs", 1, backend=backend_name)
     metrics.inc(
@@ -395,20 +395,34 @@ class CpuBackend:
         for level in schedule.levels:
             t_level = time.perf_counter()
             if level.width:
-                ids = level.bootstrapped
-                codes = np.broadcast_to(
-                    netlist.ops[ids].astype(np.int64)[:, None],
-                    (len(ids), instances),
-                )
-                ca = LweCiphertext(
-                    store_a[netlist.in0[ids]], store_b[netlist.in0[ids]]
-                )
-                cb = LweCiphertext(
-                    store_a[netlist.in1[ids]], store_b[netlist.in1[ids]]
-                )
-                out = evaluate_gates_batch(self.cloud_key, codes, ca, cb)
-                store_a[ids + n_in] = out.a
-                store_b[ids + n_in] = out.b
+                if getattr(netlist, "is_multibit", False):
+                    store = _NodeStore(
+                        0, 0, buffers=(store_a, store_b)
+                    )
+                    self._run_bootstrapped_mb(
+                        netlist,
+                        store,
+                        level.bootstrapped,
+                        netlist.ops[level.bootstrapped].astype(np.int64),
+                        n_in,
+                    )
+                else:
+                    ids = level.bootstrapped
+                    codes = np.broadcast_to(
+                        netlist.ops[ids].astype(np.int64)[:, None],
+                        (len(ids), instances),
+                    )
+                    ca = LweCiphertext(
+                        store_a[netlist.in0[ids]], store_b[netlist.in0[ids]]
+                    )
+                    cb = LweCiphertext(
+                        store_a[netlist.in1[ids]], store_b[netlist.in1[ids]]
+                    )
+                    out = evaluate_gates_batch(
+                        self.cloud_key, codes, ca, cb
+                    )
+                    store_a[ids + n_in] = out.a
+                    store_b[ids + n_in] = out.b
                 if collect:
                     trace_events.append(
                         TraceEvent(
@@ -421,7 +435,11 @@ class CpuBackend:
                     )
             t_free = time.perf_counter()
             for gate_idx in level.free:
-                gate = Gate(int(netlist.ops[gate_idx]))
+                code = int(netlist.ops[gate_idx])
+                if code == OP_LIN:
+                    _lin_into(netlist, store_a, store_b, int(gate_idx), n_in)
+                    continue
+                gate = Gate(code)
                 node = n_in + gate_idx
                 if gate is Gate.CONST0 or gate is Gate.CONST1:
                     ct = trivial_bit(gate is Gate.CONST1, params)
@@ -481,6 +499,10 @@ class CpuBackend:
         n_in: int,
     ) -> int:
         codes = netlist.ops[gate_indices].astype(np.int64)
+        if getattr(netlist, "is_multibit", False):
+            return self._run_bootstrapped_mb(
+                netlist, store, gate_indices, codes, n_in
+            )
         ca = store.get(netlist.in0[gate_indices])
         cb = store.get(netlist.in1[gate_indices])
         if self.batched:
@@ -518,10 +540,57 @@ class CpuBackend:
         store.put(gate_indices + n_in, out)
         return (ca.nbytes() + cb.nbytes() + out.nbytes())
 
+    def _run_bootstrapped_mb(
+        self,
+        netlist,
+        store: _NodeStore,
+        gate_indices: np.ndarray,
+        codes: np.ndarray,
+        n_in: int,
+    ) -> int:
+        """One level of a multi-bit netlist: two fused bootstrap calls.
+
+        Boolean gates batch through :func:`evaluate_gates_batch` as
+        usual; the level's LUT/B2D/D2B bootstraps fuse into a single
+        per-row-test-polynomial blind rotation.  (Multi-bit levels
+        always run fused, even under the ``single`` engine —
+        per-gate mb evaluation would be the same code with batch 1.)
+        """
+        from ..mblut import kernels as mbk
+
+        moved = 0
+        bool_pos, mb_pos = mbk.split_level(codes)
+        if len(bool_pos):
+            ids = gate_indices[bool_pos]
+            ca = store.get(netlist.in0[ids])
+            cb = store.get(netlist.in1[ids])
+            bcodes = codes[bool_pos]
+            if ca.a.ndim == 3:  # run_many: broadcast per instance
+                bcodes = np.broadcast_to(
+                    bcodes[:, None], ca.a.shape[:2]
+                )
+            out = evaluate_gates_batch(self.cloud_key, bcodes, ca, cb)
+            store.put(ids + n_in, out)
+            moved += ca.nbytes() + cb.nbytes() + out.nbytes()
+        if len(mb_pos):
+            ids = gate_indices[mb_pos]
+            ct = store.get(netlist.in0[ids])
+            rows, post = mbk.mb_test_poly_rows(
+                netlist, ids, self.cloud_key.params.tlwe_degree
+            )
+            out = mbk.mb_bootstrap_batch(self.cloud_key, ct, rows, post)
+            store.put(ids + n_in, out)
+            moved += ct.nbytes() + out.nbytes()
+        return moved
+
     def _run_free(
         self, netlist: Netlist, store: _NodeStore, gate_idx: int, n_in: int
     ) -> None:
-        gate = Gate(int(netlist.ops[gate_idx]))
+        code = int(netlist.ops[gate_idx])
+        if code == OP_LIN:
+            self._run_lin(netlist, store, gate_idx, n_in)
+            return
+        gate = Gate(code)
         node = n_in + gate_idx
         params = self.cloud_key.params
         if gate is Gate.CONST0 or gate is Gate.CONST1:
@@ -538,3 +607,36 @@ class CpuBackend:
             store.b[node] = wrap_int32(-np.int64(store.b[src]))
         else:  # pragma: no cover - schedule guarantees free gates only
             raise AssertionError(f"{gate.name} is not a free gate")
+
+    def _run_lin(
+        self, netlist, store: _NodeStore, gate_idx: int, n_in: int
+    ) -> None:
+        _lin_into(netlist, store.a, store.b, gate_idx, n_in)
+
+
+def _lin_into(
+    netlist, store_a: np.ndarray, store_b: np.ndarray, gate_idx: int,
+    n_in: int,
+) -> None:
+    """Evaluate one free OP_LIN gate straight into node storage.
+
+    Works on both storage layouts: per-node rows ``(dim,)`` (run) and
+    per-node instance planes ``(instances, dim)`` (run_many).
+    """
+    from ..mblut.kernels import lin_combine
+
+    node = n_in + gate_idx
+    a = int(netlist.in0[gate_idx])
+    b = int(netlist.in1[gate_idx])
+    ca = LweCiphertext(store_a[a], store_b[a])
+    cb = None if b == NO_INPUT else LweCiphertext(store_a[b], store_b[b])
+    out = lin_combine(
+        ca,
+        cb,
+        int(netlist.kx[gate_idx]),
+        int(netlist.ky[gate_idx]),
+        int(netlist.kconst[gate_idx]),
+        int(netlist.prec[gate_idx]),
+    )
+    store_a[node] = out.a
+    store_b[node] = out.b

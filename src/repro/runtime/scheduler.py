@@ -15,7 +15,7 @@ from typing import List
 
 import numpy as np
 
-from ..gatetypes import Gate
+from ..gatetypes import op_needs_bootstrap
 from ..hdl.netlist import Netlist
 
 
@@ -87,8 +87,11 @@ def build_schedule(netlist: Netlist) -> Schedule:
     node_levels = netlist.bootstrap_levels()
     n_in = netlist.num_inputs
     gate_levels = node_levels[n_in:]
+    # op_needs_bootstrap spans both the boolean gate vocabulary and the
+    # multi-bit codes (LUT/B2D/D2B bootstrap, LIN is free), so the same
+    # scheduler levels boolean netlists and MbNetlists.
     needs = np.array(
-        [Gate(int(code)).needs_bootstrap for code in netlist.ops], dtype=bool
+        [op_needs_bootstrap(int(code)) for code in netlist.ops], dtype=bool
     )
     max_level = int(gate_levels.max()) if netlist.num_gates else 0
     levels: List[Level] = []

@@ -1,6 +1,10 @@
 """Logic synthesis passes (the augmented-Yosys stage of PyTFHE)."""
 
-from .equivalence import EquivalenceResult, check_equivalence
+from .equivalence import (
+    EquivalenceResult,
+    check_equivalence,
+    check_equivalence_mb,
+)
 from .passes import (
     dead_gate_elimination,
     optimize,
@@ -12,6 +16,7 @@ from .passes import (
 __all__ = [
     "EquivalenceResult",
     "check_equivalence",
+    "check_equivalence_mb",
     "dead_gate_elimination",
     "optimize",
     "reachable_mask",

@@ -33,13 +33,38 @@ class EquivalenceResult:
         return self.equivalent
 
 
+def _check_vectors(n: int, random_trials: int, seed: int):
+    """The shared vector plan: exhaustive when small, corners+random else."""
+    if n == 0:
+        return np.zeros((1, 0), dtype=bool), True
+    if n <= EXHAUSTIVE_LIMIT:
+        counts = np.arange(1 << n, dtype=np.uint64)
+        vectors = (
+            (counts[:, None] >> np.arange(n, dtype=np.uint64)) & 1
+        ).astype(bool)
+        return vectors, True
+    rng = np.random.default_rng(seed)
+    random_part = rng.integers(0, 2, (random_trials, n)).astype(bool)
+    return np.concatenate([_corner_vectors(n), random_part]), False
+
+
 def check_equivalence(
     first: Netlist,
     second: Netlist,
     random_trials: int = 512,
     seed: int = 0,
 ) -> EquivalenceResult:
-    """Compare two netlists over their shared input/output contract."""
+    """Compare two netlists over their shared input/output contract.
+
+    ``second`` may be a mixed multi-bit netlist
+    (:class:`repro.mblut.MbNetlist`); its boolean I/O contract is then
+    evaluated through the synthesis I/O map, so a rewrite is checked
+    against the boolean oracle it came from.
+    """
+    if getattr(second, "is_multibit", False):
+        return check_equivalence_mb(
+            first, second, random_trials=random_trials, seed=seed
+        )
     if first.num_inputs != second.num_inputs:
         raise ValueError(
             f"input counts differ: {first.num_inputs} vs {second.num_inputs}"
@@ -48,25 +73,59 @@ def check_equivalence(
         raise ValueError(
             f"output counts differ: {first.num_outputs} vs {second.num_outputs}"
         )
-    n = first.num_inputs
-    if n == 0:
-        vectors = np.zeros((1, 0), dtype=bool)
-        exhaustive = True
-    elif n <= EXHAUSTIVE_LIMIT:
-        counts = np.arange(1 << n, dtype=np.uint64)
-        vectors = (
-            (counts[:, None] >> np.arange(n, dtype=np.uint64)) & 1
-        ).astype(bool)
-        exhaustive = True
-    else:
-        rng = np.random.default_rng(seed)
-        random_part = rng.integers(0, 2, (random_trials, n)).astype(bool)
-        corners = _corner_vectors(n)
-        vectors = np.concatenate([corners, random_part])
-        exhaustive = False
-
+    vectors, exhaustive = _check_vectors(
+        first.num_inputs, random_trials, seed
+    )
     out1 = first.evaluate(vectors)
     out2 = second.evaluate(vectors)
+    mismatches = np.any(out1 != out2, axis=1)
+    if mismatches.any():
+        index = int(np.argmax(mismatches))
+        return EquivalenceResult(
+            equivalent=False,
+            exhaustive=exhaustive,
+            vectors_checked=index + 1,
+            counterexample=vectors[index],
+        )
+    return EquivalenceResult(
+        equivalent=True, exhaustive=exhaustive, vectors_checked=len(vectors)
+    )
+
+
+def check_equivalence_mb(
+    boolean: Netlist,
+    multibit,
+    random_trials: int = 512,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Check a multi-bit rewrite against its boolean source netlist.
+
+    The multi-bit side is evaluated through its synthesis I/O map
+    (``evaluate_bits``), so both sides speak the *source* netlist's
+    boolean bit contract; exhaustiveness follows the same
+    :data:`EXHAUSTIVE_LIMIT` rule as the boolean checker.
+    """
+    if getattr(multibit, "io", None) is None:
+        raise ValueError(
+            "multi-bit netlist carries no I/O map (was it disassembled "
+            "from a binary?); equivalence needs the synthesis bit "
+            "packing contract"
+        )
+    if boolean.num_inputs != multibit.io.num_source_inputs:
+        raise ValueError(
+            f"input counts differ: {boolean.num_inputs} vs "
+            f"{multibit.io.num_source_inputs}"
+        )
+    if boolean.num_outputs != multibit.io.num_source_outputs:
+        raise ValueError(
+            f"output counts differ: {boolean.num_outputs} vs "
+            f"{multibit.io.num_source_outputs}"
+        )
+    vectors, exhaustive = _check_vectors(
+        boolean.num_inputs, random_trials, seed
+    )
+    out1 = boolean.evaluate(vectors)
+    out2 = multibit.evaluate_bits(vectors)
     mismatches = np.any(out1 != out2, axis=1)
     if mismatches.any():
         index = int(np.argmax(mismatches))

@@ -18,12 +18,15 @@ from .gates import (
 from .keys import CloudKey, SecretKey, generate_keys
 from .lut import (
     IntegerEncoding,
+    LutTableError,
     apply_lut,
     decrypt_int,
     encrypt_int,
+    lut_test_polynomial,
     multiply_table,
     relu_table,
     square_table,
+    validate_table,
 )
 from .lwe import LweCiphertext, lwe_decrypt_bit, lwe_encrypt, lwe_phase, lwe_trivial
 from .noise import (
@@ -42,7 +45,10 @@ from .params import (
 __all__ = [
     "GateNoiseBudget",
     "IntegerEncoding",
+    "LutTableError",
     "apply_lut",
+    "lut_test_polynomial",
+    "validate_table",
     "bootstrap_output_variance",
     "decrypt_int",
     "encrypt_int",

@@ -31,6 +31,43 @@ from .torus import wrap_int32
 _TWO32 = 1 << 32
 
 
+class LutTableError(ValueError):
+    """A lookup table does not fit the encoding it is applied under.
+
+    Raised instead of silently wrapping indices/outputs: a table whose
+    length disagrees with the input modulus would alias slices, and
+    entries outside the output modulus would wrap to unrelated digits.
+    """
+
+
+def validate_table(
+    table,
+    encoding_in: "IntegerEncoding",
+    encoding_out: "IntegerEncoding",
+) -> np.ndarray:
+    """Check ``table`` against the in/out encodings; return it as int64.
+
+    The table must have exactly ``encoding_in.modulus`` entries (one per
+    input slice) and every entry must be a valid message under
+    ``encoding_out`` — i.e. in ``[0, encoding_out.modulus)``.
+    """
+    entries = np.asarray(table, dtype=np.int64).reshape(-1)
+    p = encoding_in.modulus
+    if len(entries) != p:
+        raise LutTableError(
+            f"table must have {p} entries (one per slice of the input "
+            f"modulus), got {len(entries)}"
+        )
+    q = encoding_out.modulus
+    if entries.size and (entries.min() < 0 or entries.max() >= q):
+        bad = int(entries[(entries < 0) | (entries >= q)][0])
+        raise LutTableError(
+            f"table entry {bad} is outside the output modulus "
+            f"[0, {q}); re-reduce the table or widen the encoding"
+        )
+    return entries
+
+
 @dataclass(frozen=True)
 class IntegerEncoding:
     """Messages in ``Z_p`` packed into the half-torus ``[0, 1/2)``."""
@@ -101,21 +138,32 @@ def apply_lut(
     encoded under ``encoding_out`` (defaults to the input encoding).
     """
     params = cloud.params
-    p = encoding_in.modulus
-    if len(table) != p:
-        raise ValueError(f"table must have {p} entries, got {len(table)}")
     encoding_out = encoding_out or encoding_in
-
-    big_n = params.tlwe_degree
-    # Test polynomial: position j corresponds to phase j / 2N in
-    # [0, 1/2); slice index is floor(2p * phase) = (p * j) // N.
-    slice_of = (np.arange(big_n, dtype=np.int64) * p) // big_n
-    outputs = np.asarray(table, dtype=np.int64)[slice_of]
-    test_poly = encoding_out.encode(outputs)
+    test_poly = lut_test_polynomial(
+        table, encoding_in, encoding_out, params.tlwe_degree
+    )
 
     acc = blind_rotate(test_poly, ct, cloud.bootstrap_fft(), params)
     extracted = tlwe_extract_lwe(acc, params)
     return keyswitch_apply(cloud.keyswitching_key, extracted)
+
+
+def lut_test_polynomial(
+    table,
+    encoding_in: IntegerEncoding,
+    encoding_out: IntegerEncoding,
+    big_n: int,
+) -> np.ndarray:
+    """The blind-rotation test polynomial realizing ``table``.
+
+    Position ``j`` corresponds to phase ``j / 2N`` in ``[0, 1/2)``;
+    slice index is ``floor(2p * phase) = (p * j) // N``.  Validates the
+    table against both encodings (:class:`LutTableError` on mismatch).
+    """
+    entries = validate_table(table, encoding_in, encoding_out)
+    p = encoding_in.modulus
+    slice_of = (np.arange(big_n, dtype=np.int64) * p) // big_n
+    return encoding_out.encode(entries[slice_of])
 
 
 def relu_table(modulus: int, threshold: Optional[int] = None) -> list:

@@ -107,6 +107,29 @@ TFHE_DEFAULT_128 = TFHEParameters(
     security_bits=128,
 )
 
+#: Parameters sized for multi-bit programmable bootstrapping.
+#:
+#: The boolean defaults decide against a 1/8 torus margin; a p-ary
+#: digit decides against half a slice, 1/(4p) — 8x tighter at p=16 —
+#: so the ring degree doubles twice (finer 2N mod-switch grid) and the
+#: key-switch target noise drops, keeping the worst LIN chain
+#: (three bootstrapped operands at unit coefficients) above 6 sigma of
+#: decision margin for p up to 16.  The static NB certification
+#: (``repro.analyze.mb.certify_noise_mb``) enforces exactly this.
+TFHE_MB_128 = TFHEParameters(
+    name="tfhe-mb-128",
+    lwe_dimension=1024,
+    lwe_noise_std=2.0 ** -17,
+    tlwe_degree=2048,
+    tlwe_k=1,
+    tlwe_noise_std=2.0 ** -32,
+    bs_decomp_length=3,
+    bs_decomp_log2_base=7,
+    ks_decomp_length=8,
+    ks_decomp_log2_base=2,
+    security_bits=128,
+)
+
 #: Small, insecure parameters for fast functional testing.
 TFHE_TEST = TFHEParameters(
     name="tfhe-test",
@@ -122,4 +145,6 @@ TFHE_TEST = TFHEParameters(
     security_bits=0,
 )
 
-PARAMETER_SETS = {p.name: p for p in (TFHE_DEFAULT_128, TFHE_TEST)}
+PARAMETER_SETS = {
+    p.name: p for p in (TFHE_DEFAULT_128, TFHE_MB_128, TFHE_TEST)
+}

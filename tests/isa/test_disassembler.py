@@ -53,3 +53,79 @@ def test_offsets_are_16_byte_aligned():
     text = format_program(_half_adder_binary())
     offsets = [int(line.split()[0], 16) for line in text.splitlines()]
     assert offsets == [i * 16 for i in range(7)]
+
+
+def _word(value):
+    return value.to_bytes(16, "little")
+
+
+class TestLenientListing:
+    """Corrupt words render as diagnostics; the listing never aborts."""
+
+    def test_reserved_word_mid_stream_renders_diagnostic(self):
+        data = bytearray(_half_adder_binary())
+        # Rewrite the XOR gate (word 3) into the reserved combination:
+        # output-marker nibble carrying operand fields.
+        data[48:64] = _word((5 << 66) | (7 << 4) | 0x3)
+        text = format_program(bytes(data))
+        lines = text.splitlines()
+        assert len(lines) == 7  # every word still listed
+        assert ".word" in lines[3]
+        assert "reserved nibble 0x3" in lines[3]
+        assert "offset 0x30" in lines[3]
+        # The surviving context is intact either side of the bad word.
+        assert "AND" in lines[4] and "output" in lines[5]
+
+    def test_reserved_marker_combination(self):
+        # Output marker nibble with a non-sentinel field0 is reserved
+        # in format-0; it must diagnose, not decode as garbage.
+        data = _half_adder_binary() + _word((5 << 66) | (7 << 4) | 0x3)
+        text = format_program(data)
+        last = text.splitlines()[-1]
+        assert ".word" in last and "reserved nibble 0x3" in last
+        assert "offset 0x70" in last
+
+    def test_malformed_header(self):
+        data = bytearray(_half_adder_binary())
+        data[0] |= 0x7  # header word must carry nibble 0
+        lines = format_program(bytes(data)).splitlines()
+        assert ".word" in lines[0] and "malformed header" in lines[0]
+        assert len(lines) == 7
+
+    def test_unknown_format_marker(self):
+        data = bytearray(_half_adder_binary())
+        word = int.from_bytes(data[0:16], "little")
+        data[0:16] = _word(word | (9 << 66))
+        lines = format_program(bytes(data)).splitlines()
+        assert "unknown format marker 9" in lines[0]
+
+    def test_trailing_partial_word(self):
+        data = _half_adder_binary() + b"\x01\x02\x03"
+        lines = format_program(data).splitlines()
+        assert "truncated instruction (3 trailing bytes)" in lines[-1]
+
+    def test_diagnostics_never_raise(self):
+        import os
+
+        noise = os.urandom(16 * 8)
+        assert len(format_program(noise).splitlines()) == 8
+
+
+class TestMultiBitListing:
+    def test_mb_program_renders(self):
+        from repro.hdl import arith
+        from repro.mblut import synthesize
+
+        bd = CircuitBuilder()
+        a = [bd.input() for _ in range(6)]
+        b = [bd.input() for _ in range(6)]
+        for bit in arith.ripple_add(bd, a, b, width=7, signed=False):
+            bd.output(bit)
+        mb = synthesize(bd.build(), modulus=16)
+        text = format_program(assemble(mb))
+        assert "header  mb-format=1" in text
+        assert "digit p=16" in text and "bound=" in text
+        assert "gate    lin" in text
+        assert "gate    lut" in text or "gate    d2b" in text
+        assert "table   id=0 entries=" in text
+        assert "table   data=" in text

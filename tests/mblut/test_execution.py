@@ -1,0 +1,131 @@
+"""Encrypted multi-bit execution: batched, single, distributed, serve.
+
+Runs at modulus 8 on the fast test parameters: their noise level holds
+a 1/32 digit margin (certified >6 sigma), whereas p=16 genuinely fails
+there — the analyzer tests cover that boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hdl.arith import ripple_add
+from repro.hdl.builder import CircuitBuilder
+from repro.mblut import (
+    decrypt_mb_outputs,
+    encrypt_mb_inputs,
+    synthesize,
+)
+from repro.runtime import CpuBackend
+
+WIDTH = 6
+MODULUS = 8
+
+
+@pytest.fixture(scope="module")
+def boolean_adder():
+    bd = CircuitBuilder()
+    a = [bd.input() for _ in range(WIDTH)]
+    b = [bd.input() for _ in range(WIDTH)]
+    for bit in ripple_add(bd, a, b, width=WIDTH + 1, signed=False):
+        bd.output(bit)
+    return bd.build()
+
+
+@pytest.fixture(scope="module")
+def mb_adder(boolean_adder):
+    return synthesize(boolean_adder, modulus=MODULUS)
+
+
+def _operand_bits(a, b):
+    return np.array(
+        [(a >> i) & 1 for i in range(WIDTH)]
+        + [(b >> i) & 1 for i in range(WIDTH)],
+        dtype=bool,
+    )
+
+
+class TestEncryptedExecution:
+    def test_batched_matches_boolean_oracle(
+        self, boolean_adder, mb_adder, test_keys, rng
+    ):
+        secret, cloud = test_keys
+        bits = _operand_bits(45, 18)
+        ct = encrypt_mb_inputs(secret, mb_adder, bits, rng)
+        out, report = CpuBackend(cloud).run(mb_adder, ct)
+        got = decrypt_mb_outputs(secret, mb_adder, out)
+        assert np.array_equal(got, boolean_adder.evaluate(bits))
+        assert report.gates_bootstrapped == mb_adder.num_lut_bootstraps
+
+    def test_single_engine_matches(self, boolean_adder, mb_adder,
+                                    test_keys, rng):
+        secret, cloud = test_keys
+        bits = _operand_bits(9, 54)
+        ct = encrypt_mb_inputs(secret, mb_adder, bits, rng)
+        out, _ = CpuBackend(cloud, batched=False).run(mb_adder, ct)
+        got = decrypt_mb_outputs(secret, mb_adder, out)
+        assert np.array_equal(got, boolean_adder.evaluate(bits))
+
+    def test_distributed_pickle_matches(self, boolean_adder, mb_adder,
+                                         test_keys, rng):
+        from repro.runtime import DistributedCpuBackend
+
+        secret, cloud = test_keys
+        bits = _operand_bits(31, 32)
+        ct = encrypt_mb_inputs(secret, mb_adder, bits, rng)
+        backend = DistributedCpuBackend(
+            cloud, num_workers=2, transport="pickle"
+        )
+        try:
+            out, _ = backend.run(mb_adder, ct)
+        finally:
+            backend.shutdown()
+        got = decrypt_mb_outputs(secret, mb_adder, out)
+        assert np.array_equal(got, boolean_adder.evaluate(bits))
+
+    def test_fewer_bootstraps_than_boolean(self, boolean_adder, mb_adder,
+                                            test_keys, rng):
+        from repro.tfhe import encrypt_bits
+
+        secret, cloud = test_keys
+        bits = _operand_bits(20, 41)
+        backend = CpuBackend(cloud)
+        _, rep_bool = backend.run(
+            boolean_adder, encrypt_bits(secret, bits, rng)
+        )
+        _, rep_mb = backend.run(
+            mb_adder, encrypt_mb_inputs(secret, mb_adder, bits, rng)
+        )
+        assert rep_mb.gates_bootstrapped < rep_bool.gates_bootstrapped
+
+    def test_missing_io_map_is_typed_error(self, mb_adder, test_keys, rng):
+        from repro.isa import assemble, disassemble
+
+        secret, _ = test_keys
+        stripped = disassemble(assemble(mb_adder))
+        with pytest.raises(ValueError, match="io map"):
+            encrypt_mb_inputs(secret, stripped, np.zeros(2 * WIDTH), rng)
+
+
+class TestServeRegistration:
+    def test_register_and_certify(self, mb_adder):
+        from repro.analyze import AnalyzerConfig
+        from repro.isa import assemble
+        from repro.serve import ProgramRegistry, program_id_of
+        from repro.tfhe.params import TFHE_MB_128
+
+        binary = assemble(mb_adder)
+        registry = ProgramRegistry(
+            check=AnalyzerConfig(params=TFHE_MB_128)
+        )
+        program, cached = registry.register(binary)
+        assert not cached
+        assert program.program_id == program_id_of(binary)
+        assert getattr(program.netlist, "is_multibit", False)
+        assert program.certificate is not None
+        assert (
+            program.certificate.lut_bootstrapped
+            == mb_adder.num_lut_bootstraps
+        )
+        # Content-hash caching holds for format-1 binaries too.
+        again, cached = registry.register(binary)
+        assert cached and again is program

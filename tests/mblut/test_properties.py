@@ -1,0 +1,111 @@
+"""Property suite for the multi-bit path.
+
+Two layers: the encrypted encode -> encrypt -> LUT -> decrypt
+round-trip over random tables and moduli (real bootstraps, so the
+example budget is small), and plaintext synthesis equivalence over
+randomly shaped arithmetic circuits (cheap, so the budget is generous).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.arith import less_than_unsigned, ripple_add
+from repro.hdl.builder import CircuitBuilder
+from repro.mblut import MultiBitValue, synthesize
+from repro.synth import check_equivalence
+from repro.tfhe import IntegerEncoding, apply_lut, decrypt_int, encrypt_int
+
+MODULI = (4, 8, 16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.sampled_from(MODULI),
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lut_roundtrip(test_keys, p, data, seed):
+    """Enc(m) -> LUT -> Dec == table[m] for any table over Z_p."""
+    secret, cloud = test_keys
+    table = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=p - 1),
+            min_size=p,
+            max_size=p,
+        )
+    )
+    message = data.draw(st.integers(min_value=0, max_value=p - 1))
+    rng = np.random.default_rng(seed)
+    enc = IntegerEncoding(p)
+    ct = encrypt_int(secret, message, enc, rng)
+    out = apply_lut(cloud, ct, table, enc)
+    assert decrypt_int(secret, out, enc) == table[message]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.sampled_from(MODULI),
+    value=st.integers(min_value=0, max_value=2**10),
+    width=st.integers(min_value=1, max_value=10),
+)
+def test_multibitvalue_bits_roundtrip(p, value, width):
+    v = MultiBitValue(value % p, modulus=p)
+    assert MultiBitValue.from_bits(v.bits(width), modulus=p).value == (
+        v.value % (1 << width) % p
+        if width < p.bit_length() - 1
+        else v.value
+    )
+
+
+@st.composite
+def arith_circuits(draw):
+    """Adder/comparator shapes (what synthesis targets) plus glue."""
+    width = draw(st.integers(min_value=2, max_value=6))
+    shape = draw(st.sampled_from(["add", "cmp", "add+cmp", "add-xor"]))
+    bd = CircuitBuilder()
+    a = [bd.input() for _ in range(width)]
+    b = [bd.input() for _ in range(width)]
+    if shape == "add":
+        for bit in ripple_add(bd, a, b, width=width + 1, signed=False):
+            bd.output(bit)
+    elif shape == "cmp":
+        bd.output(less_than_unsigned(bd, a, b))
+    elif shape == "add+cmp":
+        total = ripple_add(bd, a, b, width=width, signed=False)
+        bd.output(less_than_unsigned(bd, total, b))
+    else:
+        total = ripple_add(bd, a, b, width=width + 1, signed=False)
+        folded = total[0]
+        for bit in total[1:]:
+            folded = bd.xor_(folded, bit)
+        bd.output(folded)
+        for bit in total:
+            bd.output(bit)
+    return bd.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(netlist=arith_circuits(), p=st.sampled_from(MODULI))
+def test_synthesis_preserves_semantics(netlist, p):
+    """Mixed boolean/LUT netlists equal the all-boolean oracle."""
+    mb = synthesize(netlist, modulus=p)
+    result = check_equivalence(netlist, mb, random_trials=64)
+    assert result.equivalent, result.counterexample
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    netlist=arith_circuits(),
+    p=st.sampled_from(MODULI),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_synthesized_binary_preserves_wire_semantics(netlist, p, seed):
+    """assemble -> disassemble keeps the mixed netlist's evaluation."""
+    from repro.isa import assemble, disassemble
+
+    mb = synthesize(netlist, modulus=p)
+    back = disassemble(assemble(mb))
+    rng = np.random.default_rng(seed)
+    messages = rng.integers(0, mb.input_bound + 1, (8, mb.num_inputs))
+    assert np.array_equal(mb.evaluate(messages), back.evaluate(messages))

@@ -12,7 +12,7 @@ from repro.tfhe import (
     relu_table,
     square_table,
 )
-from repro.tfhe.lut import add_ints
+from repro.tfhe.lut import LutTableError, add_ints, validate_table
 from repro.tfhe.torus import torus_distance
 
 
@@ -134,14 +134,85 @@ class TestApplyLut:
     def test_table_length_checked(self, test_keys, rng, enc):
         secret, cloud = test_keys
         ct = encrypt_int(secret, 1, enc, rng)
-        with pytest.raises(ValueError):
+        with pytest.raises(LutTableError):
             apply_lut(cloud, ct, [0, 1, 2], enc)
 
-    def test_lut_output_is_well_centered(self, test_keys, rng, enc):
+    def test_oversized_table_checked(self, test_keys, rng, enc):
+        secret, cloud = test_keys
+        ct = encrypt_int(secret, 1, enc, rng)
+        with pytest.raises(LutTableError):
+            apply_lut(cloud, ct, list(range(9)), enc)
+
+    def test_entry_outside_output_modulus(self, test_keys, rng, enc):
+        secret, cloud = test_keys
+        ct = encrypt_int(secret, 1, enc, rng)
+        with pytest.raises(LutTableError):
+            apply_lut(cloud, ct, [0] * 7 + [8], enc)
+        with pytest.raises(LutTableError):
+            apply_lut(cloud, ct, [0] * 7 + [-1], enc)
+
+    def test_cross_modulus_entry_bound(self, test_keys, rng):
+        """The *output* encoding bounds the entries, not the input."""
+        secret, cloud = test_keys
+        enc_in, enc_out = IntegerEncoding(8), IntegerEncoding(4)
+        ct = encrypt_int(secret, 1, enc_in, rng)
+        with pytest.raises(LutTableError):
+            apply_lut(cloud, ct, [0] * 7 + [5], enc_in, enc_out)
+
+    def test_lut_table_error_is_value_error(self):
+        assert issubclass(LutTableError, ValueError)
+
+
+class TestValidateTable:
+    def test_returns_int64(self):
+        enc = IntegerEncoding(4)
+        out = validate_table([0, 1, 2, 3], enc, enc)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, [0, 1, 2, 3])
+
+    def test_message_error_names_offender(self):
+        enc = IntegerEncoding(4)
+        with pytest.raises(LutTableError, match="entry 9"):
+            validate_table([0, 9, 2, 3], enc, enc)
+        with pytest.raises(LutTableError, match="4 entries"):
+            validate_table([0, 1], enc, enc)
+
+
+class TestNegativeMessages:
+    """Wraparound edge cases: encode reduces mod p, decode never escapes."""
+
+    def test_negative_message_encodes_mod_p(self):
+        enc = IntegerEncoding(8)
+        for m in (-1, -8, -15):
+            assert enc.decode(enc.encode(m)) == m % 8
+
+    def test_negative_messages_roundtrip_encrypted(self, test_keys, rng):
+        secret, _ = test_keys
+        enc = IntegerEncoding(8)
+        values = np.array([-1, -7, -8])
+        ct = encrypt_int(secret, values, enc, rng)
+        assert np.array_equal(decrypt_int(secret, ct, enc), values % 8)
+
+    def test_lut_on_wrapped_message(self, test_keys, rng):
+        secret, cloud = test_keys
+        enc = IntegerEncoding(8)
+        ct = encrypt_int(secret, -3, enc, rng)  # encodes as 5
+        out = apply_lut(cloud, ct, square_table(8), enc)
+        assert decrypt_int(secret, out, enc) == (5 * 5) % 8
+
+    def test_decode_never_escapes_modulus(self):
+        """Any torus phase — both halves — decodes into [0, p)."""
+        enc = IntegerEncoding(8)
+        phases = np.linspace(-(2**31), 2**31 - 1, 4097).astype(np.int32)
+        decoded = enc.decode(phases)
+        assert decoded.min() >= 0 and decoded.max() < 8
+
+    def test_lut_output_is_well_centered(self, test_keys, rng):
         """Output phases land near slice centers (fresh-noise levels)."""
         secret, cloud = test_keys
         from repro.tfhe.lwe import lwe_phase
 
+        enc = IntegerEncoding(8)
         ct = encrypt_int(secret, 5, enc, rng)
         out = apply_lut(cloud, ct, list(range(8)), enc)
         phase = lwe_phase(secret.lwe_key, out)

@@ -19,8 +19,12 @@ def test_test_params_are_marked_insecure():
     assert TFHE_TEST.security_bits == 0
 
 
-def test_registry_contains_both():
-    assert set(PARAMETER_SETS) == {"tfhe-default-128", "tfhe-test"}
+def test_registry_contains_all():
+    assert set(PARAMETER_SETS) == {
+        "tfhe-default-128",
+        "tfhe-test",
+        "tfhe-mb-128",
+    }
 
 
 def test_extracted_dimension():
